@@ -1,0 +1,33 @@
+//! # taf-baselines
+//!
+//! The two device-free localization baselines TafLoc is evaluated against in
+//! Fig. 5 of the paper:
+//!
+//! * [`rti`] — **Radio Tomographic Imaging** (Wilson & Patwari, TMC 2010): a
+//!   fingerprint-free system that inverts per-link attenuation into an
+//!   attenuation image. Drift-immune but coarse.
+//! * [`rass`] — **RASS** (Zhang et al., TPDS 2013): a fingerprint-dependent
+//!   grid-classification system. Evaluated both on stale fingerprints
+//!   ("RASS w/o rec.") and on fingerprints refreshed with TafLoc's
+//!   reconstruction ("RASS w/ rec."), showing the reconstruction scheme
+//!   transfers to other systems.
+//!
+//! Both consume the same inputs as TafLoc (a [`tafloc_core::db::FingerprintDb`]
+//! where applicable, plus live RSS vectors), so the Fig. 5 harness can drive all
+//! four systems over identical measurements.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` deliberately rejects NaN along with non-positive values in
+// config validation — the clippy lint suggesting `x <= 0.0` would silently
+// accept NaN. Indexed loops are used where two or more parallel buffers are
+// driven by one index; rewriting them as iterator chains hurts readability in
+// the numerical kernels.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+
+
+pub mod rass;
+pub mod rti;
+
+pub use rass::{Rass, RassConfig, RassFix};
+pub use rti::{Rti, RtiConfig, RtiFix};

@@ -1,0 +1,42 @@
+//! Criterion benches for the baseline systems: RTI model build + per-query
+//! inversion, and RASS per-query classification — the comparators driven by
+//! the Fig. 5 harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taf_baselines::{Rass, RassConfig, Rti, RtiConfig};
+use taf_rfsim::geometry::Segment;
+use taf_rfsim::{campaign, World, WorldConfig};
+use tafloc_core::db::FingerprintDb;
+
+fn bench_rti(c: &mut Criterion) {
+    let world = World::new(WorldConfig::paper_default(), 13);
+    let links: Vec<Segment> = world.deployment().links().iter().map(|l| l.segment).collect();
+    let grid = world.grid().clone();
+
+    c.bench_function("rti_build", |b| {
+        b.iter(|| black_box(Rti::new(&links, &grid, RtiConfig::default()).unwrap()))
+    });
+
+    let rti = Rti::new(&links, &grid, RtiConfig::default()).unwrap();
+    let empty = campaign::empty_snapshot(&world, 0.0, 50);
+    let y = campaign::snapshot_at_cell(&world, 0.0, 40, 50);
+    c.bench_function("rti_localize", |b| {
+        b.iter(|| black_box(rti.localize(&empty, &y).unwrap()))
+    });
+}
+
+fn bench_rass(c: &mut Criterion) {
+    let world = World::new(WorldConfig::paper_default(), 13);
+    let x = campaign::full_calibration(&world, 0.0, 50);
+    let empty = campaign::empty_snapshot(&world, 0.0, 50);
+    let db = FingerprintDb::from_world(x, &world).unwrap();
+    let rass = Rass::new(db, empty, RassConfig::default()).unwrap();
+    let y = campaign::snapshot_at_cell(&world, 0.0, 40, 50);
+    c.bench_function("rass_localize", |b| {
+        b.iter(|| black_box(rass.localize(&y).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_rti, bench_rass);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for the linear-algebra kernels that dominate LoLi-IR:
+//! matrix multiplication, Cholesky solves, column-pivoted QR and the Jacobi SVD,
+//! all at fingerprint-matrix scale (10 x 96) and a larger stress size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use taf_linalg::Matrix;
+
+fn dense(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 17) % 23) as f64 / 7.0 - 1.5)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &(m, k, n) in &[(10, 96, 96), (64, 64, 64), (128, 128, 128)] {
+        let a = dense(m, k);
+        let b = dense(k, n);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(a, b), |bch, (a, b)| {
+            bch.iter(|| black_box(a.matmul(b).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholesky_solve");
+    for &n in &[8, 32, 96] {
+        let b = dense(n, n);
+        let mut spd = b.gram();
+        spd.add_diag(n as f64).unwrap();
+        let rhs = vec![1.0; n];
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(spd, rhs), |bch, (spd, rhs)| {
+            bch.iter(|| black_box(spd.cholesky().unwrap().solve(rhs).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_qr_pivot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("col_piv_qr");
+    for &(m, n) in &[(10, 96), (10, 400), (32, 256)] {
+        let a = dense(m, n);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &a, |bch, a| {
+            bch.iter(|| black_box(a.col_piv_qr().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jacobi_svd");
+    for &(m, n) in &[(10, 96), (32, 64)] {
+        let a = dense(m, n);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &a, |bch, a| {
+            bch.iter(|| black_box(a.svd().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_cholesky, bench_qr_pivot, bench_svd);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for online localization throughput: one live RSS vector
+//! against the 96-cell database, for each matching method. Device-free
+//! localization is meant to run in real time (RASS's selling point is "a
+//! location update every second"), so the per-query cost matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taf_rfsim::{campaign, World, WorldConfig};
+use tafloc_core::db::FingerprintDb;
+use tafloc_core::matcher::{localize, MatchMethod};
+
+fn bench_matchers(c: &mut Criterion) {
+    let world = World::new(WorldConfig::paper_default(), 7);
+    let x = campaign::full_calibration(&world, 0.0, 50);
+    let db = FingerprintDb::from_world(x, &world).unwrap();
+    let y = campaign::snapshot_at_cell(&world, 0.0, 40, 50);
+
+    let mut g = c.benchmark_group("localize_96_cells");
+    g.bench_function("nearest_neighbor", |b| {
+        b.iter(|| black_box(localize(&db, &y, MatchMethod::NearestNeighbor).unwrap()))
+    });
+    g.bench_function("knn3", |b| {
+        b.iter(|| black_box(localize(&db, &y, MatchMethod::Knn { k: 3 }).unwrap()))
+    });
+    g.bench_function("probabilistic", |b| {
+        b.iter(|| {
+            black_box(localize(&db, &y, MatchMethod::Probabilistic { sigma_db: 2.0 }).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_large_grid(c: &mut Criterion) {
+    // Fig. 4 scale: a 20x20-cell area — matching must stay fast as areas grow.
+    let world = World::new(WorldConfig::square_area(12.0), 7);
+    let x = world.fingerprint_truth(0.0);
+    let db = FingerprintDb::from_world(x, &world).unwrap();
+    let y = campaign::snapshot_at_cell(&world, 0.0, 150, 20);
+    c.bench_function("localize_400_cells_knn3", |b| {
+        b.iter(|| black_box(localize(&db, &y, MatchMethod::Knn { k: 3 }).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_matchers, bench_large_grid);
+criterion_main!(benches);

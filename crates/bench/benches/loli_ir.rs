@@ -1,0 +1,77 @@
+//! Criterion benches for the LoLi-IR reconstruction pipeline at paper scale
+//! (10 links x 96 cells, 10 reference columns): the full solver, the
+//! graph-free variant, and the SVT completion baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taf_rfsim::{campaign, World, WorldConfig};
+use tafloc_core::db::FingerprintDb;
+use tafloc_core::mask::Mask;
+use tafloc_core::svt::{soft_impute, SvtConfig};
+use tafloc_core::system::{TafLoc, TafLocConfig};
+use taf_linalg::Matrix;
+
+struct Setup {
+    sys: TafLoc,
+    sys_no_graphs: TafLoc,
+    fresh: Matrix,
+    fresh_empty: Vec<f64>,
+    observed: Matrix,
+    mask: Mask,
+}
+
+fn setup() -> Setup {
+    let world = World::new(WorldConfig::paper_default(), 42);
+    let x0 = campaign::full_calibration(&world, 0.0, 50);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 50);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    let sys = TafLoc::calibrate(TafLocConfig::default(), db.clone(), e0.clone()).unwrap();
+    let mut cfg = TafLocConfig::default();
+    cfg.loli.alpha = 0.0;
+    cfg.loli.beta = 0.0;
+    let sys_no_graphs = TafLoc::calibrate(cfg, db, e0).unwrap();
+
+    let fresh = campaign::measure_columns(&world, 90.0, sys.reference_cells(), 50);
+    let fresh_empty = campaign::empty_snapshot(&world, 90.0, 50);
+
+    let (m, n) = (world.num_links(), world.num_cells());
+    let mut observed = Matrix::zeros(m, n);
+    for (k, &cell) in sys.reference_cells().iter().enumerate() {
+        observed.set_col(cell, &fresh.col(k)).unwrap();
+    }
+    let mask = Mask::from_columns(m, n, sys.reference_cells()).unwrap();
+    Setup { sys, sys_no_graphs, fresh, fresh_empty, observed, mask }
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let s = setup();
+    let mut g = c.benchmark_group("reconstruction_90d");
+    g.bench_function("loli_ir_full", |b| {
+        b.iter(|| black_box(s.sys.reconstruct_db(&s.fresh, &s.fresh_empty).unwrap()))
+    });
+    g.bench_function("loli_ir_no_graphs", |b| {
+        b.iter(|| black_box(s.sys_no_graphs.reconstruct_db(&s.fresh, &s.fresh_empty).unwrap()))
+    });
+    g.bench_function("svt_baseline", |b| {
+        let cfg = SvtConfig { tau: 0.5, max_iters: 100, tol: 1e-6 };
+        b.iter(|| black_box(soft_impute(&s.observed, &s.mask, &cfg).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let world = World::new(WorldConfig::paper_default(), 42);
+    let x0 = campaign::full_calibration(&world, 0.0, 50);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 50);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    c.bench_function("tafloc_calibrate", |b| {
+        b.iter(|| {
+            black_box(
+                TafLoc::calibrate(TafLocConfig::default(), db.clone(), e0.clone()).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_reconstruction, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Ablation `abl-rank`: sweep the LoLi-IR factor rank `r`.
+//!
+//! The factor rank trades expressiveness (too small a rank cannot represent the
+//! fingerprint structure) against noise fitting and cost. The default of 8 is
+//! validated here against the 90-day update.
+//!
+//! Usage: `cargo run --release -p taf-bench --bin ablation_rank [seeds] [samples]`
+
+use taf_bench::ablation::evaluate_seeds;
+use tafloc_core::system::TafLocConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let num_seeds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let samples: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let seeds: Vec<u64> = (1..=num_seeds).collect();
+
+    println!("== Ablation: LoLi-IR factor rank (90-day update) ==");
+    println!("{:>6} {:>22} {:>22}", "rank", "recon mean [dBm]", "loc median [m]");
+    for rank in [2, 3, 4, 6, 8, 10] {
+        let mut cfg = TafLocConfig::default();
+        cfg.loli.rank = rank;
+        let out = evaluate_seeds(cfg, &seeds, samples, 2);
+        println!("{:>6} {:>22.3} {:>22.3}", rank, out.recon_mean_dbm, out.loc_median_m);
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Fig. 3**: fingerprint reconstruction error CDFs after
+//! 3 days / 5 days / 15 days / 45 days / 3 months, plus the paper's in-text
+//! mean errors (2.7 / 3.3 / 3.6 / 4.1 dBm at 3 d / 15 d / 45 d / 3 mo).
+//!
+//! Usage: `cargo run --release -p taf-bench --bin fig3 [seeds] [samples]`
+
+use taf_bench::fig3::{run, HORIZONS, PAPER_MEANS};
+use taf_bench::report::{compare_row, print_cdf_table, print_summaries};
+use taf_linalg::stats::Ecdf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let num_seeds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let samples: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let seeds: Vec<u64> = (1..=num_seeds).collect();
+    eprintln!("fig3: {} seeds x {} samples per survey ...", seeds.len(), samples);
+    let result = run(&seeds, samples);
+
+    let labels = ["3 days", "5 days", "15 days", "45 days", "3 months"];
+    let series: Vec<(String, Ecdf)> = result
+        .errors
+        .iter()
+        .zip(labels)
+        .map(|(errs, label)| (label.to_string(), Ecdf::new(errs).expect("non-empty errors")))
+        .collect();
+
+    print_cdf_table(
+        "Fig. 3 — fingerprint reconstruction error CDF",
+        "error [dBm]",
+        15.0,
+        16,
+        &series,
+    );
+    println!();
+    print_summaries(&series);
+
+    println!("\nPaper vs measured (mean reconstruction error, dBm):");
+    for &(t, paper) in &PAPER_MEANS {
+        let idx = HORIZONS.iter().position(|&h| h == t).expect("known horizon");
+        println!("{}", compare_row(labels[idx], paper, series[idx].1.mean()));
+    }
+}

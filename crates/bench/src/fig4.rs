@@ -1,0 +1,93 @@
+//! Fig. 4 driver: fingerprint update time cost vs monitored-area size.
+//!
+//! The paper's cost model: surveying one grid cell takes 100 RSS samples at
+//! 1 Hz = 100 s. A manual update of an `edge x edge` area with 0.6 m cells
+//! therefore costs `100·(edge/0.6)²` seconds, while TafLoc only visits its `n`
+//! reference cells: `100·n` seconds (plus a negligible empty-room snapshot).
+//!
+//! The paper plots both against the edge length (6-36 m) and annotates the gap
+//! (the text works the 6 m x 6 m case: 2.78 h vs 0.28 h). We additionally
+//! *verify* per area size that `n` reference locations actually suffice — the
+//! numerical rank of the simulated fingerprint matrix stays near the link count
+//! regardless of area, which is exactly why TafLoc's cost curve stays flat.
+
+use taf_rfsim::{World, WorldConfig};
+
+/// Seconds of surveying per visited grid cell (100 samples at 1 Hz).
+pub const SECONDS_PER_CELL: f64 = 100.0;
+
+/// One row of the Fig. 4 table.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Row {
+    /// Edge length of the square monitored area (m).
+    pub edge_m: f64,
+    /// Number of 0.6 m grid cells in the area.
+    pub cells: usize,
+    /// Manual (existing systems) update cost in hours.
+    pub manual_hours: f64,
+    /// TafLoc update cost in hours (visiting `ref_count` cells).
+    pub tafloc_hours: f64,
+    /// Numerical rank of the simulated fingerprint matrix for this area — the
+    /// number of reference locations actually needed.
+    pub numerical_rank: usize,
+}
+
+/// Computes one row of the Fig. 4 sweep.
+pub fn row(edge_m: f64, ref_count: usize, seed: u64) -> Fig4Row {
+    let config = WorldConfig::square_area(edge_m);
+    let world = World::new(config, seed);
+    let cells = world.num_cells();
+    let manual_hours = SECONDS_PER_CELL * cells as f64 / 3600.0;
+    let tafloc_hours = SECONDS_PER_CELL * ref_count as f64 / 3600.0;
+
+    // Rank check on the noise-free matrix: how many linearly independent
+    // columns does the area's fingerprint matrix actually have?
+    let x = world.fingerprint_truth(0.0);
+    let numerical_rank = x.col_piv_qr().expect("non-empty matrix").rank(1e-6);
+
+    Fig4Row { edge_m, cells, manual_hours, tafloc_hours, numerical_rank }
+}
+
+/// The paper's sweep: edge lengths 6..36 m.
+pub fn sweep(ref_count: usize, seed: u64) -> Vec<Fig4Row> {
+    [6.0, 12.0, 18.0, 24.0, 30.0, 36.0]
+        .iter()
+        .map(|&edge| row(edge, ref_count, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_6m() {
+        // In-text: 6 m x 6 m => 100·(6/0.6)²/3600 ≈ 2.78 h manual, 0.28 h TafLoc.
+        let r = row(6.0, 10, 1);
+        assert_eq!(r.cells, 100);
+        assert!((r.manual_hours - 2.78).abs() < 0.01, "{}", r.manual_hours);
+        assert!((r.tafloc_hours - 0.28).abs() < 0.01, "{}", r.tafloc_hours);
+    }
+
+    #[test]
+    fn manual_cost_quadratic_tafloc_flat() {
+        let rows = sweep(10, 2);
+        for w in rows.windows(2) {
+            assert!(w[1].manual_hours > w[0].manual_hours);
+            assert_eq!(w[0].tafloc_hours, w[1].tafloc_hours);
+        }
+        // 36 m manual cost is (36/6)² = 36x the 6 m cost.
+        assert!((rows[5].manual_hours / rows[0].manual_hours - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_stays_bounded_by_link_count() {
+        // The reason TafLoc's curve is flat: the fingerprint matrix rank is
+        // bounded by the number of links (10), not the number of cells.
+        let small = row(6.0, 10, 3);
+        let large = row(18.0, 10, 3);
+        assert!(small.numerical_rank <= 10);
+        assert!(large.numerical_rank <= 10);
+        assert!(large.cells > 8 * small.cells / 2, "area grew");
+    }
+}

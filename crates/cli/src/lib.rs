@@ -1,0 +1,447 @@
+//! # tafloc-cli
+//!
+//! Command-line workflow for the TafLoc reproduction. The CLI drives the same
+//! library code as the examples and benches, with all state in JSON/CSV files
+//! so each lifecycle step is a separate invocation:
+//!
+//! ```text
+//! tafloc new-world    --seed 7 --out world.json
+//! tafloc survey       --world world.json --day 0 --samples 100 --out survey.json
+//! tafloc calibrate    --survey survey.json --out system.json
+//! tafloc measure-refs --world world.json --system system.json --day 45 --samples 100 --out refs.json
+//! tafloc update       --system system.json --refs refs.json --out system.json
+//! tafloc snapshot     --world world.json --day 45 --cell 42 --samples 100 --out y.json
+//! tafloc locate       --system system.json --y y.json
+//! tafloc info         --system system.json
+//! tafloc export-db    --system system.json --out db.csv
+//! ```
+//!
+//! The `--world` files pin a simulated environment (config + seed); on a real
+//! deployment the `survey`/`measure-refs`/`snapshot` steps would be replaced by
+//! actual measurements, and everything from `calibrate` on would be unchanged.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` deliberately rejects NaN along with non-positive values in
+// config validation — the clippy lint suggesting `x <= 0.0` would silently
+// accept NaN. Indexed loops are used where two or more parallel buffers are
+// driven by one index; rewriting them as iterator chains hurts readability in
+// the numerical kernels.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use taf_linalg::Matrix;
+use taf_rfsim::{campaign, World, WorldConfig};
+use tafloc_core::db::FingerprintDb;
+use tafloc_core::system::{SystemSnapshot, TafLoc, TafLocConfig};
+
+/// CLI error: a message for the user plus a process exit code of 1.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<tafloc_core::TaflocError> for CliError {
+    fn from(e: tafloc_core::TaflocError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<taf_linalg::LinalgError> for CliError {
+    fn from(e: taf_linalg::LinalgError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Result alias for CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+// ----------------------------------------------------------------------
+// File formats
+// ----------------------------------------------------------------------
+
+/// A pinned simulated environment: configuration plus seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldFile {
+    /// Simulator configuration.
+    pub config: WorldConfig,
+    /// World seed (all randomness derives from it).
+    pub seed: u64,
+}
+
+impl WorldFile {
+    /// Instantiates the world this file pins.
+    pub fn build(&self) -> World {
+        World::new(self.config.clone(), self.seed)
+    }
+}
+
+/// A full site survey: the fingerprint database plus the empty-room baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurveyFile {
+    /// Day the survey was taken.
+    pub day: f64,
+    /// Surveyed fingerprint database.
+    pub db: FingerprintDb,
+    /// Empty-room RSS baseline at survey time.
+    pub empty: Vec<f64>,
+}
+
+/// A reference-location measurement set (the cheap update input).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RefsFile {
+    /// Day the references were measured.
+    pub day: f64,
+    /// Reference cells, in the system's selection order.
+    pub cells: Vec<usize>,
+    /// Measured columns (`M x cells.len()`).
+    pub columns: Matrix,
+    /// Fresh empty-room RSS baseline.
+    pub empty: Vec<f64>,
+}
+
+/// One live measurement vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotFile {
+    /// Day of the measurement.
+    pub day: f64,
+    /// Averaged per-link RSS.
+    pub y: Vec<f64>,
+}
+
+// ----------------------------------------------------------------------
+// JSON helpers
+// ----------------------------------------------------------------------
+
+fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))?;
+    serde_json::from_str(&text)
+        .map_err(|e| CliError(format!("cannot parse {}: {e}", path.display())))
+}
+
+fn write_json<T: Serialize>(path: &Path, value: &T) -> Result<()> {
+    let text = serde_json::to_string(value)
+        .map_err(|e| CliError(format!("cannot serialize for {}: {e}", path.display())))?;
+    std::fs::write(path, text)
+        .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))
+}
+
+// ----------------------------------------------------------------------
+// Argument parsing (std-only; flags are --key value pairs plus switches)
+// ----------------------------------------------------------------------
+
+/// Parsed flag arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--switch`es from raw arguments.
+    pub fn parse(raw: &[String]) -> Result<Args> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let token = &raw[i];
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(CliError(format!("unexpected argument {token:?} (flags start with --)")));
+            };
+            if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                out.pairs.push((key.to_string(), raw[i + 1].clone()));
+                i += 2;
+            } else {
+                out.switches.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Required string flag.
+    pub fn required(&self, key: &str) -> Result<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+
+    /// Optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Required path flag.
+    pub fn path(&self, key: &str) -> Result<PathBuf> {
+        Ok(PathBuf::from(self.required(key)?))
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("flag --{key} expects a number, got {v:?}"))),
+        }
+    }
+
+    /// Required parsed numeric flag.
+    pub fn num_required<T: std::str::FromStr>(&self, key: &str) -> Result<T> {
+        let v = self.required(key)?;
+        v.parse().map_err(|_| CliError(format!("flag --{key} expects a number, got {v:?}")))
+    }
+
+    /// `true` when the bare switch is present.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Commands
+// ----------------------------------------------------------------------
+
+/// `new-world`: pins a simulated environment to a file.
+pub fn cmd_new_world(args: &Args) -> Result<String> {
+    let seed: u64 = args.num("seed", 1)?;
+    let out = args.path("out")?;
+    let config = if args.switch("small") {
+        WorldConfig::small_test()
+    } else if let Some(edge) = args.optional("edge") {
+        let edge: f64 = edge
+            .parse()
+            .map_err(|_| CliError(format!("--edge expects meters, got {edge:?}")))?;
+        WorldConfig::square_area(edge)
+    } else {
+        WorldConfig::paper_default()
+    };
+    let file = WorldFile { config, seed };
+    let world = file.build();
+    write_json(&out, &file)?;
+    Ok(format!(
+        "world written to {} ({} links, {} cells, seed {seed})",
+        out.display(),
+        world.num_links(),
+        world.num_cells()
+    ))
+}
+
+/// `survey`: simulates the full site survey.
+pub fn cmd_survey(args: &Args) -> Result<String> {
+    let world_file: WorldFile = read_json(&args.path("world")?)?;
+    let day: f64 = args.num("day", 0.0)?;
+    let samples: usize = args.num("samples", 100)?;
+    let out = args.path("out")?;
+    let world = world_file.build();
+    let rss = campaign::full_calibration(&world, day, samples);
+    let empty = campaign::empty_snapshot(&world, day, samples);
+    let db = FingerprintDb::from_world(rss, &world)?;
+    let cells = db.num_cells();
+    write_json(&out, &SurveyFile { day, db, empty })?;
+    Ok(format!(
+        "surveyed {cells} cells x {samples} samples on day {day}; written to {}",
+        out.display()
+    ))
+}
+
+/// `calibrate`: builds a TafLoc system from a survey.
+pub fn cmd_calibrate(args: &Args) -> Result<String> {
+    let survey: SurveyFile = read_json(&args.path("survey")?)?;
+    let out = args.path("out")?;
+    let mut config = TafLocConfig::default();
+    config.ref_count = args.num("refs", config.ref_count)?;
+    let sys = TafLoc::calibrate(config, survey.db, survey.empty)?;
+    let refs = sys.reference_cells().to_vec();
+    write_json(&out, &sys.snapshot())?;
+    Ok(format!("calibrated; reference cells {refs:?}; system written to {}", out.display()))
+}
+
+/// `measure-refs`: simulates measuring the system's reference cells.
+pub fn cmd_measure_refs(args: &Args) -> Result<String> {
+    let world_file: WorldFile = read_json(&args.path("world")?)?;
+    let snapshot: SystemSnapshot = read_json(&args.path("system")?)?;
+    let day: f64 = args.num_required("day")?;
+    let samples: usize = args.num("samples", 100)?;
+    let out = args.path("out")?;
+    let world = world_file.build();
+    let sys = TafLoc::from_snapshot(snapshot)?;
+    let cells = sys.reference_cells().to_vec();
+    let columns = campaign::measure_columns(&world, day, &cells, samples);
+    let empty = campaign::empty_snapshot(&world, day, samples);
+    write_json(&out, &RefsFile { day, cells: cells.clone(), columns, empty })?;
+    Ok(format!(
+        "measured {} reference cells on day {day}; written to {}",
+        cells.len(),
+        out.display()
+    ))
+}
+
+/// `update`: refreshes the system's database from reference measurements.
+pub fn cmd_update(args: &Args) -> Result<String> {
+    let snapshot: SystemSnapshot = read_json(&args.path("system")?)?;
+    let refs: RefsFile = read_json(&args.path("refs")?)?;
+    let out = args.path("out")?;
+    let mut sys = TafLoc::from_snapshot(snapshot)?;
+    if refs.cells != sys.reference_cells() {
+        return Err(CliError(format!(
+            "reference cells in the refs file {:?} disagree with the system's {:?}",
+            refs.cells,
+            sys.reference_cells()
+        )));
+    }
+    let report = sys.update(&refs.columns, &refs.empty)?;
+    write_json(&out, &sys.snapshot())?;
+    Ok(format!(
+        "updated in {} LoLi-IR iterations (converged: {}); DB shifted {:.2} dB; written to {}",
+        report.iterations,
+        report.converged,
+        report.mean_abs_change_db,
+        out.display()
+    ))
+}
+
+/// `snapshot`: simulates one live measurement with the target in a cell.
+pub fn cmd_snapshot(args: &Args) -> Result<String> {
+    let world_file: WorldFile = read_json(&args.path("world")?)?;
+    let day: f64 = args.num_required("day")?;
+    let cell: usize = args.num_required("cell")?;
+    let samples: usize = args.num("samples", 100)?;
+    let out = args.path("out")?;
+    let world = world_file.build();
+    if cell >= world.num_cells() {
+        return Err(CliError(format!(
+            "cell {cell} out of range (world has {} cells)",
+            world.num_cells()
+        )));
+    }
+    let y = campaign::snapshot_at_cell(&world, day, cell, samples);
+    write_json(&out, &SnapshotFile { day, y })?;
+    Ok(format!("snapshot with target in cell {cell} on day {day}; written to {}", out.display()))
+}
+
+/// `locate`: localizes a snapshot against the system's database.
+pub fn cmd_locate(args: &Args) -> Result<String> {
+    let snapshot: SystemSnapshot = read_json(&args.path("system")?)?;
+    let measurement: SnapshotFile = read_json(&args.path("y")?)?;
+    let sys = TafLoc::from_snapshot(snapshot)?;
+    let fix = sys.localize(&measurement.y)?;
+    Ok(format!(
+        "cell {} at ({:.2}, {:.2}) m; fingerprint distance {:.2} dB",
+        fix.cell, fix.point.x, fix.point.y, fix.best_distance
+    ))
+}
+
+/// `info`: prints a summary of a stored system.
+pub fn cmd_info(args: &Args) -> Result<String> {
+    let snapshot: SystemSnapshot = read_json(&args.path("system")?)?;
+    let sys = TafLoc::from_snapshot(snapshot)?;
+    let db = sys.db();
+    let svd_rank = db.rss().col_piv_qr()?.rank(1e-6);
+    Ok(format!(
+        "links: {}\ncells: {} ({}x{} of {:.1} m)\nreference cells: {:?}\nnumerical rank: {}\nempty-room RSS: {:.1?} dBm",
+        db.num_links(),
+        db.num_cells(),
+        db.grid().nx(),
+        db.grid().ny(),
+        db.grid().cell_size(),
+        sys.reference_cells(),
+        svd_rank,
+        sys.empty_rss(),
+    ))
+}
+
+/// `export-db`: dumps the fingerprint matrix as CSV.
+pub fn cmd_export_db(args: &Args) -> Result<String> {
+    let snapshot: SystemSnapshot = read_json(&args.path("system")?)?;
+    let out = args.path("out")?;
+    taf_linalg::io::write_csv(snapshot.db.rss(), &out)?;
+    Ok(format!(
+        "{}x{} fingerprint matrix written to {}",
+        snapshot.db.num_links(),
+        snapshot.db.num_cells(),
+        out.display()
+    ))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+tafloc — time-adaptive device-free localization (TafLoc, SIGCOMM '16 reproduction)
+
+USAGE: tafloc <command> [--flag value ...]
+
+COMMANDS
+  new-world     --out w.json [--seed N] [--small | --edge METERS]
+  survey        --world w.json --out survey.json [--day D] [--samples K]
+  calibrate     --survey survey.json --out system.json [--refs N]
+  measure-refs  --world w.json --system system.json --day D --out refs.json [--samples K]
+  update        --system system.json --refs refs.json --out system.json
+  snapshot      --world w.json --day D --cell C --out y.json [--samples K]
+  locate        --system system.json --y y.json
+  info          --system system.json
+  export-db     --system system.json --out db.csv
+";
+
+/// Dispatches a command; returns the success message to print.
+pub fn run(command: &str, args: &Args) -> Result<String> {
+    match command {
+        "new-world" => cmd_new_world(args),
+        "survey" => cmd_survey(args),
+        "calibrate" => cmd_calibrate(args),
+        "measure-refs" => cmd_measure_refs(args),
+        "update" => cmd_update(args),
+        "snapshot" => cmd_snapshot(args),
+        "locate" => cmd_locate(args),
+        "info" => cmd_info(args),
+        "export-db" => cmd_export_db(args),
+        other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_pairs_and_switches() {
+        let a = Args::parse(&strs(&["--seed", "7", "--small", "--out", "x.json"])).unwrap();
+        assert_eq!(a.required("seed").unwrap(), "7");
+        assert_eq!(a.required("out").unwrap(), "x.json");
+        assert!(a.switch("small"));
+        assert!(!a.switch("big"));
+        assert_eq!(a.num::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.num::<u64>("missing", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn args_reject_non_flags_and_bad_numbers() {
+        assert!(Args::parse(&strs(&["seed", "7"])).is_err());
+        let a = Args::parse(&strs(&["--seed", "banana"])).unwrap();
+        assert!(a.num::<u64>("seed", 0).is_err());
+        assert!(a.num_required::<u64>("seed").is_err());
+        assert!(a.required("nope").is_err());
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let a = Args::default();
+        let e = run("frobnicate", &a).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+        assert!(e.0.contains("USAGE"));
+    }
+}

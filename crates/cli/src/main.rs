@@ -1,0 +1,30 @@
+//! `tafloc` binary entry point: parse the command word, hand off to the
+//! library, print the result or the error.
+
+use tafloc_cli::{run, Args, USAGE};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    if command == "--help" || command == "help" || command == "-h" {
+        print!("{USAGE}");
+        return;
+    }
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run(command, &args) {
+        Ok(message) => println!("{message}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

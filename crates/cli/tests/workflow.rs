@@ -1,0 +1,172 @@
+//! End-to-end CLI workflow: every command exercised in sequence through the
+//! library API, plus one subprocess check of the installed binary.
+
+use std::path::PathBuf;
+use tafloc_cli::{run, Args};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tafloc_cli_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+
+    fn file(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn args(v: &[&str]) -> Args {
+    Args::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+}
+
+#[test]
+fn full_lifecycle_through_cli_commands() {
+    let dir = TempDir::new("lifecycle");
+    let world = dir.file("world.json");
+    let survey = dir.file("survey.json");
+    let system = dir.file("system.json");
+    let refs = dir.file("refs.json");
+    let y = dir.file("y.json");
+    let csv = dir.file("db.csv");
+
+    // Small world keeps the test fast.
+    let msg = run("new-world", &args(&["--seed", "11", "--out", &world, "--small"])).unwrap();
+    assert!(msg.contains("6 links"), "{msg}");
+
+    let msg = run(
+        "survey",
+        &args(&["--world", &world, "--day", "0", "--samples", "20", "--out", &survey]),
+    )
+    .unwrap();
+    assert!(msg.contains("30 cells"), "{msg}");
+
+    let msg = run(
+        "calibrate",
+        &args(&["--survey", &survey, "--out", &system, "--refs", "6"]),
+    )
+    .unwrap();
+    assert!(msg.contains("reference cells"), "{msg}");
+
+    let msg = run(
+        "measure-refs",
+        &args(&[
+            "--world", &world, "--system", &system, "--day", "30", "--samples", "20", "--out",
+            &refs,
+        ]),
+    )
+    .unwrap();
+    assert!(msg.contains("6 reference cells"), "{msg}");
+
+    let msg = run(
+        "update",
+        &args(&["--system", &system, "--refs", &refs, "--out", &system]),
+    )
+    .unwrap();
+    assert!(msg.contains("LoLi-IR iterations"), "{msg}");
+    assert!(msg.contains("DB shifted"), "{msg}");
+
+    let msg = run(
+        "snapshot",
+        &args(&["--world", &world, "--day", "30", "--cell", "12", "--samples", "20", "--out", &y]),
+    )
+    .unwrap();
+    assert!(msg.contains("cell 12"), "{msg}");
+
+    let msg = run("locate", &args(&["--system", &system, "--y", &y])).unwrap();
+    assert!(msg.contains("cell"), "{msg}");
+    assert!(msg.contains("m;"), "{msg}");
+
+    let msg = run("info", &args(&["--system", &system])).unwrap();
+    assert!(msg.contains("links: 6"), "{msg}");
+    assert!(msg.contains("cells: 30"), "{msg}");
+
+    let msg = run("export-db", &args(&["--system", &system, "--out", &csv])).unwrap();
+    assert!(msg.contains("6x30"), "{msg}");
+    let exported = taf_linalg::io::read_csv(std::path::Path::new(&csv)).unwrap();
+    assert_eq!(exported.shape(), (6, 30));
+}
+
+#[test]
+fn update_rejects_mismatched_refs_file() {
+    let dir = TempDir::new("mismatch");
+    let world = dir.file("world.json");
+    let survey = dir.file("survey.json");
+    let system = dir.file("system.json");
+    let refs = dir.file("refs.json");
+
+    run("new-world", &args(&["--seed", "3", "--out", &world, "--small"])).unwrap();
+    run("survey", &args(&["--world", &world, "--out", &survey, "--samples", "10"])).unwrap();
+    run("calibrate", &args(&["--survey", &survey, "--out", &system, "--refs", "5"])).unwrap();
+    run(
+        "measure-refs",
+        &args(&["--world", &world, "--system", &system, "--day", "10", "--samples", "10", "--out", &refs]),
+    )
+    .unwrap();
+
+    // Corrupt the refs file's cell list.
+    let text = std::fs::read_to_string(&refs).unwrap();
+    let mut parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    parsed["cells"][0] = serde_json::json!(0);
+    parsed["cells"][1] = serde_json::json!(1);
+    std::fs::write(&refs, serde_json::to_string(&parsed).unwrap()).unwrap();
+
+    let err = run("update", &args(&["--system", &system, "--refs", &refs, "--out", &system]))
+        .unwrap_err();
+    assert!(err.0.contains("disagree"), "{err}");
+}
+
+#[test]
+fn missing_files_produce_clean_errors() {
+    let e = run("info", &args(&["--system", "/nonexistent/system.json"])).unwrap_err();
+    assert!(e.0.contains("cannot read"), "{e}");
+    let e = run("snapshot", &args(&["--world", "/nonexistent/w.json", "--day", "1", "--cell", "0", "--out", "/tmp/x"]))
+        .unwrap_err();
+    assert!(e.0.contains("cannot read"), "{e}");
+}
+
+#[test]
+fn snapshot_rejects_out_of_range_cell() {
+    let dir = TempDir::new("badcell");
+    let world = dir.file("world.json");
+    run("new-world", &args(&["--seed", "3", "--out", &world, "--small"])).unwrap();
+    let e = run(
+        "snapshot",
+        &args(&["--world", &world, "--day", "1", "--cell", "9999", "--out", &dir.file("y.json")]),
+    )
+    .unwrap_err();
+    assert!(e.0.contains("out of range"), "{e}");
+}
+
+#[test]
+fn binary_prints_usage_and_runs_new_world() {
+    let bin = env!("CARGO_BIN_EXE_tafloc");
+    let out = std::process::Command::new(bin).arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = std::process::Command::new(bin).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no command -> exit 2");
+
+    let dir = TempDir::new("bin");
+    let world = dir.file("world.json");
+    let out = std::process::Command::new(bin)
+        .args(["new-world", "--seed", "5", "--out", &world, "--small"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::path::Path::new(&world).exists());
+
+    let out = std::process::Command::new(bin).args(["bogus-cmd"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}

@@ -1,0 +1,118 @@
+//! Error type for the TafLoc core.
+
+use std::fmt;
+use taf_linalg::LinalgError;
+
+/// Errors surfaced by the TafLoc pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaflocError {
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// Two inputs had incompatible shapes.
+    DimensionMismatch {
+        /// Operation that failed.
+        op: &'static str,
+        /// Expected shape `(rows, cols)`.
+        expected: (usize, usize),
+        /// Actual shape `(rows, cols)`.
+        actual: (usize, usize),
+    },
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Which field.
+        field: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Not enough reference locations for the requested operation.
+    InsufficientReferences {
+        /// Requested number of references.
+        requested: usize,
+        /// Number of available candidate locations.
+        available: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// Operation that failed.
+        op: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound.
+        bound: usize,
+    },
+    /// The solver failed to make progress (diverged or produced non-finite values).
+    SolverFailure {
+        /// Which solver.
+        solver: &'static str,
+        /// Details.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TaflocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaflocError::Linalg(e) => write!(f, "linear algebra: {e}"),
+            TaflocError::DimensionMismatch { op, expected, actual } => write!(
+                f,
+                "{op}: expected {}x{}, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            TaflocError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config `{field}`: {reason}")
+            }
+            TaflocError::InsufficientReferences { requested, available } => write!(
+                f,
+                "requested {requested} reference locations but only {available} candidates exist"
+            ),
+            TaflocError::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "{op}: index {index} out of bounds (< {bound})")
+            }
+            TaflocError::SolverFailure { solver, reason } => {
+                write!(f, "{solver} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaflocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TaflocError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for TaflocError {
+    fn from(e: LinalgError) -> Self {
+        TaflocError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = TaflocError::DimensionMismatch { op: "update", expected: (2, 3), actual: (4, 5) };
+        assert!(e.to_string().contains("2x3"));
+        let e = TaflocError::InvalidConfig { field: "rank", reason: "zero".into() };
+        assert!(e.to_string().contains("rank"));
+        let e = TaflocError::InsufficientReferences { requested: 10, available: 3 };
+        assert!(e.to_string().contains("10"));
+        let e = TaflocError::IndexOutOfBounds { op: "col", index: 7, bound: 5 };
+        assert!(e.to_string().contains("7"));
+        let e = TaflocError::SolverFailure { solver: "loli-ir", reason: "NaN".into() };
+        assert!(e.to_string().contains("loli-ir"));
+    }
+
+    #[test]
+    fn linalg_conversion_and_source() {
+        let le = LinalgError::EmptyInput { op: "svd" };
+        let e: TaflocError = le.clone().into();
+        assert_eq!(e, TaflocError::Linalg(le));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

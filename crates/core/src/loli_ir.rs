@@ -1,0 +1,807 @@
+//! LoLi-IR: the **Lo**w-rank + **Li**near-representation **I**terative
+//! **R**efinement solver — TafLoc's fingerprint-matrix reconstruction.
+//!
+//! # The objective
+//!
+//! Writing the reconstruction as `X̂ = L·Rᵀ` (`L: M x r`, `R: N x r`), LoLi-IR
+//! minimizes
+//!
+//! ```text
+//! f(L, R) =   λ (‖L‖²_F + ‖R‖²_F)                      — low-rank factors (P1)
+//!           + ‖B ∘ (L·Rᵀ − X_I)‖²_F                     — fit fresh measurements
+//!           + μ ‖L·Rᵀ − X_R·Z‖²_F                       — LRR prior (P2)
+//!           + α Σ_{(j,j') ∈ G} ‖w_{jj'} ∘ (x̂_j − x̂_{j'})‖²        — continuity (P3)
+//!           + β Σ_{(i,i') ∈ H} ‖w_{ii'} ∘ (x̂_i − x̂_{i'} − δ_{ii'}·1)‖²  — similarity (P3)
+//! ```
+//!
+//! where `G` is the location graph (grid-adjacent cells), `H` the link graph
+//! (geometrically adjacent links), `w` restricts each edge to the entries flagged
+//! as *largely distorted* (the paper's `X_D`), and `δ_{ii'} = e_i − e_{i'}`
+//! aligns the empty-room baselines of two links before comparing them.
+//!
+//! # The algorithm
+//!
+//! The poster says the non-convex problem is solved by obtaining `L` and `R` "in
+//! an alternatively iterative manner" after an SVD initialization. Concretely:
+//!
+//! 1. Initialize `L, R` from the truncated SVD of the LRR prediction `X_R·Z`
+//!    (or of the row-mean-filled observations when no prior is given).
+//! 2. **L-step** — Gauss-Seidel over rows: solving for row `l_i` with everything
+//!    else fixed is an `r x r` ridge system (Cholesky), because the data, prior
+//!    and similarity terms are all quadratic in `l_i`.
+//! 3. **R-step** — Gauss-Seidel over columns, symmetric.
+//! 4. Evaluate `f`; stop when the relative decrease falls below `tol`.
+//!
+//! Because every block solve is exact, the objective is monotonically
+//! non-increasing — a property the tests assert.
+
+use crate::error::TaflocError;
+use crate::mask::Mask;
+use crate::operators::NeighborGraph;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use taf_linalg::Matrix;
+
+/// LoLi-IR hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoliIrConfig {
+    /// Factor rank `r` of `X̂ = L·Rᵀ`.
+    pub rank: usize,
+    /// Ridge weight `λ` on the factors (must be `> 0`; keeps every inner system
+    /// positive definite).
+    pub lambda: f64,
+    /// Weight `μ` of the LRR prior term.
+    pub mu: f64,
+    /// Weight `α` of the continuity term (location graph).
+    pub alpha: f64,
+    /// Weight `β` of the similarity term (link graph).
+    pub beta: f64,
+    /// Maximum outer (L-step + R-step) iterations.
+    pub max_iters: usize,
+    /// Relative objective-decrease stopping tolerance.
+    pub tol: f64,
+}
+
+impl Default for LoliIrConfig {
+    fn default() -> Self {
+        LoliIrConfig {
+            rank: 8,
+            lambda: 1e-2,
+            mu: 1.0,
+            alpha: 0.05,
+            beta: 0.05,
+            max_iters: 60,
+            tol: 1e-6,
+        }
+    }
+}
+
+impl LoliIrConfig {
+    fn validate(&self) -> Result<()> {
+        if self.rank == 0 {
+            return Err(TaflocError::InvalidConfig { field: "rank", reason: "must be >= 1".into() });
+        }
+        if !(self.lambda > 0.0) {
+            return Err(TaflocError::InvalidConfig {
+                field: "lambda",
+                reason: format!("must be > 0, got {}", self.lambda),
+            });
+        }
+        for (name, v) in [("mu", self.mu), ("alpha", self.alpha), ("beta", self.beta)] {
+            if v < 0.0 || !v.is_finite() {
+                return Err(TaflocError::InvalidConfig {
+                    field: name,
+                    reason: format!("must be finite and >= 0, got {v}"),
+                });
+            }
+        }
+        if self.max_iters == 0 {
+            return Err(TaflocError::InvalidConfig { field: "max_iters", reason: "must be >= 1".into() });
+        }
+        Ok(())
+    }
+}
+
+/// Inputs to one reconstruction.
+///
+/// Borrowed so that the caller (typically [`crate::system::TafLoc`]) can reuse the
+/// graphs and masks across updates.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconstructionProblem<'a> {
+    /// Measured values `X_I` (`M x N`); only entries where `mask` is true are read.
+    pub observed: &'a Matrix,
+    /// Observation mask `B`.
+    pub mask: &'a Mask,
+    /// LRR prior `X_R·Z` (`M x N`), if available.
+    pub lrr_prior: Option<&'a Matrix>,
+    /// Location graph for the continuity term (`N` vertices).
+    pub location_graph: Option<&'a NeighborGraph>,
+    /// Link graph for the similarity term (`M` vertices).
+    pub link_graph: Option<&'a NeighborGraph>,
+    /// Per-link empty-room RSS `e` (for the cross-link baseline offsets `δ`);
+    /// zeros assumed when absent.
+    pub empty_rss: Option<&'a [f64]>,
+    /// Largely-distorted entry mask `X_D`'s support; when present, the
+    /// continuity/similarity penalties only act where *both* endpoint entries of
+    /// an edge are distorted. When absent, they act everywhere.
+    pub distortion: Option<&'a Mask>,
+}
+
+impl<'a> ReconstructionProblem<'a> {
+    /// Minimal problem: observations + mask only (pure matrix completion).
+    pub fn completion_only(observed: &'a Matrix, mask: &'a Mask) -> Self {
+        ReconstructionProblem {
+            observed,
+            mask,
+            lrr_prior: None,
+            location_graph: None,
+            link_graph: None,
+            empty_rss: None,
+            distortion: None,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let shape = self.observed.shape();
+        if self.mask.shape() != shape {
+            return Err(TaflocError::DimensionMismatch {
+                op: "LoLi-IR(mask)",
+                expected: shape,
+                actual: self.mask.shape(),
+            });
+        }
+        if self.mask.count() == 0 {
+            return Err(TaflocError::InvalidConfig {
+                field: "mask",
+                reason: "no observed entries".into(),
+            });
+        }
+        if let Some(p) = self.lrr_prior {
+            if p.shape() != shape {
+                return Err(TaflocError::DimensionMismatch {
+                    op: "LoLi-IR(prior)",
+                    expected: shape,
+                    actual: p.shape(),
+                });
+            }
+        }
+        if let Some(g) = self.location_graph {
+            if g.len() != shape.1 {
+                return Err(TaflocError::DimensionMismatch {
+                    op: "LoLi-IR(location_graph)",
+                    expected: (shape.1, 1),
+                    actual: (g.len(), 1),
+                });
+            }
+        }
+        if let Some(h) = self.link_graph {
+            if h.len() != shape.0 {
+                return Err(TaflocError::DimensionMismatch {
+                    op: "LoLi-IR(link_graph)",
+                    expected: (shape.0, 1),
+                    actual: (h.len(), 1),
+                });
+            }
+        }
+        if let Some(e) = self.empty_rss {
+            if e.len() != shape.0 {
+                return Err(TaflocError::DimensionMismatch {
+                    op: "LoLi-IR(empty_rss)",
+                    expected: (shape.0, 1),
+                    actual: (e.len(), 1),
+                });
+            }
+        }
+        if let Some(d) = self.distortion {
+            if d.shape() != shape {
+                return Err(TaflocError::DimensionMismatch {
+                    op: "LoLi-IR(distortion)",
+                    expected: shape,
+                    actual: d.shape(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Output of a LoLi-IR run.
+#[derive(Debug, Clone)]
+pub struct Reconstruction {
+    /// The reconstructed matrix `X̂ = L·Rᵀ`.
+    pub matrix: Matrix,
+    /// Left factor `L` (`M x r`).
+    pub l: Matrix,
+    /// Right factor `R` (`N x r`).
+    pub r: Matrix,
+    /// Objective value after initialization and after each outer iteration.
+    pub objective_trace: Vec<f64>,
+    /// Number of outer iterations performed.
+    pub iterations: usize,
+    /// Whether the relative-decrease tolerance was met.
+    pub converged: bool,
+}
+
+/// Pre-resolved edge lists: for each undirected edge, the indices of the "active"
+/// coordinates (where both endpoint entries are distorted).
+struct EdgeSets {
+    /// Location edges `(j, j', active links)`.
+    location: Vec<(usize, usize, Vec<usize>)>,
+    /// Link edges `(i, i', active cells)`.
+    link: Vec<(usize, usize, Vec<usize>)>,
+}
+
+fn build_edge_sets(problem: &ReconstructionProblem<'_>) -> EdgeSets {
+    let (m, n) = problem.observed.shape();
+    let active = |i: usize, j: usize| problem.distortion.map_or(true, |d| d.get(i, j));
+
+    let mut location = Vec::new();
+    if let Some(g) = problem.location_graph {
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                if u > v {
+                    let links: Vec<usize> = (0..m).filter(|&i| active(i, v) && active(i, u)).collect();
+                    if !links.is_empty() {
+                        location.push((v, u, links));
+                    }
+                }
+            }
+        }
+    }
+    let mut link = Vec::new();
+    if let Some(h) = problem.link_graph {
+        for v in 0..m {
+            for &u in h.neighbors(v) {
+                if u > v {
+                    let cells: Vec<usize> = (0..n).filter(|&j| active(v, j) && active(u, j)).collect();
+                    if !cells.is_empty() {
+                        link.push((v, u, cells));
+                    }
+                }
+            }
+        }
+    }
+    EdgeSets { location, link }
+}
+
+/// Runs LoLi-IR on a reconstruction problem.
+pub fn reconstruct(problem: &ReconstructionProblem<'_>, config: &LoliIrConfig) -> Result<Reconstruction> {
+    config.validate()?;
+    problem.validate()?;
+
+    let (m, n) = problem.observed.shape();
+    let r = config.rank.min(m).min(n);
+    // The LRR term only exists when a prior was supplied; otherwise its weight in
+    // the normal equations must vanish too (a bare `mu * RᵀR` on the left-hand
+    // side with no matching right-hand side would shrink X̂ toward zero).
+    let mu = if problem.lrr_prior.is_some() { config.mu } else { 0.0 };
+    let edges = build_edge_sets(problem);
+    let delta = |i: usize, i2: usize| -> f64 {
+        problem.empty_rss.map_or(0.0, |e| e[i] - e[i2])
+    };
+
+    // ------------------------------------------------------------------
+    // Initialization: truncated SVD of the prior (or of a filled observation).
+    // ------------------------------------------------------------------
+    let init_target: Matrix = match problem.lrr_prior {
+        Some(p) => p.clone(),
+        None => fill_from_observed(problem.observed, problem.mask),
+    };
+    let svd = init_target.svd()?.truncate(r);
+    let mut l = Matrix::from_fn(m, r, |i, k| svd.u[(i, k)] * svd.sigma[k].sqrt());
+    let mut rf = Matrix::from_fn(n, r, |j, k| svd.v[(j, k)] * svd.sigma[k].sqrt());
+
+    let objective = |l: &Matrix, rf: &Matrix| -> f64 {
+        let xh = l.matmul_nt(rf).expect("factor shapes agree");
+        let mut f = config.lambda * (l.frobenius_norm().powi(2) + rf.frobenius_norm().powi(2));
+        for (i, j) in problem.mask.true_positions() {
+            let d = xh[(i, j)] - problem.observed[(i, j)];
+            f += d * d;
+        }
+        if let Some(p) = problem.lrr_prior {
+            if config.mu > 0.0 {
+                f += config.mu * xh.sub(p).expect("shapes agree").frobenius_norm().powi(2);
+            }
+        }
+        if config.alpha > 0.0 {
+            for (j, j2, links) in &edges.location {
+                for &i in links {
+                    let d = xh[(i, *j)] - xh[(i, *j2)];
+                    f += config.alpha * d * d;
+                }
+            }
+        }
+        if config.beta > 0.0 {
+            for (i, i2, cells) in &edges.link {
+                let off = delta(*i, *i2);
+                for &j in cells {
+                    let d = xh[(*i, j)] - xh[(*i2, j)] - off;
+                    f += config.beta * d * d;
+                }
+            }
+        }
+        f
+    };
+
+    let mut trace = vec![objective(&l, &rf)];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    // Per-row and per-column edge adjacency (indices into edge lists).
+    //
+    // Both smoothness terms depend on *both* factors: a similarity edge
+    // (i, i') constrains rows i, i' of L and every active column of R; a
+    // continuity edge (j, j') constrains columns j, j' of R and every active row
+    // of L. For each block solve to be an exact minimization (and the objective
+    // therefore monotone), every term touching the variable must enter its
+    // normal equations — so we index the edges from all four directions.
+    let mut row_edges: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut col_link_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (k, (i, i2, cells)) in edges.link.iter().enumerate() {
+        row_edges[*i].push(k);
+        row_edges[*i2].push(k);
+        for &j in cells {
+            col_link_edges[j].push(k);
+        }
+    }
+    let mut col_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut row_loc_edges: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (k, (j, j2, links)) in edges.location.iter().enumerate() {
+        col_edges[*j].push(k);
+        col_edges[*j2].push(k);
+        for &i in links {
+            row_loc_edges[i].push(k);
+        }
+    }
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+
+        // ---------------- L-step: Gauss-Seidel over rows ----------------
+        let rtr = rf.gram(); // r x r
+        for i in 0..m {
+            let mut lhs = Matrix::from_fn(r, r, |a, b| config.lambda * f64::from(a == b) + mu * rtr[(a, b)]);
+            let mut rhs = vec![0.0; r];
+            // Data term: Σ_j B_ij (r_jᵀ l_i − x_ij)².
+            for j in 0..n {
+                if problem.mask.get(i, j) {
+                    let rj = rf.row(j);
+                    rank1_update(&mut lhs, rj, 1.0);
+                    let x = problem.observed[(i, j)];
+                    for (a, &rv) in rhs.iter_mut().zip(rj) {
+                        *a += x * rv;
+                    }
+                }
+            }
+            // LRR prior: μ ‖R l_i − p_i‖².
+            if let Some(p) = problem.lrr_prior {
+                if config.mu > 0.0 {
+                    for j in 0..n {
+                        let rj = rf.row(j);
+                        let pv = mu * p[(i, j)];
+                        for (a, &rv) in rhs.iter_mut().zip(rj) {
+                            *a += pv * rv;
+                        }
+                    }
+                }
+            }
+            // Similarity edges incident to row i (other endpoint held fixed).
+            if config.beta > 0.0 {
+                for &k in &row_edges[i] {
+                    let (u, v, cells) = &edges.link[k];
+                    let other = if *u == i { *v } else { *u };
+                    let off = if *u == i { delta(*u, *v) } else { -delta(*u, *v) };
+                    let lo = l.row(other).to_vec();
+                    for &j in cells {
+                        let rj = rf.row(j);
+                        rank1_update(&mut lhs, rj, config.beta);
+                        // Target for x̂_ij is x̂_other,j + off.
+                        let t: f64 = taf_linalg::dot(&lo, rj) + off;
+                        let w = config.beta * t;
+                        for (a, &rv) in rhs.iter_mut().zip(rj) {
+                            *a += w * rv;
+                        }
+                    }
+                }
+            }
+            // Continuity edges whose active-link set contains row i:
+            // α (l_iᵀ (r_j − r_{j'}))² — quadratic in l_i with direction
+            // d = r_j − r_{j'} and zero target.
+            if config.alpha > 0.0 {
+                let mut d = vec![0.0; r];
+                for &k in &row_loc_edges[i] {
+                    let (j, j2, _) = &edges.location[k];
+                    let rj = rf.row(*j);
+                    let rj2 = rf.row(*j2);
+                    for (dv, (&a, &b)) in d.iter_mut().zip(rj.iter().zip(rj2)) {
+                        *dv = a - b;
+                    }
+                    rank1_update(&mut lhs, &d, config.alpha);
+                }
+            }
+            let sol = lhs.cholesky()?.solve(&rhs)?;
+            l.set_row(i, &sol).expect("row length r");
+        }
+
+        // ---------------- R-step: Gauss-Seidel over columns ----------------
+        let ltl = l.gram();
+        for j in 0..n {
+            let mut lhs = Matrix::from_fn(r, r, |a, b| config.lambda * f64::from(a == b) + mu * ltl[(a, b)]);
+            let mut rhs = vec![0.0; r];
+            for i in 0..m {
+                if problem.mask.get(i, j) {
+                    let li = l.row(i);
+                    rank1_update(&mut lhs, li, 1.0);
+                    let x = problem.observed[(i, j)];
+                    for (a, &lv) in rhs.iter_mut().zip(li) {
+                        *a += x * lv;
+                    }
+                }
+            }
+            if let Some(p) = problem.lrr_prior {
+                if config.mu > 0.0 {
+                    for i in 0..m {
+                        let li = l.row(i);
+                        let pv = mu * p[(i, j)];
+                        for (a, &lv) in rhs.iter_mut().zip(li) {
+                            *a += pv * lv;
+                        }
+                    }
+                }
+            }
+            if config.alpha > 0.0 {
+                for &k in &col_edges[j] {
+                    let (u, v, links) = &edges.location[k];
+                    let other = if *u == j { *v } else { *u };
+                    let ro = rf.row(other).to_vec();
+                    for &i in links {
+                        let li = l.row(i);
+                        rank1_update(&mut lhs, li, config.alpha);
+                        let t: f64 = taf_linalg::dot(li, &ro);
+                        let w = config.alpha * t;
+                        for (a, &lv) in rhs.iter_mut().zip(li) {
+                            *a += w * lv;
+                        }
+                    }
+                }
+            }
+            // Similarity edges whose active-cell set contains column j:
+            // β ((l_i − l_{i'})ᵀ r_j − δ_{ii'})² — quadratic in r_j with
+            // direction d = l_i − l_{i'} and target δ.
+            if config.beta > 0.0 {
+                let mut d = vec![0.0; r];
+                for &k in &col_link_edges[j] {
+                    let (i, i2, _) = &edges.link[k];
+                    let li = l.row(*i);
+                    let li2 = l.row(*i2);
+                    for (dv, (&a, &b)) in d.iter_mut().zip(li.iter().zip(li2)) {
+                        *dv = a - b;
+                    }
+                    rank1_update(&mut lhs, &d, config.beta);
+                    let w = config.beta * delta(*i, *i2);
+                    if w != 0.0 {
+                        for (a, &dv) in rhs.iter_mut().zip(&d) {
+                            *a += w * dv;
+                        }
+                    }
+                }
+            }
+            let sol = lhs.cholesky()?.solve(&rhs)?;
+            rf.set_row(j, &sol).expect("row length r");
+        }
+
+        let f = objective(&l, &rf);
+        if !f.is_finite() {
+            return Err(TaflocError::SolverFailure {
+                solver: "loli-ir",
+                reason: format!("objective became non-finite at iteration {iterations}"),
+            });
+        }
+        let prev = *trace.last().expect("trace seeded");
+        trace.push(f);
+        if (prev - f).abs() <= config.tol * prev.abs().max(1.0) {
+            converged = true;
+            break;
+        }
+    }
+
+    let matrix = l.matmul_nt(&rf)?;
+    if matrix.has_non_finite() {
+        return Err(TaflocError::SolverFailure {
+            solver: "loli-ir",
+            reason: "reconstruction contains non-finite values".into(),
+        });
+    }
+    Ok(Reconstruction { matrix, l, r: rf, objective_trace: trace, iterations, converged })
+}
+
+/// `lhs += w · v·vᵀ` for a symmetric `r x r` accumulator.
+fn rank1_update(lhs: &mut Matrix, v: &[f64], w: f64) {
+    let r = v.len();
+    for a in 0..r {
+        let wa = w * v[a];
+        for b in 0..r {
+            lhs[(a, b)] += wa * v[b];
+        }
+    }
+}
+
+/// Fills unobserved entries with the row mean of the observed ones (global mean
+/// fallback) — the no-prior initialization target.
+fn fill_from_observed(observed: &Matrix, mask: &Mask) -> Matrix {
+    let (m, n) = observed.shape();
+    let mut global_sum = 0.0;
+    let mut global_cnt = 0usize;
+    for (i, j) in mask.true_positions() {
+        global_sum += observed[(i, j)];
+        global_cnt += 1;
+    }
+    let global_mean = if global_cnt > 0 { global_sum / global_cnt as f64 } else { 0.0 };
+    Matrix::from_fn(m, n, |i, j| {
+        if mask.get(i, j) {
+            observed[(i, j)]
+        } else {
+            let mut s = 0.0;
+            let mut c = 0usize;
+            for jj in 0..n {
+                if mask.get(i, jj) {
+                    s += observed[(i, jj)];
+                    c += 1;
+                }
+            }
+            if c > 0 {
+                s / c as f64
+            } else {
+                global_mean
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smooth rank-2 ground truth resembling RSS structure (values ~ -50).
+    fn ground_truth() -> Matrix {
+        Matrix::from_fn(6, 12, |i, j| {
+            -50.0 - 3.0 * (0.4 * i as f64 + 0.2 * j as f64).sin()
+                - 2.0 * (0.3 * j as f64 - 0.5 * i as f64).cos()
+        })
+    }
+
+    fn column_mask(truth: &Matrix, cols: &[usize]) -> Mask {
+        Mask::from_columns(truth.rows(), truth.cols(), cols).unwrap()
+    }
+
+    #[test]
+    fn completion_with_prior_recovers_truth() {
+        let truth = ground_truth();
+        let mask = column_mask(&truth, &[0, 3, 7, 11]);
+        // A perfect prior: the solver should stay close to it and fit observations.
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&truth),
+            location_graph: None,
+            link_graph: None,
+            empty_rss: None,
+            distortion: None,
+        };
+        let rec = reconstruct(&problem, &LoliIrConfig::default()).unwrap();
+        let err = rec.matrix.sub(&truth).unwrap().map(f64::abs).mean();
+        assert!(err < 0.5, "mean abs error {err}");
+    }
+
+    #[test]
+    fn objective_monotonically_non_increasing() {
+        let truth = ground_truth();
+        let mask = column_mask(&truth, &[1, 5, 9]);
+        let noisy_prior = truth.map(|v| v + 0.8 * (v * 17.0).sin());
+        let g = NeighborGraph::new(12, (0..11).map(|j| (j, j + 1)));
+        let h = NeighborGraph::new(6, (0..5).map(|i| (i, i + 1)));
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&noisy_prior),
+            location_graph: Some(&g),
+            link_graph: Some(&h),
+            empty_rss: None,
+            distortion: None,
+        };
+        let cfg = LoliIrConfig { max_iters: 25, tol: 0.0, ..Default::default() };
+        let rec = reconstruct(&problem, &cfg).unwrap();
+        for w in rec.objective_trace.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-10) + 1e-9,
+                "objective increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn converges_and_reports_trace() {
+        let truth = ground_truth();
+        let mask = column_mask(&truth, &[0, 4, 8]);
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&truth),
+            location_graph: None,
+            link_graph: None,
+            empty_rss: None,
+            distortion: None,
+        };
+        let rec = reconstruct(&problem, &LoliIrConfig::default()).unwrap();
+        assert!(rec.converged, "no convergence in {} iters", rec.iterations);
+        assert_eq!(rec.objective_trace.len(), rec.iterations + 1);
+        assert_eq!(rec.l.shape(), (6, 6));
+        assert_eq!(rec.r.shape(), (12, 6));
+    }
+
+    #[test]
+    fn no_prior_pure_completion_runs() {
+        let truth = ground_truth();
+        // Scattered observations (60%).
+        let mut mask = Mask::trues(6, 12);
+        for k in 0..72 {
+            if k % 5 < 2 {
+                mask.set(k / 12, k % 12, false);
+            }
+        }
+        let problem = ReconstructionProblem::completion_only(&truth, &mask);
+        let cfg = LoliIrConfig { rank: 3, mu: 0.0, alpha: 0.0, beta: 0.0, ..Default::default() };
+        let rec = reconstruct(&problem, &cfg).unwrap();
+        let err = rec.matrix.sub(&truth).unwrap().map(f64::abs).mean();
+        assert!(err < 1.5, "pure completion err {err}");
+    }
+
+    #[test]
+    fn smoothness_terms_help_with_bad_prior() {
+        // Corrupt the prior in the unobserved region with rough noise; the
+        // continuity term should pull the reconstruction back toward smoothness.
+        let truth = ground_truth();
+        let mask = column_mask(&truth, &[0, 6, 11]);
+        let rough_prior = Matrix::from_fn(6, 12, |i, j| {
+            truth[(i, j)] + if (i + j) % 2 == 0 { 2.0 } else { -2.0 }
+        });
+        let g = NeighborGraph::new(12, (0..11).map(|j| (j, j + 1)));
+        let h = NeighborGraph::new(6, (0..5).map(|i| (i, i + 1)));
+
+        let base = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&rough_prior),
+            location_graph: None,
+            link_graph: None,
+            empty_rss: None,
+            distortion: None,
+        };
+        let with_graphs = ReconstructionProblem {
+            location_graph: Some(&g),
+            link_graph: Some(&h),
+            ..base
+        };
+        let cfg_plain = LoliIrConfig { alpha: 0.0, beta: 0.0, rank: 6, ..Default::default() };
+        let cfg_smooth = LoliIrConfig { alpha: 0.8, beta: 0.8, rank: 6, ..Default::default() };
+        let plain = reconstruct(&base, &cfg_plain).unwrap();
+        let smooth = reconstruct(&with_graphs, &cfg_smooth).unwrap();
+        let err = |m: &Matrix| m.sub(&truth).unwrap().map(f64::abs).mean();
+        assert!(
+            err(&smooth.matrix) < err(&plain.matrix),
+            "smoothness should help: {} vs {}",
+            err(&smooth.matrix),
+            err(&plain.matrix)
+        );
+    }
+
+    #[test]
+    fn empty_rss_offsets_align_links() {
+        // Two links whose rows differ by a constant baseline offset: with
+        // empty_rss supplied, the similarity term must NOT flatten that offset.
+        let base_row: Vec<f64> = (0..8).map(|j| -(5.0 + (0.5 * j as f64).sin())).collect();
+        let truth = Matrix::from_fn(2, 8, |i, j| base_row[j] - 40.0 - 10.0 * i as f64);
+        let mask = Mask::from_columns(2, 8, &[0, 4]).unwrap();
+        let h = NeighborGraph::new(2, [(0, 1)]);
+        let empty = [-40.0, -50.0];
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&truth),
+            location_graph: None,
+            link_graph: Some(&h),
+            empty_rss: Some(&empty),
+            distortion: None,
+        };
+        let cfg = LoliIrConfig { beta: 5.0, rank: 2, ..Default::default() };
+        let rec = reconstruct(&problem, &cfg).unwrap();
+        let err = rec.matrix.sub(&truth).unwrap().map(f64::abs).mean();
+        assert!(err < 0.5, "offset-aware similarity should preserve truth, err {err}");
+    }
+
+    #[test]
+    fn distortion_mask_restricts_edges() {
+        let truth = ground_truth();
+        let mask = column_mask(&truth, &[0, 6]);
+        let g = NeighborGraph::new(12, (0..11).map(|j| (j, j + 1)));
+        // No entry distorted -> graphs contribute nothing; objective equals the
+        // no-graph objective at the same factors (compare traces' first entries).
+        let none_distorted = Mask::falses(6, 12);
+        let with = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&truth),
+            location_graph: Some(&g),
+            link_graph: None,
+            empty_rss: None,
+            distortion: Some(&none_distorted),
+        };
+        let without = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&truth),
+            location_graph: None,
+            link_graph: None,
+            empty_rss: None,
+            distortion: None,
+        };
+        let cfg = LoliIrConfig { alpha: 10.0, ..Default::default() };
+        let a = reconstruct(&with, &cfg).unwrap();
+        let b = reconstruct(&without, &cfg).unwrap();
+        assert!((a.objective_trace[0] - b.objective_trace[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validates_config_and_problem() {
+        let truth = ground_truth();
+        let mask = column_mask(&truth, &[0]);
+        let p = ReconstructionProblem::completion_only(&truth, &mask);
+        let bad = LoliIrConfig { rank: 0, ..Default::default() };
+        assert!(reconstruct(&p, &bad).is_err());
+        let bad = LoliIrConfig { lambda: 0.0, ..Default::default() };
+        assert!(reconstruct(&p, &bad).is_err());
+        let bad = LoliIrConfig { mu: -1.0, ..Default::default() };
+        assert!(reconstruct(&p, &bad).is_err());
+        let bad = LoliIrConfig { max_iters: 0, ..Default::default() };
+        assert!(reconstruct(&p, &bad).is_err());
+
+        let wrong_mask = Mask::trues(2, 2);
+        let p = ReconstructionProblem::completion_only(&truth, &wrong_mask);
+        assert!(reconstruct(&p, &LoliIrConfig::default()).is_err());
+        let empty_mask = Mask::falses(6, 12);
+        let p = ReconstructionProblem::completion_only(&truth, &empty_mask);
+        assert!(reconstruct(&p, &LoliIrConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rank_clamped_to_dimensions() {
+        let truth = ground_truth(); // 6 x 12
+        let mask = column_mask(&truth, &[0, 5, 11]);
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&truth),
+            location_graph: None,
+            link_graph: None,
+            empty_rss: None,
+            distortion: None,
+        };
+        let cfg = LoliIrConfig { rank: 99, ..Default::default() };
+        let rec = reconstruct(&problem, &cfg).unwrap();
+        assert_eq!(rec.l.cols(), 6);
+    }
+
+    #[test]
+    fn fill_from_observed_uses_row_means() {
+        let obs = Matrix::from_rows(&[&[2.0, 0.0, 4.0], &[0.0, 0.0, 0.0]]).unwrap();
+        let mut mask = Mask::falses(2, 3);
+        mask.set(0, 0, true);
+        mask.set(0, 2, true);
+        let filled = fill_from_observed(&obs, &mask);
+        assert_eq!(filled[(0, 1)], 3.0); // row mean of {2, 4}
+        assert_eq!(filled[(1, 0)], 3.0); // global mean fallback
+        assert_eq!(filled[(0, 0)], 2.0);
+    }
+}

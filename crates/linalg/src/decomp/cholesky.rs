@@ -1,0 +1,222 @@
+//! Cholesky decomposition of symmetric positive-definite matrices.
+//!
+//! Every alternating-least-squares step of LoLi-IR, every ridge regression, and the
+//! correlated-shadowing sampler in the simulator solve small SPD systems — this is
+//! the routine they all share.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Matrix {
+    /// Computes the Cholesky factorization of a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `self` is read; symmetry of the upper triangle is
+    /// assumed, not verified. Returns [`LinalgError::NotPositiveDefinite`] when a
+    /// pivot is non-positive.
+    pub fn cholesky(&self) -> Result<Cholesky> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "Matrix::cholesky", shape: self.shape() });
+        }
+        let n = self.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = self[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j, value: diag });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut acc = self[(i, j)];
+                for k in 0..j {
+                    acc -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = acc / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+}
+
+impl Cholesky {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` with the stored factor (`L·Lᵀ·x = b`).
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Cholesky::solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward: L·y = b
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Cholesky::solve_matrix",
+                lhs: (self.dim(), self.dim()),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            out.set_col(j, &self.solve(&b.col(j))?)?;
+        }
+        Ok(out)
+    }
+
+    /// Samples `L·z` where `z` is the provided standard-normal vector; the result has
+    /// covariance `A`. Used by the correlated-shadowing sampler.
+    pub fn correlate(&self, z: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if z.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Cholesky::correlate",
+                lhs: (n, n),
+                rhs: (z.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..=i {
+                acc += self.l[(i, j)] * z[j];
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Log-determinant of `A` (`2·Σ log L_ii`), useful for Gaussian likelihoods.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Matrix {
+        // A = Bᵀ·B + I is SPD for any B.
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]).unwrap();
+        let mut a = b.gram();
+        a.add_diag(1.0).unwrap();
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd();
+        let chol = a.cholesky().unwrap();
+        let l = chol.factor();
+        let back = l.matmul_nt(l).unwrap();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd();
+        let b = [1.0, -2.0, 0.5];
+        let x_chol = a.cholesky().unwrap().solve(&b).unwrap();
+        let x_lu = a.solve(&b).unwrap();
+        for (c, l) in x_chol.iter().zip(&x_lu) {
+            assert!((c - l).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(a.cholesky(), Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(Matrix::zeros(2, 3).cholesky(), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_checks_length() {
+        let chol = spd().cholesky().unwrap();
+        assert!(chol.solve(&[1.0]).is_err());
+        assert!(chol.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+        assert!(chol.correlate(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_round_trip() {
+        let a = spd();
+        let chol = a.cholesky().unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 1.0], &[3.0, -1.0]]).unwrap();
+        let x = chol.solve_matrix(&b).unwrap();
+        assert!(a.matmul(&x).unwrap().approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn correlate_applies_factor() {
+        let a = spd();
+        let chol = a.cholesky().unwrap();
+        let z = [1.0, 0.0, 0.0];
+        let v = chol.correlate(&z).unwrap();
+        // L·e1 is the first column of L.
+        let l = chol.factor();
+        for i in 0..3 {
+            assert!((v[i] - l[(i, 0)]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_determinant() {
+        let a = spd();
+        let chol = a.cholesky().unwrap();
+        let det = a.determinant().unwrap();
+        assert!((chol.log_det() - det.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_factor_is_identity() {
+        let i = Matrix::identity(4);
+        let chol = i.cholesky().unwrap();
+        assert!(chol.factor().approx_eq(&i, 1e-14));
+        assert_eq!(chol.log_det(), 0.0);
+    }
+}

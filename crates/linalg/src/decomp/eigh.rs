@@ -1,0 +1,203 @@
+//! Eigendecomposition of symmetric matrices via classical (cyclic) Jacobi.
+//!
+//! Used for the graph Laplacians of the continuity/similarity operators (spectral
+//! diagnostics) and for covariance analysis in the simulator tests.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Maximum number of Jacobi sweeps before reporting non-convergence.
+const MAX_SWEEPS: usize = 100;
+
+/// Off-diagonal Frobenius tolerance relative to the matrix norm.
+const OFF_TOL: f64 = 1e-12;
+
+/// Eigendecomposition `A = V·diag(λ)·Vᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are sorted in non-increasing order; `vectors` holds the matching
+/// orthonormal eigenvectors as columns.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, non-increasing.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors (one per column, same order as `values`).
+    pub vectors: Matrix,
+}
+
+impl Matrix {
+    /// Computes the eigendecomposition of a symmetric matrix by cyclic Jacobi.
+    ///
+    /// Symmetry is assumed; only the upper triangle drives the rotations but the
+    /// matrix is used as given. Returns [`LinalgError::NotSquare`] for rectangular
+    /// input.
+    pub fn eigh(&self) -> Result<SymmetricEigen> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "Matrix::eigh", shape: self.shape() });
+        }
+        let n = self.rows();
+        if n == 0 {
+            return Err(LinalgError::EmptyInput { op: "Matrix::eigh" });
+        }
+        let mut a = self.clone();
+        let mut v = Matrix::identity(n);
+        let norm = self.frobenius_norm().max(f64::MIN_POSITIVE);
+
+        let mut converged = false;
+        for _ in 0..MAX_SWEEPS {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += a[(i, j)] * a[(i, j)];
+                }
+            }
+            if off.sqrt() <= OFF_TOL * norm {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a[(p, q)];
+                    if apq.abs() <= OFF_TOL * norm / (n as f64) {
+                        continue;
+                    }
+                    let app = a[(p, p)];
+                    let aqq = a[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+
+                    // A ← Jᵀ·A·J applied symmetrically.
+                    for k in 0..n {
+                        let akp = a[(k, p)];
+                        let akq = a[(k, q)];
+                        a[(k, p)] = c * akp - s * akq;
+                        a[(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[(p, k)];
+                        let aqk = a[(q, k)];
+                        a[(p, k)] = c * apk - s * aqk;
+                        a[(q, k)] = s * apk + c * aqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        if !converged {
+            return Err(LinalgError::NoConvergence { algorithm: "jacobi-eigh", iterations: MAX_SWEEPS });
+        }
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&x, &y| a[(y, y)].partial_cmp(&a[(x, x)]).expect("finite eigenvalues"));
+        let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
+        let vectors = v.select_cols(&order).expect("order indices valid");
+        Ok(SymmetricEigen { values, vectors })
+    }
+}
+
+impl SymmetricEigen {
+    /// Rebuilds `V·diag(λ)·Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let vs = Matrix::from_fn(self.vectors.rows(), self.values.len(), |i, j| {
+            self.vectors[(i, j)] * self.values[j]
+        });
+        vs.matmul_nt(&self.vectors).expect("eigen factor shapes agree")
+    }
+
+    /// Smallest eigenvalue (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Largest eigenvalue (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.values.first().copied()
+    }
+
+    /// `true` when all eigenvalues exceed `-tol` (positive semidefinite check).
+    pub fn is_psd(&self, tol: f64) -> bool {
+        self.values.iter().all(|&l| l >= -tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[1.0, 5.0, 3.0]);
+        let e = a.eigh().unwrap();
+        assert!((e.values[0] - 5.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = a.eigh().unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let b = Matrix::from_fn(4, 4, |i, j| ((i + 2 * j) % 5) as f64);
+        let a = b.add(&b.transpose()).unwrap(); // symmetrize
+        let e = a.eigh().unwrap();
+        assert!(e.reconstruct().approx_eq(&a, 1e-8));
+        assert!(e.vectors.gram().approx_eq(&Matrix::identity(4), 1e-9));
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let b = Matrix::from_fn(5, 5, |i, j| (i * j) as f64 / 3.0);
+        let a = b.add(&b.transpose()).unwrap();
+        let e = a.eigh().unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace().unwrap()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn psd_detection() {
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        let psd = b.gram();
+        assert!(psd.eigh().unwrap().is_psd(1e-10));
+        let indef = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!(!indef.eigh().unwrap().is_psd(1e-10));
+    }
+
+    #[test]
+    fn min_max_accessors() {
+        let a = Matrix::from_diag(&[-1.0, 2.0]);
+        let e = a.eigh().unwrap();
+        assert_eq!(e.max(), Some(2.0));
+        assert_eq!(e.min(), Some(-1.0));
+    }
+
+    #[test]
+    fn rejects_rectangular_and_empty() {
+        assert!(Matrix::zeros(2, 3).eigh().is_err());
+        assert!(Matrix::zeros(0, 0).eigh().is_err());
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
+        let e = a.eigh().unwrap();
+        for k in 0..3 {
+            let vk = e.vectors.col(k);
+            let av = a.matvec(&vk);
+            for i in 0..3 {
+                assert!((av[i] - e.values[k] * vk[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! LU decomposition with partial (row) pivoting.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Pivot magnitude below which a matrix is declared numerically singular,
+/// *relative to the largest element of the input* — an absolute cutoff would
+/// wrongly reject well-conditioned matrices with tiny overall scale.
+const SINGULARITY_TOL: f64 = 1e-13;
+
+/// LU decomposition of a square matrix with partial pivoting: `P·A = L·U`.
+///
+/// The factors are stored packed in a single matrix (unit lower triangle implicit).
+/// Construct via [`Matrix::lu`], then call [`Lu::solve`], [`Lu::inverse`], or
+/// [`Lu::determinant`].
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: strictly-lower part holds L (unit diagonal implied),
+    /// upper part holds U.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row index now in position `i`.
+    perm: Vec<usize>,
+    /// Number of row swaps performed (for the determinant sign).
+    swaps: usize,
+}
+
+impl Matrix {
+    /// Computes the partially pivoted LU decomposition of a square matrix.
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular input and
+    /// [`LinalgError::Singular`] when a pivot underflows the singularity tolerance.
+    pub fn lu(&self) -> Result<Lu> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "Matrix::lu", shape: self.shape() });
+        }
+        let n = self.rows();
+        let mut lu = self.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0;
+        let pivot_floor = SINGULARITY_TOL * self.max_abs().max(f64::MIN_POSITIVE);
+
+        for k in 0..n {
+            // Partial pivoting: bring the largest |entry| of column k to the diagonal.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < pivot_floor {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                lu.swap_rows(p, k);
+                perm.swap(p, k);
+                swaps += 1;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let u_kj = lu[(k, j)];
+                    lu[(i, j)] -= factor * u_kj;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, swaps })
+    }
+
+    /// Solves `A·x = b` for square `A` via LU. Convenience wrapper over
+    /// [`Matrix::lu`] + [`Lu::solve`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.lu()?.solve(b)
+    }
+
+    /// Computes `A⁻¹` via LU.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.lu()?.inverse()
+    }
+
+    /// Computes `det(A)` via LU. Returns `0.0` for numerically singular matrices.
+    pub fn determinant(&self) -> Result<f64> {
+        match self.lu() {
+            Ok(lu) => Ok(lu.determinant()),
+            Err(LinalgError::Singular { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Lu {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Lu::solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation: y = P·b
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit-lower L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Lu::solve_matrix",
+                lhs: (self.dim(), self.dim()),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.col(j))?;
+            out.set_col(j, &col)?;
+        }
+        Ok(out)
+    }
+
+    /// Computes the inverse of the factored matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factored matrix (product of U's diagonal, sign-adjusted
+    /// for row swaps).
+    pub fn determinant(&self) -> f64 {
+        let n = self.dim();
+        let mut det = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_conditioned() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap()
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = well_conditioned();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true) {
+            assert!((xi - ti).abs() < 1e-12, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = well_conditioned();
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn determinant_known_value() {
+        // det = 2(-12-0) - 1(8-0) + 1(28-12) = -24 - 8 + 16 = -16
+        let a = well_conditioned();
+        assert!((a.determinant().unwrap() - (-16.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_of_singular_is_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.determinant().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let lu = well_conditioned().lu().unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = well_conditioned();
+        let lu = a.lu().unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x = lu.solve_matrix(&b).unwrap();
+        let back = a.matmul(&x).unwrap();
+        assert!(back.approx_eq(&b, 1e-10));
+        assert!(lu.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // a[0][0] = 0 forces an immediate pivot swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+        assert!((a.determinant().unwrap() - (-1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let i = Matrix::identity(5);
+        assert!(i.inverse().unwrap().approx_eq(&i, 1e-14));
+        assert!((i.determinant().unwrap() - 1.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,387 @@
+//! Householder QR decomposition, with and without column pivoting.
+//!
+//! Column-pivoted QR is the numerical workhorse behind TafLoc's reference-location
+//! selection: the first `n` pivot columns of the fingerprint matrix are its "most
+//! linearly independent" columns, exactly the property the paper asks for.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Thin QR decomposition `A = Q·R` with `Q` of shape `m x k`, `R` of shape `k x n`,
+/// `k = min(m, n)`; `Q` has orthonormal columns and `R` is upper trapezoidal.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+/// Column-pivoted QR decomposition `A·P = Q·R`.
+///
+/// The permutation orders columns by decreasing residual norm, so the leading
+/// pivots identify a well-conditioned column subset — see
+/// [`ColPivQr::pivots`] and [`ColPivQr::rank`].
+#[derive(Debug, Clone)]
+pub struct ColPivQr {
+    q: Matrix,
+    r: Matrix,
+    /// `pivots[k]` = original column index moved to position `k`.
+    pivots: Vec<usize>,
+}
+
+/// Shared Householder core: factors `work` in place (columns permuted when
+/// `pivoting`), accumulating reflectors into an explicit thin Q.
+fn householder(
+    a: &Matrix,
+    pivoting: bool,
+) -> (Matrix /* q thin */, Matrix /* r */, Vec<usize> /* pivots */) {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut work = a.clone();
+    let mut pivots: Vec<usize> = (0..n).collect();
+    // Q accumulated as an m x m product applied to the identity; trimmed at the end.
+    let mut q = Matrix::identity(m);
+
+    // Running squared column norms for pivot selection.
+    let mut col_norms: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| work[(i, j)] * work[(i, j)]).sum())
+        .collect();
+
+    for step in 0..k {
+        if pivoting {
+            // Pick the remaining column with the largest residual norm.
+            let (best_j, _) = col_norms
+                .iter()
+                .enumerate()
+                .skip(step)
+                .fold((step, -1.0), |acc, (j, &v)| if v > acc.1 { (j, v) } else { acc });
+            if best_j != step {
+                work.swap_cols(best_j, step);
+                pivots.swap(best_j, step);
+                col_norms.swap(best_j, step);
+            }
+        }
+
+        // Householder vector for column `step`, rows step..m.
+        let mut v: Vec<f64> = (step..m).map(|i| work[(i, step)]).collect();
+        let alpha = {
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if v[0] >= 0.0 {
+                -norm
+            } else {
+                norm
+            }
+        };
+        if alpha.abs() < f64::EPSILON {
+            // Column already zero below the diagonal; nothing to reflect.
+            continue;
+        }
+        v[0] -= alpha;
+        let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+        if v_norm_sq < f64::EPSILON * f64::EPSILON {
+            continue;
+        }
+
+        // Apply H = I - 2vvᵀ/(vᵀv) to the trailing block of `work`.
+        for j in step..n {
+            let dot: f64 = (step..m).map(|i| v[i - step] * work[(i, j)]).sum();
+            let scale = 2.0 * dot / v_norm_sq;
+            for i in step..m {
+                work[(i, j)] -= scale * v[i - step];
+            }
+        }
+        // Accumulate into Q (apply H on the right: Q ← Q·H).
+        for i in 0..m {
+            let dot: f64 = (step..m).map(|j| q[(i, j)] * v[j - step]).sum();
+            let scale = 2.0 * dot / v_norm_sq;
+            for j in step..m {
+                q[(i, j)] -= scale * v[j - step];
+            }
+        }
+        // Update running column norms (cheap downdate + occasional refresh).
+        if pivoting {
+            for j in (step + 1)..n {
+                let w = work[(step, j)];
+                col_norms[j] = (col_norms[j] - w * w).max(0.0);
+            }
+        }
+    }
+
+    // Thin factors.
+    let q_thin = q.submatrix(0, m, 0, k).expect("q trim in range");
+    let mut r = Matrix::zeros(k, n);
+    for i in 0..k {
+        for j in i..n {
+            r[(i, j)] = work[(i, j)];
+        }
+    }
+    (q_thin, r, pivots)
+}
+
+impl Matrix {
+    /// Computes the thin Householder QR decomposition `A = Q·R`.
+    pub fn qr(&self) -> Result<Qr> {
+        if self.is_empty() {
+            return Err(LinalgError::EmptyInput { op: "Matrix::qr" });
+        }
+        let (q, r, _) = householder(self, false);
+        Ok(Qr { q, r })
+    }
+
+    /// Computes the column-pivoted QR decomposition `A·P = Q·R`.
+    pub fn col_piv_qr(&self) -> Result<ColPivQr> {
+        if self.is_empty() {
+            return Err(LinalgError::EmptyInput { op: "Matrix::col_piv_qr" });
+        }
+        let (q, r, pivots) = householder(self, true);
+        Ok(ColPivQr { q, r, pivots })
+    }
+}
+
+impl Qr {
+    /// Orthonormal factor `Q` (`m x min(m,n)`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Upper-trapezoidal factor `R` (`min(m,n) x n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Least-squares solve `min ‖A·x − b‖₂` for a full-column-rank `A` (`m ≥ n`).
+    ///
+    /// Returns [`LinalgError::Singular`] when `R` has a (numerically) zero diagonal.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let m = self.q.rows();
+        let n = self.r.cols();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Qr::solve_least_squares",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        if m < n {
+            return Err(LinalgError::InvalidArgument {
+                op: "Qr::solve_least_squares",
+                reason: format!("underdetermined system ({m} rows < {n} cols)"),
+            });
+        }
+        let y = self.q.tr_matvec(b); // Qᵀ·b, length min(m,n) = n
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.r[(i, j)] * x[j];
+            }
+            let rii = self.r[(i, i)];
+            if rii.abs() < 1e-13 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = acc / rii;
+        }
+        Ok(x)
+    }
+}
+
+impl ColPivQr {
+    /// Orthonormal factor `Q`.
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Upper-trapezoidal factor `R` of the permuted matrix.
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Pivot order: `pivots()[k]` is the original column index chosen at step `k`.
+    /// The leading entries are the "most linearly independent" columns.
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// Numerical rank: number of diagonal entries of `R` with magnitude above
+    /// `tol * |R[0,0]|`. Returns 0 for an all-zero matrix.
+    pub fn rank(&self, tol: f64) -> usize {
+        let k = self.r.rows().min(self.r.cols());
+        if k == 0 {
+            return 0;
+        }
+        let r00 = self.r[(0, 0)].abs();
+        if r00 == 0.0 {
+            return 0;
+        }
+        (0..k).take_while(|&i| self.r[(i, i)].abs() > tol * r00).count()
+    }
+
+    /// The first `k` pivot column indices — TafLoc's reference-location selection.
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] when `k` exceeds the column count.
+    pub fn leading_columns(&self, k: usize) -> Result<Vec<usize>> {
+        if k > self.pivots.len() {
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "ColPivQr::leading_columns",
+                index: k,
+                bound: self.pivots.len() + 1,
+            });
+        }
+        Ok(self.pivots[..k].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 9.0],
+        ])
+        .unwrap()
+    }
+
+    fn permutation_matrix(pivots: &[usize]) -> Matrix {
+        let n = pivots.len();
+        let mut p = Matrix::zeros(n, n);
+        for (k, &j) in pivots.iter().enumerate() {
+            p[(j, k)] = 1.0;
+        }
+        p
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = tall();
+        let qr = a.qr().unwrap();
+        let back = qr.q().matmul(qr.r()).unwrap();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = tall();
+        let qr = a.qr().unwrap();
+        let qtq = qr.q().gram();
+        assert!(qtq.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = tall();
+        let qr = a.qr().unwrap();
+        for i in 0..qr.r().rows() {
+            for j in 0..i.min(qr.r().cols()) {
+                assert!(qr.r()[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = tall();
+        let b = [1.0, 0.0, 2.0, 1.0];
+        let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations: AᵀA x = Aᵀ b
+        let atb = a.tr_matvec(&b);
+        let x_ne = a.gram().solve(&atb).unwrap();
+        for (u, v) in x.iter().zip(&x_ne) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn least_squares_exact_on_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        let x = a.qr().unwrap().solve_least_squares(&[4.0, 9.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_rejects_bad_shapes() {
+        let a = tall();
+        let qr = a.qr().unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+        let wide = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        assert!(wide.qr().unwrap().solve_least_squares(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn col_piv_reconstructs_with_permutation() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 10.0, 2.0],
+            &[0.5, -3.0, 1.0],
+            &[2.0, 4.0, 0.0],
+        ])
+        .unwrap();
+        let f = a.col_piv_qr().unwrap();
+        let ap = a.matmul(&permutation_matrix(f.pivots())).unwrap();
+        let qr = f.q().matmul(f.r()).unwrap();
+        assert!(qr.approx_eq(&ap, 1e-10));
+    }
+
+    #[test]
+    fn col_piv_picks_dominant_column_first() {
+        let a = Matrix::from_rows(&[
+            &[0.1, 100.0, 1.0],
+            &[0.2, 50.0, 0.0],
+            &[0.1, 75.0, 2.0],
+        ])
+        .unwrap();
+        let f = a.col_piv_qr().unwrap();
+        assert_eq!(f.pivots()[0], 1, "largest-norm column should be the first pivot");
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        // Third column = first + second -> rank 2.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 2.0],
+            &[2.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let f = a.col_piv_qr().unwrap();
+        assert_eq!(f.rank(1e-10), 2);
+    }
+
+    #[test]
+    fn rank_of_zero_matrix_is_zero() {
+        let f = Matrix::zeros(3, 3).col_piv_qr().unwrap();
+        assert_eq!(f.rank(1e-10), 0);
+    }
+
+    #[test]
+    fn full_rank_reported() {
+        let f = tall().col_piv_qr().unwrap();
+        assert_eq!(f.rank(1e-10), 2);
+    }
+
+    #[test]
+    fn leading_columns_selection() {
+        let f = tall().col_piv_qr().unwrap();
+        let sel = f.leading_columns(1).unwrap();
+        assert_eq!(sel.len(), 1);
+        assert!(f.leading_columns(3).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Matrix::zeros(0, 0).qr().is_err());
+        assert!(Matrix::zeros(0, 0).col_piv_qr().is_err());
+    }
+
+    #[test]
+    fn wide_matrix_factors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        assert_eq!(qr.q().shape(), (2, 2));
+        assert_eq!(qr.r().shape(), (2, 3));
+        let back = qr.q().matmul(qr.r()).unwrap();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+}

@@ -1,0 +1,203 @@
+//! Higher-level matrix utilities built on the decompositions: pseudo-inverse,
+//! triangular solves, and condition-number estimation.
+
+use crate::{LinalgError, Matrix, Result};
+
+impl Matrix {
+    /// Moore-Penrose pseudo-inverse via the SVD, truncating singular values
+    /// below `tol * σ_max`.
+    ///
+    /// For a full-rank square matrix this agrees with [`Matrix::inverse`]; for
+    /// rank-deficient or rectangular input it yields the minimum-norm
+    /// least-squares inverse.
+    pub fn pinv(&self, tol: f64) -> Result<Matrix> {
+        if !(tol >= 0.0) {
+            return Err(LinalgError::InvalidArgument {
+                op: "Matrix::pinv",
+                reason: format!("tol must be >= 0, got {tol}"),
+            });
+        }
+        let svd = self.svd()?;
+        let smax = svd.sigma.first().copied().unwrap_or(0.0);
+        let cutoff = tol * smax;
+        // pinv = V·diag(1/σ)·Uᵀ over the retained triplets.
+        let kept: Vec<usize> =
+            (0..svd.len()).filter(|&i| svd.sigma[i] > cutoff && svd.sigma[i] > 0.0).collect();
+        if kept.is_empty() {
+            return Ok(Matrix::zeros(self.cols(), self.rows()));
+        }
+        let vs = Matrix::from_fn(svd.v.rows(), kept.len(), |i, k| {
+            svd.v[(i, kept[k])] / svd.sigma[kept[k]]
+        });
+        let us = svd.u.select_cols(&kept)?;
+        vs.matmul_nt(&us)
+    }
+
+    /// Solves `L·x = b` for a lower-triangular `L` by forward substitution.
+    /// Only the lower triangle is read.
+    pub fn solve_lower_triangular(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "solve_lower_triangular", shape: self.shape() });
+        }
+        let n = self.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve_lower_triangular",
+                lhs: self.shape(),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self[(i, j)] * x[j];
+            }
+            let d = self[(i, i)];
+            if d.abs() < 1e-300 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+
+    /// Solves `U·x = b` for an upper-triangular `U` by back substitution.
+    /// Only the upper triangle is read.
+    pub fn solve_upper_triangular(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "solve_upper_triangular", shape: self.shape() });
+        }
+        let n = self.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve_upper_triangular",
+                lhs: self.shape(),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = b.to_vec();
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self[(i, j)] * x[j];
+            }
+            let d = self[(i, i)];
+            if d.abs() < 1e-300 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+
+    /// Spectral condition number `σ_max / σ_min` (infinite for singular input).
+    pub fn condition_number(&self) -> Result<f64> {
+        let svd = self.svd()?;
+        let smax = svd.sigma.first().copied().unwrap_or(0.0);
+        let smin = svd.sigma.last().copied().unwrap_or(0.0);
+        if smin == 0.0 {
+            Ok(f64::INFINITY)
+        } else {
+            Ok(smax / smin)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinv_of_invertible_matches_inverse() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let p = a.pinv(1e-12).unwrap();
+        let inv = a.inverse().unwrap();
+        assert!(p.approx_eq(&inv, 1e-9));
+    }
+
+    #[test]
+    fn pinv_satisfies_moore_penrose_identities() {
+        // Rectangular, full column rank.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let p = a.pinv(1e-12).unwrap();
+        assert_eq!(p.shape(), (2, 3));
+        // A·A⁺·A = A
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(apa.approx_eq(&a, 1e-9));
+        // A⁺·A·A⁺ = A⁺
+        let pap = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert!(pap.approx_eq(&p, 1e-9));
+        // A⁺·A symmetric.
+        let pa = p.matmul(&a).unwrap();
+        assert!(pa.approx_eq(&pa.transpose(), 1e-9));
+    }
+
+    #[test]
+    fn pinv_handles_rank_deficiency() {
+        // Rank-1 matrix.
+        let a = crate::ops::outer(&[1.0, 2.0], &[3.0, 6.0]);
+        let p = a.pinv(1e-10).unwrap();
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(apa.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn pinv_of_zero_matrix_is_zero() {
+        let z = Matrix::zeros(2, 3);
+        let p = z.pinv(1e-10).unwrap();
+        assert_eq!(p.shape(), (3, 2));
+        assert_eq!(p.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn pinv_rejects_bad_tol() {
+        let a = Matrix::identity(2);
+        assert!(a.pinv(f64::NAN).is_err());
+        assert!(a.pinv(-1.0).is_err());
+    }
+
+    #[test]
+    fn lower_triangular_solve() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]).unwrap();
+        let x = l.solve_lower_triangular(&[4.0, 7.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - (7.0 - 2.0) / 3.0).abs() < 1e-12);
+        assert!(l.solve_lower_triangular(&[1.0]).is_err());
+        assert!(Matrix::zeros(2, 3).solve_lower_triangular(&[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn upper_triangular_solve() {
+        let u = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 4.0]]).unwrap();
+        let x = u.solve_upper_triangular(&[5.0, 8.0]).unwrap();
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_solves_reject_singular() {
+        let l = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]).unwrap();
+        assert!(matches!(l.solve_lower_triangular(&[1.0, 1.0]), Err(LinalgError::Singular { .. })));
+        let u = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]).unwrap();
+        assert!(matches!(u.solve_upper_triangular(&[1.0, 1.0]), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn triangular_only_reads_its_triangle() {
+        // Garbage in the unused triangle must not affect the result.
+        let l = Matrix::from_rows(&[&[2.0, 999.0], &[1.0, 3.0]]).unwrap();
+        let x = l.solve_lower_triangular(&[4.0, 7.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_number_values() {
+        let i = Matrix::identity(3);
+        assert!((i.condition_number().unwrap() - 1.0).abs() < 1e-9);
+        let d = Matrix::from_diag(&[100.0, 1.0]);
+        assert!((d.condition_number().unwrap() - 100.0).abs() < 1e-6);
+        let singular = crate::ops::outer(&[1.0, 1.0], &[1.0, 1.0]);
+        assert!(singular.condition_number().unwrap().is_infinite());
+    }
+}

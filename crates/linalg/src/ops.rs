@@ -1,0 +1,341 @@
+//! Matrix arithmetic: products, sums, scaling, and the operator overloads.
+//!
+//! Multiplication uses the cache-friendly `ikj` loop ordering, which is ample for the
+//! problem sizes in this reproduction (fingerprint matrices are on the order of
+//! tens-of-links x hundreds-of-grids).
+
+use crate::{LinalgError, Matrix, Result};
+
+impl Matrix {
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols() != other.rows() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                let o_row = out.row_mut(i);
+                for j in 0..n {
+                    o_row[j] += a_ip * b_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product with the transpose of the right operand: `self * otherᵀ`.
+    ///
+    /// Both operands are traversed row-wise, which makes this noticeably faster than
+    /// `self.matmul(&other.transpose())` and avoids the intermediate allocation.
+    pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols() != other.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::matmul_nt",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, n) = (self.rows(), other.rows());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let o_row = out.row_mut(i);
+            for j in 0..n {
+                let b_row = other.row(j);
+                o_row[j] = dot(a_row, b_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product with the transpose of the left operand: `selfᵀ * other`.
+    pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows() != other.rows() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::matmul_tn",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (k, m, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a_pi) in a_row.iter().enumerate().take(m) {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let o_row = out.row_mut(i);
+                for j in 0..n {
+                    o_row[j] += a_pi * b_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `selfᵀ * self` (always square, `cols x cols`).
+    pub fn gram(&self) -> Matrix {
+        self.matmul_tn(self).expect("gram: shapes always agree")
+    }
+
+    /// Matrix-vector product `self * v`. Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols(), "matvec: vector length {} != cols {}", v.len(), self.cols());
+        self.rows_iter().map(|row| dot(row, v)).collect()
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * v`. Panics if `v.len() != rows`.
+    pub fn tr_matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows(), "tr_matvec: vector length {} != rows {}", v.len(), self.rows());
+        let mut out = vec![0.0; self.cols()];
+        for (i, row) in self.rows_iter().enumerate() {
+            let vi = v[i];
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &r) in out.iter_mut().zip(row) {
+                *o += vi * r;
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum. Errors on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference. Errors on shape mismatch.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Returns `self * s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// In-place `self += alpha * other`. Errors on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::axpy",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Adds `value` to each diagonal element in place. Errors unless square.
+    pub fn add_diag(&mut self, value: f64) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "Matrix::add_diag", shape: self.shape() });
+        }
+        let n = self.rows();
+        for i in 0..n {
+            self[(i, i)] += value;
+        }
+        Ok(())
+    }
+}
+
+/// Dot product of two equal-length slices. Panics on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// Outer product `a * bᵀ` of two slices.
+pub fn outer(a: &[f64], b: &[f64]) -> Matrix {
+    Matrix::from_fn(a.len(), b.len(), |i, j| a[i] * b[j])
+}
+
+impl std::ops::Add for &Matrix {
+    type Output = Matrix;
+    /// Panics on shape mismatch; use [`Matrix::add`] for a fallible version.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        Matrix::add(self, rhs).expect("Matrix + Matrix: shape mismatch")
+    }
+}
+
+impl std::ops::Sub for &Matrix {
+    type Output = Matrix;
+    /// Panics on shape mismatch; use [`Matrix::sub`] for a fallible version.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        Matrix::sub(self, rhs).expect("Matrix - Matrix: shape mismatch")
+    }
+}
+
+impl std::ops::Mul for &Matrix {
+    type Output = Matrix;
+    /// Panics on shape mismatch; use [`Matrix::matmul`] for a fallible version.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        Matrix::matmul(self, rhs).expect("Matrix * Matrix: shape mismatch")
+    }
+}
+
+impl std::ops::Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl std::ops::Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap()
+    }
+
+    fn b() -> Matrix {
+        Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[10.0, 11.0, 12.0]]).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let c = a().matmul(&b()).unwrap();
+        let expected =
+            Matrix::from_rows(&[&[27.0, 30.0, 33.0], &[61.0, 68.0, 75.0], &[95.0, 106.0, 117.0]])
+                .unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn matmul_shape_check() {
+        assert!(a().matmul(&a()).is_err());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = a();
+        let i = Matrix::identity(2);
+        assert!(m.matmul(&i).unwrap().approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let m = a(); // 3x2
+        let n = Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5], &[0.0, 3.0], &[4.0, 4.0]]).unwrap(); // 4x2
+        let fast = m.matmul_nt(&n).unwrap();
+        let slow = m.matmul(&n.transpose()).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12));
+        assert!(m.matmul_nt(&b()).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let m = a(); // 3x2
+        let n = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap(); // 3x1
+        let fast = m.matmul_tn(&n).unwrap();
+        let slow = m.transpose().matmul(&n).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12));
+        assert!(m.matmul_tn(&b()).is_err());
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let g = a().gram();
+        assert_eq!(g.shape(), (2, 2));
+        assert!((g[(0, 1)] - g[(1, 0)]).abs() < 1e-12);
+        assert!((g[(0, 0)] - 35.0).abs() < 1e-12); // 1 + 9 + 25
+    }
+
+    #[test]
+    fn matvec_and_tr_matvec() {
+        let m = a();
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(m.tr_matvec(&[1.0, 1.0, 1.0]), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matvec_length_checked() {
+        a().matvec(&[1.0]);
+    }
+
+    #[test]
+    fn add_sub_scale_axpy() {
+        let m = a();
+        let s = m.add(&m).unwrap();
+        assert!(s.approx_eq(&m.scale(2.0), 1e-12));
+        let d = s.sub(&m).unwrap();
+        assert!(d.approx_eq(&m, 1e-12));
+        let mut x = m.clone();
+        x.axpy(-1.0, &m).unwrap();
+        assert_eq!(x.max_abs(), 0.0);
+        assert!(x.axpy(1.0, &Matrix::zeros(1, 1)).is_err());
+        assert!(m.add(&Matrix::zeros(1, 1)).is_err());
+        assert!(m.sub(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn add_diag() {
+        let mut m = Matrix::zeros(3, 3);
+        m.add_diag(2.5).unwrap();
+        assert!(m.approx_eq(&Matrix::from_diag(&[2.5, 2.5, 2.5]), 0.0));
+        let mut r = Matrix::zeros(2, 3);
+        assert!(r.add_diag(1.0).is_err());
+    }
+
+    #[test]
+    fn free_functions() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        let o = outer(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(o[(1, 0)], 6.0);
+    }
+
+    #[test]
+    fn operator_overloads() {
+        let m = a();
+        let sum = &m + &m;
+        assert!(sum.approx_eq(&m.scale(2.0), 1e-12));
+        let diff = &sum - &m;
+        assert!(diff.approx_eq(&m, 1e-12));
+        let prod = &m * &b();
+        assert_eq!(prod.shape(), (3, 3));
+        let scaled = &m * 2.0;
+        assert!(scaled.approx_eq(&sum, 1e-12));
+        let neg = -&m;
+        assert!((&neg + &m).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn matmul_with_zero_blocks_skips_correctly() {
+        // Exercise the `a_ip == 0.0` fast path.
+        let sparse_ish = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let c = sparse_ish.matmul(&Matrix::identity(2)).unwrap();
+        assert!(c.approx_eq(&sparse_ish, 0.0));
+    }
+}

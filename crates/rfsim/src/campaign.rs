@@ -1,0 +1,226 @@
+//! Measurement campaigns: what a human surveyor (or the live system) collects.
+//!
+//! Three kinds of measurement exist in the TafLoc workflow:
+//!
+//! * **Full calibration** — the expensive one: walk to every grid cell, stand
+//!   there while the system records `S` samples per link, average. The paper costs
+//!   this at 100 s per cell.
+//! * **Reference update** — TafLoc's cheap alternative: visit only the `n` chosen
+//!   reference cells.
+//! * **Online snapshot** — one averaged RSS vector while the (unknown) target is
+//!   somewhere; the input to localization.
+//!
+//! All campaigns are deterministic given `(world seed, time, campaign kind)`: the
+//! per-campaign RNG is derived by hashing those, so repeating a call reproduces
+//! the same noisy measurements, while different times or kinds are independent.
+
+use crate::geometry::Point;
+use crate::rng::hash_u64;
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taf_linalg::Matrix;
+
+/// Campaign kinds, used to separate RNG streams.
+const KIND_CALIBRATION: u64 = 0x01;
+const KIND_SNAPSHOT: u64 = 0x02;
+const KIND_EMPTY: u64 = 0x03;
+
+fn campaign_rng(world: &World, kind: u64, t_days: f64, extra: u64) -> StdRng {
+    let t_key = (t_days * 1000.0).round() as i64 as u64;
+    StdRng::seed_from_u64(hash_u64(world.seed() ^ kind.wrapping_mul(0x9E37_79B9), t_key, extra))
+}
+
+/// Surveys **every** cell at time `t_days`, `samples` RSS samples per (link, cell),
+/// returning the measured `M x N` fingerprint matrix.
+pub fn full_calibration(world: &World, t_days: f64, samples: usize) -> Matrix {
+    let cols: Vec<usize> = (0..world.num_cells()).collect();
+    measure_columns(world, t_days, &cols, samples)
+}
+
+/// Surveys only the given cells (TafLoc's reference-location update), returning an
+/// `M x cells.len()` matrix in the given column order.
+///
+/// Panics if a cell index is out of range (campaigns are driven by validated
+/// selections).
+pub fn measure_columns(world: &World, t_days: f64, cells: &[usize], samples: usize) -> Matrix {
+    assert!(samples > 0, "need at least one sample per measurement");
+    let m = world.num_links();
+    let noise = world.config().noise;
+    let mut out = Matrix::zeros(m, cells.len());
+    for (k, &cell) in cells.iter().enumerate() {
+        assert!(cell < world.num_cells(), "cell {cell} out of range");
+        let mut rng = campaign_rng(world, KIND_CALIBRATION, t_days, cell as u64);
+        for link in 0..m {
+            let truth = world.fingerprint_rss(link, cell, t_days);
+            out[(link, k)] = noise.observe_averaged(truth, samples, &mut rng);
+        }
+    }
+    out
+}
+
+/// One online measurement with the target standing in `cell`: the averaged
+/// `M`-vector `Y` the paper matches against the fingerprint database.
+pub fn snapshot_at_cell(world: &World, t_days: f64, cell: usize, samples: usize) -> Vec<f64> {
+    assert!(cell < world.num_cells(), "cell {cell} out of range");
+    let p = world.grid().cell_center(cell);
+    snapshot_at_point(world, t_days, &p, samples)
+}
+
+/// One online measurement with the target at an arbitrary point (tracking
+/// scenarios, off-grid test positions).
+pub fn snapshot_at_point(world: &World, t_days: f64, p: &Point, samples: usize) -> Vec<f64> {
+    assert!(samples > 0, "need at least one sample per measurement");
+    let noise = world.config().noise;
+    let extra = (p.x * 8191.0).round() as i64 as u64 ^ ((p.y * 8191.0).round() as i64 as u64) << 20;
+    let mut rng = campaign_rng(world, KIND_SNAPSHOT, t_days, extra);
+    (0..world.num_links())
+        .map(|link| {
+            let truth = world.rss_with_target_at(link, p, t_days);
+            noise.observe_averaged(truth, samples, &mut rng)
+        })
+        .collect()
+}
+
+/// One online measurement with **several** simultaneous targets (the
+/// multi-target extension; see [`crate::World::rss_with_targets_at`]).
+pub fn snapshot_at_points(world: &World, t_days: f64, positions: &[crate::geometry::Point], samples: usize) -> Vec<f64> {
+    assert!(samples > 0, "need at least one sample per measurement");
+    let noise = world.config().noise;
+    let mut extra = 0u64;
+    for p in positions {
+        extra = extra
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((p.x * 8191.0).round() as i64 as u64)
+            .wrapping_add(((p.y * 8191.0).round() as i64 as u64) << 20);
+    }
+    let mut rng = campaign_rng(world, KIND_SNAPSHOT, t_days, extra ^ positions.len() as u64);
+    (0..world.num_links())
+        .map(|link| {
+            let truth = world.rss_with_targets_at(link, positions, t_days);
+            noise.observe_averaged(truth, samples, &mut rng)
+        })
+        .collect()
+}
+
+/// One measurement of the empty room (no target): the baseline RSS vector used
+/// for distortion detection and by the RTI baseline.
+pub fn empty_snapshot(world: &World, t_days: f64, samples: usize) -> Vec<f64> {
+    assert!(samples > 0, "need at least one sample per measurement");
+    let noise = world.config().noise;
+    let mut rng = campaign_rng(world, KIND_EMPTY, t_days, 0);
+    (0..world.num_links())
+        .map(|link| noise.observe_averaged(world.empty_rss(link, t_days), samples, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::new(WorldConfig::small_test(), 17)
+    }
+
+    #[test]
+    fn full_calibration_shape() {
+        let w = world();
+        let x = full_calibration(&w, 0.0, 5);
+        assert_eq!(x.shape(), (w.num_links(), w.num_cells()));
+        assert!(!x.has_non_finite());
+    }
+
+    #[test]
+    fn calibration_is_reproducible() {
+        let w = world();
+        let a = full_calibration(&w, 0.0, 5);
+        let b = full_calibration(&w, 0.0, 5);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn different_times_differ() {
+        let w = world();
+        let a = full_calibration(&w, 0.0, 5);
+        let b = full_calibration(&w, 3.0, 5);
+        assert!(!a.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn measure_columns_matches_full_calibration_columns() {
+        let w = world();
+        let full = full_calibration(&w, 0.0, 5);
+        let subset = measure_columns(&w, 0.0, &[3, 7], 5);
+        assert_eq!(subset.shape(), (w.num_links(), 2));
+        for link in 0..w.num_links() {
+            assert_eq!(subset[(link, 0)], full[(link, 3)]);
+            assert_eq!(subset[(link, 1)], full[(link, 7)]);
+        }
+    }
+
+    #[test]
+    fn measurements_near_truth() {
+        let w = world();
+        let x = full_calibration(&w, 0.0, 100);
+        let truth = w.fingerprint_truth(0.0);
+        let err = x.sub(&truth).unwrap().map(f64::abs).mean();
+        // 100-sample averages of ~1.8 dB per-sample noise: error well under 1 dB.
+        assert!(err < 1.0, "mean measurement error {err} dB too large");
+    }
+
+    #[test]
+    fn snapshot_matches_cell_truth() {
+        let w = world();
+        let y = snapshot_at_cell(&w, 0.0, 4, 100);
+        assert_eq!(y.len(), w.num_links());
+        for (link, &v) in y.iter().enumerate() {
+            let truth = w.rss_with_target_at(link, &w.grid().cell_center(4), 0.0);
+            assert!((v - truth).abs() < 1.5, "link {link}: {v} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn snapshots_at_distinct_points_differ() {
+        let w = world();
+        let a = snapshot_at_point(&w, 0.0, &w.grid().cell_center(0), 10);
+        let b = snapshot_at_point(&w, 0.0, &w.grid().cell_center(20), 10);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_snapshot_near_empty_truth() {
+        let w = world();
+        let y = empty_snapshot(&w, 0.0, 100);
+        for (link, &v) in y.iter().enumerate() {
+            assert!((v - w.empty_rss(link, 0.0)).abs() < 1.5);
+        }
+    }
+
+    #[test]
+    fn multi_snapshot_reduces_to_empty_and_single() {
+        let w = world();
+        let p = w.grid().cell_center(3);
+        let two = snapshot_at_points(&w, 0.0, &[p, w.grid().cell_center(20)], 50);
+        assert_eq!(two.len(), w.num_links());
+        // With no positions, the truth equals the empty room (modulo noise).
+        let none = snapshot_at_points(&w, 0.0, &[], 100);
+        for (link, v) in none.iter().enumerate() {
+            assert!((v - w.empty_rss(link, 0.0)).abs() < 1.5);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_cell_panics() {
+        let w = world();
+        snapshot_at_cell(&w, 0.0, 10_000, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_samples_panics() {
+        let w = world();
+        full_calibration(&w, 0.0, 0);
+    }
+}

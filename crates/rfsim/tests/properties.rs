@@ -1,0 +1,178 @@
+//! Property-based tests of the RF simulator: geometric invariants, physical
+//! monotonicities, determinism, and the statistical contracts the TafLoc
+//! algorithms rely on.
+
+use proptest::prelude::*;
+use taf_rfsim::drift::{DriftConfig, OuProcess};
+use taf_rfsim::geometry::{Point, Segment};
+use taf_rfsim::grid::FloorGrid;
+use taf_rfsim::noise::NoiseConfig;
+use taf_rfsim::pathloss::LogDistance;
+use taf_rfsim::target::TargetModel;
+use taf_rfsim::trajectory::{random_waypoint, WaypointConfig};
+use taf_rfsim::{campaign, World, WorldConfig};
+
+fn point() -> impl Strategy<Value = Point> {
+    (-20.0..20.0f64, -20.0..20.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn segment() -> impl Strategy<Value = Segment> {
+    (point(), point()).prop_map(|(a, b)| Segment::new(a, b))
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Geometry
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn distance_is_a_metric(a in point(), b in point(), c in point()) {
+        prop_assert!(a.distance(&b) >= 0.0);
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        prop_assert!(a.distance(&a) == 0.0);
+    }
+
+    #[test]
+    fn excess_path_non_negative_and_zero_on_segment(s in segment(), t in 0.0..1.0f64) {
+        // Any point: non-negative.
+        let p = Point::new(s.a.x + 3.0, s.a.y - 2.0);
+        prop_assert!(s.excess_path_length(&p) >= 0.0);
+        // Points on the segment: zero.
+        let on = Point::new(s.a.x + t * (s.b.x - s.a.x), s.a.y + t * (s.b.y - s.a.y));
+        prop_assert!(s.excess_path_length(&on) < 1e-9);
+    }
+
+    #[test]
+    fn excess_path_bounded_by_detour(s in segment(), p in point()) {
+        // excess = |pa| + |pb| - |ab| <= 2·distance(p, segment)·something…
+        // The cheap, always-true bound: excess <= 2·max(|pa|, |pb|).
+        let e = s.excess_path_length(&p);
+        let bound = 2.0 * p.distance(&s.a).max(p.distance(&s.b));
+        prop_assert!(e <= bound + 1e-9);
+    }
+
+    #[test]
+    fn projection_parameter_in_unit_interval(s in segment(), p in point()) {
+        let t = s.projection_parameter(&p);
+        prop_assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn grid_round_trip(nx in 1usize..12, ny in 1usize..12, cell in 0.2..2.0f64) {
+        let g = FloorGrid::new(Point::new(-3.0, 4.0), cell, nx, ny);
+        for idx in 0..g.num_cells() {
+            let c = g.cell_center(idx);
+            prop_assert_eq!(g.cell_at(&c), Some(idx));
+        }
+    }
+
+    #[test]
+    fn grid_neighbors_symmetric(nx in 2usize..8, ny in 2usize..8, idx_seed in 0usize..64) {
+        let g = FloorGrid::new(Point::new(0.0, 0.0), 0.5, nx, ny);
+        let idx = idx_seed % g.num_cells();
+        for n in g.neighbors4(idx) {
+            prop_assert!(g.neighbors4(n).contains(&idx));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation physics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pathloss_monotone(d1 in 0.1..50.0f64, d2 in 0.1..50.0f64, n in 1.5..4.5f64) {
+        let m = LogDistance { p0_dbm: -30.0, d0: 1.0, exponent: n };
+        if d1.max(1.0) < d2.max(1.0) {
+            prop_assert!(m.rss(d1) >= m.rss(d2));
+        }
+    }
+
+    #[test]
+    fn shadowing_attenuation_monotone_in_excess(s in segment(), y1 in 0.0..3.0f64, y2 in 0.0..3.0f64) {
+        prop_assume!(s.length() > 1.0);
+        let model = TargetModel::default();
+        let mid = s.midpoint();
+        // Perpendicular offsets from the midpoint.
+        let (dx, dy) = (s.b.x - s.a.x, s.b.y - s.a.y);
+        let len = s.length();
+        let (nx, ny) = (-dy / len, dx / len);
+        let p1 = Point::new(mid.x + nx * y1, mid.y + ny * y1);
+        let p2 = Point::new(mid.x + nx * y2, mid.y + ny * y2);
+        let (a1, a2) = (model.shadowing_db(&s, &p1), model.shadowing_db(&s, &p2));
+        if y1 < y2 {
+            prop_assert!(a1 >= a2 - 1e-9, "closer to LoS must shadow at least as much");
+        }
+        prop_assert!(a1 <= model.max_attenuation_db + 1e-12);
+        prop_assert!(a1 >= 0.0);
+    }
+
+    #[test]
+    fn noise_observation_finite_and_quantized(rss in -90.0..-30.0f64, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let cfg = NoiseConfig::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v = cfg.observe(rss, &mut rng);
+        prop_assert!(v.is_finite());
+        // Quantization step 1 dB: value must be integral.
+        prop_assert!((v - v.round()).abs() < 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Drift
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn ou_interpolation_between_days(seed in 0u64..500, frac in 0.0..1.0f64) {
+        let p = OuProcess::new(seed, 1, 2.0, 40.0);
+        let a = p.at_day(4);
+        let b = p.at_day(5);
+        let v = p.at(4.0 + frac);
+        prop_assert!(v >= a.min(b) - 1e-12 && v <= a.max(b) + 1e-12);
+    }
+
+    #[test]
+    fn drift_sigmas_monotone_in_time(t1 in 0.1..200.0f64, t2 in 0.1..200.0f64) {
+        let cfg = DriftConfig::paper_calibrated();
+        if t1 < t2 {
+            prop_assert!(cfg.link_delta_sigma(t1) <= cfg.link_delta_sigma(t2) + 1e-12);
+            prop_assert!(cfg.entry_delta_sigma(t1) <= cfg.entry_delta_sigma(t2) + 1e-12);
+        }
+        prop_assert!(cfg.entry_delta_sigma(t1) >= cfg.link_delta_sigma(t1) - 1e-12);
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-world contracts
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn world_fingerprints_deterministic_and_finite(seed in 0u64..50) {
+        let w1 = World::new(WorldConfig::small_test(), seed);
+        let w2 = World::new(WorldConfig::small_test(), seed);
+        let x1 = w1.fingerprint_truth(7.5);
+        let x2 = w2.fingerprint_truth(7.5);
+        prop_assert!(x1.approx_eq(&x2, 0.0));
+        prop_assert!(!x1.has_non_finite());
+    }
+
+    #[test]
+    fn campaign_columns_consistent_with_full(seed in 0u64..30, cell_seed in 0usize..30) {
+        let w = World::new(WorldConfig::small_test(), seed);
+        let cell = cell_seed % w.num_cells();
+        let full = campaign::full_calibration(&w, 2.0, 5);
+        let cols = campaign::measure_columns(&w, 2.0, &[cell], 5);
+        for link in 0..w.num_links() {
+            prop_assert_eq!(cols[(link, 0)], full[(link, cell)]);
+        }
+    }
+
+    #[test]
+    fn trajectory_always_inside_grid(seed in 0u64..100, n in 1usize..150) {
+        let g = FloorGrid::new(Point::new(1.0, -2.0), 0.6, 6, 9);
+        let t = random_waypoint(&g, &WaypointConfig::default(), n, seed);
+        prop_assert_eq!(t.len(), n);
+        for p in &t.points {
+            prop_assert!(g.cell_at(p).is_some(), "({}, {}) left the grid", p.x, p.y);
+        }
+    }
+}

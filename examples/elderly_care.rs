@@ -1,0 +1,77 @@
+//! Elderly care: the paper's motivating scenario — track a resident who wears
+//! no device, months after the system was installed, and raise an alert when
+//! they linger in a risky zone (here: the area near the room's entrance).
+//!
+//! The deployment is 60 days old. Before tracking, TafLoc refreshes its
+//! fingerprint database from the 10 reference cells (a ~17-minute chore instead
+//! of a ~2.7-hour re-survey), then follows a simulated morning routine.
+//!
+//! Run with: `cargo run --release -p tafloc --example elderly_care`
+
+use tafloc::core::db::FingerprintDb;
+use tafloc::core::system::{TafLoc, TafLocConfig};
+use tafloc::rfsim::geometry::Point;
+use tafloc::rfsim::{campaign, World, WorldConfig};
+
+/// The resident's morning path through the room (cell indices on the 8x12 grid).
+const ROUTINE: [usize; 10] = [4, 12, 21, 30, 38, 47, 55, 62, 70, 78];
+
+fn main() {
+    let world = World::new(WorldConfig::paper_default(), 77);
+    let deployment_age_days = 60.0;
+
+    // Installed at day 0 ...
+    let x0 = campaign::full_calibration(&world, 0.0, 100);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 100);
+    let db = FingerprintDb::from_world(x0, &world).expect("survey matches world geometry");
+    let mut tafloc =
+        TafLoc::calibrate(TafLocConfig::default(), db, e0).expect("calibration succeeds");
+
+    // ... refreshed this morning from the reference cells only.
+    let fresh =
+        campaign::measure_columns(&world, deployment_age_days, tafloc.reference_cells(), 100);
+    let empty = campaign::empty_snapshot(&world, deployment_age_days, 100);
+    tafloc.update(&fresh, &empty).expect("update succeeds");
+    println!(
+        "database refreshed after {deployment_age_days:.0} days using {} reference cells\n",
+        tafloc.reference_cells().len()
+    );
+
+    // The "risky zone": within 1.5 m of the entrance at the grid origin corner.
+    let entrance = Point::new(world.grid().origin().x, world.grid().origin().y);
+    let risky_radius_m = 1.5;
+
+    println!(
+        "{:>6} {:>18} {:>18} {:>10} {:>8}",
+        "step", "true pos [m]", "estimate [m]", "error [m]", "alert"
+    );
+    let mut alerts = 0;
+    let mut total_err = 0.0;
+    for (step, &cell) in ROUTINE.iter().enumerate() {
+        let truth = world.grid().cell_center(cell);
+        let y = campaign::snapshot_at_cell(&world, deployment_age_days, cell, 100);
+        let fix = tafloc.localize(&y).expect("localization succeeds");
+        let err = fix.point.distance(&truth);
+        total_err += err;
+        let alert = fix.point.distance(&entrance) < risky_radius_m;
+        if alert {
+            alerts += 1;
+        }
+        println!(
+            "{:>6} ({:>7.2},{:>7.2}) ({:>7.2},{:>7.2}) {:>10.2} {:>8}",
+            step,
+            truth.x,
+            truth.y,
+            fix.point.x,
+            fix.point.y,
+            err,
+            if alert { "YES" } else { "-" }
+        );
+    }
+    println!(
+        "\nmean tracking error {:.2} m over {} steps; {} entrance-zone alert(s)",
+        total_err / ROUTINE.len() as f64,
+        ROUTINE.len(),
+        alerts
+    );
+}

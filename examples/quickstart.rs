@@ -1,0 +1,56 @@
+//! Quickstart: the full TafLoc lifecycle in ~40 lines.
+//!
+//! 1. Survey the room once (full calibration).
+//! 2. Let 45 days pass — fingerprints expire.
+//! 3. Re-survey only the 10 reference cells and reconstruct the database.
+//! 4. Localize a live measurement.
+//!
+//! Run with: `cargo run --release -p tafloc --example quickstart`
+
+use tafloc::core::db::FingerprintDb;
+use tafloc::core::system::{TafLoc, TafLocConfig};
+use tafloc::rfsim::{campaign, World, WorldConfig};
+
+fn main() {
+    // A simulated 9 m x 12 m room: 10 WiFi links around a 96-cell monitored area.
+    let world = World::new(WorldConfig::paper_default(), 2024);
+    println!(
+        "world: {} links, {} cells of {:.1} m",
+        world.num_links(),
+        world.num_cells(),
+        world.grid().cell_size()
+    );
+
+    // Day 0: the one-time full site survey (100 RSS samples per cell).
+    let x0 = campaign::full_calibration(&world, 0.0, 100);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 100);
+    let db = FingerprintDb::from_world(x0, &world).expect("survey matches world geometry");
+    let mut tafloc =
+        TafLoc::calibrate(TafLocConfig::default(), db, e0).expect("calibration succeeds");
+    println!("reference cells selected by column-pivoted QR: {:?}", tafloc.reference_cells());
+
+    // Day 45: RSS has drifted ~6 dBm. Surveying all 96 cells would take 2.7 h;
+    // TafLoc re-measures its 10 reference cells (0.28 h) and reconstructs.
+    let t = 45.0;
+    let fresh = campaign::measure_columns(&world, t, tafloc.reference_cells(), 100);
+    let empty = campaign::empty_snapshot(&world, t, 100);
+    let report = tafloc.update(&fresh, &empty).expect("update succeeds");
+    println!(
+        "update: {} LoLi-IR iterations (converged: {}), database shifted by {:.2} dB on average",
+        report.iterations, report.converged, report.mean_abs_change_db
+    );
+
+    // A person stands in cell 42; the system sees one averaged RSS vector.
+    let target_cell = 42;
+    let y = campaign::snapshot_at_cell(&world, t, target_cell, 100);
+    let fix = tafloc.localize(&y).expect("localization succeeds");
+    let truth = world.grid().cell_center(target_cell);
+    println!(
+        "target truly at ({:.2}, {:.2}); TafLoc estimates ({:.2}, {:.2}) -> error {:.2} m",
+        truth.x,
+        truth.y,
+        fix.point.x,
+        fix.point.y,
+        fix.point.distance(&truth)
+    );
+}

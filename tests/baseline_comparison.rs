@@ -1,0 +1,129 @@
+//! Cross-system integration: TafLoc vs RTI vs RASS (with/without
+//! reconstruction) over identical measurements — the relationships behind
+//! Fig. 5, asserted at reduced scale.
+
+use tafloc::baselines::{Rass, RassConfig, Rti, RtiConfig};
+use tafloc::core::db::FingerprintDb;
+use tafloc::core::system::{TafLoc, TafLocConfig};
+use tafloc::rfsim::geometry::Segment;
+use tafloc::rfsim::{campaign, World, WorldConfig};
+
+struct Bench {
+    world: World,
+    tafloc: TafLoc,
+    rti: Rti,
+    rass_stale: Rass,
+    rass_rec: Rass,
+    fresh_empty: Vec<f64>,
+    t: f64,
+}
+
+fn setup(seed: u64) -> Bench {
+    let world = World::new(WorldConfig::paper_default(), seed);
+    let t = 90.0;
+    let x0 = campaign::full_calibration(&world, 0.0, 50);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 50);
+    let db0 = FingerprintDb::from_world(x0, &world).unwrap();
+
+    let mut tafloc = TafLoc::calibrate(TafLocConfig::default(), db0.clone(), e0.clone()).unwrap();
+    let fresh = campaign::measure_columns(&world, t, tafloc.reference_cells(), 50);
+    let fresh_empty = campaign::empty_snapshot(&world, t, 50);
+    tafloc.update(&fresh, &fresh_empty).unwrap();
+
+    let links: Vec<Segment> = world.deployment().links().iter().map(|l| l.segment).collect();
+    let rti = Rti::new(&links, world.grid(), RtiConfig::default()).unwrap();
+    let rass_stale = Rass::new(db0, e0, RassConfig::default()).unwrap();
+    let rass_rec =
+        rass_stale.with_database(tafloc.db().clone(), fresh_empty.clone()).unwrap();
+    Bench { world, tafloc, rti, rass_stale, rass_rec, fresh_empty, t }
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn run(b: &Bench) -> (f64, f64, f64, f64) {
+    let mut e = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for cell in (0..b.world.num_cells()).step_by(2) {
+        let truth = b.world.grid().cell_center(cell);
+        let y = campaign::snapshot_at_cell(&b.world, b.t, cell, 50);
+        e.0.push(b.tafloc.localize(&y).unwrap().point.distance(&truth));
+        e.1.push(b.rti.localize(&b.fresh_empty, &y).unwrap().point.distance(&truth));
+        e.2.push(b.rass_rec.localize(&y).unwrap().point.distance(&truth));
+        e.3.push(b.rass_stale.localize(&y).unwrap().point.distance(&truth));
+    }
+    (median(e.0), median(e.1), median(e.2), median(e.3))
+}
+
+#[test]
+fn fig5_orderings_hold() {
+    let b = setup(100);
+    let (tafloc, rti, rass_rec, rass_stale) = run(&b);
+
+    // TafLoc must beat the stale-fingerprint system decisively.
+    assert!(
+        tafloc < rass_stale,
+        "TafLoc {tafloc:.2} m vs RASS w/o rec {rass_stale:.2} m"
+    );
+    // Reconstruction must rescue RASS (the paper's transferability claim).
+    assert!(
+        rass_rec < rass_stale,
+        "RASS w/ rec {rass_rec:.2} m vs w/o {rass_stale:.2} m"
+    );
+    // TafLoc competitive with or ahead of everything.
+    assert!(tafloc <= rass_rec + 0.4, "TafLoc {tafloc:.2} m vs RASS w/ rec {rass_rec:.2} m");
+    assert!(tafloc <= rti + 0.4, "TafLoc {tafloc:.2} m vs RTI {rti:.2} m");
+}
+
+#[test]
+fn all_systems_produce_in_bounds_estimates() {
+    let b = setup(101);
+    for cell in [0, 47, 95] {
+        let y = campaign::snapshot_at_cell(&b.world, b.t, cell, 50);
+        let g = b.world.grid();
+        let margin = 2.0; // centroids may spill slightly past the boundary
+        let inside = |p: &tafloc::rfsim::geometry::Point| {
+            p.x > g.origin().x - margin
+                && p.x < g.origin().x + g.width() + margin
+                && p.y > g.origin().y - margin
+                && p.y < g.origin().y + g.height() + margin
+        };
+        assert!(inside(&b.tafloc.localize(&y).unwrap().point));
+        assert!(inside(&b.rti.localize(&b.fresh_empty, &y).unwrap().point));
+        assert!(inside(&b.rass_rec.localize(&y).unwrap().point));
+        assert!(inside(&b.rass_stale.localize(&y).unwrap().point));
+    }
+}
+
+#[test]
+fn rti_is_drift_immune_fingerprint_systems_are_not() {
+    // RTI error at day 0 vs day 90 stays flat; RASS w/o rec degrades.
+    let world = World::new(WorldConfig::paper_default(), 102);
+    let links: Vec<Segment> = world.deployment().links().iter().map(|l| l.segment).collect();
+    let rti = Rti::new(&links, world.grid(), RtiConfig::default()).unwrap();
+    let x0 = campaign::full_calibration(&world, 0.0, 50);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 50);
+    let rass = Rass::new(FingerprintDb::from_world(x0, &world).unwrap(), e0, RassConfig::default())
+        .unwrap();
+
+    let eval = |t: f64| {
+        let empty = campaign::empty_snapshot(&world, t, 50);
+        let mut rti_e = Vec::new();
+        let mut rass_e = Vec::new();
+        for cell in (0..world.num_cells()).step_by(4) {
+            let truth = world.grid().cell_center(cell);
+            let y = campaign::snapshot_at_cell(&world, t, cell, 50);
+            rti_e.push(rti.localize(&empty, &y).unwrap().point.distance(&truth));
+            rass_e.push(rass.localize(&y).unwrap().point.distance(&truth));
+        }
+        (median(rti_e), median(rass_e))
+    };
+    let (rti_0, rass_0) = eval(0.0);
+    let (rti_90, rass_90) = eval(90.0);
+    assert!((rti_90 - rti_0).abs() < 0.8, "RTI drifted: {rti_0:.2} -> {rti_90:.2}");
+    assert!(
+        rass_90 > rass_0 + 0.3,
+        "stale RASS should degrade: {rass_0:.2} -> {rass_90:.2}"
+    );
+}

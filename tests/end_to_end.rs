@@ -1,0 +1,122 @@
+//! End-to-end integration: the full calibrate → drift → update → localize
+//! lifecycle at the paper's deployment scale, across crate boundaries
+//! (simulator → core system → matcher).
+
+use tafloc::core::db::FingerprintDb;
+use tafloc::core::matcher::MatchMethod;
+use tafloc::core::reference::ReferenceStrategy;
+use tafloc::core::system::{TafLoc, TafLocConfig};
+use tafloc::rfsim::{campaign, World, WorldConfig};
+
+fn paper_system(seed: u64, samples: usize) -> (World, TafLoc) {
+    let world = World::new(WorldConfig::paper_default(), seed);
+    let x0 = campaign::full_calibration(&world, 0.0, samples);
+    let e0 = campaign::empty_snapshot(&world, 0.0, samples);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    let sys = TafLoc::calibrate(TafLocConfig::default(), db, e0).unwrap();
+    (world, sys)
+}
+
+#[test]
+fn full_lifecycle_at_paper_scale() {
+    let (world, mut sys) = paper_system(1, 50);
+    assert_eq!(sys.reference_cells().len(), 10);
+
+    // 90 days later: reference-only refresh.
+    let t = 90.0;
+    let fresh = campaign::measure_columns(&world, t, sys.reference_cells(), 50);
+    let empty = campaign::empty_snapshot(&world, t, 50);
+    let report = sys.update(&fresh, &empty).unwrap();
+    assert!(report.converged, "LoLi-IR should converge ({} iters)", report.iterations);
+    assert!(report.mean_abs_change_db > 1.0, "90 days of drift must move the DB");
+
+    // Localize on every 3rd cell; median error at sub-cell-ish level.
+    let mut errs: Vec<f64> = Vec::new();
+    for cell in (0..world.num_cells()).step_by(3) {
+        let y = campaign::snapshot_at_cell(&world, t, cell, 50);
+        let fix = sys.localize(&y).unwrap();
+        errs.push(fix.point.distance(&world.grid().cell_center(cell)));
+    }
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = errs[errs.len() / 2];
+    assert!(median < 1.2, "median localization error {median:.2} m after update");
+}
+
+#[test]
+fn repeated_updates_remain_stable() {
+    let (world, mut sys) = paper_system(2, 30);
+    // Monthly updates for half a year must not diverge.
+    for month in 1..=6 {
+        let t = 30.0 * month as f64;
+        let fresh = campaign::measure_columns(&world, t, sys.reference_cells(), 30);
+        let empty = campaign::empty_snapshot(&world, t, 30);
+        let report = sys.update(&fresh, &empty).unwrap();
+        assert!(report.converged, "month {month}: no convergence");
+        assert!(!sys.db().rss().has_non_finite(), "month {month}: NaN in DB");
+    }
+    let truth = world.fingerprint_truth(180.0);
+    let err = sys.db().mean_abs_error(&truth).unwrap();
+    assert!(err < 6.0, "DB error after 6 monthly updates: {err:.2} dB");
+}
+
+#[test]
+fn update_beats_staleness_on_localization() {
+    let (world, mut sys) = paper_system(3, 50);
+    let stale = sys.clone();
+    let t = 90.0;
+    let fresh = campaign::measure_columns(&world, t, sys.reference_cells(), 50);
+    let empty = campaign::empty_snapshot(&world, t, 50);
+    sys.update(&fresh, &empty).unwrap();
+
+    let mean_err = |s: &TafLoc| {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for cell in (0..world.num_cells()).step_by(4) {
+            let y = campaign::snapshot_at_cell(&world, t, cell, 50);
+            acc += s.localize(&y).unwrap().point.distance(&world.grid().cell_center(cell));
+            n += 1;
+        }
+        acc / n as f64
+    };
+    let updated_err = mean_err(&sys);
+    let stale_err = mean_err(&stale);
+    assert!(
+        updated_err < stale_err,
+        "updated {updated_err:.2} m must beat stale {stale_err:.2} m"
+    );
+}
+
+#[test]
+fn alternative_configurations_work_end_to_end() {
+    let world = World::new(WorldConfig::paper_default(), 4);
+    let x0 = campaign::full_calibration(&world, 0.0, 30);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 30);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+
+    for matcher in [
+        MatchMethod::NearestNeighbor,
+        MatchMethod::Knn { k: 4 },
+        MatchMethod::Probabilistic { sigma_db: 2.0 },
+    ] {
+        for strategy in [ReferenceStrategy::QrPivot, ReferenceStrategy::Random { seed: 5 }] {
+            let cfg = TafLocConfig { matcher, ref_strategy: strategy, ref_count: 12, ..Default::default() };
+            let mut sys = TafLoc::calibrate(cfg, db.clone(), e0.clone()).unwrap();
+            let fresh = campaign::measure_columns(&world, 30.0, sys.reference_cells(), 30);
+            let empty = campaign::empty_snapshot(&world, 30.0, 30);
+            sys.update(&fresh, &empty).unwrap();
+            let y = campaign::snapshot_at_cell(&world, 30.0, 50, 30);
+            let fix = sys.localize(&y).unwrap();
+            assert!(fix.cell < world.num_cells());
+            assert!(fix.point.x.is_finite() && fix.point.y.is_finite());
+        }
+    }
+}
+
+#[test]
+fn umbrella_reexports_are_wired() {
+    // The umbrella crate must expose all four sub-crates.
+    let _ = tafloc::linalg::Matrix::identity(2);
+    let _ = tafloc::rfsim::WorldConfig::small_test();
+    let _ = tafloc::core::system::TafLocConfig::default();
+    let _ = tafloc::baselines::RtiConfig::default();
+}

@@ -1,0 +1,122 @@
+//! Reduced-scale smoke tests asserting the *shape* of each paper figure — the
+//! who-wins / what-grows relationships the full bench binaries reproduce at
+//! scale. These are the repository's regression guard for the reproduction.
+
+use tafloc::core::db::FingerprintDb;
+use tafloc::core::system::{TafLoc, TafLocConfig};
+use tafloc::rfsim::drift::DriftConfig;
+use tafloc::rfsim::{campaign, World, WorldConfig};
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Fig. 3 shape: reconstruction error increases with horizon, and stays within
+/// "reliable fingerprint" territory (the paper argues ~2.7-4.1 dBm against a
+/// 1-4 dBm noise floor).
+#[test]
+fn fig3_shape_errors_grow_with_time() {
+    let world = World::new(WorldConfig::paper_default(), 50);
+    let x0 = campaign::full_calibration(&world, 0.0, 40);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 40);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    let sys = TafLoc::calibrate(TafLocConfig::default(), db, e0).unwrap();
+
+    let mut means = Vec::new();
+    for &t in &[3.0, 45.0, 90.0] {
+        let fresh = campaign::measure_columns(&world, t, sys.reference_cells(), 40);
+        let empty = campaign::empty_snapshot(&world, t, 40);
+        let rec = sys.reconstruct_db(&fresh, &empty).unwrap();
+        let truth = world.fingerprint_truth(t);
+        means.push(rec.matrix.sub(&truth).unwrap().map(f64::abs).mean());
+    }
+    assert!(means[0] < means[2], "3d {:.2} vs 90d {:.2}", means[0], means[2]);
+    assert!(means[2] < 8.0, "90-day error {:.2} dBm should stay usable", means[2]);
+}
+
+/// Fig. 4 shape: manual cost grows quadratically with the area edge; TafLoc's
+/// cost is flat because the fingerprint-matrix rank is bounded by the link
+/// count, not the cell count.
+#[test]
+fn fig4_shape_cost_scaling() {
+    let edges = [6.0, 12.0, 24.0];
+    let mut manual = Vec::new();
+    let mut ranks = Vec::new();
+    for &edge in &edges {
+        let world = World::new(WorldConfig::square_area(edge), 51);
+        manual.push(world.num_cells() as f64 * 100.0 / 3600.0);
+        let x = world.fingerprint_truth(0.0);
+        ranks.push(x.col_piv_qr().unwrap().rank(1e-6));
+    }
+    // Quadratic growth of the manual cost.
+    assert!((manual[1] / manual[0] - 4.0).abs() < 0.2);
+    assert!((manual[2] / manual[0] - 16.0).abs() < 0.5);
+    // Rank (and hence TafLoc's reference count) does not grow with area.
+    assert!(ranks.iter().all(|&r| r <= 10), "ranks {ranks:?} bounded by link count");
+}
+
+/// Fig. 5 shape (condensed): after 3 months, TafLoc's reconstructed database
+/// localizes better than the never-updated database.
+#[test]
+fn fig5_shape_reconstruction_wins() {
+    let world = World::new(WorldConfig::paper_default(), 52);
+    let x0 = campaign::full_calibration(&world, 0.0, 40);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 40);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    let mut sys = TafLoc::calibrate(TafLocConfig::default(), db, e0).unwrap();
+    let stale = sys.clone();
+
+    let t = 90.0;
+    let fresh = campaign::measure_columns(&world, t, sys.reference_cells(), 40);
+    let empty = campaign::empty_snapshot(&world, t, 40);
+    sys.update(&fresh, &empty).unwrap();
+
+    let errs = |s: &TafLoc| {
+        (0..world.num_cells())
+            .step_by(3)
+            .map(|cell| {
+                let y = campaign::snapshot_at_cell(&world, t, cell, 40);
+                s.localize(&y).unwrap().point.distance(&world.grid().cell_center(cell))
+            })
+            .collect::<Vec<_>>()
+    };
+    let updated = mean(&errs(&sys));
+    let never = mean(&errs(&stale));
+    assert!(updated < never, "updated {updated:.2} m vs stale {never:.2} m");
+}
+
+/// In-text drift anchors: the drift model is calibrated to ~2.5 dBm at 5 days
+/// and ~6 dBm at 45 days (averaged over realizations).
+#[test]
+fn drift_anchors_match_paper() {
+    let cfg = DriftConfig::paper_calibrated();
+    let at5 = cfg.expected_abs_change(5.0);
+    let at45 = cfg.expected_abs_change(45.0);
+    assert!((at5 - 2.5).abs() < 0.15, "5-day drift {at5:.2}");
+    assert!((at45 - 6.0).abs() < 0.4, "45-day drift {at45:.2}");
+
+    // And the simulator actually realizes those magnitudes.
+    let mut deltas5 = Vec::new();
+    let mut deltas45 = Vec::new();
+    for seed in 0..6 {
+        let w = World::new(WorldConfig::paper_default(), 60 + seed);
+        let x0 = w.fingerprint_truth(0.0);
+        deltas5.push(x0.sub(&w.fingerprint_truth(5.0)).unwrap().map(f64::abs).mean());
+        deltas45.push(x0.sub(&w.fingerprint_truth(45.0)).unwrap().map(f64::abs).mean());
+    }
+    let m5 = mean(&deltas5);
+    let m45 = mean(&deltas45);
+    assert!((1.2..=4.5).contains(&m5), "realized 5-day drift {m5:.2} dBm");
+    assert!((3.5..=9.0).contains(&m45), "realized 45-day drift {m45:.2} dBm");
+    assert!(m45 > m5);
+}
+
+/// In-text cost numbers: 2.78 h manual vs 0.28 h TafLoc for a 6 m x 6 m area.
+#[test]
+fn cost_worked_example() {
+    let world = World::new(WorldConfig::square_area(6.0), 53);
+    let manual_h = world.num_cells() as f64 * 100.0 / 3600.0;
+    let tafloc_h: f64 = 10.0 * 100.0 / 3600.0;
+    assert!((manual_h - 2.78).abs() < 0.01);
+    assert!((tafloc_h - 0.28).abs() < 0.01);
+}

@@ -1,0 +1,131 @@
+//! Integration tests of reconstruction quality: LoLi-IR against its own
+//! ablations and against ground truth, at paper scale.
+
+use tafloc::core::db::FingerprintDb;
+use tafloc::core::eval::reconstruction_error_cdf;
+use tafloc::core::mask::Mask;
+use tafloc::core::svt::{soft_impute, SvtConfig};
+use tafloc::core::system::{TafLoc, TafLocConfig};
+use tafloc::linalg::Matrix;
+use tafloc::rfsim::{campaign, World, WorldConfig};
+
+struct Fixture {
+    world: World,
+    sys: TafLoc,
+    fresh: Matrix,
+    fresh_empty: Vec<f64>,
+    t: f64,
+}
+
+fn fixture(seed: u64, t: f64) -> Fixture {
+    let world = World::new(WorldConfig::paper_default(), seed);
+    let x0 = campaign::full_calibration(&world, 0.0, 50);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 50);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    let sys = TafLoc::calibrate(TafLocConfig::default(), db, e0).unwrap();
+    let fresh = campaign::measure_columns(&world, t, sys.reference_cells(), 50);
+    let fresh_empty = campaign::empty_snapshot(&world, t, 50);
+    Fixture { world, sys, fresh, fresh_empty, t }
+}
+
+#[test]
+fn reconstruction_tracks_drifted_truth() {
+    let f = fixture(10, 45.0);
+    let rec = f.sys.reconstruct_db(&f.fresh, &f.fresh_empty).unwrap();
+    let truth = f.world.fingerprint_truth(f.t);
+    let cdf = reconstruction_error_cdf(&rec.matrix, &truth).unwrap();
+    // Paper's Fig. 3 scale: a few dBm mean error; noise floor is 1-4 dBm.
+    assert!(cdf.mean() < 5.0, "45-day reconstruction mean error {:.2} dBm", cdf.mean());
+    assert!(cdf.quantile(0.9) < 10.0, "p90 {:.2} dBm", cdf.quantile(0.9));
+}
+
+#[test]
+fn reconstruction_beats_svt_completion() {
+    // Property (i) alone (matrix completion) cannot fill unobserved columns;
+    // the LRR prior is what makes reference-only updates possible.
+    let f = fixture(11, 90.0);
+    let rec = f.sys.reconstruct_db(&f.fresh, &f.fresh_empty).unwrap();
+
+    let (m, n) = (f.world.num_links(), f.world.num_cells());
+    let mut observed = Matrix::zeros(m, n);
+    for (k, &cell) in f.sys.reference_cells().iter().enumerate() {
+        observed.set_col(cell, &f.fresh.col(k)).unwrap();
+    }
+    let mask = Mask::from_columns(m, n, f.sys.reference_cells()).unwrap();
+    let svt = soft_impute(&observed, &mask, &SvtConfig { tau: 0.5, max_iters: 300, tol: 1e-7 })
+        .unwrap();
+
+    let truth = f.world.fingerprint_truth(f.t);
+    let err = |x: &Matrix| x.sub(&truth).unwrap().map(f64::abs).mean();
+    let e_loli = err(&rec.matrix);
+    let e_svt = err(&svt.matrix);
+    assert!(
+        e_loli < e_svt * 0.8,
+        "LoLi-IR ({e_loli:.2} dBm) must clearly beat SVT completion ({e_svt:.2} dBm)"
+    );
+}
+
+#[test]
+fn reconstruction_beats_stale_database() {
+    let f = fixture(12, 90.0);
+    let rec = f.sys.reconstruct_db(&f.fresh, &f.fresh_empty).unwrap();
+    let truth = f.world.fingerprint_truth(f.t);
+    let stale_err = f.sys.db().mean_abs_error(&truth).unwrap();
+    let rec_db = f.sys.db().with_rss(rec.matrix).unwrap();
+    let rec_err = rec_db.mean_abs_error(&truth).unwrap();
+    assert!(
+        rec_err < stale_err * 0.7,
+        "reconstruction ({rec_err:.2} dBm) must clearly beat staleness ({stale_err:.2} dBm)"
+    );
+}
+
+#[test]
+fn loli_ir_objective_decreases_at_paper_scale() {
+    let f = fixture(13, 45.0);
+    let rec = f.sys.reconstruct_db(&f.fresh, &f.fresh_empty).unwrap();
+    assert!(rec.objective_trace.len() >= 2);
+    for w in rec.objective_trace.windows(2) {
+        assert!(
+            w[1] <= w[0] * (1.0 + 1e-9) + 1e-9,
+            "objective increased: {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn errors_grow_with_horizon() {
+    // The defining shape of Fig. 3: longer horizons, larger errors.
+    let mut means = Vec::new();
+    for &t in &[3.0, 90.0] {
+        let f = fixture(14, t);
+        let rec = f.sys.reconstruct_db(&f.fresh, &f.fresh_empty).unwrap();
+        let truth = f.world.fingerprint_truth(t);
+        means.push(rec.matrix.sub(&truth).unwrap().map(f64::abs).mean());
+    }
+    assert!(
+        means[0] < means[1],
+        "3-day error {:.2} must be below 90-day error {:.2}",
+        means[0],
+        means[1]
+    );
+}
+
+#[test]
+fn reconstruction_preserves_reference_columns() {
+    // The observed (freshly measured) columns should be honored closely —
+    // they carry weight 1 in the data term.
+    let f = fixture(15, 45.0);
+    let rec = f.sys.reconstruct_db(&f.fresh, &f.fresh_empty).unwrap();
+    for (k, &cell) in f.sys.reference_cells().iter().enumerate() {
+        for link in 0..f.world.num_links() {
+            let got = rec.matrix[(link, cell)];
+            let measured = f.fresh[(link, k)];
+            assert!(
+                (got - measured).abs() < 3.0,
+                "reference column {cell}, link {link}: reconstructed {got:.1} vs measured {measured:.1}"
+            );
+        }
+    }
+}
