@@ -21,9 +21,7 @@ fn bench_rti(c: &mut Criterion) {
     let rti = Rti::new(&links, &grid, RtiConfig::default()).unwrap();
     let empty = campaign::empty_snapshot(&world, 0.0, 50);
     let y = campaign::snapshot_at_cell(&world, 0.0, 40, 50);
-    c.bench_function("rti_localize", |b| {
-        b.iter(|| black_box(rti.localize(&empty, &y).unwrap()))
-    });
+    c.bench_function("rti_localize", |b| b.iter(|| black_box(rti.localize(&empty, &y).unwrap())));
 }
 
 fn bench_rass(c: &mut Criterion) {
@@ -33,9 +31,7 @@ fn bench_rass(c: &mut Criterion) {
     let db = FingerprintDb::from_world(x, &world).unwrap();
     let rass = Rass::new(db, empty, RassConfig::default()).unwrap();
     let y = campaign::snapshot_at_cell(&world, 0.0, 40, 50);
-    c.bench_function("rass_localize", |b| {
-        b.iter(|| black_box(rass.localize(&y).unwrap()))
-    });
+    c.bench_function("rass_localize", |b| b.iter(|| black_box(rass.localize(&y).unwrap())));
 }
 
 criterion_group!(benches, bench_rti, bench_rass);

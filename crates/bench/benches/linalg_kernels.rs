@@ -15,9 +15,11 @@ fn bench_matmul(c: &mut Criterion) {
     for &(m, k, n) in &[(10, 96, 96), (64, 64, 64), (128, 128, 128)] {
         let a = dense(m, k);
         let b = dense(k, n);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(a, b), |bch, (a, b)| {
-            bch.iter(|| black_box(a.matmul(b).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(a, b),
+            |bch, (a, b)| bch.iter(|| black_box(a.matmul(b).unwrap())),
+        );
     }
     g.finish();
 }

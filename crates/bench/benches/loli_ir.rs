@@ -4,12 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use taf_linalg::Matrix;
 use taf_rfsim::{campaign, World, WorldConfig};
 use tafloc_core::db::FingerprintDb;
 use tafloc_core::mask::Mask;
 use tafloc_core::svt::{soft_impute, SvtConfig};
 use tafloc_core::system::{TafLoc, TafLocConfig};
-use taf_linalg::Matrix;
 
 struct Setup {
     sys: TafLoc,
@@ -66,9 +66,7 @@ fn bench_calibration(c: &mut Criterion) {
     let db = FingerprintDb::from_world(x0, &world).unwrap();
     c.bench_function("tafloc_calibrate", |b| {
         b.iter(|| {
-            black_box(
-                TafLoc::calibrate(TafLocConfig::default(), db.clone(), e0.clone()).unwrap(),
-            )
+            black_box(TafLoc::calibrate(TafLocConfig::default(), db.clone(), e0.clone()).unwrap())
         })
     });
 }

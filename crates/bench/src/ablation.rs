@@ -21,7 +21,12 @@ pub struct AblationOutcome {
 
 /// Runs calibrate -> 90-day reference update -> localize for one seed under
 /// `config`, testing every `cell_step`-th cell.
-pub fn evaluate(config: TafLocConfig, seed: u64, samples: usize, cell_step: usize) -> AblationOutcome {
+pub fn evaluate(
+    config: TafLocConfig,
+    seed: u64,
+    samples: usize,
+    cell_step: usize,
+) -> AblationOutcome {
     let world = World::new(WorldConfig::paper_default(), seed);
     let x0 = campaign::full_calibration(&world, 0.0, samples);
     let e0 = campaign::empty_snapshot(&world, 0.0, samples);
@@ -48,7 +53,12 @@ pub fn evaluate(config: TafLocConfig, seed: u64, samples: usize, cell_step: usiz
 }
 
 /// Averages [`evaluate`] over several seeds (parallel).
-pub fn evaluate_seeds(config: TafLocConfig, seeds: &[u64], samples: usize, cell_step: usize) -> AblationOutcome {
+pub fn evaluate_seeds(
+    config: TafLocConfig,
+    seeds: &[u64],
+    samples: usize,
+    cell_step: usize,
+) -> AblationOutcome {
     let outs = crate::run_seeds(seeds, |s| evaluate(config, s, samples, cell_step));
     let n = outs.len() as f64;
     AblationOutcome {

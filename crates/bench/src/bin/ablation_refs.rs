@@ -24,10 +24,7 @@ fn main() {
     ];
 
     println!("== Ablation: reference count x selection strategy (90-day update) ==");
-    println!(
-        "{:>6} {:>12} {:>22} {:>22}",
-        "n", "strategy", "recon mean [dBm]", "loc median [m]"
-    );
+    println!("{:>6} {:>12} {:>22} {:>22}", "n", "strategy", "recon mean [dBm]", "loc median [m]");
     for n in [4, 6, 8, 10, 14, 20] {
         for (name, strategy) in strategies {
             let cfg = TafLocConfig { ref_count: n, ref_strategy: strategy, ..Default::default() };
@@ -38,7 +35,5 @@ fn main() {
             );
         }
     }
-    println!(
-        "\nUpdate cost scales linearly in n (100 s per reference location): n=10 is 0.28 h."
-    );
+    println!("\nUpdate cost scales linearly in n (100 s per reference location): n=10 is 0.28 h.");
 }

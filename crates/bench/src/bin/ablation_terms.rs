@@ -12,13 +12,13 @@
 //!
 //! Usage: `cargo run --release -p taf-bench --bin ablation_terms [seeds] [samples]`
 
+use taf_linalg::Matrix;
 use taf_rfsim::{campaign, World, WorldConfig};
 use tafloc_core::db::FingerprintDb;
 use tafloc_core::eval::reconstruction_errors;
 use tafloc_core::mask::Mask;
 use tafloc_core::svt::{soft_impute, SvtConfig};
 use tafloc_core::system::{TafLoc, TafLocConfig};
-use taf_linalg::Matrix;
 
 const HORIZON: f64 = 90.0;
 

@@ -43,8 +43,10 @@ fn main() {
 
     eprintln!("ablation_zpolicy: monthly updates for 180 days, {} seeds ...", seeds.len());
     let mut rows = Vec::new();
-    for (name, policy) in [("Z fixed (paper)", ZRefreshPolicy::Fixed), ("Z refit each update", ZRefreshPolicy::RefitAfterUpdate)]
-    {
+    for (name, policy) in [
+        ("Z fixed (paper)", ZRefreshPolicy::Fixed),
+        ("Z refit each update", ZRefreshPolicy::RefitAfterUpdate),
+    ] {
         let per_seed = taf_bench::run_seeds(&seeds, |s| run_seed(policy, s, samples));
         let mut avg = vec![0.0; UPDATE_DAYS.len()];
         for r in &per_seed {

@@ -28,12 +28,8 @@ fn main() {
         horizons
             .map(|t| {
                 let et = w.empty_truth(t);
-                let link: f64 = e0
-                    .iter()
-                    .zip(&et)
-                    .map(|(a, b)| (a - b).abs())
-                    .sum::<f64>()
-                    / e0.len() as f64;
+                let link: f64 =
+                    e0.iter().zip(&et).map(|(a, b)| (a - b).abs()).sum::<f64>() / e0.len() as f64;
                 let xt = w.fingerprint_truth(t);
                 let entry = x0.sub(&xt).expect("same shape").map(f64::abs).mean();
                 (link, entry)

@@ -32,13 +32,7 @@ fn main() {
     .map(|(name, errs)| (name.to_string(), Ecdf::new(errs).expect("non-empty errors")))
     .collect();
 
-    print_cdf_table(
-        "Fig. 5 — localization error CDF at 3 months",
-        "error [m]",
-        6.0,
-        13,
-        &series,
-    );
+    print_cdf_table("Fig. 5 — localization error CDF at 3 months", "error [m]", 6.0, 13, &series);
     println!();
     print_summaries(&series);
     println!(

@@ -35,13 +35,18 @@ fn run_seed(seed: u64, samples: usize) -> SeedOutcome {
     let x0 = campaign::full_calibration(&world, 0.0, samples);
     let e0 = campaign::empty_snapshot(&world, 0.0, samples);
     let db = FingerprintDb::from_world(x0, &world).expect("world-consistent db");
-    let tafloc = TafLoc::calibrate(TafLocConfig::default(), db, e0.clone())
-        .expect("calibration succeeds");
+    let tafloc =
+        TafLoc::calibrate(TafLocConfig::default(), db, e0.clone()).expect("calibration succeeds");
     let links: Vec<Segment> = world.deployment().links().iter().map(|l| l.segment).collect();
     let rti = Rti::new(&links, world.grid(), RtiConfig::default()).expect("rti builds");
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
-    let mut out = SeedOutcome { both_found: 0, trials: 0, rti_errors: Vec::new(), tafloc_nearest_errors: Vec::new() };
+    let mut out = SeedOutcome {
+        both_found: 0,
+        trials: 0,
+        rti_errors: Vec::new(),
+        tafloc_nearest_errors: Vec::new(),
+    };
     let n = world.num_cells();
     for _ in 0..12 {
         // Draw two cells at least 3 m apart.

@@ -1,0 +1,96 @@
+//! Serving-throughput baseline: `locate` requests/sec against an in-process
+//! `taflocd` over loopback TCP.
+//!
+//! This is the number later serving-performance PRs must beat. The setup is
+//! the paper-scale site (10 links, 96 cells), one persistent connection per
+//! client thread, every request a full `locate` round trip (JSON encode →
+//! TCP → dispatch → fingerprint match → JSON decode). Reported at the end:
+//! aggregate requests/sec plus the server's own latency histogram.
+//!
+//! Usage: `cargo run --release -p taf-bench --bin serve_bench [threads] [requests_per_thread] [workers]`
+
+use std::time::Instant;
+use taf_rfsim::{campaign, World, WorldConfig};
+use tafloc_core::db::FingerprintDb;
+use tafloc_core::system::{TafLoc, TafLocConfig};
+use tafloc_serve::client::Client;
+use tafloc_serve::maintenance::MaintenancePolicy;
+use tafloc_serve::protocol::{Request, Response};
+use tafloc_serve::server::{Server, ServerConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().map_or(4, |v| v.parse().expect("threads"));
+    let per_thread: usize = args.next().map_or(2000, |v| v.parse().expect("requests"));
+    let workers: usize = args.next().map_or(threads, |v| v.parse().expect("workers"));
+
+    let world = World::new(WorldConfig::paper_default(), 7);
+    let x0 = campaign::full_calibration(&world, 0.0, 50);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 50);
+    let db = FingerprintDb::from_world(x0, &world).expect("world-consistent db");
+    let sys = TafLoc::calibrate(TafLocConfig::default(), db, e0).expect("calibration succeeds");
+
+    // Pre-generate one query per cell; threads cycle through them.
+    let queries: Vec<Vec<f64>> =
+        (0..world.num_cells()).map(|c| campaign::snapshot_at_cell(&world, 0.0, c, 50)).collect();
+
+    let policy = MaintenancePolicy { auto_refresh: false, ..Default::default() };
+    // Keep a worker free for the stats/shutdown connection.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: workers.max(threads + 1),
+            default_policy: policy,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    server.add_site("bench", sys, 0.0).expect("add site");
+    let handle = server.spawn();
+
+    println!(
+        "serve_bench: {} links x {} cells, {threads} client threads x {per_thread} locates",
+        world.num_links(),
+        world.num_cells()
+    );
+
+    let start = Instant::now();
+    let joins: Vec<_> = (0..threads)
+        .map(|t| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for k in 0..per_thread {
+                    let y = &queries[(t + k) % queries.len()];
+                    client.locate("bench", y).expect("locate");
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+    let total = (threads * per_thread) as f64;
+    println!(
+        "{total:.0} requests in {:.3} s  ->  {:.0} req/s aggregate ({:.0} req/s/thread)",
+        elapsed.as_secs_f64(),
+        total / elapsed.as_secs_f64(),
+        total / elapsed.as_secs_f64() / threads as f64,
+    );
+
+    let mut admin = Client::connect(addr).expect("connect admin");
+    if let Response::Stats { report } = admin.call_ok(&Request::Stats).expect("stats") {
+        for e in &report.endpoints {
+            if e.endpoint == "locate" {
+                println!(
+                    "server-side locate latency: p50 <= {} us, p95 <= {} us, p99 <= {} us, max {} us ({} reqs, {} errors)",
+                    e.p50_us, e.p95_us, e.p99_us, e.max_us, e.requests, e.errors
+                );
+            }
+        }
+    }
+    admin.call_ok(&Request::Shutdown).expect("shutdown");
+    handle.join();
+}

@@ -62,7 +62,10 @@ fn run_policy(policy: Policy, seed: u64, samples: usize) -> Outcome {
             sys.monitor(
                 spot_cells,
                 0.0,
-                MonitorConfig { error_threshold_db: threshold_db, min_interval_days: CHECK_EVERY_DAYS },
+                MonitorConfig {
+                    error_threshold_db: threshold_db,
+                    min_interval_days: CHECK_EVERY_DAYS,
+                },
             )
             .expect("monitor builds"),
         ),
@@ -78,14 +81,15 @@ fn run_policy(policy: Policy, seed: u64, samples: usize) -> Outcome {
         // Maintenance step.
         let do_update = match policy {
             Policy::Never => false,
-            Policy::Fixed { interval_days } => {
-                day - last_fixed_update >= interval_days - 1e-9
-            }
+            Policy::Fixed { interval_days } => day - last_fixed_update >= interval_days - 1e-9,
             Policy::Monitored { spot_cells, .. } => {
                 let m = monitor.as_ref().expect("monitored policy has a monitor");
                 let spot = campaign::measure_columns(&world, day, m.cells(), samples);
                 labor_hours += spot_cells as f64 * HOURS_PER_CELL;
-                matches!(m.check(day, &spot).expect("spot check"), Recommendation::UpdateRecommended { .. })
+                matches!(
+                    m.check(day, &spot).expect("spot check"),
+                    Recommendation::UpdateRecommended { .. }
+                )
             }
         };
         if do_update {
@@ -104,11 +108,7 @@ fn run_policy(policy: Policy, seed: u64, samples: usize) -> Outcome {
         errs.extend(eval_errors(&world, &sys, day, samples));
         day += CHECK_EVERY_DAYS;
     }
-    Outcome {
-        mean_err_m: errs.iter().sum::<f64>() / errs.len() as f64,
-        updates,
-        labor_hours,
-    }
+    Outcome { mean_err_m: errs.iter().sum::<f64>() / errs.len() as f64, updates, labor_hours }
 }
 
 fn main() {
@@ -125,10 +125,7 @@ fn main() {
     ];
 
     println!("== Update policies over {HORIZON_DAYS:.0} days (weekly accuracy checkpoints) ==");
-    println!(
-        "{:>14} {:>16} {:>10} {:>14}",
-        "policy", "mean error [m]", "updates", "labor [hours]"
-    );
+    println!("{:>14} {:>16} {:>10} {:>14}", "policy", "mean error [m]", "updates", "labor [hours]");
     for (name, policy) in policies {
         let outs = taf_bench::run_seeds(&seeds, |s| run_policy(policy, s, samples));
         let n = outs.len() as f64;

@@ -50,10 +50,7 @@ pub fn row(edge_m: f64, ref_count: usize, seed: u64) -> Fig4Row {
 
 /// The paper's sweep: edge lengths 6..36 m.
 pub fn sweep(ref_count: usize, seed: u64) -> Vec<Fig4Row> {
-    [6.0, 12.0, 18.0, 24.0, 30.0, 36.0]
-        .iter()
-        .map(|&edge| row(edge, ref_count, seed))
-        .collect()
+    [6.0, 12.0, 18.0, 24.0, 30.0, 36.0].iter().map(|&edge| row(edge, ref_count, seed)).collect()
 }
 
 #[cfg(test)]

@@ -68,12 +68,10 @@ pub fn run_seed(seed: u64, samples: usize, cell_step: usize) -> Fig5Result {
     let rti = Rti::new(&links, world.grid(), RtiConfig::default()).expect("rti builds");
 
     // RASS without reconstruction: stale DB + stale baseline.
-    let rass_stale =
-        Rass::new(db0, e0, RassConfig::default()).expect("rass builds");
+    let rass_stale = Rass::new(db0, e0, RassConfig::default()).expect("rass builds");
     // RASS with reconstruction: TafLoc's reconstructed DB + fresh baseline.
-    let rass_rec = rass_stale
-        .with_database(tafloc.db().clone(), fresh_empty.clone())
-        .expect("rass rebind");
+    let rass_rec =
+        rass_stale.with_database(tafloc.db().clone(), fresh_empty.clone()).expect("rass rebind");
 
     let mut out = Fig5Result::default();
     for cell in (0..world.num_cells()).step_by(cell_step.max(1)) {
@@ -119,7 +117,10 @@ mod tests {
         let (t, rti, rwr, rwo) =
             (med(&r.tafloc), med(&r.rti), med(&r.rass_with_rec), med(&r.rass_without_rec));
         // The paper's headline ordering: TafLoc best; RASS w/ rec beats RASS w/o.
-        assert!(t <= rwr + 0.35, "TafLoc {t:.2} should be at or near the front (RASS w/ rec {rwr:.2})");
+        assert!(
+            t <= rwr + 0.35,
+            "TafLoc {t:.2} should be at or near the front (RASS w/ rec {rwr:.2})"
+        );
         assert!(t < rwo, "TafLoc {t:.2} must beat stale RASS {rwo:.2}");
         assert!(t < rti + 0.6, "TafLoc {t:.2} should not trail RTI {rti:.2} meaningfully");
         assert!(rwr < rwo, "reconstruction must help RASS: {rwr:.2} vs {rwo:.2}");

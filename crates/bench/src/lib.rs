@@ -15,7 +15,6 @@
 // the numerical kernels.
 #![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
 
-
 pub mod ablation;
 pub mod fig3;
 pub mod fig4;

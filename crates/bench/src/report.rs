@@ -6,7 +6,13 @@ use taf_linalg::stats::Ecdf;
 
 /// Prints a set of labeled CDFs as one table: first column the x-grid, one
 /// column per series — the textual form of a CDF figure.
-pub fn print_cdf_table(title: &str, x_label: &str, x_max: f64, points: usize, series: &[(String, Ecdf)]) {
+pub fn print_cdf_table(
+    title: &str,
+    x_label: &str,
+    x_max: f64,
+    points: usize,
+    series: &[(String, Ecdf)],
+) {
     println!("\n== {title} ==");
     print!("{x_label:>12}");
     for (name, _) in series {

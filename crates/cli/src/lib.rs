@@ -29,7 +29,6 @@
 // the numerical kernels.
 #![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
 
-
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -58,6 +57,12 @@ impl From<tafloc_core::TaflocError> for CliError {
 
 impl From<taf_linalg::LinalgError> for CliError {
     fn from(e: taf_linalg::LinalgError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<tafloc_serve::ServeError> for CliError {
+    fn from(e: tafloc_serve::ServeError) -> Self {
         CliError(e.to_string())
     }
 }
@@ -155,7 +160,9 @@ impl Args {
         while i < raw.len() {
             let token = &raw[i];
             let Some(key) = token.strip_prefix("--") else {
-                return Err(CliError(format!("unexpected argument {token:?} (flags start with --)")));
+                return Err(CliError(format!(
+                    "unexpected argument {token:?} (flags start with --)"
+                )));
             };
             if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
                 out.pairs.push((key.to_string(), raw[i + 1].clone()));
@@ -191,9 +198,9 @@ impl Args {
     pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
         match self.optional(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError(format!("flag --{key} expects a number, got {v:?}"))),
+            Some(v) => {
+                v.parse().map_err(|_| CliError(format!("flag --{key} expects a number, got {v:?}")))
+            }
         }
     }
 
@@ -220,9 +227,8 @@ pub fn cmd_new_world(args: &Args) -> Result<String> {
     let config = if args.switch("small") {
         WorldConfig::small_test()
     } else if let Some(edge) = args.optional("edge") {
-        let edge: f64 = edge
-            .parse()
-            .map_err(|_| CliError(format!("--edge expects meters, got {edge:?}")))?;
+        let edge: f64 =
+            edge.parse().map_err(|_| CliError(format!("--edge expects meters, got {edge:?}")))?;
         WorldConfig::square_area(edge)
     } else {
         WorldConfig::paper_default()
@@ -362,6 +368,34 @@ pub fn cmd_info(args: &Args) -> Result<String> {
     ))
 }
 
+/// `serve`: runs the always-on localization daemon until a `shutdown`
+/// request arrives over the wire (see the `tafloc-serve` crate for the
+/// newline-delimited JSON protocol).
+pub fn cmd_serve(args: &Args) -> Result<String> {
+    use tafloc_serve::server::{Server, ServerConfig};
+    let port: u16 = args.num("port", 7777)?;
+    let addr =
+        args.optional("addr").map(str::to_string).unwrap_or_else(|| format!("127.0.0.1:{port}"));
+    let workers: usize = args.num("workers", 4)?;
+    let server = Server::bind(addr.as_str(), ServerConfig { workers, ..Default::default() })?;
+    if let Some(system_path) = args.optional("system") {
+        let snapshot: SystemSnapshot = read_json(Path::new(system_path))?;
+        let system = TafLoc::from_snapshot(snapshot)?;
+        let site = args.optional("site").unwrap_or("default");
+        let day: f64 = args.num("day", 0.0)?;
+        server.add_site(site, system, day)?;
+    }
+    let bound = server.local_addr();
+    if let Some(port_file) = args.optional("port-file") {
+        // Lets scripts (and the workflow test) discover an ephemeral port.
+        std::fs::write(port_file, bound.to_string())
+            .map_err(|e| CliError(format!("cannot write {port_file}: {e}")))?;
+    }
+    println!("taflocd listening on {bound}");
+    server.run()?;
+    Ok(format!("server on {bound} drained and shut down cleanly"))
+}
+
 /// `export-db`: dumps the fingerprint matrix as CSV.
 pub fn cmd_export_db(args: &Args) -> Result<String> {
     let snapshot: SystemSnapshot = read_json(&args.path("system")?)?;
@@ -391,6 +425,8 @@ COMMANDS
   locate        --system system.json --y y.json
   info          --system system.json
   export-db     --system system.json --out db.csv
+  serve         [--port P | --addr HOST:PORT] [--workers N] [--port-file PATH]
+                [--system system.json [--site NAME] [--day D]]
 ";
 
 /// Dispatches a command; returns the success message to print.
@@ -405,6 +441,7 @@ pub fn run(command: &str, args: &Args) -> Result<String> {
         "locate" => cmd_locate(args),
         "info" => cmd_info(args),
         "export-db" => cmd_export_db(args),
+        "serve" => cmd_serve(args),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }

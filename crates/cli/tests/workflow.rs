@@ -50,28 +50,30 @@ fn full_lifecycle_through_cli_commands() {
     .unwrap();
     assert!(msg.contains("30 cells"), "{msg}");
 
-    let msg = run(
-        "calibrate",
-        &args(&["--survey", &survey, "--out", &system, "--refs", "6"]),
-    )
-    .unwrap();
+    let msg =
+        run("calibrate", &args(&["--survey", &survey, "--out", &system, "--refs", "6"])).unwrap();
     assert!(msg.contains("reference cells"), "{msg}");
 
     let msg = run(
         "measure-refs",
         &args(&[
-            "--world", &world, "--system", &system, "--day", "30", "--samples", "20", "--out",
+            "--world",
+            &world,
+            "--system",
+            &system,
+            "--day",
+            "30",
+            "--samples",
+            "20",
+            "--out",
             &refs,
         ]),
     )
     .unwrap();
     assert!(msg.contains("6 reference cells"), "{msg}");
 
-    let msg = run(
-        "update",
-        &args(&["--system", &system, "--refs", &refs, "--out", &system]),
-    )
-    .unwrap();
+    let msg =
+        run("update", &args(&["--system", &system, "--refs", &refs, "--out", &system])).unwrap();
     assert!(msg.contains("LoLi-IR iterations"), "{msg}");
     assert!(msg.contains("DB shifted"), "{msg}");
 
@@ -109,7 +111,18 @@ fn update_rejects_mismatched_refs_file() {
     run("calibrate", &args(&["--survey", &survey, "--out", &system, "--refs", "5"])).unwrap();
     run(
         "measure-refs",
-        &args(&["--world", &world, "--system", &system, "--day", "10", "--samples", "10", "--out", &refs]),
+        &args(&[
+            "--world",
+            &world,
+            "--system",
+            &system,
+            "--day",
+            "10",
+            "--samples",
+            "10",
+            "--out",
+            &refs,
+        ]),
     )
     .unwrap();
 
@@ -129,8 +142,11 @@ fn update_rejects_mismatched_refs_file() {
 fn missing_files_produce_clean_errors() {
     let e = run("info", &args(&["--system", "/nonexistent/system.json"])).unwrap_err();
     assert!(e.0.contains("cannot read"), "{e}");
-    let e = run("snapshot", &args(&["--world", "/nonexistent/w.json", "--day", "1", "--cell", "0", "--out", "/tmp/x"]))
-        .unwrap_err();
+    let e = run(
+        "snapshot",
+        &args(&["--world", "/nonexistent/w.json", "--day", "1", "--cell", "0", "--out", "/tmp/x"]),
+    )
+    .unwrap_err();
     assert!(e.0.contains("cannot read"), "{e}");
 }
 
@@ -169,4 +185,55 @@ fn binary_prints_usage_and_runs_new_world() {
     let out = std::process::Command::new(bin).args(["bogus-cmd"]).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn serve_command_answers_the_line_protocol() {
+    use tafloc_serve::client::Client;
+    use tafloc_serve::protocol::{Request, Response};
+
+    let dir = TempDir::new("serve");
+    let world = dir.file("world.json");
+    let survey = dir.file("survey.json");
+    let system = dir.file("system.json");
+    let port_file = dir.file("port.txt");
+
+    run("new-world", &args(&["--seed", "21", "--out", &world, "--small"])).unwrap();
+    run("survey", &args(&["--world", &world, "--out", &survey, "--samples", "20"])).unwrap();
+    run("calibrate", &args(&["--survey", &survey, "--out", &system, "--refs", "6"])).unwrap();
+
+    // The daemon blocks until a shutdown request, so it runs on its own thread.
+    let serve_args =
+        args(&["--port", "0", "--port-file", &port_file, "--system", &system, "--site", "lab"]);
+    let daemon = std::thread::spawn(move || run("serve", &serve_args).unwrap());
+
+    // Discover the ephemeral port.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "serve never wrote its port file");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+
+    let mut client = Client::connect(addr.as_str()).unwrap();
+    client.ping().unwrap();
+    match client.call_ok(&Request::ListSites).unwrap() {
+        Response::Sites { sites } => {
+            assert_eq!(sites.len(), 1);
+            assert_eq!(sites[0].site, "lab");
+            assert_eq!(sites[0].links, 6);
+        }
+        other => panic!("unexpected reply to list-sites: {other:?}"),
+    }
+    let (cell, _, _, version) = client.locate("lab", &[-50.0; 6]).unwrap();
+    assert!(cell < 30);
+    assert_eq!(version, 0);
+
+    client.call_ok(&Request::Shutdown).unwrap();
+    let msg = daemon.join().unwrap();
+    assert!(msg.contains("shut down cleanly"), "{msg}");
 }

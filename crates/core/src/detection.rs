@@ -84,7 +84,10 @@ impl PresenceDetector {
                 reason: "need at least one link".into(),
             });
         }
-        if !(config.snapshot_threshold_db > 0.0) || !(config.cusum_h > 0.0) || config.cusum_k_db < 0.0 {
+        if !(config.snapshot_threshold_db > 0.0)
+            || !(config.cusum_h > 0.0)
+            || config.cusum_k_db < 0.0
+        {
             return Err(TaflocError::InvalidConfig {
                 field: "detector",
                 reason: "thresholds must be positive (k >= 0)".into(),
@@ -123,12 +126,7 @@ impl PresenceDetector {
                 actual: (y.len(), 1),
             });
         }
-        Ok(self
-            .baseline
-            .iter()
-            .zip(y)
-            .map(|(b, v)| b - v)
-            .fold(f64::NEG_INFINITY, f64::max))
+        Ok(self.baseline.iter().zip(y).map(|(b, v)| b - v).fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// Feeds one measurement; updates the CUSUM state and returns the decision.
@@ -145,12 +143,14 @@ impl PresenceDetector {
         for (i, (&b, &v)) in self.baseline.iter().zip(y).enumerate() {
             let drop = b - v;
             if drop > self.config.snapshot_threshold_db
-                && best_instant.map_or(true, |(_, d)| drop > d) {
-                    best_instant = Some((i, drop));
-                }
+                && best_instant.map_or(true, |(_, d)| drop > d)
+            {
+                best_instant = Some((i, drop));
+            }
             // One-sided CUSUM on positive drops.
             self.cusum[i] = (self.cusum[i] + drop - self.config.cusum_k_db).max(0.0);
-            if self.cusum[i] > self.config.cusum_h && best_cusum.map_or(true, |(_, s)| self.cusum[i] > s)
+            if self.cusum[i] > self.config.cusum_h
+                && best_cusum.map_or(true, |(_, s)| self.cusum[i] > s)
             {
                 best_cusum = Some((i, self.cusum[i]));
             }

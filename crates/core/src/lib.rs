@@ -64,7 +64,6 @@
 // the numerical kernels.
 #![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
 
-
 pub mod db;
 pub mod detection;
 pub mod error;

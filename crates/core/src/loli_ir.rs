@@ -79,7 +79,10 @@ impl Default for LoliIrConfig {
 impl LoliIrConfig {
     fn validate(&self) -> Result<()> {
         if self.rank == 0 {
-            return Err(TaflocError::InvalidConfig { field: "rank", reason: "must be >= 1".into() });
+            return Err(TaflocError::InvalidConfig {
+                field: "rank",
+                reason: "must be >= 1".into(),
+            });
         }
         if !(self.lambda > 0.0) {
             return Err(TaflocError::InvalidConfig {
@@ -96,7 +99,10 @@ impl LoliIrConfig {
             }
         }
         if self.max_iters == 0 {
-            return Err(TaflocError::InvalidConfig { field: "max_iters", reason: "must be >= 1".into() });
+            return Err(TaflocError::InvalidConfig {
+                field: "max_iters",
+                reason: "must be >= 1".into(),
+            });
         }
         Ok(())
     }
@@ -240,7 +246,8 @@ fn build_edge_sets(problem: &ReconstructionProblem<'_>) -> EdgeSets {
         for v in 0..n {
             for &u in g.neighbors(v) {
                 if u > v {
-                    let links: Vec<usize> = (0..m).filter(|&i| active(i, v) && active(i, u)).collect();
+                    let links: Vec<usize> =
+                        (0..m).filter(|&i| active(i, v) && active(i, u)).collect();
                     if !links.is_empty() {
                         location.push((v, u, links));
                     }
@@ -253,7 +260,8 @@ fn build_edge_sets(problem: &ReconstructionProblem<'_>) -> EdgeSets {
         for v in 0..m {
             for &u in h.neighbors(v) {
                 if u > v {
-                    let cells: Vec<usize> = (0..n).filter(|&j| active(v, j) && active(u, j)).collect();
+                    let cells: Vec<usize> =
+                        (0..n).filter(|&j| active(v, j) && active(u, j)).collect();
                     if !cells.is_empty() {
                         link.push((v, u, cells));
                     }
@@ -265,7 +273,10 @@ fn build_edge_sets(problem: &ReconstructionProblem<'_>) -> EdgeSets {
 }
 
 /// Runs LoLi-IR on a reconstruction problem.
-pub fn reconstruct(problem: &ReconstructionProblem<'_>, config: &LoliIrConfig) -> Result<Reconstruction> {
+pub fn reconstruct(
+    problem: &ReconstructionProblem<'_>,
+    config: &LoliIrConfig,
+) -> Result<Reconstruction> {
     config.validate()?;
     problem.validate()?;
 
@@ -276,9 +287,7 @@ pub fn reconstruct(problem: &ReconstructionProblem<'_>, config: &LoliIrConfig) -
     // side with no matching right-hand side would shrink X̂ toward zero).
     let mu = if problem.lrr_prior.is_some() { config.mu } else { 0.0 };
     let edges = build_edge_sets(problem);
-    let delta = |i: usize, i2: usize| -> f64 {
-        problem.empty_rss.map_or(0.0, |e| e[i] - e[i2])
-    };
+    let delta = |i: usize, i2: usize| -> f64 { problem.empty_rss.map_or(0.0, |e| e[i] - e[i2]) };
 
     // ------------------------------------------------------------------
     // Initialization: truncated SVD of the prior (or of a filled observation).
@@ -360,7 +369,8 @@ pub fn reconstruct(problem: &ReconstructionProblem<'_>, config: &LoliIrConfig) -
         // ---------------- L-step: Gauss-Seidel over rows ----------------
         let rtr = rf.gram(); // r x r
         for i in 0..m {
-            let mut lhs = Matrix::from_fn(r, r, |a, b| config.lambda * f64::from(a == b) + mu * rtr[(a, b)]);
+            let mut lhs =
+                Matrix::from_fn(r, r, |a, b| config.lambda * f64::from(a == b) + mu * rtr[(a, b)]);
             let mut rhs = vec![0.0; r];
             // Data term: Σ_j B_ij (r_jᵀ l_i − x_ij)².
             for j in 0..n {
@@ -426,7 +436,8 @@ pub fn reconstruct(problem: &ReconstructionProblem<'_>, config: &LoliIrConfig) -
         // ---------------- R-step: Gauss-Seidel over columns ----------------
         let ltl = l.gram();
         for j in 0..n {
-            let mut lhs = Matrix::from_fn(r, r, |a, b| config.lambda * f64::from(a == b) + mu * ltl[(a, b)]);
+            let mut lhs =
+                Matrix::from_fn(r, r, |a, b| config.lambda * f64::from(a == b) + mu * ltl[(a, b)]);
             let mut rhs = vec![0.0; r];
             for i in 0..m {
                 if problem.mask.get(i, j) {
@@ -565,7 +576,8 @@ mod tests {
     /// Smooth rank-2 ground truth resembling RSS structure (values ~ -50).
     fn ground_truth() -> Matrix {
         Matrix::from_fn(6, 12, |i, j| {
-            -50.0 - 3.0 * (0.4 * i as f64 + 0.2 * j as f64).sin()
+            -50.0
+                - 3.0 * (0.4 * i as f64 + 0.2 * j as f64).sin()
                 - 2.0 * (0.3 * j as f64 - 0.5 * i as f64).cos()
         })
     }
@@ -679,11 +691,8 @@ mod tests {
             empty_rss: None,
             distortion: None,
         };
-        let with_graphs = ReconstructionProblem {
-            location_graph: Some(&g),
-            link_graph: Some(&h),
-            ..base
-        };
+        let with_graphs =
+            ReconstructionProblem { location_graph: Some(&g), link_graph: Some(&h), ..base };
         let cfg_plain = LoliIrConfig { alpha: 0.0, beta: 0.0, rank: 6, ..Default::default() };
         let cfg_smooth = LoliIrConfig { alpha: 0.8, beta: 0.8, rank: 6, ..Default::default() };
         let plain = reconstruct(&base, &cfg_plain).unwrap();

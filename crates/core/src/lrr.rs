@@ -120,8 +120,11 @@ mod tests {
     /// Exact rank-2 matrix: LRR with 2 good references is exact.
     fn rank2() -> Matrix {
         let u = Matrix::from_cols(&[&[1.0, 2.0, -1.0, 0.5], &[0.0, 1.0, 1.0, -2.0]]).unwrap();
-        let v = Matrix::from_rows(&[&[1.0, 0.0, 2.0, 1.0, -1.0, 3.0], &[0.0, 1.0, 1.0, -1.0, 2.0, 0.5]])
-            .unwrap();
+        let v = Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0, 1.0, -1.0, 3.0],
+            &[0.0, 1.0, 1.0, -1.0, 2.0, 0.5],
+        ])
+        .unwrap();
         u.matmul(&v).unwrap()
     }
 
@@ -160,8 +163,14 @@ mod tests {
         let x = rank2();
         assert!(matches!(LrrModel::fit(&x, &[], 1e-6), Err(TaflocError::InvalidConfig { .. })));
         assert!(matches!(LrrModel::fit(&x, &[0], 0.0), Err(TaflocError::InvalidConfig { .. })));
-        assert!(matches!(LrrModel::fit(&x, &[0], f64::NAN), Err(TaflocError::InvalidConfig { .. })));
-        assert!(matches!(LrrModel::fit(&x, &[99], 1e-6), Err(TaflocError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            LrrModel::fit(&x, &[0], f64::NAN),
+            Err(TaflocError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            LrrModel::fit(&x, &[99], 1e-6),
+            Err(TaflocError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -150,11 +150,7 @@ impl Mask {
     /// Iterator over `(i, j)` positions of `true` entries.
     pub fn true_positions(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let cols = self.cols;
-        self.data
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(move |(k, _)| (k / cols, k % cols))
+        self.data.iter().enumerate().filter(|(_, &b)| b).map(move |(k, _)| (k / cols, k % cols))
     }
 }
 

@@ -216,8 +216,12 @@ mod tests {
 
     #[test]
     fn validates_construction_and_input() {
-        assert!(DriftMonitor::new(Matrix::zeros(4, 2), vec![1], 0.0, MonitorConfig::default()).is_err());
-        assert!(DriftMonitor::new(Matrix::zeros(4, 0), vec![], 0.0, MonitorConfig::default()).is_err());
+        assert!(
+            DriftMonitor::new(Matrix::zeros(4, 2), vec![1], 0.0, MonitorConfig::default()).is_err()
+        );
+        assert!(
+            DriftMonitor::new(Matrix::zeros(4, 0), vec![], 0.0, MonitorConfig::default()).is_err()
+        );
         let bad = MonitorConfig { error_threshold_db: 0.0, ..Default::default() };
         assert!(DriftMonitor::new(Matrix::zeros(4, 1), vec![0], 0.0, bad).is_err());
         let m = monitor();
@@ -233,7 +237,8 @@ mod tests {
         let x0 = campaign::full_calibration(&world, 0.0, 50);
         let cells = vec![10, 50, 90];
         let stored = x0.select_cols(&cells).unwrap();
-        let monitor = DriftMonitor::new(stored, cells.clone(), 0.0, MonitorConfig::default()).unwrap();
+        let monitor =
+            DriftMonitor::new(stored, cells.clone(), 0.0, MonitorConfig::default()).unwrap();
 
         let mut prev = 0.0;
         for &t in &[5.0, 45.0, 90.0] {

@@ -84,10 +84,8 @@ impl NeighborGraph {
         let mids: Vec<_> = segments.iter().map(|s| s.midpoint()).collect();
         let mut edges = Vec::new();
         for i in 0..m {
-            let mut others: Vec<(usize, f64)> = (0..m)
-                .filter(|&j| j != i)
-                .map(|j| (j, mids[i].distance(&mids[j])))
-                .collect();
+            let mut others: Vec<(usize, f64)> =
+                (0..m).filter(|&j| j != i).map(|j| (j, mids[i].distance(&mids[j]))).collect();
             others.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
             for &(j, _) in others.iter().take(k) {
                 edges.push((i, j));

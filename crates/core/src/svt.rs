@@ -67,7 +67,10 @@ pub fn soft_impute(observed: &Matrix, mask: &Mask, config: &SvtConfig) -> Result
     if !(config.tau > 0.0) || config.max_iters == 0 {
         return Err(TaflocError::InvalidConfig {
             field: "svt",
-            reason: format!("tau must be > 0 and max_iters > 0 (tau={}, iters={})", config.tau, config.max_iters),
+            reason: format!(
+                "tau must be > 0 and max_iters > 0 (tau={}, iters={})",
+                config.tau, config.max_iters
+            ),
         });
     }
 
@@ -95,7 +98,8 @@ pub fn soft_impute(observed: &Matrix, mask: &Mask, config: &SvtConfig) -> Result
             row_mean[i] = s / c as f64;
         }
     }
-    let mut x = Matrix::from_fn(m, n, |i, j| if mask.get(i, j) { observed[(i, j)] } else { row_mean[i] });
+    let mut x =
+        Matrix::from_fn(m, n, |i, j| if mask.get(i, j) { observed[(i, j)] } else { row_mean[i] });
 
     let mut converged = false;
     let mut iterations = 0;
@@ -104,7 +108,12 @@ pub fn soft_impute(observed: &Matrix, mask: &Mask, config: &SvtConfig) -> Result
         // Shrink singular values of the current filled matrix.
         let shrunk = x.svd()?.shrink(config.tau);
         // Re-impose the observed entries.
-        let next = Matrix::from_fn(m, n, |i, j| if mask.get(i, j) { observed[(i, j)] } else { shrunk[(i, j)] });
+        let next =
+            Matrix::from_fn(
+                m,
+                n,
+                |i, j| if mask.get(i, j) { observed[(i, j)] } else { shrunk[(i, j)] },
+            );
         let denom = x.frobenius_norm().max(1e-12);
         let delta = next.sub(&x)?.frobenius_norm() / denom;
         x = next;
@@ -230,8 +239,10 @@ mod tests {
     fn larger_tau_lowers_rank() {
         let x = low_rank();
         let mask = scattered_mask(6, 8, &[(1, 1), (4, 4)]);
-        let lo = soft_impute(&x, &mask, &SvtConfig { tau: 0.01, max_iters: 300, tol: 1e-8 }).unwrap();
-        let hi = soft_impute(&x, &mask, &SvtConfig { tau: 50.0, max_iters: 300, tol: 1e-8 }).unwrap();
+        let lo =
+            soft_impute(&x, &mask, &SvtConfig { tau: 0.01, max_iters: 300, tol: 1e-8 }).unwrap();
+        let hi =
+            soft_impute(&x, &mask, &SvtConfig { tau: 50.0, max_iters: 300, tol: 1e-8 }).unwrap();
         let rank = |m: &Matrix| m.svd().unwrap().rank(1e-6);
         assert!(rank(&hi.matrix) <= rank(&lo.matrix));
     }

@@ -144,7 +144,11 @@ impl TafLoc {
     ///
     /// `initial_db` is the surveyed fingerprint database and `empty_rss` the
     /// per-link empty-room RSS measured at the same time.
-    pub fn calibrate(config: TafLocConfig, initial_db: FingerprintDb, empty_rss: Vec<f64>) -> Result<Self> {
+    pub fn calibrate(
+        config: TafLocConfig,
+        initial_db: FingerprintDb,
+        empty_rss: Vec<f64>,
+    ) -> Result<Self> {
         if empty_rss.len() != initial_db.num_links() {
             return Err(TaflocError::DimensionMismatch {
                 op: "TafLoc::calibrate",
@@ -161,9 +165,20 @@ impl TafLoc {
         let ref_cells = select_references(initial_db.rss(), config.ref_count, config.ref_strategy)?;
         let lrr = LrrModel::fit(initial_db.rss(), &ref_cells, config.lrr_lambda)?;
         let location_graph = NeighborGraph::locations(initial_db.grid());
-        let link_graph = NeighborGraph::links_from_segments(initial_db.links(), config.link_graph_k);
-        let distortion = detect_distorted(initial_db.rss(), &empty_rss, config.distortion_threshold_db)?;
-        Ok(TafLoc { config, db: initial_db, lrr, ref_cells, location_graph, link_graph, empty_rss, distortion })
+        let link_graph =
+            NeighborGraph::links_from_segments(initial_db.links(), config.link_graph_k);
+        let distortion =
+            detect_distorted(initial_db.rss(), &empty_rss, config.distortion_threshold_db)?;
+        Ok(TafLoc {
+            config,
+            db: initial_db,
+            lrr,
+            ref_cells,
+            location_graph,
+            link_graph,
+            empty_rss,
+            distortion,
+        })
     }
 
     /// The configuration in force.
@@ -200,7 +215,11 @@ impl TafLoc {
     /// mutating the system — the reusable core the paper applies to RASS as well
     /// ("the proposed method can be efficiently applied on other localization
     /// systems").
-    pub fn reconstruct_db(&self, fresh_refs: &Matrix, fresh_empty: &[f64]) -> Result<Reconstruction> {
+    pub fn reconstruct_db(
+        &self,
+        fresh_refs: &Matrix,
+        fresh_empty: &[f64],
+    ) -> Result<Reconstruction> {
         let (m, n) = self.db.rss().shape();
         if fresh_refs.shape() != (m, self.ref_cells.len()) {
             return Err(TaflocError::DimensionMismatch {
@@ -228,7 +247,8 @@ impl TafLoc {
         let prior = self.lrr.predict(fresh_refs)?;
 
         // Distortion support estimated from the prior against the fresh baseline.
-        let distortion = detect_distorted(&prior, fresh_empty, self.config.distortion_threshold_db)?;
+        let distortion =
+            detect_distorted(&prior, fresh_empty, self.config.distortion_threshold_db)?;
 
         let problem = ReconstructionProblem {
             observed: &observed,
@@ -275,8 +295,7 @@ impl TafLoc {
     pub fn localize(&self, y: &[f64]) -> Result<MatchResult> {
         if self.config.consistency_gate && y.len() == self.db.num_links() {
             let m = self.db.num_links();
-            let live_drop: Vec<f64> =
-                self.empty_rss.iter().zip(y).map(|(e, v)| e - v).collect();
+            let live_drop: Vec<f64> = self.empty_rss.iter().zip(y).map(|(e, v)| e - v).collect();
             let x = self.db.rss();
             let (hi, lo) = (self.config.gate_hi_db, self.config.gate_lo_db);
             let candidates: Vec<usize> = (0..self.db.num_cells())
@@ -477,10 +496,7 @@ mod tests {
         };
         let stale_err = err_of(&stale);
         let updated_err = err_of(&sys);
-        assert!(
-            updated_err < stale_err,
-            "updated {updated_err:.2} m vs stale {stale_err:.2} m"
-        );
+        assert!(updated_err < stale_err, "updated {updated_err:.2} m vs stale {stale_err:.2} m");
     }
 
     #[test]

@@ -85,7 +85,10 @@ impl ParticleFilter {
     /// region of `db`'s grid.
     pub fn new(db: &FingerprintDb, config: TrackerConfig, seed: u64) -> Result<Self> {
         if config.num_particles == 0 {
-            return Err(TaflocError::InvalidConfig { field: "num_particles", reason: "must be >= 1".into() });
+            return Err(TaflocError::InvalidConfig {
+                field: "num_particles",
+                reason: "must be >= 1".into(),
+            });
         }
         if !(config.sigma_db > 0.0) || !(config.speed_mps > 0.0) {
             return Err(TaflocError::InvalidConfig {
@@ -298,8 +301,9 @@ mod tests {
     #[test]
     fn ess_reported_and_resampling_keeps_filter_alive() {
         let (world, db) = db_and_world(3);
-        let mut pf = ParticleFilter::new(&db, TrackerConfig { num_particles: 100, ..Default::default() }, 1)
-            .unwrap();
+        let mut pf =
+            ParticleFilter::new(&db, TrackerConfig { num_particles: 100, ..Default::default() }, 1)
+                .unwrap();
         for k in 0..10 {
             let y = campaign::snapshot_at_cell(&world, 0.001 * k as f64, 10, 30);
             let est = pf.step(&db, &y, 1.0).unwrap();
@@ -312,13 +316,26 @@ mod tests {
     #[test]
     fn validates_config_and_input() {
         let (_, db) = db_and_world(4);
-        assert!(ParticleFilter::new(&db, TrackerConfig { num_particles: 0, ..Default::default() }, 1).is_err());
-        assert!(ParticleFilter::new(&db, TrackerConfig { sigma_db: 0.0, ..Default::default() }, 1).is_err());
-        assert!(ParticleFilter::new(&db, TrackerConfig { speed_mps: 0.0, ..Default::default() }, 1).is_err());
-        assert!(
-            ParticleFilter::new(&db, TrackerConfig { resample_fraction: 0.0, ..Default::default() }, 1)
-                .is_err()
-        );
+        assert!(ParticleFilter::new(
+            &db,
+            TrackerConfig { num_particles: 0, ..Default::default() },
+            1
+        )
+        .is_err());
+        assert!(ParticleFilter::new(&db, TrackerConfig { sigma_db: 0.0, ..Default::default() }, 1)
+            .is_err());
+        assert!(ParticleFilter::new(
+            &db,
+            TrackerConfig { speed_mps: 0.0, ..Default::default() },
+            1
+        )
+        .is_err());
+        assert!(ParticleFilter::new(
+            &db,
+            TrackerConfig { resample_fraction: 0.0, ..Default::default() },
+            1
+        )
+        .is_err());
         let mut pf = ParticleFilter::new(&db, TrackerConfig::default(), 1).unwrap();
         assert!(pf.step(&db, &[0.0; 3], 1.0).is_err());
         let y = vec![-50.0; db.num_links()];

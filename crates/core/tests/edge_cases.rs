@@ -15,7 +15,12 @@ use tafloc_core::system::{TafLoc, TafLocConfig};
 fn tiny_db(links: usize, nx: usize, ny: usize) -> FingerprintDb {
     let grid = FloorGrid::new(Point::new(0.0, 0.0), 1.0, nx, ny);
     let segs: Vec<Segment> = (0..links)
-        .map(|i| Segment::new(Point::new(-1.0, i as f64 * 0.5), Point::new(nx as f64 + 1.0, i as f64 * 0.5)))
+        .map(|i| {
+            Segment::new(
+                Point::new(-1.0, i as f64 * 0.5),
+                Point::new(nx as f64 + 1.0, i as f64 * 0.5),
+            )
+        })
         .collect();
     let rss = Matrix::from_fn(links, nx * ny, |i, j| {
         -45.0 - (i as f64) - 2.0 * ((j as f64 * 0.7 + i as f64).sin())

@@ -1,0 +1,114 @@
+//! Dedicated drift-monitor tests: hysteresis and error-probe monotonicity.
+//!
+//! The in-module unit tests cover construction and single checks; these
+//! exercise the monitor the way the serving loop does — repeated spot checks
+//! across a full recommend → update → recommend cycle — and pin down the two
+//! properties the auto-refresh logic depends on: `min_interval_days` must
+//! suppress back-to-back recommendations, and the estimated error must be
+//! monotone in the injected drift.
+
+use taf_linalg::Matrix;
+use taf_rfsim::{campaign, World, WorldConfig};
+use tafloc_core::monitor::{DriftMonitor, MonitorConfig, Recommendation};
+use tafloc_core::system::{TafLoc, TafLocConfig};
+
+fn drifted(stored: &Matrix, offset_db: f64) -> Matrix {
+    stored.map(|v| v + offset_db)
+}
+
+#[test]
+fn hysteresis_suppresses_back_to_back_recommendations() {
+    let config = MonitorConfig { error_threshold_db: 3.0, min_interval_days: 2.0 };
+    let stored = Matrix::filled(6, 3, -48.0);
+    let mut monitor = DriftMonitor::new(stored.clone(), vec![2, 9, 14], 0.0, config).unwrap();
+
+    // Day 10, 5 dB drift: past the threshold and past the interval.
+    let fresh = drifted(&stored, 5.0);
+    assert!(matches!(
+        monitor.check(10.0, &fresh).unwrap(),
+        Recommendation::UpdateRecommended { .. }
+    ));
+
+    // The operator refreshes on day 10; the fresh columns become the baseline.
+    monitor.record_update(10.0, fresh.clone()).unwrap();
+
+    // The very next spot checks drift hard again, but within
+    // `min_interval_days` of the refresh the monitor must not recommend
+    // another one — only report a cooldown with the remaining wait.
+    for (day, remaining) in [(10.5, 1.5), (11.0, 1.0), (11.75, 0.25)] {
+        match monitor.check(day, &drifted(&fresh, 6.0)).unwrap() {
+            Recommendation::Cooldown { days_remaining, estimated_error_db } => {
+                assert!((days_remaining - remaining).abs() < 1e-12, "day {day}");
+                assert!((estimated_error_db - 6.0).abs() < 1e-12);
+            }
+            other => panic!("expected cooldown on day {day}, got {other:?}"),
+        }
+    }
+
+    // Once the interval has elapsed the recommendation comes back.
+    assert!(matches!(
+        monitor.check(12.0, &drifted(&fresh, 6.0)).unwrap(),
+        Recommendation::UpdateRecommended { .. }
+    ));
+
+    // And if the drift settles below the threshold meanwhile, the monitor is
+    // healthy regardless of the clock.
+    assert!(matches!(
+        monitor.check(12.0, &drifted(&fresh, 1.0)).unwrap(),
+        Recommendation::Healthy { .. }
+    ));
+}
+
+#[test]
+fn estimated_error_is_monotone_in_injected_drift() {
+    let stored = Matrix::filled(8, 4, -52.0);
+    let monitor =
+        DriftMonitor::new(stored.clone(), vec![0, 1, 2, 3], 0.0, MonitorConfig::default()).unwrap();
+
+    // A uniform offset is recovered exactly (mean absolute deviation).
+    let mut prev = -1.0;
+    for k in 0..12 {
+        let offset = 0.5 * k as f64;
+        let est = monitor.check(100.0, &drifted(&stored, offset)).unwrap().estimated_error_db();
+        assert!((est - offset).abs() < 1e-12, "uniform {offset} dB must be recovered exactly");
+        assert!(est > prev, "estimate must be strictly increasing in drift");
+        prev = est;
+    }
+
+    // Sign-alternating drift of the same magnitude gives the same estimate:
+    // the probe measures |drift|, not its direction.
+    let mut mixed = stored.clone();
+    let (rows, cols) = stored.shape();
+    for i in 0..rows {
+        for j in 0..cols {
+            let s = if (i + j) % 2 == 0 { 2.5 } else { -2.5 };
+            mixed.set(i, j, stored.get(i, j).unwrap() + s).unwrap();
+        }
+    }
+    let est = monitor.check(100.0, &mixed).unwrap().estimated_error_db();
+    assert!((est - 2.5).abs() < 1e-12);
+}
+
+#[test]
+fn system_built_monitor_follows_simulated_drift() {
+    // The serving path builds its monitor through `TafLoc::monitor`; make
+    // sure that wiring yields the same monotone probe on simulator drift.
+    let world = World::new(WorldConfig::small_test(), 31);
+    let x0 = campaign::full_calibration(&world, 0.0, 20);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 20);
+    let db = tafloc_core::db::FingerprintDb::from_world(x0, &world).unwrap();
+    let config = TafLocConfig { ref_count: 6, ..Default::default() };
+    let sys = TafLoc::calibrate(config, db, e0).unwrap();
+
+    let monitor = sys.monitor(2, 0.0, MonitorConfig::default()).unwrap();
+    let cells: Vec<usize> = monitor.cells().to_vec();
+    assert_eq!(cells.len(), 2);
+
+    let mut prev = f64::NEG_INFINITY;
+    for &t in &[10.0, 40.0, 80.0] {
+        let fresh = campaign::measure_columns(&world, t, &cells, 20);
+        let est = monitor.check(t, &fresh).unwrap().estimated_error_db();
+        assert!(est > prev, "estimate must grow with simulated drift ({est:.2} at day {t})");
+        prev = est;
+    }
+}

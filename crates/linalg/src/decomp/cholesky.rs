@@ -137,7 +137,8 @@ mod tests {
 
     fn spd() -> Matrix {
         // A = Bᵀ·B + I is SPD for any B.
-        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]).unwrap();
+        let b =
+            Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]).unwrap();
         let mut a = b.gram();
         a.add_diag(1.0).unwrap();
         a

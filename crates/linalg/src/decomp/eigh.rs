@@ -89,7 +89,10 @@ impl Matrix {
             }
         }
         if !converged {
-            return Err(LinalgError::NoConvergence { algorithm: "jacobi-eigh", iterations: MAX_SWEEPS });
+            return Err(LinalgError::NoConvergence {
+                algorithm: "jacobi-eigh",
+                iterations: MAX_SWEEPS,
+            });
         }
 
         let mut order: Vec<usize> = (0..n).collect();

@@ -41,9 +41,8 @@ fn householder(
     let mut q = Matrix::identity(m);
 
     // Running squared column norms for pivot selection.
-    let mut col_norms: Vec<f64> = (0..n)
-        .map(|j| (0..m).map(|i| work[(i, j)] * work[(i, j)]).sum())
-        .collect();
+    let mut col_norms: Vec<f64> =
+        (0..n).map(|j| (0..m).map(|i| work[(i, j)] * work[(i, j)]).sum()).collect();
 
     for step in 0..k {
         if pivoting {
@@ -234,13 +233,7 @@ mod tests {
     use super::*;
 
     fn tall() -> Matrix {
-        Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]).unwrap()
     }
 
     fn permutation_matrix(pivots: &[usize]) -> Matrix {
@@ -311,12 +304,8 @@ mod tests {
 
     #[test]
     fn col_piv_reconstructs_with_permutation() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 10.0, 2.0],
-            &[0.5, -3.0, 1.0],
-            &[2.0, 4.0, 0.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 10.0, 2.0], &[0.5, -3.0, 1.0], &[2.0, 4.0, 0.0]]).unwrap();
         let f = a.col_piv_qr().unwrap();
         let ap = a.matmul(&permutation_matrix(f.pivots())).unwrap();
         let qr = f.q().matmul(f.r()).unwrap();
@@ -325,12 +314,8 @@ mod tests {
 
     #[test]
     fn col_piv_picks_dominant_column_first() {
-        let a = Matrix::from_rows(&[
-            &[0.1, 100.0, 1.0],
-            &[0.2, 50.0, 0.0],
-            &[0.1, 75.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[0.1, 100.0, 1.0], &[0.2, 50.0, 0.0], &[0.1, 75.0, 2.0]]).unwrap();
         let f = a.col_piv_qr().unwrap();
         assert_eq!(f.pivots()[0], 1, "largest-norm column should be the first pivot");
     }

@@ -130,9 +130,8 @@ fn svd_tall(a: &Matrix) -> Result<Svd> {
 
     // Extract singular values and normalize U's columns.
     let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = (0..n)
-        .map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt())
-        .collect();
+    let norms: Vec<f64> =
+        (0..n).map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt()).collect();
     order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).expect("finite norms"));
 
     let mut u = Matrix::zeros(m, n);
@@ -224,11 +223,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            &[3.0, 2.0, 2.0],
-            &[2.0, 3.0, -2.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[3.0, 2.0, 2.0], &[2.0, 3.0, -2.0]]).unwrap()
     }
 
     #[test]
@@ -274,12 +269,8 @@ mod tests {
 
     #[test]
     fn truncate_keeps_best_approximation() {
-        let a = Matrix::from_rows(&[
-            &[10.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 0.1],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[10.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 0.1]]).unwrap();
         let t = a.svd().unwrap().truncate(1);
         assert_eq!(t.len(), 1);
         let back = t.reconstruct();

@@ -79,10 +79,9 @@ impl fmt::Display for LinalgError {
             LinalgError::NotSquare { op, shape } => {
                 write!(f, "{op}: requires a square matrix, got {}x{}", shape.0, shape.1)
             }
-            LinalgError::NotPositiveDefinite { pivot, value } => write!(
-                f,
-                "cholesky: matrix is not positive definite (pivot {pivot} = {value:.3e})"
-            ),
+            LinalgError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "cholesky: matrix is not positive definite (pivot {pivot} = {value:.3e})")
+            }
             LinalgError::Singular { pivot } => {
                 write!(f, "solve: matrix is singular (zero pivot at {pivot})")
             }

@@ -37,7 +37,10 @@ impl Matrix {
     /// Only the lower triangle is read.
     pub fn solve_lower_triangular(&self, b: &[f64]) -> Result<Vec<f64>> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { op: "solve_lower_triangular", shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                op: "solve_lower_triangular",
+                shape: self.shape(),
+            });
         }
         let n = self.rows();
         if b.len() != n {
@@ -66,7 +69,10 @@ impl Matrix {
     /// Only the upper triangle is read.
     pub fn solve_upper_triangular(&self, b: &[f64]) -> Result<Vec<f64>> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { op: "solve_upper_triangular", shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                op: "solve_upper_triangular",
+                shape: self.shape(),
+            });
         }
         let n = self.rows();
         if b.len() != n {

@@ -100,11 +100,8 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_values() {
-        let m = Matrix::from_rows(&[
-            &[1.5, -2.25, 0.0],
-            &[1e-12, 7.0, -55.123456789012345],
-        ])
-        .unwrap();
+        let m =
+            Matrix::from_rows(&[&[1.5, -2.25, 0.0], &[1e-12, 7.0, -55.123456789012345]]).unwrap();
         let path = temp_path("round_trip");
         write_csv(&m, &path).unwrap();
         let back = read_csv(&path).unwrap();

@@ -44,7 +44,6 @@
 // the numerical kernels.
 #![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
 
-
 mod error;
 mod extras;
 mod matrix;

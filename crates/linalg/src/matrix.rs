@@ -186,10 +186,18 @@ impl Matrix {
     /// Returns element `(i, j)`, or an error when out of bounds.
     pub fn get(&self, i: usize, j: usize) -> Result<f64> {
         if i >= self.rows {
-            return Err(LinalgError::IndexOutOfBounds { op: "Matrix::get(row)", index: i, bound: self.rows });
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "Matrix::get(row)",
+                index: i,
+                bound: self.rows,
+            });
         }
         if j >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { op: "Matrix::get(col)", index: j, bound: self.cols });
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "Matrix::get(col)",
+                index: j,
+                bound: self.cols,
+            });
         }
         Ok(self.data[i * self.cols + j])
     }
@@ -197,10 +205,18 @@ impl Matrix {
     /// Sets element `(i, j)`, or returns an error when out of bounds.
     pub fn set(&mut self, i: usize, j: usize, value: f64) -> Result<()> {
         if i >= self.rows {
-            return Err(LinalgError::IndexOutOfBounds { op: "Matrix::set(row)", index: i, bound: self.rows });
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "Matrix::set(row)",
+                index: i,
+                bound: self.rows,
+            });
         }
         if j >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { op: "Matrix::set(col)", index: j, bound: self.cols });
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "Matrix::set(col)",
+                index: j,
+                bound: self.cols,
+            });
         }
         self.data[i * self.cols + j] = value;
         Ok(())
@@ -227,7 +243,11 @@ impl Matrix {
     /// Overwrites row `i` with `values`.
     pub fn set_row(&mut self, i: usize, values: &[f64]) -> Result<()> {
         if i >= self.rows {
-            return Err(LinalgError::IndexOutOfBounds { op: "Matrix::set_row", index: i, bound: self.rows });
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "Matrix::set_row",
+                index: i,
+                bound: self.rows,
+            });
         }
         if values.len() != self.cols {
             return Err(LinalgError::DimensionMismatch {
@@ -243,7 +263,11 @@ impl Matrix {
     /// Overwrites column `j` with `values`.
     pub fn set_col(&mut self, j: usize, values: &[f64]) -> Result<()> {
         if j >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { op: "Matrix::set_col", index: j, bound: self.cols });
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "Matrix::set_col",
+                index: j,
+                bound: self.cols,
+            });
         }
         if values.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -355,10 +379,18 @@ impl Matrix {
     /// Copies the rectangular block `rows [r0, r1) x cols [c0, c1)`.
     pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Result<Matrix> {
         if r1 > self.rows || r0 > r1 {
-            return Err(LinalgError::IndexOutOfBounds { op: "Matrix::submatrix(rows)", index: r1, bound: self.rows + 1 });
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "Matrix::submatrix(rows)",
+                index: r1,
+                bound: self.rows + 1,
+            });
         }
         if c1 > self.cols || c0 > c1 {
-            return Err(LinalgError::IndexOutOfBounds { op: "Matrix::submatrix(cols)", index: c1, bound: self.cols + 1 });
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "Matrix::submatrix(cols)",
+                index: c1,
+                bound: self.cols + 1,
+            });
         }
         Ok(Matrix::from_fn(r1 - r0, c1 - c0, |i, j| self.data[(r0 + i) * self.cols + (c0 + j)]))
     }
@@ -483,7 +515,12 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -491,7 +528,12 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[i * self.cols + j]
     }
 }

@@ -93,13 +93,25 @@ impl Matrix {
 
     /// Matrix-vector product `self * v`. Panics if `v.len() != cols`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols(), "matvec: vector length {} != cols {}", v.len(), self.cols());
+        assert_eq!(
+            v.len(),
+            self.cols(),
+            "matvec: vector length {} != cols {}",
+            v.len(),
+            self.cols()
+        );
         self.rows_iter().map(|row| dot(row, v)).collect()
     }
 
     /// Transposed matrix-vector product `selfᵀ * v`. Panics if `v.len() != rows`.
     pub fn tr_matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.rows(), "tr_matvec: vector length {} != rows {}", v.len(), self.rows());
+        assert_eq!(
+            v.len(),
+            self.rows(),
+            "tr_matvec: vector length {} != rows {}",
+            v.len(),
+            self.rows()
+        );
         let mut out = vec![0.0; self.cols()];
         for (i, row) in self.rows_iter().enumerate() {
             let vi = v[i];

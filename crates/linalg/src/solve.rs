@@ -151,7 +151,10 @@ pub fn conjugate_gradient(
     if rs_old.sqrt() <= config.tol * b_norm {
         Ok((x, config.max_iters))
     } else {
-        Err(LinalgError::NoConvergence { algorithm: "conjugate-gradient", iterations: config.max_iters })
+        Err(LinalgError::NoConvergence {
+            algorithm: "conjugate-gradient",
+            iterations: config.max_iters,
+        })
     }
 }
 
@@ -228,7 +231,8 @@ mod tests {
     fn cg_solves_spd_system() {
         let m = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
         let b = [1.0, 2.0, 3.0];
-        let (x, iters) = conjugate_gradient(|v| m.matvec(v), &b, None, CgConfig::default()).unwrap();
+        let (x, iters) =
+            conjugate_gradient(|v| m.matvec(v), &b, None, CgConfig::default()).unwrap();
         assert!(iters <= 3 + 1, "CG must converge in <= n iterations for SPD");
         let direct = m.solve(&b).unwrap();
         for (a, c) in x.iter().zip(&direct) {
@@ -250,7 +254,8 @@ mod tests {
     #[test]
     fn cg_zero_rhs_short_circuits() {
         let m = Matrix::identity(3);
-        let (x, iters) = conjugate_gradient(|v| m.matvec(v), &[0.0; 3], None, CgConfig::default()).unwrap();
+        let (x, iters) =
+            conjugate_gradient(|v| m.matvec(v), &[0.0; 3], None, CgConfig::default()).unwrap();
         assert_eq!(iters, 0);
         assert!(x.iter().all(|&v| v == 0.0));
     }
@@ -266,10 +271,13 @@ mod tests {
     fn cg_validates_input() {
         let m = Matrix::identity(2);
         assert!(conjugate_gradient(|v| m.matvec(v), &[], None, CgConfig::default()).is_err());
-        assert!(
-            conjugate_gradient(|v| m.matvec(v), &[1.0, 1.0], Some(&[0.0]), CgConfig::default())
-                .is_err()
-        );
+        assert!(conjugate_gradient(
+            |v| m.matvec(v),
+            &[1.0, 1.0],
+            Some(&[0.0]),
+            CgConfig::default()
+        )
+        .is_err());
     }
 
     #[test]

@@ -34,13 +34,25 @@ impl Csr {
     ///
     /// Duplicate positions are summed; explicit zeros are dropped. Out-of-range
     /// triplets yield [`LinalgError::IndexOutOfBounds`].
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Result<Csr> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Csr> {
         for &(i, j, _) in triplets {
             if i >= rows {
-                return Err(LinalgError::IndexOutOfBounds { op: "Csr::from_triplets(row)", index: i, bound: rows });
+                return Err(LinalgError::IndexOutOfBounds {
+                    op: "Csr::from_triplets(row)",
+                    index: i,
+                    bound: rows,
+                });
             }
             if j >= cols {
-                return Err(LinalgError::IndexOutOfBounds { op: "Csr::from_triplets(col)", index: j, bound: cols });
+                return Err(LinalgError::IndexOutOfBounds {
+                    op: "Csr::from_triplets(col)",
+                    index: j,
+                    bound: cols,
+                });
             }
         }
         let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
@@ -183,9 +195,8 @@ impl Csr {
 
     /// Returns the transpose as a new CSR matrix.
     pub fn transpose(&self) -> Csr {
-        let triplets: Vec<(usize, usize, f64)> = (0..self.rows)
-            .flat_map(|i| self.row(i).map(move |(j, v)| (j, i, v)))
-            .collect();
+        let triplets: Vec<(usize, usize, f64)> =
+            (0..self.rows).flat_map(|i| self.row(i).map(move |(j, v)| (j, i, v))).collect();
         Csr::from_triplets(self.cols, self.rows, &triplets).expect("transpose indices valid")
     }
 

@@ -48,8 +48,8 @@ fn repeated_singular_values_still_factor() {
 #[test]
 fn extreme_scales_survive() {
     for scale in [1e-150, 1e-30, 1e30, 1e150] {
-        let a = Matrix::from_rows(&[&[3.0 * scale, 1.0 * scale], &[1.0 * scale, 2.0 * scale]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0 * scale, 1.0 * scale], &[1.0 * scale, 2.0 * scale]]).unwrap();
         let svd = a.svd().unwrap();
         assert!(svd.reconstruct().approx_eq(&a, 1e-9 * scale), "scale {scale}");
         let x = a.solve(&[scale, scale]).unwrap();

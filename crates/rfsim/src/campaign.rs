@@ -84,7 +84,12 @@ pub fn snapshot_at_point(world: &World, t_days: f64, p: &Point, samples: usize) 
 
 /// One online measurement with **several** simultaneous targets (the
 /// multi-target extension; see [`crate::World::rss_with_targets_at`]).
-pub fn snapshot_at_points(world: &World, t_days: f64, positions: &[crate::geometry::Point], samples: usize) -> Vec<f64> {
+pub fn snapshot_at_points(
+    world: &World,
+    t_days: f64,
+    positions: &[crate::geometry::Point],
+    samples: usize,
+) -> Vec<f64> {
     assert!(samples > 0, "need at least one sample per measurement");
     let noise = world.config().noise;
     let mut extra = 0u64;

@@ -269,10 +269,7 @@ mod tests {
         }
         let var = sq / n as f64;
         let expect = 2.0 * sigma * sigma * (1.0 - (-(t as f64) / tau).exp());
-        assert!(
-            (var - expect).abs() / expect < 0.1,
-            "empirical {var:.3} vs theory {expect:.3}"
-        );
+        assert!((var - expect).abs() / expect < 0.1, "empirical {var:.3} vs theory {expect:.3}");
     }
 
     #[test]

@@ -36,10 +36,8 @@ impl FloorGrid {
         let (nx, ny) = (8, 12);
         let cell = 0.6;
         let (room_w, room_h) = (9.0, 12.0);
-        let origin = Point::new(
-            (room_w - nx as f64 * cell) / 2.0,
-            (room_h - ny as f64 * cell) / 2.0,
-        );
+        let origin =
+            Point::new((room_w - nx as f64 * cell) / 2.0, (room_h - ny as f64 * cell) / 2.0);
         FloorGrid::new(origin, cell, nx, ny)
     }
 

@@ -44,7 +44,6 @@
 // the numerical kernels.
 #![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
 
-
 pub mod campaign;
 pub mod deployment;
 pub mod drift;
@@ -60,8 +59,8 @@ pub mod trajectory;
 pub mod world;
 
 pub use deployment::{Deployment, Link};
+pub use events::EnvironmentEvent;
 pub use geometry::{Point, Segment};
 pub use grid::FloorGrid;
-pub use events::EnvironmentEvent;
 pub use trajectory::{Trajectory, WaypointConfig};
 pub use world::{World, WorldConfig};

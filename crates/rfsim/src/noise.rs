@@ -52,7 +52,12 @@ impl NoiseConfig {
 
     /// Mean of `samples` independent observations — the paper's "100 continuous
     /// RSS, one per second" survey of a single grid.
-    pub fn observe_averaged<R: rand::Rng>(&self, true_rss: f64, samples: usize, rng: &mut R) -> f64 {
+    pub fn observe_averaged<R: rand::Rng>(
+        &self,
+        true_rss: f64,
+        samples: usize,
+        rng: &mut R,
+    ) -> f64 {
         assert!(samples > 0, "need at least one sample");
         let sum: f64 = (0..samples).map(|_| self.observe(true_rss, rng)).sum();
         sum / samples as f64
@@ -74,7 +79,8 @@ mod tests {
 
     #[test]
     fn quantization_rounds_to_step() {
-        let cfg = NoiseConfig { sigma_db: 0.0, quantization_db: 1.0, outlier_prob: 0.0, outlier_db: 0.0 };
+        let cfg =
+            NoiseConfig { sigma_db: 0.0, quantization_db: 1.0, outlier_prob: 0.0, outlier_db: 0.0 };
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(cfg.observe(-47.3, &mut rng), -47.0);
         assert_eq!(cfg.observe(-47.6, &mut rng), -48.0);
@@ -82,7 +88,8 @@ mod tests {
 
     #[test]
     fn noise_spread_matches_sigma() {
-        let cfg = NoiseConfig { sigma_db: 2.0, quantization_db: 0.0, outlier_prob: 0.0, outlier_db: 0.0 };
+        let cfg =
+            NoiseConfig { sigma_db: 2.0, quantization_db: 0.0, outlier_prob: 0.0, outlier_db: 0.0 };
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| cfg.observe(-50.0, &mut rng)).collect();
@@ -111,7 +118,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let n = 500;
         let singles: Vec<f64> = (0..n).map(|_| cfg.observe(-50.0, &mut rng)).collect();
-        let averaged: Vec<f64> = (0..n).map(|_| cfg.observe_averaged(-50.0, 100, &mut rng)).collect();
+        let averaged: Vec<f64> =
+            (0..n).map(|_| cfg.observe_averaged(-50.0, 100, &mut rng)).collect();
         let spread = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;
             (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
@@ -121,7 +129,12 @@ mod tests {
 
     #[test]
     fn outliers_present_at_configured_rate() {
-        let cfg = NoiseConfig { sigma_db: 0.0, quantization_db: 0.0, outlier_prob: 0.5, outlier_db: 10.0 };
+        let cfg = NoiseConfig {
+            sigma_db: 0.0,
+            quantization_db: 0.0,
+            outlier_prob: 0.5,
+            outlier_db: 10.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let n = 10_000;
         let count = (0..n).filter(|_| cfg.observe(0.0, &mut rng).abs() > 5.0).count();

@@ -61,10 +61,7 @@ impl Trajectory {
     /// Maximum displacement between consecutive samples (m) — bounded by
     /// `speed x period` for a physical walk.
     pub fn max_step(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance(&w[1]))
-            .fold(0.0, f64::max)
+        self.points.windows(2).map(|w| w[0].distance(&w[1])).fold(0.0, f64::max)
     }
 }
 
@@ -73,12 +70,20 @@ impl Trajectory {
 ///
 /// Panics if the keep-out margin leaves no room to walk in — a configuration
 /// error, not a runtime condition.
-pub fn random_waypoint(grid: &FloorGrid, config: &WaypointConfig, num_samples: usize, seed: u64) -> Trajectory {
+pub fn random_waypoint(
+    grid: &FloorGrid,
+    config: &WaypointConfig,
+    num_samples: usize,
+    seed: u64,
+) -> Trajectory {
     let o = grid.origin();
     let (x0, y0) = (o.x + config.margin_m, o.y + config.margin_m);
     let (x1, y1) = (o.x + grid.width() - config.margin_m, o.y + grid.height() - config.margin_m);
     assert!(x1 > x0 && y1 > y0, "margin {} leaves no walkable area", config.margin_m);
-    assert!(config.speed_mps > 0.0 && config.sample_period_s > 0.0, "speed and period must be positive");
+    assert!(
+        config.speed_mps > 0.0 && config.sample_period_s > 0.0,
+        "speed and period must be positive"
+    );
 
     let mut rng = StdRng::seed_from_u64(hash_u64(seed, 0x7261_6A65, 0));
     let mut draw = |lo: f64, hi: f64| lo + (hi - lo) * rng.random::<f64>();

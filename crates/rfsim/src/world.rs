@@ -127,7 +127,8 @@ const STREAM_ENTRY_BASIS: u64 = 4 << 32;
 impl World {
     /// Instantiates a world from a config and a seed.
     pub fn new(config: WorldConfig, seed: u64) -> Self {
-        let deployment = Deployment::perimeter(&config.grid, config.num_links, config.deployment_margin);
+        let deployment =
+            Deployment::perimeter(&config.grid, config.num_links, config.deployment_margin);
         let mut rng = StdRng::seed_from_u64(crate::rng::hash_u64(seed, 0, 0));
         let shadow = config.shadowing.sample(&deployment, &mut rng);
         let base_rss: Vec<f64> = deployment
@@ -141,7 +142,12 @@ impl World {
         let n = config.grid.num_cells();
         let link_drift = (0..m)
             .map(|i| {
-                OuProcess::new(seed, STREAM_LINK_DRIFT + i as u64, config.drift.link_sigma_db, config.drift.tau_days)
+                OuProcess::new(
+                    seed,
+                    STREAM_LINK_DRIFT + i as u64,
+                    config.drift.link_sigma_db,
+                    config.drift.tau_days,
+                )
             })
             .collect();
         // Slow entry drift: per (link, component) unit-variance OU amplitudes on
@@ -150,14 +156,19 @@ impl World {
         // (SLOW_COMPONENTS sin² terms average 1/2 each).
         let amp = config.drift.entry_sigma_db * (2.0 / SLOW_COMPONENTS as f64).sqrt();
         let entry_slow = (0..m * SLOW_COMPONENTS)
-            .map(|k| OuProcess::new(seed, STREAM_ENTRY_DRIFT + k as u64, amp, config.drift.tau_days))
+            .map(|k| {
+                OuProcess::new(seed, STREAM_ENTRY_DRIFT + k as u64, amp, config.drift.tau_days)
+            })
             .collect();
         let entry_basis = (0..m * SLOW_COMPONENTS)
             .map(|k| {
-                let theta = crate::rng::uniform(seed, STREAM_ENTRY_BASIS, 3 * k as u64) * std::f64::consts::TAU;
+                let theta = crate::rng::uniform(seed, STREAM_ENTRY_BASIS, 3 * k as u64)
+                    * std::f64::consts::TAU;
                 // Wavelengths of ~3-6 m: regional, not per-cell.
-                let freq = 1.0 + 1.1 * crate::rng::uniform(seed, STREAM_ENTRY_BASIS, 3 * k as u64 + 1);
-                let phase = crate::rng::uniform(seed, STREAM_ENTRY_BASIS, 3 * k as u64 + 2) * std::f64::consts::TAU;
+                let freq =
+                    1.0 + 1.1 * crate::rng::uniform(seed, STREAM_ENTRY_BASIS, 3 * k as u64 + 1);
+                let phase = crate::rng::uniform(seed, STREAM_ENTRY_BASIS, 3 * k as u64 + 2)
+                    * std::f64::consts::TAU;
                 (theta, freq, phase)
             })
             .collect();
@@ -172,7 +183,16 @@ impl World {
             })
             .collect();
 
-        World { config, seed, deployment, base_rss, link_drift, entry_slow, entry_basis, entry_fast }
+        World {
+            config,
+            seed,
+            deployment,
+            base_rss,
+            link_drift,
+            entry_slow,
+            entry_basis,
+            entry_fast,
+        }
     }
 
     /// Slow entry-drift field of `link` at point `p` and time `t_days` (dB).
@@ -256,7 +276,9 @@ impl World {
             }
             None => 0.0,
         };
-        self.empty_rss(link, t_days) + self.config.target.rss_delta_db(self.seed, link, seg, p) + entry
+        self.empty_rss(link, t_days)
+            + self.config.target.rss_delta_db(self.seed, link, seg, p)
+            + entry
     }
 
     /// Noise-free RSS of `link` at time `t_days` with **several** simultaneous
@@ -270,10 +292,7 @@ impl World {
     /// the multi-target extension experiment.
     pub fn rss_with_targets_at(&self, link: usize, positions: &[Point], t_days: f64) -> f64 {
         let base = self.empty_rss(link, t_days);
-        positions
-            .iter()
-            .map(|p| self.rss_with_target_at(link, p, t_days) - base)
-            .sum::<f64>()
+        positions.iter().map(|p| self.rss_with_target_at(link, p, t_days) - base).sum::<f64>()
             + base
     }
 
@@ -287,7 +306,9 @@ impl World {
     /// The full noise-free fingerprint matrix `X(t)` (`M x N`) — the ground truth
     /// against which reconstructions are scored (Fig. 3).
     pub fn fingerprint_truth(&self, t_days: f64) -> Matrix {
-        Matrix::from_fn(self.num_links(), self.num_cells(), |i, j| self.fingerprint_rss(i, j, t_days))
+        Matrix::from_fn(self.num_links(), self.num_cells(), |i, j| {
+            self.fingerprint_rss(i, j, t_days)
+        })
     }
 
     /// Per-link no-target RSS vector at `t_days` (noise-free).
@@ -370,7 +391,9 @@ mod tests {
         let w = World::paper_default(11);
         let x = w.fingerprint_truth(0.0);
         // Center rows (remove the per-link base level) to expose the structure.
-        let centered = Matrix::from_fn(x.rows(), x.cols(), |i, j| x[(i, j)] - taf_linalg::stats::mean(x.row(i)).unwrap());
+        let centered = Matrix::from_fn(x.rows(), x.cols(), |i, j| {
+            x[(i, j)] - taf_linalg::stats::mean(x.row(i)).unwrap()
+        });
         let svd = centered.svd().unwrap();
         // M = 10 bounds the rank at 10; "approximately low rank" here means the
         // spectrum is front-loaded: half the possible rank captures most energy.

@@ -1,0 +1,66 @@
+//! A thin blocking line-protocol client.
+//!
+//! One request per call, one response per line, in order — the protocol is
+//! strictly request/response per connection, so a persistent [`Client`] can
+//! pipeline calls back to back without correlation ids.
+
+use crate::protocol::{read_message, write_message, Request, Response};
+use crate::{Result, ServeError};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A persistent connection to a `taflocd` server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sets the receive timeout for subsequent calls.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response> {
+        write_message(&mut self.writer, request)?;
+        read_message(&mut self.reader)?
+            .ok_or_else(|| ServeError::Protocol("server closed the connection".into()))
+    }
+
+    /// Like [`call`](Client::call), but turns an error response into `Err` —
+    /// for callers that treat server-side failures as failures.
+    pub fn call_ok(&mut self, request: &Request) -> Result<Response> {
+        match self.call(request)? {
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Convenience: `locate` returning `(cell, x, y, snapshot version)`.
+    pub fn locate(&mut self, site: &str, y: &[f64]) -> Result<(usize, f64, f64, u64)> {
+        match self.call_ok(&Request::Locate { site: site.to_string(), y: y.to_vec() })? {
+            Response::Located { cell, x, y, version, .. } => Ok((cell, x, y, version)),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?} to locate"))),
+        }
+    }
+
+    /// Convenience: liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call_ok(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?} to ping"))),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Anything that can go wrong while serving: transport failures, malformed
+/// wire messages, unknown sites, or errors bubbling up from the core library.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket / filesystem trouble.
+    Io(std::io::Error),
+    /// A line that is not valid JSON for the expected message type.
+    Json(serde_json::Error),
+    /// An error from the localization core (bad shapes, solver failure, ...).
+    Core(tafloc_core::TaflocError),
+    /// A numerical-substrate error.
+    Linalg(taf_linalg::LinalgError),
+    /// Request named a site the registry does not hold.
+    UnknownSite(String),
+    /// `add-site` for a name that is already registered.
+    SiteExists(String),
+    /// Wire-protocol violation (unexpected EOF, oversized line, ...).
+    Protocol(String),
+    /// The server answered a client call with an error response.
+    Remote(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Json(e) => write!(f, "malformed message: {e}"),
+            ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::Linalg(e) => write!(f, "{e}"),
+            ServeError::UnknownSite(s) => write!(f, "unknown site {s:?}"),
+            ServeError::SiteExists(s) => write!(f, "site {s:?} already registered"),
+            ServeError::Protocol(s) => write!(f, "protocol error: {s}"),
+            ServeError::Remote(s) => write!(f, "server error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        ServeError::Json(e)
+    }
+}
+
+impl From<tafloc_core::TaflocError> for ServeError {
+    fn from(e: tafloc_core::TaflocError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<taf_linalg::LinalgError> for ServeError {
+    fn from(e: taf_linalg::LinalgError) -> Self {
+        ServeError::Linalg(e)
+    }
+}
+
+/// Result alias for the serving layer.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,47 @@
+//! # tafloc-serve
+//!
+//! The always-on serving layer for the TafLoc reproduction: a multi-site
+//! localization daemon (`taflocd`) speaking newline-delimited JSON over TCP.
+//!
+//! The library crate exposes every building block so the daemon can be
+//! embedded in-process (tests, benchmarks, the `tafloc serve` CLI command):
+//!
+//! * [`protocol`] — the `Request`/`Response` wire types and the line codec;
+//! * [`snapshot`] — `SnapshotCell`, the atomically swappable immutable
+//!   snapshot slot behind the contention-free read path;
+//! * [`site`] — per-site state: the swappable calibrated system plus the
+//!   mutex-guarded mutable half (drift monitor, pending refs, per-stream
+//!   trackers and detectors);
+//! * [`registry`] — the name → site map and maintenance-thread ownership;
+//! * [`maintenance`] — the background drift/refresh loop and its policy;
+//! * [`metrics`] — wait-free per-endpoint counters and latency histograms;
+//! * [`server`] — TCP accept loop, worker pool, dispatch, graceful shutdown;
+//! * [`client`] — a thin blocking client for the line protocol.
+//!
+//! ## Quick tour
+//!
+//! ```no_run
+//! use tafloc_serve::server::{Server, ServerConfig};
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let handle = server.spawn();
+//! let mut client = tafloc_serve::client::Client::connect(addr).unwrap();
+//! client.ping().unwrap();
+//! handle.shutdown();
+//! handle.join();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+mod error;
+pub mod maintenance;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod site;
+pub mod snapshot;
+
+pub use error::{Result, ServeError};

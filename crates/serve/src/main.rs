@@ -1,0 +1,86 @@
+//! `taflocd` — the standalone daemon binary.
+//!
+//! ```text
+//! taflocd --addr 127.0.0.1:7777 [--workers 4] [--site NAME --system system.json]
+//! ```
+//!
+//! `--site`/`--system` may repeat (pairwise) to pre-load several sites; more
+//! can be added at runtime with an `add-site` request. The daemon prints the
+//! bound address on startup and serves until a `shutdown` request.
+
+use tafloc_serve::server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+taflocd — always-on TafLoc localization daemon (newline-delimited JSON over TCP)
+
+USAGE: taflocd [--addr HOST:PORT] [--workers N] [--site NAME --system PATH]...
+
+  --addr     listen address (default 127.0.0.1:7777; port 0 = ephemeral)
+  --workers  worker threads (default 4)
+  --site     name for the next --system snapshot (repeatable)
+  --system   path to a system.json written by `tafloc calibrate` (repeatable)
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7777".to_string();
+    let mut workers = 4usize;
+    let mut site_names: Vec<String> = Vec::new();
+    let mut system_paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            "--addr" | "--workers" | "--site" | "--system" => {
+                let Some(value) = args.get(i + 1) else {
+                    fail(&format!("flag {} expects a value", args[i]));
+                };
+                match args[i].as_str() {
+                    "--addr" => addr = value.clone(),
+                    "--workers" => {
+                        workers = value.parse().unwrap_or_else(|_| {
+                            fail(&format!("--workers expects a number, got {value:?}"))
+                        });
+                    }
+                    "--site" => site_names.push(value.clone()),
+                    _ => system_paths.push(value.clone()),
+                }
+                i += 2;
+            }
+            other => fail(&format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    if site_names.len() != system_paths.len() {
+        fail("--site and --system must come in pairs");
+    }
+
+    let server = match Server::bind(&addr, ServerConfig { workers, ..Default::default() }) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot bind {addr}: {e}")),
+    };
+    for (name, path) in site_names.iter().zip(&system_paths) {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let snapshot = serde_json::from_str(&text)
+            .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        let system = tafloc_core::system::TafLoc::from_snapshot(snapshot)
+            .unwrap_or_else(|e| fail(&format!("invalid system in {path}: {e}")));
+        server
+            .add_site(name, system, 0.0)
+            .unwrap_or_else(|e| fail(&format!("cannot add site {name:?}: {e}")));
+        eprintln!("site {name:?} loaded from {path}");
+    }
+    println!("taflocd listening on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        fail(&format!("server failed: {e}"));
+    }
+    eprintln!("taflocd: drained and shut down cleanly");
+}

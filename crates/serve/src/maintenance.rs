@@ -1,0 +1,96 @@
+//! The background maintenance loop: the daemon half of "time-adaptive".
+//!
+//! Each registered site gets one maintenance thread. On every tick it
+//! re-evaluates the most recently ingested reference measurements against the
+//! site's [`tafloc_core::monitor::DriftMonitor`] and — when the estimated
+//! database error has stayed above threshold for `breach_streak` consecutive
+//! checks *and* the monitor's own `min_interval_days` cooldown has elapsed —
+//! runs LoLi-IR off the request path and atomically swaps the site snapshot.
+//! Two layers of hysteresis (the streak and the cooldown) keep one noisy
+//! spot check from thrashing the database.
+
+use crate::site::Site;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tafloc_core::monitor::MonitorConfig;
+
+fn default_interval_ms() -> u64 {
+    250
+}
+
+fn default_auto_refresh() -> bool {
+    true
+}
+
+fn default_breach_streak() -> u32 {
+    2
+}
+
+fn default_monitor_cells() -> usize {
+    2
+}
+
+/// Per-site maintenance policy (wire-configurable via `add-site`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintenancePolicy {
+    /// Milliseconds between maintenance ticks.
+    #[serde(default = "default_interval_ms")]
+    pub interval_ms: u64,
+    /// Whether the loop may trigger refreshes on its own; when `false` the
+    /// monitor still runs and `stats` reports its verdicts, but refreshes
+    /// only happen on an explicit `refresh` request.
+    #[serde(default = "default_auto_refresh")]
+    pub auto_refresh: bool,
+    /// Consecutive over-threshold checks required before an auto-refresh.
+    #[serde(default = "default_breach_streak")]
+    pub breach_streak: u32,
+    /// How many of the site's reference cells the drift probe compares
+    /// (clamped to the reference count at site creation).
+    #[serde(default = "default_monitor_cells")]
+    pub monitor_cells: usize,
+    /// Thresholds for the underlying [`DriftMonitor`](tafloc_core::monitor::DriftMonitor).
+    #[serde(default)]
+    pub monitor: MonitorConfig,
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy {
+            interval_ms: default_interval_ms(),
+            auto_refresh: default_auto_refresh(),
+            breach_streak: default_breach_streak(),
+            monitor_cells: default_monitor_cells(),
+            monitor: MonitorConfig::default(),
+        }
+    }
+}
+
+/// Spawns the maintenance thread for `site`. The thread exits promptly once
+/// the site's stop flag is raised (at `remove-site` or server shutdown).
+pub fn spawn_maintenance(site: Arc<Site>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("taflocd-maint-{}", site.name()))
+        .spawn(move || {
+            let interval = Duration::from_millis(site.policy().interval_ms.max(1));
+            while !site.stop_flag().load(Ordering::Relaxed) {
+                // Sleep in short slices so shutdown stays responsive even
+                // under multi-second tick intervals.
+                let mut remaining = interval;
+                while !remaining.is_zero() && !site.stop_flag().load(Ordering::Relaxed) {
+                    let slice = remaining.min(Duration::from_millis(20));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+                if site.stop_flag().load(Ordering::Relaxed) {
+                    break;
+                }
+                // A failed tick (e.g. a solver hiccup) must not kill the
+                // loop; the next ingested measurement gets a fresh chance.
+                let _ = site.maintenance_tick();
+            }
+        })
+        .expect("spawning the maintenance thread cannot fail")
+}

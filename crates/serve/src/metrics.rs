@@ -1,0 +1,257 @@
+//! Observability: per-endpoint atomic counters and latency histograms.
+//!
+//! Everything here is wait-free on the hot path: recording a request is a
+//! handful of relaxed atomic adds (count, error flag, histogram bucket,
+//! running sum, `fetch_max`). Reading statistics takes a consistent-enough
+//! snapshot by loading each atomic once — the small skew between counters
+//! under concurrent traffic does not matter for monitoring.
+
+use crate::protocol::EndpointStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Power-of-two latency buckets: bucket `i` covers `[2^i, 2^{i+1})` µs.
+/// 40 buckets reach ~2^40 µs ≈ 12.7 days, far beyond any request.
+const BUCKETS: usize = 40;
+
+/// The daemon's request endpoints (metrics keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Endpoint {
+    AddSite,
+    RemoveSite,
+    ListSites,
+    Locate,
+    Track,
+    Detect,
+    MeasureRefs,
+    Refresh,
+    Stats,
+    Ping,
+    Shutdown,
+}
+
+/// All endpoints, in display order.
+pub const ALL_ENDPOINTS: [Endpoint; 11] = [
+    Endpoint::AddSite,
+    Endpoint::RemoveSite,
+    Endpoint::ListSites,
+    Endpoint::Locate,
+    Endpoint::Track,
+    Endpoint::Detect,
+    Endpoint::MeasureRefs,
+    Endpoint::Refresh,
+    Endpoint::Stats,
+    Endpoint::Ping,
+    Endpoint::Shutdown,
+];
+
+impl Endpoint {
+    /// Wire name of the endpoint.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::AddSite => "add-site",
+            Endpoint::RemoveSite => "remove-site",
+            Endpoint::ListSites => "list-sites",
+            Endpoint::Locate => "locate",
+            Endpoint::Track => "track",
+            Endpoint::Detect => "detect",
+            Endpoint::MeasureRefs => "measure-refs",
+            Endpoint::Refresh => "refresh",
+            Endpoint::Stats => "stats",
+            Endpoint::Ping => "ping",
+            Endpoint::Shutdown => "shutdown",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A lock-free log₂ latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = (latency.as_micros() as u64).max(1);
+        let idx = (us.ilog2() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation in µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (µs) of the bucket holding quantile `q` (0 when empty).
+    /// Log-bucketed, so the answer is within 2x of the true quantile — plenty
+    /// for a `stats` endpoint.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return (1u64 << (i + 1)) - 1;
+            }
+        }
+        self.max_us()
+    }
+}
+
+/// Counters + histogram for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// The server-wide metrics table, indexed by [`Endpoint`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    endpoints: [EndpointMetrics; ALL_ENDPOINTS.len()],
+}
+
+impl Metrics {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one served request.
+    pub fn record(&self, endpoint: Endpoint, latency: Duration, ok: bool) {
+        let m = &self.endpoints[endpoint.index()];
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            m.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        m.latency.record(latency);
+    }
+
+    /// Requests served on one endpoint so far.
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        self.endpoints[endpoint.index()].requests.load(Ordering::Relaxed)
+    }
+
+    /// Error responses on one endpoint so far.
+    pub fn errors(&self, endpoint: Endpoint) -> u64 {
+        self.endpoints[endpoint.index()].errors.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every endpoint that has seen traffic.
+    pub fn report(&self) -> Vec<EndpointStats> {
+        ALL_ENDPOINTS
+            .iter()
+            .filter_map(|&e| {
+                let m = &self.endpoints[e.index()];
+                let requests = m.requests.load(Ordering::Relaxed);
+                if requests == 0 {
+                    return None;
+                }
+                Some(EndpointStats {
+                    endpoint: e.name().to_string(),
+                    requests,
+                    errors: m.errors.load(Ordering::Relaxed),
+                    p50_us: m.latency.quantile_us(0.50),
+                    p95_us: m.latency.quantile_us(0.95),
+                    p99_us: m.latency.quantile_us(0.99),
+                    max_us: m.latency.max_us(),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let h = LatencyHistogram::default();
+        for us in [3u64, 10, 10, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max_us(), 10_000);
+        let p50 = h.quantile_us(0.5);
+        let p95 = h.quantile_us(0.95);
+        let p99 = h.quantile_us(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        // p50 lands in the bucket containing 10 µs: [8, 16).
+        assert_eq!(p50, 15);
+        assert_eq!(h.quantile_us(1.0), 16_383); // bucket of 10_000 µs
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn metrics_count_requests_and_errors() {
+        let m = Metrics::new();
+        m.record(Endpoint::Locate, Duration::from_micros(50), true);
+        m.record(Endpoint::Locate, Duration::from_micros(70), false);
+        m.record(Endpoint::Ping, Duration::from_micros(1), true);
+        assert_eq!(m.requests(Endpoint::Locate), 2);
+        assert_eq!(m.errors(Endpoint::Locate), 1);
+        assert_eq!(m.requests(Endpoint::Refresh), 0);
+        let report = m.report();
+        assert_eq!(report.len(), 2); // silent endpoints are omitted
+        assert!(report.iter().any(|r| r.endpoint == "locate" && r.requests == 2));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record(Endpoint::Locate, Duration::from_micros(12), true);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.requests(Endpoint::Locate), 8000);
+    }
+}

@@ -1,0 +1,356 @@
+//! Wire protocol: newline-delimited JSON (one request per line, one response
+//! per line, in order).
+//!
+//! The framing is deliberately trivial — `serde_json` never emits a raw
+//! newline inside a JSON document, so `to_string` + `'\n'` is a complete
+//! codec that works from `netcat`, a shell script, or the bundled
+//! [`crate::client::Client`]. Requests are tagged unions on a `"cmd"` field:
+//!
+//! ```text
+//! {"cmd":"ping"}
+//! {"cmd":"locate","site":"lab","y":[-52.1,-48.7,...]}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! and responses on a `"reply"` field:
+//!
+//! ```text
+//! {"reply":"pong"}
+//! {"reply":"located","cell":42,"x":3.9,"y":5.1,"distance_db":2.31,"version":1}
+//! {"reply":"error","message":"unknown site \"attic\""}
+//! ```
+
+use crate::maintenance::MaintenancePolicy;
+use crate::{Result, ServeError};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use taf_linalg::Matrix;
+use tafloc_core::system::SystemSnapshot;
+
+/// Hard cap on one wire line (16 MiB) — a full `SystemSnapshot` for the
+/// paper-scale site is well under this; anything larger is a protocol abuse.
+pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// A client request, one JSON object per line, tagged by `cmd`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "cmd", rename_all = "kebab-case")]
+pub enum Request {
+    /// Register a new site from a calibrated system snapshot.
+    AddSite {
+        /// Site name (registry key).
+        site: String,
+        /// The calibrated system state to serve.
+        snapshot: SystemSnapshot,
+        /// Deployment day the snapshot corresponds to (drift-clock origin).
+        #[serde(default)]
+        day: f64,
+        /// Maintenance policy override; server default when omitted.
+        #[serde(default)]
+        policy: Option<MaintenancePolicy>,
+    },
+    /// Unregister a site and stop its maintenance thread.
+    RemoveSite {
+        /// Site name.
+        site: String,
+    },
+    /// List registered sites.
+    ListSites,
+    /// Localize one live RSS vector.
+    Locate {
+        /// Site name.
+        site: String,
+        /// Averaged per-link RSS (length = site's link count).
+        y: Vec<f64>,
+    },
+    /// Advance a named tracking stream by one measurement (particle filter).
+    Track {
+        /// Site name.
+        site: String,
+        /// Stream id — each id owns an independent filter state.
+        stream: String,
+        /// Averaged per-link RSS.
+        y: Vec<f64>,
+        /// Seconds since the stream's previous measurement.
+        dt_s: f64,
+    },
+    /// Feed a named presence-detection stream (snapshot + CUSUM).
+    Detect {
+        /// Site name.
+        site: String,
+        /// Stream id — each id owns independent CUSUM state.
+        stream: String,
+        /// Averaged per-link RSS.
+        y: Vec<f64>,
+    },
+    /// Ingest freshly measured reference columns (the cheap survey).
+    MeasureRefs {
+        /// Site name.
+        site: String,
+        /// Deployment day of the measurement.
+        day: f64,
+        /// `M x n` matrix, columns in the site's reference-cell order.
+        columns: Matrix,
+        /// Fresh empty-room baseline (length `M`).
+        empty: Vec<f64>,
+    },
+    /// Run LoLi-IR on the last ingested references and swap the snapshot.
+    Refresh {
+        /// Site name.
+        site: String,
+    },
+    /// Per-endpoint counters/latency and per-site health.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Graceful shutdown: drain in-flight connections, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Stable endpoint name, used as the metrics key.
+    pub fn endpoint(&self) -> crate::metrics::Endpoint {
+        use crate::metrics::Endpoint as E;
+        match self {
+            Request::AddSite { .. } => E::AddSite,
+            Request::RemoveSite { .. } => E::RemoveSite,
+            Request::ListSites => E::ListSites,
+            Request::Locate { .. } => E::Locate,
+            Request::Track { .. } => E::Track,
+            Request::Detect { .. } => E::Detect,
+            Request::MeasureRefs { .. } => E::MeasureRefs,
+            Request::Refresh { .. } => E::Refresh,
+            Request::Stats => E::Stats,
+            Request::Ping => E::Ping,
+            Request::Shutdown => E::Shutdown,
+        }
+    }
+}
+
+/// A server response, one JSON object per line, tagged by `reply`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "kebab-case")]
+pub enum Response {
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Site registered and serving.
+    SiteAdded {
+        /// Site name.
+        site: String,
+        /// Link count.
+        links: usize,
+        /// Cell count.
+        cells: usize,
+    },
+    /// Site removed.
+    SiteRemoved {
+        /// Site name.
+        site: String,
+    },
+    /// Registered sites.
+    Sites {
+        /// One entry per site.
+        sites: Vec<SiteInfo>,
+    },
+    /// Localization fix.
+    Located {
+        /// Best-matching cell.
+        cell: usize,
+        /// Estimated x (m).
+        x: f64,
+        /// Estimated y (m).
+        y: f64,
+        /// Fingerprint distance of the best match (dB).
+        distance_db: f64,
+        /// Snapshot version that served the request.
+        version: u64,
+    },
+    /// Tracking estimate.
+    Tracked {
+        /// Estimated x (m).
+        x: f64,
+        /// Estimated y (m).
+        y: f64,
+        /// Particle-filter effective sample size (diagnostic).
+        effective_sample_size: f64,
+    },
+    /// Presence decision.
+    Detected {
+        /// Whether a target is believed present.
+        present: bool,
+        /// Which detector fired and on what evidence.
+        detail: String,
+    },
+    /// Reference measurements accepted; the monitor's verdict on them.
+    RefsAccepted {
+        /// `healthy`, `update-recommended`, or `cooldown`.
+        recommendation: String,
+        /// Estimated whole-database drift (dB).
+        estimated_error_db: f64,
+    },
+    /// Snapshot refreshed (LoLi-IR ran and the swap happened).
+    Refreshed {
+        /// LoLi-IR outer iterations.
+        iterations: usize,
+        /// Whether the solver met tolerance.
+        converged: bool,
+        /// Mean absolute change applied to the database (dB).
+        mean_abs_change_db: f64,
+        /// New snapshot version.
+        version: u64,
+    },
+    /// Server statistics.
+    Stats {
+        /// The report.
+        report: StatsReport,
+    },
+    /// Liveness answer.
+    Pong,
+    /// Shutdown acknowledged; the server is draining.
+    ShuttingDown,
+}
+
+/// One site's identity row in `list-sites`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteInfo {
+    /// Site name.
+    pub site: String,
+    /// Link count.
+    pub links: usize,
+    /// Cell count.
+    pub cells: usize,
+    /// Current snapshot version (increments on every refresh).
+    pub version: u64,
+}
+
+/// Aggregated server statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Per-endpoint request counters and latency quantiles.
+    pub endpoints: Vec<EndpointStats>,
+    /// Per-site health.
+    pub sites: Vec<SiteStats>,
+}
+
+/// Counters and latency for one endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Endpoint name (`locate`, `refresh`, ...).
+    pub endpoint: String,
+    /// Requests served (including failures).
+    pub requests: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Median service latency (µs, histogram upper bound).
+    pub p50_us: u64,
+    /// 95th-percentile service latency (µs, histogram upper bound).
+    pub p95_us: u64,
+    /// 99th-percentile service latency (µs, histogram upper bound).
+    pub p99_us: u64,
+    /// Largest observed service latency (µs).
+    pub max_us: u64,
+}
+
+/// Health row for one site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteStats {
+    /// Site name.
+    pub site: String,
+    /// Current snapshot version.
+    pub version: u64,
+    /// Deployment day of the snapshot's last refresh (or calibration).
+    pub refreshed_day: f64,
+    /// Whether un-applied reference measurements are pending.
+    pub pending_refs: bool,
+    /// Latest drift estimate from the monitor (dB), if any check ran.
+    pub estimated_error_db: Option<f64>,
+    /// Spot checks performed by the maintenance loop.
+    pub maintenance_checks: u64,
+    /// Refreshes triggered automatically by the maintenance loop.
+    pub auto_refreshes: u64,
+    /// Live tracking streams.
+    pub active_trackers: usize,
+}
+
+/// Serializes `msg` as one newline-terminated JSON line and flushes.
+pub fn write_message<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<()> {
+    let mut line = serde_json::to_string(msg)?;
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one newline-terminated JSON message. Blank lines are skipped;
+/// `Ok(None)` means the peer closed the connection cleanly.
+pub fn read_message<R: BufRead, T: DeserializeOwned>(r: &mut R) -> Result<Option<T>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if n > MAX_LINE_BYTES {
+            return Err(ServeError::Protocol(format!(
+                "line of {n} bytes exceeds the {MAX_LINE_BYTES}-byte cap"
+            )));
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        return Ok(Some(serde_json::from_str(trimmed)?));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Locate { site: "lab".into(), y: vec![-50.0, -41.5] },
+            Request::Refresh { site: "lab".into() },
+            Request::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_message(&mut buf, r).unwrap();
+        }
+        let mut reader = BufReader::new(&buf[..]);
+        for want in &reqs {
+            let got: Request = read_message(&mut reader).unwrap().unwrap();
+            assert_eq!(serde_json::to_string(&got).unwrap(), serde_json::to_string(want).unwrap());
+        }
+        assert!(read_message::<_, Request>(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn wire_format_is_stable_kebab_case() {
+        let line = serde_json::to_string(&Request::ListSites).unwrap();
+        assert_eq!(line, r#"{"cmd":"list-sites"}"#);
+        let line = serde_json::to_string(&Response::Pong).unwrap();
+        assert_eq!(line, r#"{"reply":"pong"}"#);
+        let parsed: Request =
+            serde_json::from_str(r#"{"cmd":"locate","site":"a","y":[-1.0]}"#).unwrap();
+        assert!(matches!(parsed, Request::Locate { .. }));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_garbage_rejected() {
+        let mut reader = BufReader::new("\n\n{\"cmd\":\"ping\"}\nnot json\n".as_bytes());
+        let got: Request = read_message(&mut reader).unwrap().unwrap();
+        assert!(matches!(got, Request::Ping));
+        assert!(read_message::<_, Request>(&mut reader).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! The site registry: shards daemon state by site id.
+//!
+//! Sites are independent — separate snapshots, separate maintenance threads,
+//! separate mutable state — so the registry itself is just a name → `Arc<Site>`
+//! map behind an `RwLock` that is only held for lookups and membership
+//! changes. Request handling clones the `Arc` out and drops the lock before
+//! doing any work.
+
+use crate::maintenance::spawn_maintenance;
+use crate::site::Site;
+use crate::{Result, ServeError};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Name → site map plus the maintenance threads it owns.
+#[derive(Debug, Default)]
+pub struct Registry {
+    sites: RwLock<HashMap<String, Arc<Site>>>,
+    maintenance: Mutex<HashMap<String, JoinHandle<()>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers `site` and starts its maintenance thread.
+    pub fn add(&self, site: Site) -> Result<Arc<Site>> {
+        let site = Arc::new(site);
+        {
+            let mut map = self.sites.write().unwrap_or_else(|p| p.into_inner());
+            if map.contains_key(site.name()) {
+                return Err(ServeError::SiteExists(site.name().to_string()));
+            }
+            map.insert(site.name().to_string(), Arc::clone(&site));
+        }
+        let handle = spawn_maintenance(Arc::clone(&site));
+        self.maintenance
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(site.name().to_string(), handle);
+        Ok(site)
+    }
+
+    /// Looks a site up by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Site>> {
+        self.sites
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownSite(name.to_string()))
+    }
+
+    /// Unregisters a site, stops and joins its maintenance thread.
+    pub fn remove(&self, name: &str) -> Result<Arc<Site>> {
+        let site = {
+            let mut map = self.sites.write().unwrap_or_else(|p| p.into_inner());
+            map.remove(name).ok_or_else(|| ServeError::UnknownSite(name.to_string()))?
+        };
+        site.stop_flag().store(true, Ordering::Relaxed);
+        if let Some(handle) =
+            self.maintenance.lock().unwrap_or_else(|p| p.into_inner()).remove(name)
+        {
+            let _ = handle.join();
+        }
+        Ok(site)
+    }
+
+    /// All registered sites, name-sorted (stable output for `list-sites`).
+    pub fn list(&self) -> Vec<Arc<Site>> {
+        let mut sites: Vec<Arc<Site>> =
+            self.sites.read().unwrap_or_else(|p| p.into_inner()).values().cloned().collect();
+        sites.sort_by(|a, b| a.name().cmp(b.name()));
+        sites
+    }
+
+    /// Raises every site's stop flag and joins all maintenance threads
+    /// (server shutdown). Sites stay registered and readable.
+    pub fn stop_maintenance(&self) {
+        for site in self.list() {
+            site.stop_flag().store(true, Ordering::Relaxed);
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut map = self.maintenance.lock().unwrap_or_else(|p| p.into_inner());
+            map.drain().map(|(_, h)| h).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}

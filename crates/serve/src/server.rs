@@ -1,0 +1,359 @@
+//! The TCP server: accept loop, worker-thread pool, request dispatch, and
+//! graceful shutdown.
+//!
+//! Std-only by design (the repo carries no async runtime): a blocking
+//! `TcpListener` accept loop hands connections to a fixed pool of worker
+//! threads over an `mpsc` channel. Each connection speaks the
+//! newline-delimited JSON protocol of [`crate::protocol`] and may pipeline
+//! any number of requests.
+//!
+//! Shutdown is graceful: a `shutdown` request (or
+//! [`ServerHandle::shutdown`]) raises the flag and nudges the accept loop
+//! with a loopback connection; the accept thread stops handing out new
+//! connections and drops the channel sender; workers finish the connections
+//! they hold (and any still queued) and exit; maintenance threads are stopped
+//! and joined last.
+
+use crate::maintenance::MaintenancePolicy;
+use crate::metrics::Metrics;
+use crate::protocol::{read_message, write_message, Request, Response, StatsReport};
+use crate::registry::Registry;
+use crate::site::{detection_detail, recommendation_name, Site};
+use crate::{Result, ServeError};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tafloc_core::system::TafLoc;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Per-connection read timeout; an idle connection past it is closed
+    /// (`None` = wait forever — then idle keep-alive clients pin workers).
+    pub read_timeout: Option<Duration>,
+    /// Maintenance policy applied to sites added without an explicit one.
+    pub default_policy: MaintenancePolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            read_timeout: Some(Duration::from_secs(60)),
+            default_policy: MaintenancePolicy::default(),
+        }
+    }
+}
+
+/// Shared server state, visible to every worker.
+#[derive(Debug)]
+pub struct ServerCtx {
+    /// The site registry.
+    pub registry: Registry,
+    /// Per-endpoint counters and latency histograms.
+    pub metrics: Metrics,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    read_timeout: Option<Duration>,
+    default_policy: MaintenancePolicy,
+    workers: usize,
+    started: Instant,
+}
+
+impl ServerCtx {
+    /// Whether shutdown has been initiated.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Initiates shutdown: raises the flag and wakes the accept loop.
+    pub fn initiate_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Nudge the (blocking) accept call so it observes the flag.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+
+    /// Builds the `stats` report.
+    pub fn stats_report(&self) -> StatsReport {
+        StatsReport {
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            endpoints: self.metrics.report(),
+            sites: self.registry.list().iter().map(|s| s.stats()).collect(),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<ServerCtx>,
+}
+
+/// Handle to a running server: its address, context, and thread joins.
+#[derive(Debug)]
+pub struct ServerHandle {
+    ctx: Arc<ServerCtx>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let ctx = Arc::new(ServerCtx {
+            registry: Registry::new(),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            read_timeout: config.read_timeout,
+            default_policy: config.default_policy,
+            workers: config.workers.max(1),
+            started: Instant::now(),
+        });
+        Ok(Server { listener, ctx })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.local_addr
+    }
+
+    /// Shared context (register sites before starting, inspect metrics...).
+    pub fn ctx(&self) -> &Arc<ServerCtx> {
+        &self.ctx
+    }
+
+    /// Registers a site before (or while) serving.
+    pub fn add_site(&self, name: &str, system: TafLoc, day: f64) -> Result<()> {
+        let policy = self.ctx.default_policy;
+        self.ctx.registry.add(Site::new(name, system, day, policy)?)?;
+        Ok(())
+    }
+
+    /// Starts the accept loop and worker pool; returns immediately.
+    pub fn spawn(self) -> ServerHandle {
+        let workers = self.ctx.workers;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let ctx = Arc::clone(&self.ctx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("taflocd-worker-{i}"))
+                    .spawn(move || worker_loop(rx, ctx))
+                    .expect("spawning a worker thread cannot fail"),
+            );
+        }
+        let ctx = Arc::clone(&self.ctx);
+        let listener = self.listener;
+        threads.push(
+            std::thread::Builder::new()
+                .name("taflocd-accept".to_string())
+                .spawn(move || accept_loop(listener, tx, ctx))
+                .expect("spawning the accept thread cannot fail"),
+        );
+        ServerHandle { ctx: self.ctx, threads }
+    }
+
+    /// Runs to completion: serves until a `shutdown` request arrives, then
+    /// drains and returns. This is what `taflocd` calls.
+    pub fn run(self) -> Result<()> {
+        self.spawn().join();
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    /// Shared context.
+    pub fn ctx(&self) -> &Arc<ServerCtx> {
+        &self.ctx
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.local_addr
+    }
+
+    /// Initiates graceful shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.ctx.initiate_shutdown();
+    }
+
+    /// Waits for the accept loop and workers to drain, then stops
+    /// maintenance threads. Call after `shutdown`, or rely on a client's
+    /// `shutdown` request to initiate it.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.ctx.registry.stop_maintenance();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: mpsc::Sender<TcpStream>, ctx: Arc<ServerCtx>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if ctx.is_shutdown() {
+                    break; // the wake-up connection (or a late client) — drop it
+                }
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if ctx.is_shutdown() {
+                    break;
+                }
+                // Transient accept errors (EMFILE, aborted handshake): keep serving.
+            }
+        }
+    }
+    // Dropping `tx` here lets workers drain queued connections and exit.
+}
+
+fn worker_loop(rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>, ctx: Arc<ServerCtx>) {
+    loop {
+        // Hold the receiver lock only while dequeuing, never while serving.
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv()
+        };
+        match stream {
+            Ok(s) => {
+                let _ = handle_connection(s, &ctx);
+            }
+            Err(_) => break, // channel closed: shutdown drain complete
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> Result<()> {
+    stream.set_read_timeout(ctx.read_timeout)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let request: Request = match read_message(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(ServeError::Json(e)) => {
+                // Framing is line-based, so a malformed line is recoverable:
+                // report it and keep the connection.
+                write_message(
+                    &mut writer,
+                    &Response::Error { message: format!("malformed request: {e}") },
+                )?;
+                continue;
+            }
+            Err(_) => return Ok(()), // timeout / reset: close quietly
+        };
+        let endpoint = request.endpoint();
+        let shutdown_requested = matches!(request, Request::Shutdown);
+        let start = Instant::now();
+        let response = dispatch(request, ctx);
+        let ok = !matches!(response, Response::Error { .. });
+        ctx.metrics.record(endpoint, start.elapsed(), ok);
+        write_message(&mut writer, &response)?;
+        if shutdown_requested {
+            ctx.initiate_shutdown();
+            return Ok(());
+        }
+        // Finish the in-flight request, then drain: no new work on this
+        // connection once shutdown has started.
+        if ctx.is_shutdown() {
+            return Ok(());
+        }
+    }
+}
+
+fn err_response(e: ServeError) -> Response {
+    Response::Error { message: e.to_string() }
+}
+
+/// Serves one request against the shared state. Pure request → response; all
+/// transport concerns live in [`handle_connection`].
+pub fn dispatch(request: Request, ctx: &ServerCtx) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::ShuttingDown,
+        Request::Stats => Response::Stats { report: ctx.stats_report() },
+        Request::ListSites => {
+            Response::Sites { sites: ctx.registry.list().iter().map(|s| s.info()).collect() }
+        }
+        Request::AddSite { site, snapshot, day, policy } => {
+            let system = match TafLoc::from_snapshot(snapshot) {
+                Ok(s) => s,
+                Err(e) => return err_response(e.into()),
+            };
+            let links = system.db().num_links();
+            let cells = system.db().num_cells();
+            let policy = policy.unwrap_or(ctx.default_policy);
+            match Site::new(&site, system, day, policy).and_then(|s| ctx.registry.add(s)) {
+                Ok(_) => Response::SiteAdded { site, links, cells },
+                Err(e) => err_response(e),
+            }
+        }
+        Request::RemoveSite { site } => match ctx.registry.remove(&site) {
+            Ok(_) => Response::SiteRemoved { site },
+            Err(e) => err_response(e),
+        },
+        Request::Locate { site, y } => match ctx.registry.get(&site).and_then(|s| s.locate(&y)) {
+            Ok((fix, version)) => Response::Located {
+                cell: fix.cell,
+                x: fix.point.x,
+                y: fix.point.y,
+                distance_db: fix.best_distance,
+                version,
+            },
+            Err(e) => err_response(e),
+        },
+        Request::Track { site, stream, y, dt_s } => {
+            match ctx.registry.get(&site).and_then(|s| s.track(&stream, &y, dt_s)) {
+                Ok(est) => Response::Tracked {
+                    x: est.point.x,
+                    y: est.point.y,
+                    effective_sample_size: est.effective_sample_size,
+                },
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Detect { site, stream, y } => {
+            match ctx.registry.get(&site).and_then(|s| s.detect(&stream, &y)) {
+                Ok(det) => {
+                    Response::Detected { present: det.is_present(), detail: detection_detail(&det) }
+                }
+                Err(e) => err_response(e),
+            }
+        }
+        Request::MeasureRefs { site, day, columns, empty } => {
+            match ctx.registry.get(&site).and_then(|s| s.ingest_refs(day, columns, empty)) {
+                Ok(rec) => Response::RefsAccepted {
+                    recommendation: recommendation_name(&rec).to_string(),
+                    estimated_error_db: rec.estimated_error_db(),
+                },
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Refresh { site } => match ctx.registry.get(&site).and_then(|s| s.refresh()) {
+            Ok((report, version)) => Response::Refreshed {
+                iterations: report.iterations,
+                converged: report.converged,
+                mean_abs_change_db: report.mean_abs_change_db,
+                version,
+            },
+            Err(e) => err_response(e),
+        },
+    }
+}

@@ -1,0 +1,323 @@
+//! Per-site serving state: an immutable, swappable snapshot for the read
+//! path plus a small mutex-guarded block of genuinely mutable state.
+//!
+//! The split is the whole design:
+//!
+//! * [`SiteSnapshot`] (calibrated [`TafLoc`] + version) lives in a
+//!   [`SnapshotCell`]; `locate` clones the `Arc` and runs entirely on
+//!   immutable data — concurrent requests never contend with a refresh.
+//! * [`SiteDynamic`] holds what must mutate between requests: the drift
+//!   monitor, pending reference measurements, per-stream particle filters and
+//!   presence detectors. Its mutex is only held for cheap state updates,
+//!   never across LoLi-IR.
+//! * a dedicated `refresh` mutex serializes refreshes; reconstruction runs
+//!   while holding *only* that, then publishes with one pointer swap.
+
+use crate::maintenance::MaintenancePolicy;
+use crate::protocol::{SiteInfo, SiteStats};
+use crate::snapshot::SnapshotCell;
+use crate::{Result, ServeError};
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, MutexGuard};
+use taf_linalg::Matrix;
+use tafloc_core::detection::{Detection, DetectorConfig, PresenceDetector};
+use tafloc_core::matcher::MatchResult;
+use tafloc_core::monitor::{DriftMonitor, Recommendation};
+use tafloc_core::system::{TafLoc, UpdateReport};
+use tafloc_core::tracking::{ParticleFilter, TrackEstimate, TrackerConfig};
+
+/// The immutable state one `locate` needs, swapped wholesale on refresh.
+#[derive(Debug)]
+pub struct SiteSnapshot {
+    /// The calibrated system (configuration, database, LRR model, graphs).
+    pub system: TafLoc,
+    /// Monotonic version; bumps by one on every refresh.
+    pub version: u64,
+    /// Deployment day of the last refresh (or of calibration for version 0).
+    pub refreshed_day: f64,
+}
+
+/// Reference measurements awaiting reconstruction.
+#[derive(Debug, Clone)]
+pub struct PendingRefs {
+    /// Deployment day of the measurement.
+    pub day: f64,
+    /// `M x n` fresh reference columns (site reference-cell order).
+    pub columns: Matrix,
+    /// Fresh empty-room baseline.
+    pub empty: Vec<f64>,
+}
+
+/// The mutable half of a site.
+#[derive(Debug)]
+struct SiteDynamic {
+    monitor: DriftMonitor,
+    pending: Option<PendingRefs>,
+    trackers: HashMap<String, ParticleFilter>,
+    detectors: HashMap<String, PresenceDetector>,
+    breach_streak: u32,
+    last_estimate_db: Option<f64>,
+    maintenance_checks: u64,
+    auto_refreshes: u64,
+}
+
+/// One registered site.
+#[derive(Debug)]
+pub struct Site {
+    name: String,
+    cell: SnapshotCell<SiteSnapshot>,
+    dynamic: Mutex<SiteDynamic>,
+    /// Serializes refreshes; never held by the read path.
+    refresh: Mutex<()>,
+    policy: MaintenancePolicy,
+    monitor_cells: usize,
+    stop: AtomicBool,
+}
+
+fn stream_seed(site: &str, stream: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    site.hash(&mut h);
+    stream.hash(&mut h);
+    h.finish()
+}
+
+impl Site {
+    /// Wraps a calibrated system for serving. `day` anchors the drift clock
+    /// (the deployment day the system state corresponds to).
+    pub fn new(name: &str, system: TafLoc, day: f64, policy: MaintenancePolicy) -> Result<Site> {
+        let monitor_cells = policy.monitor_cells.max(1).min(system.reference_cells().len().max(1));
+        let monitor = system.monitor(monitor_cells, day, policy.monitor)?;
+        Ok(Site {
+            name: name.to_string(),
+            cell: SnapshotCell::new(SiteSnapshot { system, version: 0, refreshed_day: day }),
+            dynamic: Mutex::new(SiteDynamic {
+                monitor,
+                pending: None,
+                trackers: HashMap::new(),
+                detectors: HashMap::new(),
+                breach_streak: 0,
+                last_estimate_db: None,
+                maintenance_checks: 0,
+                auto_refreshes: 0,
+            }),
+            refresh: Mutex::new(()),
+            policy,
+            monitor_cells,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Site name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The maintenance policy in force.
+    pub fn policy(&self) -> &MaintenancePolicy {
+        &self.policy
+    }
+
+    /// Maintenance-thread stop flag (raised on removal/shutdown).
+    pub fn stop_flag(&self) -> &AtomicBool {
+        &self.stop
+    }
+
+    /// Current snapshot (read path — never blocks behind a refresh).
+    pub fn load(&self) -> Arc<SiteSnapshot> {
+        self.cell.load()
+    }
+
+    fn lock_dynamic(&self) -> MutexGuard<'_, SiteDynamic> {
+        match self.dynamic.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Localizes one RSS vector on the current snapshot.
+    pub fn locate(&self, y: &[f64]) -> Result<(MatchResult, u64)> {
+        let snap = self.load();
+        let fix = snap.system.localize(y)?;
+        Ok((fix, snap.version))
+    }
+
+    /// Advances (creating on first use) the particle filter of `stream`.
+    pub fn track(&self, stream: &str, y: &[f64], dt_s: f64) -> Result<TrackEstimate> {
+        let snap = self.load();
+        let mut d = self.lock_dynamic();
+        let pf = match d.trackers.entry(stream.to_string()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => v.insert(ParticleFilter::new(
+                snap.system.db(),
+                TrackerConfig::default(),
+                stream_seed(&self.name, stream),
+            )?),
+        };
+        Ok(pf.step(snap.system.db(), y, dt_s)?)
+    }
+
+    /// Feeds (creating on first use) the presence detector of `stream`.
+    pub fn detect(&self, stream: &str, y: &[f64]) -> Result<Detection> {
+        let snap = self.load();
+        let mut d = self.lock_dynamic();
+        let det = match d.detectors.entry(stream.to_string()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => v.insert(PresenceDetector::new(
+                snap.system.empty_rss().to_vec(),
+                DetectorConfig::default(),
+            )?),
+        };
+        Ok(det.update(y)?)
+    }
+
+    fn monitored_columns(&self, columns: &Matrix) -> Result<Matrix> {
+        let idx: Vec<usize> = (0..self.monitor_cells).collect();
+        Ok(columns.select_cols(&idx)?)
+    }
+
+    /// Stores fresh reference measurements as pending and returns the drift
+    /// monitor's immediate verdict on them.
+    pub fn ingest_refs(
+        &self,
+        day: f64,
+        columns: Matrix,
+        empty: Vec<f64>,
+    ) -> Result<Recommendation> {
+        let snap = self.load();
+        let m = snap.system.db().num_links();
+        let n = snap.system.reference_cells().len();
+        if columns.shape() != (m, n) {
+            return Err(ServeError::Protocol(format!(
+                "measure-refs expects a {m}x{n} matrix, got {:?}",
+                columns.shape()
+            )));
+        }
+        if empty.len() != m {
+            return Err(ServeError::Protocol(format!(
+                "measure-refs expects an empty-room vector of length {m}, got {}",
+                empty.len()
+            )));
+        }
+        let monitored = self.monitored_columns(&columns)?;
+        let mut d = self.lock_dynamic();
+        let rec = d.monitor.check(day, &monitored)?;
+        d.last_estimate_db = Some(rec.estimated_error_db());
+        d.pending = Some(PendingRefs { day, columns, empty });
+        Ok(rec)
+    }
+
+    /// Runs LoLi-IR on the pending reference measurements and publishes the
+    /// reconstructed database as a new snapshot. The heavy solve happens off
+    /// both the read path and the dynamic-state mutex.
+    pub fn refresh(&self) -> Result<(UpdateReport, u64)> {
+        let _serialized = match self.refresh.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let pending = self.lock_dynamic().pending.clone().ok_or_else(|| {
+            ServeError::Protocol(
+                "no pending reference measurements; send measure-refs first".into(),
+            )
+        })?;
+        let snap = self.load();
+        let mut system = snap.system.clone();
+        let report = system.update(&pending.columns, &pending.empty)?;
+        let monitored: Vec<usize> = system.reference_cells()[..self.monitor_cells].to_vec();
+        let refreshed_cols = system.db().rss().select_cols(&monitored)?;
+        let fresh_empty = system.empty_rss().to_vec();
+        let version = snap.version + 1;
+        {
+            let mut d = self.lock_dynamic();
+            d.monitor.record_update(pending.day, refreshed_cols)?;
+            for det in d.detectors.values_mut() {
+                det.rebaseline(fresh_empty.clone())?;
+            }
+            d.pending = None;
+            d.breach_streak = 0;
+        }
+        self.cell.store(SiteSnapshot { system, version, refreshed_day: pending.day });
+        Ok((report, version))
+    }
+
+    /// One pass of the background maintenance loop: re-check pending
+    /// references against the monitor and auto-refresh when the breach streak
+    /// and the monitor's cooldown both allow it. Returns the new version when
+    /// a refresh was triggered.
+    pub fn maintenance_tick(&self) -> Result<Option<u64>> {
+        let trigger = {
+            let mut d = self.lock_dynamic();
+            d.maintenance_checks += 1;
+            let Some(pending) = d.pending.clone() else {
+                d.breach_streak = 0;
+                return Ok(None);
+            };
+            let monitored = self.monitored_columns(&pending.columns)?;
+            let rec = d.monitor.check(pending.day, &monitored)?;
+            d.last_estimate_db = Some(rec.estimated_error_db());
+            if matches!(rec, Recommendation::UpdateRecommended { .. }) {
+                d.breach_streak += 1;
+            } else {
+                d.breach_streak = 0;
+            }
+            self.policy.auto_refresh && d.breach_streak >= self.policy.breach_streak.max(1)
+        };
+        if !trigger {
+            return Ok(None);
+        }
+        let (_, version) = self.refresh()?;
+        self.lock_dynamic().auto_refreshes += 1;
+        Ok(Some(version))
+    }
+
+    /// Identity row for `list-sites`.
+    pub fn info(&self) -> SiteInfo {
+        let snap = self.load();
+        SiteInfo {
+            site: self.name.clone(),
+            links: snap.system.db().num_links(),
+            cells: snap.system.db().num_cells(),
+            version: snap.version,
+        }
+    }
+
+    /// Health row for `stats`.
+    pub fn stats(&self) -> SiteStats {
+        let snap = self.load();
+        let d = self.lock_dynamic();
+        SiteStats {
+            site: self.name.clone(),
+            version: snap.version,
+            refreshed_day: snap.refreshed_day,
+            pending_refs: d.pending.is_some(),
+            estimated_error_db: d.last_estimate_db,
+            maintenance_checks: d.maintenance_checks,
+            auto_refreshes: d.auto_refreshes,
+            active_trackers: d.trackers.len(),
+        }
+    }
+}
+
+/// Renders a [`Recommendation`] as its wire name.
+pub fn recommendation_name(rec: &Recommendation) -> &'static str {
+    match rec {
+        Recommendation::Healthy { .. } => "healthy",
+        Recommendation::UpdateRecommended { .. } => "update-recommended",
+        Recommendation::Cooldown { .. } => "cooldown",
+    }
+}
+
+/// Renders a [`Detection`] as a short human-readable description.
+pub fn detection_detail(det: &Detection) -> String {
+    match det {
+        Detection::Absent => "absent".to_string(),
+        Detection::PresentInstant { link, drop_db } => {
+            format!("instant: link {link} dropped {drop_db:.1} dB")
+        }
+        Detection::PresentAccumulated { link, statistic } => {
+            format!("accumulated: link {link} CUSUM {statistic:.1}")
+        }
+    }
+}

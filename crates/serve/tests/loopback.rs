@@ -1,0 +1,338 @@
+//! Loopback integration tests: a real `taflocd` server on an ephemeral port,
+//! driven by real TCP clients against a simulated site.
+//!
+//! The headline test proves the snapshot swap is race-free under load:
+//! concurrent `locate` streams keep running while a `refresh` reconstructs
+//! and swaps the database, and every response must match the deterministic
+//! single-threaded library path for one of the two snapshot versions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use taf_rfsim::{campaign, World, WorldConfig};
+use tafloc_core::db::FingerprintDb;
+use tafloc_core::monitor::MonitorConfig;
+use tafloc_core::system::{TafLoc, TafLocConfig};
+use tafloc_serve::client::Client;
+use tafloc_serve::maintenance::MaintenancePolicy;
+use tafloc_serve::protocol::{Request, Response};
+use tafloc_serve::server::{Server, ServerConfig};
+
+const SAMPLES: usize = 20;
+const UPDATE_DAY: f64 = 45.0;
+
+fn calibrated_site(seed: u64) -> (World, TafLoc) {
+    let world = World::new(WorldConfig::small_test(), seed);
+    let x0 = campaign::full_calibration(&world, 0.0, SAMPLES);
+    let e0 = campaign::empty_snapshot(&world, 0.0, SAMPLES);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    let config = TafLocConfig { ref_count: 6, ..Default::default() };
+    let sys = TafLoc::calibrate(config, db, e0).unwrap();
+    (world, sys)
+}
+
+fn manual_policy() -> MaintenancePolicy {
+    // Monitor runs, but refreshes only on explicit request — the test
+    // controls the swap instant itself.
+    MaintenancePolicy { auto_refresh: false, ..Default::default() }
+}
+
+#[test]
+fn concurrent_locates_survive_a_refresh_and_match_the_library_path() {
+    let (world, sys) = calibrated_site(11);
+    let num_cells = world.num_cells();
+
+    // Deterministic library-path expectations for both snapshot versions.
+    let queries: Vec<Vec<f64>> = (0..num_cells)
+        .map(|c| campaign::snapshot_at_cell(&world, UPDATE_DAY, c, SAMPLES))
+        .collect();
+    let stale_expected: Vec<usize> =
+        queries.iter().map(|y| sys.localize(y).unwrap().cell).collect();
+    let fresh_refs = campaign::measure_columns(&world, UPDATE_DAY, sys.reference_cells(), SAMPLES);
+    let fresh_empty = campaign::empty_snapshot(&world, UPDATE_DAY, SAMPLES);
+    let mut updated = sys.clone();
+    updated.update(&fresh_refs, &fresh_empty).unwrap();
+    let fresh_expected: Vec<usize> =
+        queries.iter().map(|y| updated.localize(y).unwrap().cell).collect();
+
+    // More workers than persistent connections, so nobody starves.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers: 8, default_policy: manual_policy(), ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    server.add_site("lab", sys, 0.0).unwrap();
+    let handle = server.spawn();
+
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 3;
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let mismatches = Arc::new(AtomicUsize::new(0));
+    let queries = Arc::new(queries);
+    let stale_expected = Arc::new(stale_expected);
+    let fresh_expected = Arc::new(fresh_expected);
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let mismatches = Arc::clone(&mismatches);
+            let queries = Arc::clone(&queries);
+            let stale_expected = Arc::clone(&stale_expected);
+            let fresh_expected = Arc::clone(&fresh_expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    for (c, y) in queries.iter().enumerate() {
+                        let (cell, _, _, version) = client.locate("lab", y).unwrap();
+                        let expected =
+                            if version == 0 { stale_expected[c] } else { fresh_expected[c] };
+                        if cell != expected {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // While the clients hammer `locate`, ingest references and refresh.
+    let mut admin = Client::connect(addr).unwrap();
+    barrier.wait();
+    std::thread::sleep(Duration::from_millis(20));
+    match admin
+        .call_ok(&Request::MeasureRefs {
+            site: "lab".into(),
+            day: UPDATE_DAY,
+            columns: fresh_refs,
+            empty: fresh_empty,
+        })
+        .unwrap()
+    {
+        Response::RefsAccepted { .. } => {}
+        other => panic!("unexpected reply to measure-refs: {other:?}"),
+    }
+    match admin.call_ok(&Request::Refresh { site: "lab".into() }).unwrap() {
+        Response::Refreshed { version, converged, .. } => {
+            assert_eq!(version, 1);
+            assert!(converged);
+        }
+        other => panic!("unexpected reply to refresh: {other:?}"),
+    }
+
+    for c in clients {
+        c.join().unwrap();
+    }
+    assert_eq!(
+        mismatches.load(Ordering::Relaxed),
+        0,
+        "every concurrent locate must match the library path for its snapshot version"
+    );
+
+    // After the swap, the served answers equal the updated library system's.
+    for (c, y) in queries.iter().enumerate() {
+        let (cell, _, _, version) = admin.locate("lab", y).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(cell, fresh_expected[c], "post-refresh mismatch at cell {c}");
+    }
+
+    // Stats must account for every request exactly.
+    let expected_locates = (CLIENTS * ROUNDS * num_cells + num_cells) as u64;
+    match admin.call_ok(&Request::Stats).unwrap() {
+        Response::Stats { report } => {
+            let locate = report
+                .endpoints
+                .iter()
+                .find(|e| e.endpoint == "locate")
+                .expect("locate endpoint must appear in stats");
+            assert_eq!(locate.requests, expected_locates);
+            assert_eq!(locate.errors, 0);
+            let refresh = report.endpoints.iter().find(|e| e.endpoint == "refresh").unwrap();
+            assert_eq!(refresh.requests, 1);
+            let site = report.sites.iter().find(|s| s.site == "lab").unwrap();
+            assert_eq!(site.version, 1);
+            assert!(!site.pending_refs, "refresh must consume the pending refs");
+        }
+        other => panic!("unexpected reply to stats: {other:?}"),
+    }
+
+    match admin.call_ok(&Request::Shutdown).unwrap() {
+        Response::ShuttingDown => {}
+        other => panic!("unexpected reply to shutdown: {other:?}"),
+    }
+    handle.join();
+}
+
+#[test]
+fn maintenance_loop_auto_refreshes_after_breach_streak() {
+    let (world, sys) = calibrated_site(12);
+    let policy = MaintenancePolicy {
+        interval_ms: 25,
+        auto_refresh: true,
+        breach_streak: 2,
+        monitor_cells: 2,
+        monitor: MonitorConfig { error_threshold_db: 0.3, min_interval_days: 1.0 },
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers: 2, default_policy: policy, ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    server.add_site("lab", sys.clone(), 0.0).unwrap();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).unwrap();
+    let refs = campaign::measure_columns(&world, 60.0, sys.reference_cells(), SAMPLES);
+    let empty = campaign::empty_snapshot(&world, 60.0, SAMPLES);
+    client
+        .call_ok(&Request::MeasureRefs { site: "lab".into(), day: 60.0, columns: refs, empty })
+        .unwrap();
+
+    // The maintenance thread needs `breach_streak` ticks before it may act;
+    // poll stats until the auto-refresh lands.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut refreshed = false;
+    while Instant::now() < deadline {
+        if let Response::Stats { report } = client.call_ok(&Request::Stats).unwrap() {
+            let site = report.sites.iter().find(|s| s.site == "lab").unwrap();
+            if site.version >= 1 {
+                assert!(site.auto_refreshes >= 1, "version bumped by the maintenance loop");
+                assert!(!site.pending_refs);
+                assert!(site.maintenance_checks >= 2, "streak hysteresis needs >= 2 checks");
+                refreshed = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(refreshed, "maintenance loop never auto-refreshed a badly drifted site");
+
+    client.call_ok(&Request::Shutdown).unwrap();
+    handle.join();
+}
+
+#[test]
+fn protocol_errors_leave_the_connection_usable_and_are_counted() {
+    let server =
+        Server::bind("127.0.0.1:0", ServerConfig { workers: 2, ..Default::default() }).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).unwrap();
+    // Unknown site → error response, connection still fine.
+    match client.call(&Request::Locate { site: "nowhere".into(), y: vec![-50.0] }).unwrap() {
+        Response::Error { message } => assert!(message.contains("nowhere")),
+        other => panic!("expected an error, got {other:?}"),
+    }
+    client.ping().unwrap();
+    // Refresh without pending refs on an unknown site → error too.
+    assert!(client.call_ok(&Request::Refresh { site: "nowhere".into() }).is_err());
+
+    match client.call_ok(&Request::Stats).unwrap() {
+        Response::Stats { report } => {
+            let locate = report.endpoints.iter().find(|e| e.endpoint == "locate").unwrap();
+            assert_eq!(locate.requests, 1);
+            assert_eq!(locate.errors, 1);
+        }
+        other => panic!("unexpected reply to stats: {other:?}"),
+    }
+
+    client.call_ok(&Request::Shutdown).unwrap();
+    handle.join();
+}
+
+#[test]
+fn track_detect_and_multi_site_round_trip() {
+    let (world, sys) = calibrated_site(13);
+    let (_, sys_b) = calibrated_site(14);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers: 2, default_policy: manual_policy(), ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    server.add_site("east", sys, 0.0).unwrap();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).unwrap();
+
+    // Second site arrives over the wire.
+    match client
+        .call_ok(&Request::AddSite {
+            site: "west".into(),
+            snapshot: sys_b.snapshot(),
+            day: 0.0,
+            policy: None,
+        })
+        .unwrap()
+    {
+        Response::SiteAdded { site, links, cells } => {
+            assert_eq!(site, "west");
+            assert_eq!(links, 6);
+            assert_eq!(cells, 30);
+        }
+        other => panic!("unexpected reply to add-site: {other:?}"),
+    }
+    match client.call_ok(&Request::ListSites).unwrap() {
+        Response::Sites { sites } => {
+            let names: Vec<_> = sites.iter().map(|s| s.site.as_str()).collect();
+            assert_eq!(names, ["east", "west"]);
+        }
+        other => panic!("unexpected reply to list-sites: {other:?}"),
+    }
+
+    // A few tracking steps on a static target converge near its cell.
+    let target_cell = 12;
+    let truth = world.grid().cell_center(target_cell);
+    let mut final_est = (f64::NAN, f64::NAN);
+    for k in 0..10 {
+        let y = campaign::snapshot_at_cell(&world, 0.001 * k as f64, target_cell, 50);
+        match client
+            .call_ok(&Request::Track {
+                site: "east".into(),
+                stream: "badge-7".into(),
+                y,
+                dt_s: 1.0,
+            })
+            .unwrap()
+        {
+            Response::Tracked { x, y, effective_sample_size } => {
+                assert!(effective_sample_size >= 1.0);
+                final_est = (x, y);
+            }
+            other => panic!("unexpected reply to track: {other:?}"),
+        }
+    }
+    let err = ((final_est.0 - truth.x).powi(2) + (final_est.1 - truth.y).powi(2)).sqrt();
+    assert!(err < 2.0, "tracking estimate {err:.2} m from the static target");
+
+    // Empty room stays absent; a deep shadow is detected.
+    let empty = campaign::empty_snapshot(&world, 0.0, 50);
+    match client
+        .call_ok(&Request::Detect { site: "east".into(), stream: "door".into(), y: empty.clone() })
+        .unwrap()
+    {
+        Response::Detected { present, .. } => assert!(!present),
+        other => panic!("unexpected reply to detect: {other:?}"),
+    }
+    let mut shadowed = empty;
+    shadowed[0] -= 12.0;
+    match client
+        .call_ok(&Request::Detect { site: "east".into(), stream: "door".into(), y: shadowed })
+        .unwrap()
+    {
+        Response::Detected { present, detail } => {
+            assert!(present, "12 dB shadow must be detected ({detail})");
+        }
+        other => panic!("unexpected reply to detect: {other:?}"),
+    }
+
+    // remove-site makes the name unknown again.
+    client.call_ok(&Request::RemoveSite { site: "west".into() }).unwrap();
+    assert!(client.call_ok(&Request::Locate { site: "west".into(), y: vec![-50.0; 6] }).is_err());
+
+    client.call_ok(&Request::Shutdown).unwrap();
+    handle.join();
+}

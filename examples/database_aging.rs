@@ -31,10 +31,7 @@ fn main() {
         .expect("calibration succeeds");
     let mut updated = stale.clone();
 
-    println!(
-        "{:>8} {:>16} {:>16} {:>18}",
-        "day", "never [m]", "TafLoc [m]", "re-survey [m]"
-    );
+    println!("{:>8} {:>16} {:>16} {:>18}", "day", "never [m]", "TafLoc [m]", "re-survey [m]");
     for &t in &[0.0, 15.0, 45.0, 90.0, 135.0, 180.0] {
         // TafLoc policy: reference-only refresh at each checkpoint.
         if t > 0.0 {

@@ -32,18 +32,14 @@ fn main() {
     let links: Vec<Segment> = world.deployment().links().iter().map(|l| l.segment).collect();
     let rti = Rti::new(&links, world.grid(), RtiConfig::default()).expect("rti builds");
     let rass_stale = Rass::new(db0, e0, RassConfig::default()).expect("rass builds");
-    let rass_rec = rass_stale
-        .with_database(tafloc.db().clone(), fresh_empty.clone())
-        .expect("rass rebind");
+    let rass_rec =
+        rass_stale.with_database(tafloc.db().clone(), fresh_empty.clone()).expect("rass rebind");
 
     // --- Step 1: presence detection -------------------------------------
     // Watch the per-link deviation from the fresh empty-room baseline; a person
     // inside the area shadows at least one link by several dB.
     let detect = |y: &[f64]| -> f64 {
-        y.iter()
-            .zip(&fresh_empty)
-            .map(|(v, e)| (e - v).max(0.0))
-            .fold(0.0f64, f64::max)
+        y.iter().zip(&fresh_empty).map(|(v, e)| (e - v).max(0.0)).fold(0.0f64, f64::max)
     };
     let quiet = campaign::empty_snapshot(&world, t + 0.01, 100);
     println!("room empty:    max link attenuation {:.2} dB -> no alarm", detect(&quiet));
@@ -52,7 +48,10 @@ fn main() {
     let intruder_cells = [13, 29, 45, 61, 77];
     let threshold_db = 4.0;
     let mut errs = [0.0f64; 4];
-    println!("\n{:>8} {:>12} {:>10} {:>10} {:>14} {:>15}", "cell", "deviation", "TafLoc", "RTI", "RASS w/ rec.", "RASS w/o rec.");
+    println!(
+        "\n{:>8} {:>12} {:>10} {:>10} {:>14} {:>15}",
+        "cell", "deviation", "TafLoc", "RTI", "RASS w/ rec.", "RASS w/o rec."
+    );
     for &cell in &intruder_cells {
         let y = campaign::snapshot_at_cell(&world, t, cell, 100);
         let deviation = detect(&y);

@@ -18,8 +18,8 @@ fn main() {
     let x0 = campaign::full_calibration(&world, 0.0, samples);
     let e0 = campaign::empty_snapshot(&world, 0.0, samples);
     let db = FingerprintDb::from_world(x0, &world).expect("survey matches world geometry");
-    let tafloc = TafLoc::calibrate(TafLocConfig::default(), db, e0.clone())
-        .expect("calibration succeeds");
+    let tafloc =
+        TafLoc::calibrate(TafLocConfig::default(), db, e0.clone()).expect("calibration succeeds");
     let links: Vec<Segment> = world.deployment().links().iter().map(|l| l.segment).collect();
     let rti = Rti::new(&links, world.grid(), RtiConfig::default()).expect("rti builds");
 
@@ -57,7 +57,13 @@ fn main() {
     let peaks = rti.localize_multi(&e0, &y2, 2, 2.0).expect("peak extraction");
     for (k, p) in peaks.iter().enumerate() {
         let err = p.distance(&p1).min(p.distance(&p2));
-        println!("RTI peak {}: ({:.2}, {:.2}) — {:.2} m from the nearest true target", k + 1, p.x, p.y, err);
+        println!(
+            "RTI peak {}: ({:.2}, {:.2}) — {:.2} m from the nearest true target",
+            k + 1,
+            p.x,
+            p.y,
+            err
+        );
     }
     let tfix2 = tafloc.localize(&y2).expect("tafloc localizes");
     println!(

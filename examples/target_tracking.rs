@@ -45,14 +45,12 @@ fn main() {
                 );
             }
             Recommendation::UpdateRecommended { estimated_error_db } => {
-                let fresh = campaign::measure_columns(&world, day, tafloc.reference_cells(), samples);
+                let fresh =
+                    campaign::measure_columns(&world, day, tafloc.reference_cells(), samples);
                 let empty = campaign::empty_snapshot(&world, day, samples);
                 let report = tafloc.update(&fresh, &empty).expect("update succeeds");
-                let refreshed = tafloc
-                    .db()
-                    .rss()
-                    .select_cols(monitor.cells())
-                    .expect("monitored cells exist");
+                let refreshed =
+                    tafloc.db().rss().select_cols(monitor.cells()).expect("monitored cells exist");
                 monitor.record_update(day, refreshed).expect("baseline refresh");
                 updates += 1;
                 println!(
@@ -78,7 +76,13 @@ fn main() {
             }
         }
         let mean = errs.iter().sum::<f64>() / errs.len() as f64;
-        println!("            tracked a {:.0}-m walk with mean error {mean:.2} m", traj.path_length());
+        println!(
+            "            tracked a {:.0}-m walk with mean error {mean:.2} m",
+            traj.path_length()
+        );
     }
-    println!("\ntotal reference-only updates over 120 days: {updates} ({:.2} h of labor)", updates as f64 * 0.28);
+    println!(
+        "\ntotal reference-only updates over 120 days: {updates} ({:.2} h of labor)",
+        updates as f64 * 0.28
+    );
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything CI would run, in the order that fails fastest.
+#
+#   ./scripts/check.sh
+#
+# Builds release artifacts, runs the full test suite, then lints (clippy at
+# deny-warnings) and checks formatting. Run from anywhere; it cd's to the
+# workspace root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> all checks passed"

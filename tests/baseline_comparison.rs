@@ -33,8 +33,7 @@ fn setup(seed: u64) -> Bench {
     let links: Vec<Segment> = world.deployment().links().iter().map(|l| l.segment).collect();
     let rti = Rti::new(&links, world.grid(), RtiConfig::default()).unwrap();
     let rass_stale = Rass::new(db0, e0, RassConfig::default()).unwrap();
-    let rass_rec =
-        rass_stale.with_database(tafloc.db().clone(), fresh_empty.clone()).unwrap();
+    let rass_rec = rass_stale.with_database(tafloc.db().clone(), fresh_empty.clone()).unwrap();
     Bench { world, tafloc, rti, rass_stale, rass_rec, fresh_empty, t }
 }
 
@@ -62,15 +61,9 @@ fn fig5_orderings_hold() {
     let (tafloc, rti, rass_rec, rass_stale) = run(&b);
 
     // TafLoc must beat the stale-fingerprint system decisively.
-    assert!(
-        tafloc < rass_stale,
-        "TafLoc {tafloc:.2} m vs RASS w/o rec {rass_stale:.2} m"
-    );
+    assert!(tafloc < rass_stale, "TafLoc {tafloc:.2} m vs RASS w/o rec {rass_stale:.2} m");
     // Reconstruction must rescue RASS (the paper's transferability claim).
-    assert!(
-        rass_rec < rass_stale,
-        "RASS w/ rec {rass_rec:.2} m vs w/o {rass_stale:.2} m"
-    );
+    assert!(rass_rec < rass_stale, "RASS w/ rec {rass_rec:.2} m vs w/o {rass_stale:.2} m");
     // TafLoc competitive with or ahead of everything.
     assert!(tafloc <= rass_rec + 0.4, "TafLoc {tafloc:.2} m vs RASS w/ rec {rass_rec:.2} m");
     assert!(tafloc <= rti + 0.4, "TafLoc {tafloc:.2} m vs RTI {rti:.2} m");
@@ -122,8 +115,5 @@ fn rti_is_drift_immune_fingerprint_systems_are_not() {
     let (rti_0, rass_0) = eval(0.0);
     let (rti_90, rass_90) = eval(90.0);
     assert!((rti_90 - rti_0).abs() < 0.8, "RTI drifted: {rti_0:.2} -> {rti_90:.2}");
-    assert!(
-        rass_90 > rass_0 + 0.3,
-        "stale RASS should degrade: {rass_0:.2} -> {rass_90:.2}"
-    );
+    assert!(rass_90 > rass_0 + 0.3, "stale RASS should degrade: {rass_0:.2} -> {rass_90:.2}");
 }

@@ -80,10 +80,7 @@ fn update_beats_staleness_on_localization() {
     };
     let updated_err = mean_err(&sys);
     let stale_err = mean_err(&stale);
-    assert!(
-        updated_err < stale_err,
-        "updated {updated_err:.2} m must beat stale {stale_err:.2} m"
-    );
+    assert!(updated_err < stale_err, "updated {updated_err:.2} m must beat stale {stale_err:.2} m");
 }
 
 #[test]
@@ -99,7 +96,12 @@ fn alternative_configurations_work_end_to_end() {
         MatchMethod::Probabilistic { sigma_db: 2.0 },
     ] {
         for strategy in [ReferenceStrategy::QrPivot, ReferenceStrategy::Random { seed: 5 }] {
-            let cfg = TafLocConfig { matcher, ref_strategy: strategy, ref_count: 12, ..Default::default() };
+            let cfg = TafLocConfig {
+                matcher,
+                ref_strategy: strategy,
+                ref_count: 12,
+                ..Default::default()
+            };
             let mut sys = TafLoc::calibrate(cfg, db.clone(), e0.clone()).unwrap();
             let fresh = campaign::measure_columns(&world, 30.0, sys.reference_cells(), 30);
             let empty = campaign::empty_snapshot(&world, 30.0, 30);

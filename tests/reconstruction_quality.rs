@@ -52,8 +52,8 @@ fn reconstruction_beats_svt_completion() {
         observed.set_col(cell, &f.fresh.col(k)).unwrap();
     }
     let mask = Mask::from_columns(m, n, f.sys.reference_cells()).unwrap();
-    let svt = soft_impute(&observed, &mask, &SvtConfig { tau: 0.5, max_iters: 300, tol: 1e-7 })
-        .unwrap();
+    let svt =
+        soft_impute(&observed, &mask, &SvtConfig { tau: 0.5, max_iters: 300, tol: 1e-7 }).unwrap();
 
     let truth = f.world.fingerprint_truth(f.t);
     let err = |x: &Matrix| x.sub(&truth).unwrap().map(f64::abs).mean();
@@ -85,12 +85,7 @@ fn loli_ir_objective_decreases_at_paper_scale() {
     let rec = f.sys.reconstruct_db(&f.fresh, &f.fresh_empty).unwrap();
     assert!(rec.objective_trace.len() >= 2);
     for w in rec.objective_trace.windows(2) {
-        assert!(
-            w[1] <= w[0] * (1.0 + 1e-9) + 1e-9,
-            "objective increased: {} -> {}",
-            w[0],
-            w[1]
-        );
+        assert!(w[1] <= w[0] * (1.0 + 1e-9) + 1e-9, "objective increased: {} -> {}", w[0], w[1]);
     }
 }
 
