@@ -1,0 +1,151 @@
+//! Ingestion-throughput baseline: raw samples/sec through the streaming
+//! pipeline, plus fingerprint-assembly latency percentiles.
+//!
+//! Three phases, each on the paper-scale link count:
+//!
+//! 1. **Direct pipeline** — `threads` producers call
+//!    [`Ingestor::apply_batch`] concurrently on disjoint time epochs of a
+//!    simulated radio stream; reported as aggregate samples/sec.
+//! 2. **Assembly** — repeated [`Ingestor::assemble`] calls on the loaded
+//!    pipeline; reported as p50/p95/p99/max latency and assemblies/sec.
+//! 3. **Bounded queue** — the same producers push through an [`IngestQueue`]
+//!    sized to be a bottleneck, demonstrating shed-and-count backpressure;
+//!    reported as delivered samples/sec plus the drop fraction.
+//!
+//! Usage: `cargo run --release -p taf-bench --bin ingest_bench [threads] [epochs_per_thread] [batch]`
+
+use std::sync::Arc;
+use std::time::Instant;
+use taf_rfsim::{stream, StreamConfig, World, WorldConfig};
+use tafloc_ingest::{IngestConfig, IngestQueue, Ingestor, LinkSample};
+
+/// One epoch of the base stream, shifted so its timestamps continue the
+/// stream clock instead of arriving "late" and being dropped.
+fn shifted(base: &[LinkSample], offset_s: f64) -> Vec<LinkSample> {
+    base.iter().map(|s| LinkSample::new(s.link, s.t_s + offset_s, s.rss_dbm)).collect()
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    let idx = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[idx - 1]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().map_or(4, |v| v.parse().expect("threads"));
+    let epochs: usize = args.next().map_or(50, |v| v.parse().expect("epochs"));
+    let batch: usize = args.next().map_or(256, |v| v.parse().expect("batch"));
+    assert!(batch > 0, "batch must be > 0");
+
+    // The paper-scale deployment, streaming fast enough to be a load test.
+    let world = World::new(WorldConfig::paper_default(), 7);
+    let cfg = StreamConfig {
+        rate_hz: 50.0,
+        duration_s: 20.0,
+        jitter_frac: 0.05,
+        loss_rate: 0.02,
+        reorder_prob: 0.01,
+    };
+    let cell = world.num_cells() / 2;
+    let base = stream::stream_at_cell(&world, 0.0, cell, &cfg, 1);
+    let base: Vec<LinkSample> =
+        base.iter().map(|r| LinkSample::new(r.link, r.t_s, r.rss_dbm)).collect();
+    let m = world.num_links();
+    let total_samples = (base.len() * threads * epochs) as f64;
+    println!(
+        "ingest_bench: {m} links, {} samples/epoch x {threads} threads x {epochs} epochs, batch {batch}",
+        base.len()
+    );
+
+    // Phase 1: direct pipeline throughput.
+    let ing = Arc::new(Ingestor::new(IngestConfig::default(), m, m.min(8)).expect("ingestor"));
+    let start = Instant::now();
+    let joins: Vec<_> = (0..threads)
+        .map(|_| {
+            let ing = Arc::clone(&ing);
+            let base = base.clone();
+            std::thread::spawn(move || {
+                // Every producer replays the same epoch window concurrently —
+                // parallel radio bridges reporting the same interval — so the
+                // shared stream clock stays coherent across threads.
+                for e in 0..epochs {
+                    let epoch = shifted(&base, e as f64 * cfg.duration_s);
+                    for chunk in epoch.chunks(batch) {
+                        ing.apply_batch(chunk);
+                    }
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("producer thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = ing.stats();
+    println!(
+        "apply_batch: {total_samples:.0} samples in {elapsed:.3} s  ->  {:.0} samples/s \
+         ({} accepted, {} late, {} outlier exclusions)",
+        total_samples / elapsed,
+        stats.accepted,
+        stats.dropped_late,
+        stats.rejected_outliers,
+    );
+
+    // Phase 2: assembly latency on the loaded pipeline.
+    let fallback = vec![-60.0; m];
+    let rounds = 10_000;
+    let mut lat_us = Vec::with_capacity(rounds);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let v = ing.assemble(&fallback).expect("assemble");
+        lat_us.push(t0.elapsed().as_micros() as u64);
+        assert_eq!(v.y.len(), m);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+    println!(
+        "assemble: {rounds} vectors in {elapsed:.3} s  ->  {:.0} assemblies/s; \
+         latency p50 {} us, p95 {} us, p99 {} us, max {} us",
+        rounds as f64 / elapsed,
+        quantile(&lat_us, 0.50),
+        quantile(&lat_us, 0.95),
+        quantile(&lat_us, 0.99),
+        lat_us[lat_us.len() - 1],
+    );
+
+    // Phase 3: the bounded queue as the front door, sized to shed under
+    // this producer pressure.
+    let ing = Arc::new(Ingestor::new(IngestConfig::default(), m, m.min(8)).expect("ingestor"));
+    let queue = Arc::new(IngestQueue::spawn(Arc::clone(&ing), 4));
+    let start = Instant::now();
+    let joins: Vec<_> = (0..threads)
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let base = base.clone();
+            std::thread::spawn(move || {
+                for e in 0..epochs {
+                    let epoch = shifted(&base, e as f64 * cfg.duration_s);
+                    for chunk in epoch.chunks(batch) {
+                        queue.push(chunk.to_vec()).expect("queue open");
+                    }
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("producer thread");
+    }
+    drop(queue); // close + drain
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = ing.stats();
+    let offered = total_samples;
+    let shed = stats.dropped_queue_samples as f64;
+    println!(
+        "queue(cap 4): {offered:.0} samples offered in {elapsed:.3} s  ->  {:.0} samples/s \
+         delivered; {:.1}% shed in {} batches (never blocking the producers)",
+        (offered - shed) / elapsed,
+        100.0 * shed / offered,
+        stats.dropped_queue_batches,
+    );
+}

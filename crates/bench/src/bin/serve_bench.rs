@@ -4,8 +4,10 @@
 //! This is the number later serving-performance PRs must beat. The setup is
 //! the paper-scale site (10 links, 96 cells), one persistent connection per
 //! client thread, every request a full `locate` round trip (JSON encode →
-//! TCP → dispatch → fingerprint match → JSON decode). Reported at the end:
-//! aggregate requests/sec plus the server's own latency histogram.
+//! TCP → dispatch → fingerprint match → JSON decode). A second phase sends
+//! the same fixes as `locate-batch` requests (16 vectors per round trip) to
+//! expose the protocol overhead amortized away by batching. Reported at the
+//! end: aggregate requests/sec plus the server's own latency histogram.
 //!
 //! Usage: `cargo run --release -p taf-bench --bin serve_bench [threads] [requests_per_thread] [workers]`
 
@@ -80,13 +82,45 @@ fn main() {
         total / elapsed.as_secs_f64() / threads as f64,
     );
 
+    // Phase 2: the same number of fixes, 16 vectors per round trip.
+    const BATCH: usize = 16;
+    let rounds = per_thread.div_ceil(BATCH);
+    let start = Instant::now();
+    let joins: Vec<_> = (0..threads)
+        .map(|t| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for k in 0..rounds {
+                    let ys: Vec<Vec<f64>> = (0..BATCH)
+                        .map(|j| queries[(t + k * BATCH + j) % queries.len()].clone())
+                        .collect();
+                    let (fixes, _) = client.locate_batch("bench", ys).expect("locate-batch");
+                    assert_eq!(fixes.len(), BATCH);
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+    let fixes = (threads * rounds * BATCH) as f64;
+    println!(
+        "locate-batch({BATCH}): {fixes:.0} fixes in {:.3} s  ->  {:.0} fixes/s aggregate \
+         ({:.0} round trips/s)",
+        elapsed.as_secs_f64(),
+        fixes / elapsed.as_secs_f64(),
+        fixes / elapsed.as_secs_f64() / BATCH as f64,
+    );
+
     let mut admin = Client::connect(addr).expect("connect admin");
     if let Response::Stats { report } = admin.call_ok(&Request::Stats).expect("stats") {
         for e in &report.endpoints {
-            if e.endpoint == "locate" {
+            if e.endpoint == "locate" || e.endpoint == "locate-batch" {
                 println!(
-                    "server-side locate latency: p50 <= {} us, p95 <= {} us, p99 <= {} us, max {} us ({} reqs, {} errors)",
-                    e.p50_us, e.p95_us, e.p99_us, e.max_us, e.requests, e.errors
+                    "server-side {} latency: p50 <= {} us, p95 <= {} us, p99 <= {} us, max {} us ({} reqs, {} errors)",
+                    e.endpoint, e.p50_us, e.p95_us, e.p99_us, e.max_us, e.requests, e.errors
                 );
             }
         }

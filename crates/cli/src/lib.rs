@@ -12,6 +12,8 @@
 //! tafloc update       --system system.json --refs refs.json --out system.json
 //! tafloc snapshot     --world world.json --day 45 --cell 42 --samples 100 --out y.json
 //! tafloc locate       --system system.json --y y.json
+//! tafloc gen-stream   --world world.json --day 45 --cell 42 --out stream.json
+//! tafloc ingest       --addr 127.0.0.1:7777 --site lab --stream stream.json --locate
 //! tafloc info         --system system.json
 //! tafloc export-db    --system system.json --out db.csv
 //! ```
@@ -121,6 +123,15 @@ pub struct SnapshotFile {
     pub day: f64,
     /// Averaged per-link RSS.
     pub y: Vec<f64>,
+}
+
+/// A raw per-link sample stream, as radios would deliver it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamFile {
+    /// Day of the recording.
+    pub day: f64,
+    /// Raw samples in delivery order.
+    pub samples: Vec<taf_rfsim::RawSample>,
 }
 
 // ----------------------------------------------------------------------
@@ -396,6 +407,97 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
     Ok(format!("server on {bound} drained and shut down cleanly"))
 }
 
+/// `gen-stream`: simulates a raw per-link sample stream (what radios emit,
+/// before any windowing/averaging) for a stationary scene.
+pub fn cmd_gen_stream(args: &Args) -> Result<String> {
+    use taf_rfsim::{stream, StreamConfig};
+    let world_file: WorldFile = read_json(&args.path("world")?)?;
+    let day: f64 = args.num("day", 0.0)?;
+    let out = args.path("out")?;
+    let config = StreamConfig {
+        rate_hz: args.num("rate", StreamConfig::default().rate_hz)?,
+        duration_s: args.num("duration", StreamConfig::default().duration_s)?,
+        jitter_frac: args.num("jitter", StreamConfig::default().jitter_frac)?,
+        loss_rate: args.num("loss", StreamConfig::default().loss_rate)?,
+        reorder_prob: args.num("reorder", StreamConfig::default().reorder_prob)?,
+    };
+    let stream_seed: u64 = args.num("stream-seed", 1)?;
+    let world = world_file.build();
+    let samples = match args.optional("cell") {
+        Some(c) => {
+            let cell: usize =
+                c.parse().map_err(|_| CliError(format!("--cell expects an index, got {c:?}")))?;
+            if cell >= world.num_cells() {
+                return Err(CliError(format!(
+                    "cell {cell} out of range (world has {} cells)",
+                    world.num_cells()
+                )));
+            }
+            stream::stream_at_cell(&world, day, cell, &config, stream_seed)
+        }
+        None => stream::empty_stream(&world, day, &config, stream_seed),
+    };
+    let n = samples.len();
+    write_json(&out, &StreamFile { day, samples })?;
+    Ok(format!(
+        "streamed {n} raw samples over {} links for {:.0} s on day {day}; written to {}",
+        world.num_links(),
+        config.duration_s,
+        out.display()
+    ))
+}
+
+/// `ingest`: replays a recorded raw stream into a running daemon in batches,
+/// optionally closing with a `locate-stream` fix from the live window.
+pub fn cmd_ingest(args: &Args) -> Result<String> {
+    use tafloc_ingest::{BatchReport, LinkSample};
+    use tafloc_serve::client::Client;
+    let addr = args.required("addr")?;
+    let site = args.required("site")?;
+    let file: StreamFile = read_json(&args.path("stream")?)?;
+    let batch: usize = args.num("batch", 256)?;
+    if batch == 0 {
+        return Err(CliError("--batch must be at least 1".into()));
+    }
+    let ref_cell: Option<usize> = match args.optional("ref-cell") {
+        Some(v) => Some(
+            v.parse().map_err(|_| CliError(format!("--ref-cell expects an index, got {v:?}")))?,
+        ),
+        None => None,
+    };
+    let day: f64 = args.num("day", file.day)?;
+    let samples: Vec<LinkSample> =
+        file.samples.iter().map(|r| LinkSample::new(r.link, r.t_s, r.rss_dbm)).collect();
+    let mut client = Client::connect(addr)?;
+    let mut total = BatchReport::default();
+    let mut batches = 0usize;
+    for chunk in samples.chunks(batch) {
+        let report = client.ingest_for(site, ref_cell, day, chunk.to_vec())?;
+        total.merge(&report);
+        batches += 1;
+    }
+    let mut summary = format!(
+        "ingested {} samples in {batches} batches into {site:?}: {} accepted, {} late, {} unknown-link, {} non-finite",
+        total.total(),
+        total.accepted,
+        total.dropped_late,
+        total.dropped_unknown_link,
+        total.dropped_non_finite
+    );
+    if args.switch("locate") {
+        if ref_cell.is_some() {
+            return Err(CliError(
+                "--locate applies to live traffic; drop --ref-cell to locate".into(),
+            ));
+        }
+        let (cell, x, y, version) = client.locate_stream(site)?;
+        summary.push_str(&format!(
+            "\nlive window fix: cell {cell} at ({x:.2}, {y:.2}) m (snapshot v{version})"
+        ));
+    }
+    Ok(summary)
+}
+
 /// `export-db`: dumps the fingerprint matrix as CSV.
 pub fn cmd_export_db(args: &Args) -> Result<String> {
     let snapshot: SystemSnapshot = read_json(&args.path("system")?)?;
@@ -423,6 +525,11 @@ COMMANDS
   update        --system system.json --refs refs.json --out system.json
   snapshot      --world w.json --day D --cell C --out y.json [--samples K]
   locate        --system system.json --y y.json
+  gen-stream    --world w.json --out stream.json [--day D] [--cell C]
+                [--duration S] [--rate HZ] [--jitter F] [--loss P] [--reorder P]
+                [--stream-seed N]
+  ingest        --addr HOST:PORT --site NAME --stream stream.json [--batch N]
+                [--ref-cell K] [--day D] [--locate]
   info          --system system.json
   export-db     --system system.json --out db.csv
   serve         [--port P | --addr HOST:PORT] [--workers N] [--port-file PATH]
@@ -439,6 +546,8 @@ pub fn run(command: &str, args: &Args) -> Result<String> {
         "update" => cmd_update(args),
         "snapshot" => cmd_snapshot(args),
         "locate" => cmd_locate(args),
+        "gen-stream" => cmd_gen_stream(args),
+        "ingest" => cmd_ingest(args),
         "info" => cmd_info(args),
         "export-db" => cmd_export_db(args),
         "serve" => cmd_serve(args),

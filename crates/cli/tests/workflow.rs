@@ -188,6 +188,95 @@ fn binary_prints_usage_and_runs_new_world() {
 }
 
 #[test]
+fn gen_stream_and_ingest_feed_a_running_daemon() {
+    use tafloc_serve::client::Client;
+    use tafloc_serve::protocol::{Request, Response};
+
+    let dir = TempDir::new("ingest");
+    let world = dir.file("world.json");
+    let survey = dir.file("survey.json");
+    let system = dir.file("system.json");
+    let stream = dir.file("stream.json");
+    let port_file = dir.file("port.txt");
+
+    run("new-world", &args(&["--seed", "23", "--out", &world, "--small"])).unwrap();
+    run("survey", &args(&["--world", &world, "--out", &survey, "--samples", "20"])).unwrap();
+    run("calibrate", &args(&["--survey", &survey, "--out", &system, "--refs", "6"])).unwrap();
+
+    // Record a raw stream of a target in cell 12, with mild loss.
+    let msg = run(
+        "gen-stream",
+        &args(&[
+            "--world",
+            &world,
+            "--day",
+            "0",
+            "--cell",
+            "12",
+            "--duration",
+            "30",
+            "--loss",
+            "0.05",
+            "--out",
+            &stream,
+        ]),
+    )
+    .unwrap();
+    assert!(msg.contains("raw samples"), "{msg}");
+
+    let serve_args =
+        args(&["--port", "0", "--port-file", &port_file, "--system", &system, "--site", "lab"]);
+    let daemon = std::thread::spawn(move || run("serve", &serve_args).unwrap());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "serve never wrote its port file");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+
+    // Replay the stream into the daemon and close with a live-window fix.
+    let msg =
+        run("ingest", &args(&["--addr", &addr, "--site", "lab", "--stream", &stream, "--locate"]))
+            .unwrap();
+    assert!(msg.contains("accepted"), "{msg}");
+    assert!(msg.contains("live window fix"), "{msg}");
+
+    // --locate is a live-traffic flag; reference captures reject it.
+    let err = run(
+        "ingest",
+        &args(&[
+            "--addr",
+            &addr,
+            "--site",
+            "lab",
+            "--stream",
+            &stream,
+            "--ref-cell",
+            "0",
+            "--locate",
+        ]),
+    )
+    .unwrap_err();
+    assert!(err.0.contains("drop --ref-cell"), "{err}");
+
+    // The daemon's stats saw the samples.
+    let mut client = Client::connect(addr.as_str()).unwrap();
+    match client.call_ok(&Request::Stats).unwrap() {
+        Response::Stats { report } => {
+            let site = report.sites.iter().find(|s| s.site == "lab").unwrap();
+            assert!(site.ingest.accepted > 0, "daemon must have accepted live samples");
+        }
+        other => panic!("unexpected reply to stats: {other:?}"),
+    }
+    client.call_ok(&Request::Shutdown).unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
 fn serve_command_answers_the_line_protocol() {
     use tafloc_serve::client::Client;
     use tafloc_serve::protocol::{Request, Response};

@@ -1,0 +1,150 @@
+//! Producer-side backpressure: a bounded batch queue in front of the
+//! pipeline.
+//!
+//! The synchronous [`crate::Ingestor::apply_batch`] is cheap, but a radio
+//! bridge must never block its receive loop behind a slow consumer — under
+//! overload the correct behavior for a *measurement* stream is to shed the
+//! oldest information and keep counting what was shed. `IngestQueue` wraps a
+//! `std::sync::mpsc::sync_channel` of sample batches: `push` either enqueues
+//! or drops-and-counts, and a single worker thread drains batches into the
+//! shared [`crate::Ingestor`].
+
+use crate::error::{IngestError, Result};
+use crate::pipeline::Ingestor;
+use crate::sample::LinkSample;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Outcome of a non-blocking push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The batch was queued for ingestion.
+    Queued,
+    /// The queue was full; the batch was dropped and counted.
+    Dropped,
+}
+
+/// A bounded, drop-counting front door to an [`Ingestor`].
+#[derive(Debug)]
+pub struct IngestQueue {
+    ingestor: Arc<Ingestor>,
+    tx: Option<SyncSender<Vec<LinkSample>>>,
+    worker: Option<JoinHandle<()>>,
+    closed: AtomicBool,
+}
+
+impl IngestQueue {
+    /// Spawns the drain worker with room for `capacity_batches` in-flight
+    /// batches (clamped to at least 1).
+    pub fn spawn(ingestor: Arc<Ingestor>, capacity_batches: usize) -> IngestQueue {
+        let (tx, rx) = sync_channel::<Vec<LinkSample>>(capacity_batches.max(1));
+        let drain = Arc::clone(&ingestor);
+        let worker = std::thread::Builder::new()
+            .name("tafloc-ingest-drain".to_string())
+            .spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    drain.apply_batch(&batch);
+                }
+            })
+            .expect("spawning the ingest drain thread cannot fail");
+        IngestQueue { ingestor, tx: Some(tx), worker: Some(worker), closed: AtomicBool::new(false) }
+    }
+
+    /// The pipeline behind the queue.
+    pub fn ingestor(&self) -> &Arc<Ingestor> {
+        &self.ingestor
+    }
+
+    /// Non-blocking enqueue. A full queue drops the batch and records it in
+    /// the pipeline's drop counters; a closed queue is an error.
+    pub fn push(&self, batch: Vec<LinkSample>) -> Result<PushOutcome> {
+        let tx = self.tx.as_ref().ok_or(IngestError::QueueClosed)?;
+        if self.closed.load(Ordering::Acquire) {
+            return Err(IngestError::QueueClosed);
+        }
+        let n = batch.len();
+        match tx.try_send(batch) {
+            Ok(()) => Ok(PushOutcome::Queued),
+            Err(TrySendError::Full(_)) => {
+                self.ingestor.record_queue_drop(n);
+                Ok(PushOutcome::Dropped)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(IngestError::QueueClosed),
+        }
+    }
+
+    /// Closes the queue and waits for the worker to drain everything queued.
+    /// Safe to call once; `drop` calls it implicitly.
+    pub fn close(&mut self) {
+        self.closed.store(true, Ordering::Release);
+        // Dropping the sender ends the worker's recv loop after the drain.
+        self.tx = None;
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for IngestQueue {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IngestConfig;
+
+    fn ingestor() -> Arc<Ingestor> {
+        Arc::new(Ingestor::new(IngestConfig::default(), 2, 1).unwrap())
+    }
+
+    fn batch(t0: f64) -> Vec<LinkSample> {
+        (0..4).map(|k| LinkSample::new(k % 2, t0 + k as f64 * 0.1, -50.0)).collect()
+    }
+
+    #[test]
+    fn queued_batches_reach_the_pipeline() {
+        let ing = ingestor();
+        // Capacity exceeds the total number of pushes, so `Full` is
+        // impossible regardless of how slowly the drain thread is scheduled.
+        let mut q = IngestQueue::spawn(Arc::clone(&ing), 16);
+        for round in 0..10 {
+            assert_eq!(q.push(batch(round as f64)).unwrap(), PushOutcome::Queued);
+        }
+        q.close();
+        assert_eq!(ing.stats().accepted, 40);
+        assert_eq!(ing.stats().dropped_queue_batches, 0);
+    }
+
+    #[test]
+    fn overload_drops_are_counted_not_blocking() {
+        let ing = ingestor();
+        // Capacity 1 and no consumer progress guarantee: flood faster than
+        // the worker can drain; at least one batch must be shed.
+        let q = IngestQueue::spawn(Arc::clone(&ing), 1);
+        let mut dropped = 0;
+        for round in 0..200 {
+            if q.push(batch(round as f64)).unwrap() == PushOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        drop(q);
+        let stats = ing.stats();
+        assert_eq!(stats.dropped_queue_batches, dropped);
+        assert_eq!(stats.dropped_queue_samples, dropped * 4);
+        // Everything not shed was ingested.
+        assert_eq!(stats.accepted + stats.dropped_queue_samples, 200 * 4);
+    }
+
+    #[test]
+    fn push_after_close_errors() {
+        let ing = ingestor();
+        let mut q = IngestQueue::spawn(ing, 2);
+        q.close();
+        assert!(matches!(q.push(batch(0.0)), Err(IngestError::QueueClosed)));
+    }
+}

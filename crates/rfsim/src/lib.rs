@@ -54,6 +54,7 @@ pub mod noise;
 pub mod pathloss;
 pub mod rng;
 pub mod shadowing;
+pub mod stream;
 pub mod target;
 pub mod trajectory;
 pub mod world;
@@ -62,5 +63,6 @@ pub use deployment::{Deployment, Link};
 pub use events::EnvironmentEvent;
 pub use geometry::{Point, Segment};
 pub use grid::FloorGrid;
+pub use stream::{RawSample, StreamConfig};
 pub use trajectory::{Trajectory, WaypointConfig};
 pub use world::{World, WorldConfig};

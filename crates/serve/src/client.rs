@@ -4,11 +4,12 @@
 //! strictly request/response per connection, so a persistent [`Client`] can
 //! pipeline calls back to back without correlation ids.
 
-use crate::protocol::{read_message, write_message, Request, Response};
+use crate::protocol::{read_message, write_message, Fix, Request, Response};
 use crate::{Result, ServeError};
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+use tafloc_ingest::{BatchReport, LinkSample};
 
 /// A persistent connection to a `taflocd` server.
 #[derive(Debug)]
@@ -61,6 +62,49 @@ impl Client {
         match self.call_ok(&Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(ServeError::Protocol(format!("unexpected reply {other:?} to ping"))),
+        }
+    }
+
+    /// Convenience: push one batch of raw link samples into the site's live
+    /// ingestion window, returning the per-batch accept/drop report.
+    pub fn ingest(&mut self, site: &str, samples: Vec<LinkSample>) -> Result<BatchReport> {
+        self.ingest_for(site, None, 0.0, samples)
+    }
+
+    /// Like [`ingest`](Client::ingest), but addressed: `ref_cell: Some(k)`
+    /// feeds the capture window for reference cell `k` of a day-`day` survey.
+    pub fn ingest_for(
+        &mut self,
+        site: &str,
+        ref_cell: Option<usize>,
+        day: f64,
+        samples: Vec<LinkSample>,
+    ) -> Result<BatchReport> {
+        let req = Request::Ingest { site: site.to_string(), ref_cell, day, samples };
+        match self.call_ok(&req)? {
+            Response::Ingested { report } => Ok(report),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?} to ingest"))),
+        }
+    }
+
+    /// Convenience: `locate-stream` returning `(cell, x, y, version)`.
+    pub fn locate_stream(&mut self, site: &str) -> Result<(usize, f64, f64, u64)> {
+        match self.call_ok(&Request::LocateStream { site: site.to_string() })? {
+            Response::StreamLocated { cell, x, y, version, .. } => Ok((cell, x, y, version)),
+            other => {
+                Err(ServeError::Protocol(format!("unexpected reply {other:?} to locate-stream")))
+            }
+        }
+    }
+
+    /// Convenience: `locate-batch` returning the fixes and the single
+    /// snapshot version that served them.
+    pub fn locate_batch(&mut self, site: &str, ys: Vec<Vec<f64>>) -> Result<(Vec<Fix>, u64)> {
+        match self.call_ok(&Request::LocateBatch { site: site.to_string(), ys })? {
+            Response::LocatedBatch { fixes, version } => Ok((fixes, version)),
+            other => {
+                Err(ServeError::Protocol(format!("unexpected reply {other:?} to locate-batch")))
+            }
         }
     }
 }

@@ -14,6 +14,8 @@ pub enum ServeError {
     Core(tafloc_core::TaflocError),
     /// A numerical-substrate error.
     Linalg(taf_linalg::LinalgError),
+    /// An error from the streaming ingestion pipeline.
+    Ingest(tafloc_ingest::IngestError),
     /// Request named a site the registry does not hold.
     UnknownSite(String),
     /// `add-site` for a name that is already registered.
@@ -31,6 +33,7 @@ impl fmt::Display for ServeError {
             ServeError::Json(e) => write!(f, "malformed message: {e}"),
             ServeError::Core(e) => write!(f, "{e}"),
             ServeError::Linalg(e) => write!(f, "{e}"),
+            ServeError::Ingest(e) => write!(f, "{e}"),
             ServeError::UnknownSite(s) => write!(f, "unknown site {s:?}"),
             ServeError::SiteExists(s) => write!(f, "site {s:?} already registered"),
             ServeError::Protocol(s) => write!(f, "protocol error: {s}"),
@@ -62,6 +65,12 @@ impl From<tafloc_core::TaflocError> for ServeError {
 impl From<taf_linalg::LinalgError> for ServeError {
     fn from(e: taf_linalg::LinalgError) -> Self {
         ServeError::Linalg(e)
+    }
+}
+
+impl From<tafloc_ingest::IngestError> for ServeError {
+    fn from(e: tafloc_ingest::IngestError) -> Self {
+        ServeError::Ingest(e)
     }
 }
 

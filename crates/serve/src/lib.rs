@@ -11,7 +11,9 @@
 //!   snapshot slot behind the contention-free read path;
 //! * [`site`] — per-site state: the swappable calibrated system plus the
 //!   mutex-guarded mutable half (drift monitor, pending refs, per-stream
-//!   trackers and detectors);
+//!   trackers and detectors) and the streaming [`tafloc_ingest::Ingestor`]
+//!   accepting raw link samples behind the `ingest` / `locate-stream`
+//!   endpoints;
 //! * [`registry`] — the name → site map and maintenance-thread ownership;
 //! * [`maintenance`] — the background drift/refresh loop and its policy;
 //! * [`metrics`] — wait-free per-endpoint counters and latency histograms;

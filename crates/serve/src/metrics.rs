@@ -22,6 +22,9 @@ pub enum Endpoint {
     RemoveSite,
     ListSites,
     Locate,
+    LocateStream,
+    LocateBatch,
+    Ingest,
     Track,
     Detect,
     MeasureRefs,
@@ -32,11 +35,14 @@ pub enum Endpoint {
 }
 
 /// All endpoints, in display order.
-pub const ALL_ENDPOINTS: [Endpoint; 11] = [
+pub const ALL_ENDPOINTS: [Endpoint; 14] = [
     Endpoint::AddSite,
     Endpoint::RemoveSite,
     Endpoint::ListSites,
     Endpoint::Locate,
+    Endpoint::LocateStream,
+    Endpoint::LocateBatch,
+    Endpoint::Ingest,
     Endpoint::Track,
     Endpoint::Detect,
     Endpoint::MeasureRefs,
@@ -54,6 +60,9 @@ impl Endpoint {
             Endpoint::RemoveSite => "remove-site",
             Endpoint::ListSites => "list-sites",
             Endpoint::Locate => "locate",
+            Endpoint::LocateStream => "locate-stream",
+            Endpoint::LocateBatch => "locate-batch",
+            Endpoint::Ingest => "ingest",
             Endpoint::Track => "track",
             Endpoint::Detect => "detect",
             Endpoint::MeasureRefs => "measure-refs",
@@ -112,7 +121,9 @@ impl LatencyHistogram {
 
     /// Upper bound (µs) of the bucket holding quantile `q` (0 when empty).
     /// Log-bucketed, so the answer is within 2x of the true quantile — plenty
-    /// for a `stats` endpoint.
+    /// for a `stats` endpoint. The bucket upper bound is clamped to the
+    /// largest observation, so `quantile_us(1.0)` equals [`Self::max_us`]
+    /// instead of overshooting to the end of the top occupied bucket.
     pub fn quantile_us(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -123,7 +134,7 @@ impl LatencyHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return (1u64 << (i + 1)) - 1;
+                return ((1u64 << (i + 1)) - 1).min(self.max_us());
             }
         }
         self.max_us()
@@ -212,13 +223,38 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99);
         // p50 lands in the bucket containing 10 µs: [8, 16).
         assert_eq!(p50, 15);
-        assert_eq!(h.quantile_us(1.0), 16_383); // bucket of 10_000 µs
+        // The top bucket's upper bound (16_383) is clamped to the max.
+        assert_eq!(h.quantile_us(1.0), 10_000);
+    }
+
+    #[test]
+    fn quantile_extremes_hit_first_and_last_observation_buckets() {
+        let h = LatencyHistogram::default();
+        for us in [3u64, 100, 9_000] {
+            h.record(Duration::from_micros(us));
+        }
+        // q = 0.0 resolves to the first occupied bucket: 3 µs lies in [2, 4).
+        assert_eq!(h.quantile_us(0.0), 3);
+        // q = 1.0 is exactly the largest observation, not its bucket bound.
+        assert_eq!(h.quantile_us(1.0), h.max_us());
+        assert_eq!(h.quantile_us(1.0), 9_000);
+    }
+
+    #[test]
+    fn single_observation_is_its_own_quantile() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(700));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 700, "q = {q}");
+        }
     }
 
     #[test]
     fn empty_histogram_reports_zero() {
         let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.0), 0);
         assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.quantile_us(1.0), 0);
         assert_eq!(h.max_us(), 0);
     }
 

@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 use taf_linalg::Matrix;
 use tafloc_core::system::SystemSnapshot;
+use tafloc_ingest::{BatchReport, IngestStats, LinkSample};
 
 /// Hard cap on one wire line (16 MiB) — a full `SystemSnapshot` for the
 /// paper-scale site is well under this; anything larger is a protocol abuse.
@@ -63,6 +64,34 @@ pub enum Request {
         site: String,
         /// Averaged per-link RSS (length = site's link count).
         y: Vec<f64>,
+    },
+    /// Localize from the site's live ingestion window: assemble the current
+    /// per-link aggregates into a fingerprint vector and match it.
+    LocateStream {
+        /// Site name.
+        site: String,
+    },
+    /// Localize many RSS vectors in one round trip over one snapshot.
+    LocateBatch {
+        /// Site name.
+        site: String,
+        /// One averaged per-link RSS vector per fix wanted.
+        ys: Vec<Vec<f64>>,
+    },
+    /// Push raw timestamped link samples into the site's ingestion pipeline.
+    Ingest {
+        /// Site name.
+        site: String,
+        /// When set, samples feed the capture window for this reference cell
+        /// (for maintenance spot checks) instead of the live window.
+        #[serde(default)]
+        ref_cell: Option<usize>,
+        /// Deployment day the samples were taken (used for reference
+        /// captures; ignored for live traffic).
+        #[serde(default)]
+        day: f64,
+        /// The raw samples, in any order.
+        samples: Vec<LinkSample>,
     },
     /// Advance a named tracking stream by one measurement (particle filter).
     Track {
@@ -117,6 +146,9 @@ impl Request {
             Request::RemoveSite { .. } => E::RemoveSite,
             Request::ListSites => E::ListSites,
             Request::Locate { .. } => E::Locate,
+            Request::LocateStream { .. } => E::LocateStream,
+            Request::LocateBatch { .. } => E::LocateBatch,
+            Request::Ingest { .. } => E::Ingest,
             Request::Track { .. } => E::Track,
             Request::Detect { .. } => E::Detect,
             Request::MeasureRefs { .. } => E::MeasureRefs,
@@ -169,6 +201,39 @@ pub enum Response {
         /// Snapshot version that served the request.
         version: u64,
     },
+    /// Localization fix assembled from the live ingestion window.
+    StreamLocated {
+        /// Best-matching cell.
+        cell: usize,
+        /// Estimated x (m).
+        x: f64,
+        /// Estimated y (m).
+        y: f64,
+        /// Fingerprint distance of the best match (dB).
+        distance_db: f64,
+        /// Snapshot version that served the request.
+        version: u64,
+        /// Links imputed from the empty-room baseline (no samples ever seen).
+        missing_links: Vec<usize>,
+        /// Links whose freshest sample is older than the staleness bound.
+        stale_links: Vec<usize>,
+        /// Stream-clock time (s) at which the vector was assembled.
+        stream_t_s: f64,
+        /// Total window samples backing the assembled vector.
+        window_samples: usize,
+    },
+    /// One fix per input vector, all served from one snapshot.
+    LocatedBatch {
+        /// Fixes, in input order.
+        fixes: Vec<Fix>,
+        /// Snapshot version that served the whole batch.
+        version: u64,
+    },
+    /// Ingestion outcome for one sample batch.
+    Ingested {
+        /// Per-batch accept/drop accounting.
+        report: BatchReport,
+    },
     /// Tracking estimate.
     Tracked {
         /// Estimated x (m).
@@ -212,6 +277,19 @@ pub enum Response {
     Pong,
     /// Shutdown acknowledged; the server is draining.
     ShuttingDown,
+}
+
+/// One localization fix inside a `located-batch` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fix {
+    /// Best-matching cell.
+    pub cell: usize,
+    /// Estimated x (m).
+    pub x: f64,
+    /// Estimated y (m).
+    pub y: f64,
+    /// Fingerprint distance of the best match (dB).
+    pub distance_db: f64,
 }
 
 /// One site's identity row in `list-sites`.
@@ -276,6 +354,12 @@ pub struct SiteStats {
     pub auto_refreshes: u64,
     /// Live tracking streams.
     pub active_trackers: usize,
+    /// Cumulative ingestion-pipeline counters (samples, drops, link health).
+    pub ingest: IngestStats,
+    /// The live ingestion stream clock (s); 0 until the first sample lands.
+    pub stream_clock_s: f64,
+    /// Reference-cell capture windows currently accumulating samples.
+    pub active_ref_captures: usize,
 }
 
 /// Serializes `msg` as one newline-terminated JSON line and flushes.

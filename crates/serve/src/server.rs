@@ -319,6 +319,45 @@ pub fn dispatch(request: Request, ctx: &ServerCtx) -> Response {
             },
             Err(e) => err_response(e),
         },
+        Request::LocateBatch { site, ys } => {
+            match ctx.registry.get(&site).and_then(|s| s.locate_batch(&ys)) {
+                Ok((fixes, version)) => Response::LocatedBatch {
+                    fixes: fixes
+                        .into_iter()
+                        .map(|fix| crate::protocol::Fix {
+                            cell: fix.cell,
+                            x: fix.point.x,
+                            y: fix.point.y,
+                            distance_db: fix.best_distance,
+                        })
+                        .collect(),
+                    version,
+                },
+                Err(e) => err_response(e),
+            }
+        }
+        Request::LocateStream { site } => {
+            match ctx.registry.get(&site).and_then(|s| s.locate_stream()) {
+                Ok((fix, assembled, version)) => Response::StreamLocated {
+                    cell: fix.cell,
+                    x: fix.point.x,
+                    y: fix.point.y,
+                    distance_db: fix.best_distance,
+                    version,
+                    missing_links: assembled.missing,
+                    stale_links: assembled.stale,
+                    stream_t_s: assembled.latest_t_s.unwrap_or(0.0),
+                    window_samples: assembled.window_samples,
+                },
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Ingest { site, ref_cell, day, samples } => {
+            match ctx.registry.get(&site).and_then(|s| s.ingest_samples(ref_cell, day, &samples)) {
+                Ok(report) => Response::Ingested { report },
+                Err(e) => err_response(e),
+            }
+        }
         Request::Track { site, stream, y, dt_s } => {
             match ctx.registry.get(&site).and_then(|s| s.track(&stream, &y, dt_s)) {
                 Ok(est) => Response::Tracked {

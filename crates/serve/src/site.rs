@@ -12,6 +12,11 @@
 //!   never across LoLi-IR.
 //! * a dedicated `refresh` mutex serializes refreshes; reconstruction runs
 //!   while holding *only* that, then publishes with one pointer swap.
+//! * an [`Ingestor`] per site accepts raw timestamped link samples and
+//!   assembles them into fingerprint vectors on demand (`locate-stream`);
+//!   reference-cell capture windows accumulate survey streams and are
+//!   promoted to [`PendingRefs`] by the maintenance loop once every
+//!   reference cell has a complete vector.
 
 use crate::maintenance::MaintenancePolicy;
 use crate::protocol::{SiteInfo, SiteStats};
@@ -28,6 +33,7 @@ use tafloc_core::matcher::MatchResult;
 use tafloc_core::monitor::{DriftMonitor, Recommendation};
 use tafloc_core::system::{TafLoc, UpdateReport};
 use tafloc_core::tracking::{ParticleFilter, TrackEstimate, TrackerConfig};
+use tafloc_ingest::{AssembledVector, BatchReport, IngestConfig, Ingestor, LinkSample};
 
 /// The immutable state one `locate` needs, swapped wholesale on refresh.
 #[derive(Debug)]
@@ -62,6 +68,12 @@ struct SiteDynamic {
     last_estimate_db: Option<f64>,
     maintenance_checks: u64,
     auto_refreshes: u64,
+    /// Per-reference-cell capture ingestors (keyed by reference index, not
+    /// cell id). `Arc` so a capture batch can be applied outside the mutex.
+    ref_captures: HashMap<usize, Arc<Ingestor>>,
+    /// Deployment day the current capture round belongs to; a batch tagged
+    /// with a different day starts a fresh round.
+    ref_capture_day: f64,
 }
 
 /// One registered site.
@@ -72,6 +84,11 @@ pub struct Site {
     dynamic: Mutex<SiteDynamic>,
     /// Serializes refreshes; never held by the read path.
     refresh: Mutex<()>,
+    /// Live streaming ingestion: raw link samples in, assembled vectors out.
+    /// Internally sharded; callers never take the site mutexes to feed it.
+    ingest: Ingestor,
+    ingest_config: IngestConfig,
+    ingest_shards: usize,
     policy: MaintenancePolicy,
     monitor_cells: usize,
     stop: AtomicBool,
@@ -90,6 +107,10 @@ impl Site {
     pub fn new(name: &str, system: TafLoc, day: f64, policy: MaintenancePolicy) -> Result<Site> {
         let monitor_cells = policy.monitor_cells.max(1).min(system.reference_cells().len().max(1));
         let monitor = system.monitor(monitor_cells, day, policy.monitor)?;
+        let num_links = system.db().num_links();
+        let ingest_config = IngestConfig::default();
+        let ingest_shards = num_links.min(8).max(1);
+        let ingest = Ingestor::new(ingest_config, num_links, ingest_shards)?;
         Ok(Site {
             name: name.to_string(),
             cell: SnapshotCell::new(SiteSnapshot { system, version: 0, refreshed_day: day }),
@@ -102,8 +123,13 @@ impl Site {
                 last_estimate_db: None,
                 maintenance_checks: 0,
                 auto_refreshes: 0,
+                ref_captures: HashMap::new(),
+                ref_capture_day: 0.0,
             }),
             refresh: Mutex::new(()),
+            ingest,
+            ingest_config,
+            ingest_shards,
             policy,
             monitor_cells,
             stop: AtomicBool::new(false),
@@ -142,6 +168,74 @@ impl Site {
         let snap = self.load();
         let fix = snap.system.localize(y)?;
         Ok((fix, snap.version))
+    }
+
+    /// Localizes many RSS vectors against one snapshot, so a whole batch is
+    /// answered with a single consistent version.
+    pub fn locate_batch(&self, ys: &[Vec<f64>]) -> Result<(Vec<MatchResult>, u64)> {
+        let snap = self.load();
+        let fixes: Result<Vec<MatchResult>> =
+            ys.iter().map(|y| snap.system.localize(y).map_err(ServeError::from)).collect();
+        Ok((fixes?, snap.version))
+    }
+
+    /// The site's live streaming ingestor.
+    pub fn ingestor(&self) -> &Ingestor {
+        &self.ingest
+    }
+
+    /// Accepts one batch of raw link samples. `ref_cell: None` feeds the live
+    /// window behind `locate-stream`; `Some(k)` feeds the capture window for
+    /// reference cell `k` of a day-`day` survey (promoted to pending
+    /// reference columns by the maintenance loop once complete).
+    pub fn ingest_samples(
+        &self,
+        ref_cell: Option<usize>,
+        day: f64,
+        samples: &[LinkSample],
+    ) -> Result<BatchReport> {
+        let Some(k) = ref_cell else {
+            return Ok(self.ingest.apply_batch(samples));
+        };
+        let n_refs = self.load().system.reference_cells().len();
+        if k >= n_refs {
+            return Err(ServeError::Protocol(format!(
+                "ref_cell {k} out of range: the site has {n_refs} reference cells"
+            )));
+        }
+        let capture = {
+            let mut d = self.lock_dynamic();
+            // A batch for a different day starts a new survey round; stale
+            // partial captures from the previous round are discarded.
+            if d.ref_capture_day != day {
+                d.ref_captures.clear();
+                d.ref_capture_day = day;
+            }
+            match d.ref_captures.entry(k) {
+                Entry::Occupied(e) => Arc::clone(e.get()),
+                Entry::Vacant(v) => Arc::clone(v.insert(Arc::new(Ingestor::new(
+                    self.ingest_config,
+                    self.ingest.num_links(),
+                    self.ingest_shards,
+                )?))),
+            }
+        };
+        Ok(capture.apply_batch(samples))
+    }
+
+    /// Assembles the live ingestion window into a fingerprint vector (links
+    /// that never reported are imputed from the snapshot's empty-room
+    /// baseline) and localizes it on the current snapshot.
+    pub fn locate_stream(&self) -> Result<(MatchResult, AssembledVector, u64)> {
+        let snap = self.load();
+        let assembled = self.ingest.assemble(snap.system.empty_rss())?;
+        if assembled.missing.len() == assembled.y.len() {
+            return Err(ServeError::Protocol(
+                "locate-stream before any samples arrived; send ingest first".into(),
+            ));
+        }
+        let fix = snap.system.localize(&assembled.y)?;
+        Ok((fix, assembled, snap.version))
     }
 
     /// Advances (creating on first use) the particle filter of `stream`.
@@ -242,11 +336,45 @@ impl Site {
         Ok((report, version))
     }
 
-    /// One pass of the background maintenance loop: re-check pending
-    /// references against the monitor and auto-refresh when the breach streak
-    /// and the monitor's cooldown both allow it. Returns the new version when
-    /// a refresh was triggered.
+    /// Promotes a finished reference-capture round into [`PendingRefs`]:
+    /// once every reference cell owns a capture window whose assembled vector
+    /// is complete (no missing, no stale links), the vectors become the
+    /// pending `M x n` reference columns, exactly as if they had arrived via
+    /// `measure-refs`. The empty-room baseline is carried forward from the
+    /// current snapshot — the survey re-measures the occupied columns only.
+    /// Returns whether a promotion happened.
+    pub fn promote_ref_captures(&self) -> Result<bool> {
+        let snap = self.load();
+        let n_refs = snap.system.reference_cells().len();
+        let m = snap.system.db().num_links();
+        let empty = snap.system.empty_rss();
+        let mut d = self.lock_dynamic();
+        if d.ref_captures.len() < n_refs {
+            return Ok(false);
+        }
+        let mut columns = Matrix::zeros(m, n_refs);
+        for k in 0..n_refs {
+            let Some(capture) = d.ref_captures.get(&k) else {
+                return Ok(false);
+            };
+            let v = capture.assemble(empty)?;
+            if !v.is_complete() {
+                return Ok(false);
+            }
+            columns.set_col(k, &v.y)?;
+        }
+        d.pending = Some(PendingRefs { day: d.ref_capture_day, columns, empty: empty.to_vec() });
+        d.ref_captures.clear();
+        Ok(true)
+    }
+
+    /// One pass of the background maintenance loop: promote any finished
+    /// reference-capture round, then re-check pending references against the
+    /// monitor and auto-refresh when the breach streak and the monitor's
+    /// cooldown both allow it. Returns the new version when a refresh was
+    /// triggered.
     pub fn maintenance_tick(&self) -> Result<Option<u64>> {
+        self.promote_ref_captures()?;
         let trigger = {
             let mut d = self.lock_dynamic();
             d.maintenance_checks += 1;
@@ -296,6 +424,9 @@ impl Site {
             maintenance_checks: d.maintenance_checks,
             auto_refreshes: d.auto_refreshes,
             active_trackers: d.trackers.len(),
+            ingest: self.ingest.stats(),
+            stream_clock_s: self.ingest.stream_clock_s(),
+            active_ref_captures: d.ref_captures.len(),
         }
     }
 }
@@ -319,5 +450,123 @@ pub fn detection_detail(det: &Detection) -> String {
         Detection::PresentAccumulated { link, statistic } => {
             format!("accumulated: link {link} CUSUM {statistic:.1}")
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taf_rfsim::{campaign, stream, StreamConfig, World, WorldConfig};
+    use tafloc_core::db::FingerprintDb;
+    use tafloc_core::system::TafLocConfig;
+
+    const SAMPLES: usize = 20;
+
+    fn calibrated_site(seed: u64) -> (World, Site) {
+        let world = World::new(WorldConfig::small_test(), seed);
+        let x0 = campaign::full_calibration(&world, 0.0, SAMPLES);
+        let e0 = campaign::empty_snapshot(&world, 0.0, SAMPLES);
+        let db = FingerprintDb::from_world(x0, &world).unwrap();
+        let config = TafLocConfig { ref_count: 6, ..Default::default() };
+        let sys = TafLoc::calibrate(config, db, e0).unwrap();
+        let site = Site::new("lab", sys, 0.0, MaintenancePolicy::default()).unwrap();
+        (world, site)
+    }
+
+    fn link_samples(raw: &[taf_rfsim::RawSample]) -> Vec<LinkSample> {
+        raw.iter().map(|r| LinkSample::new(r.link, r.t_s, r.rss_dbm)).collect()
+    }
+
+    #[test]
+    fn live_samples_assemble_into_a_matching_fix() {
+        let (world, site) = calibrated_site(31);
+        let target_cell = 5;
+        let cfg = StreamConfig { duration_s: 30.0, ..Default::default() };
+        let raw = stream::stream_at_cell(&world, 0.0, target_cell, &cfg, 1);
+        let report = site.ingest_samples(None, 0.0, &link_samples(&raw)).unwrap();
+        assert_eq!(report.total() as usize, raw.len());
+        assert!(report.accepted > 0);
+
+        let (fix, assembled, version) = site.locate_stream().unwrap();
+        assert_eq!(version, 0);
+        assert!(assembled.is_complete(), "all links streamed");
+        assert!(assembled.y.iter().all(|v| v.is_finite()));
+        let y_avg = campaign::snapshot_at_cell(&world, 0.0, target_cell, SAMPLES);
+        let expected = site.load().system.localize(&y_avg).unwrap().cell;
+        assert_eq!(fix.cell, expected, "stream path must agree with the averaged path");
+    }
+
+    #[test]
+    fn locate_stream_without_samples_is_an_error() {
+        let (_, site) = calibrated_site(32);
+        assert!(site.locate_stream().is_err());
+    }
+
+    #[test]
+    fn locate_batch_matches_single_locates_on_one_version() {
+        let (world, site) = calibrated_site(33);
+        let ys: Vec<Vec<f64>> =
+            (0..4).map(|c| campaign::snapshot_at_cell(&world, 0.0, c, SAMPLES)).collect();
+        let single: Vec<usize> = ys.iter().map(|y| site.locate(y).unwrap().0.cell).collect();
+        let (fixes, version) = site.locate_batch(&ys).unwrap();
+        assert_eq!(version, 0);
+        let batch: Vec<usize> = fixes.iter().map(|f| f.cell).collect();
+        assert_eq!(batch, single);
+        // One bad vector fails the whole batch.
+        assert!(site.locate_batch(&[vec![-50.0; 2]]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_ref_capture_is_rejected() {
+        let (_, site) = calibrated_site(34);
+        let n_refs = site.load().system.reference_cells().len();
+        let err =
+            site.ingest_samples(Some(n_refs), 0.0, &[LinkSample::new(0, 0.0, -50.0)]).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn complete_ref_captures_promote_to_pending_refs() {
+        let (world, site) = calibrated_site(35);
+        let ref_cells: Vec<usize> = site.load().system.reference_cells().to_vec();
+        let cfg = StreamConfig { duration_s: 30.0, ..Default::default() };
+
+        // A partial survey must not promote.
+        let raw = stream::stream_at_cell(&world, 60.0, ref_cells[0], &cfg, 50);
+        site.ingest_samples(Some(0), 60.0, &link_samples(&raw)).unwrap();
+        assert!(!site.promote_ref_captures().unwrap());
+        assert!(!site.stats().pending_refs);
+        assert_eq!(site.stats().active_ref_captures, 1);
+
+        // Completing every reference cell promotes and clears the captures.
+        for (k, &cell) in ref_cells.iter().enumerate().skip(1) {
+            let raw = stream::stream_at_cell(&world, 60.0, cell, &cfg, 50 + k as u64);
+            site.ingest_samples(Some(k), 60.0, &link_samples(&raw)).unwrap();
+        }
+        assert!(site.promote_ref_captures().unwrap());
+        let stats = site.stats();
+        assert!(stats.pending_refs);
+        assert_eq!(stats.active_ref_captures, 0);
+
+        // The promoted columns drive a real refresh.
+        let (report, version) = site.refresh().unwrap();
+        assert!(report.converged);
+        assert_eq!(version, 1);
+        assert!(!site.stats().pending_refs);
+    }
+
+    #[test]
+    fn a_new_survey_day_restarts_the_capture_round() {
+        let (world, site) = calibrated_site(36);
+        let cfg = StreamConfig { duration_s: 10.0, ..Default::default() };
+        let ref_cells: Vec<usize> = site.load().system.reference_cells().to_vec();
+        let raw = stream::stream_at_cell(&world, 30.0, ref_cells[0], &cfg, 9);
+        site.ingest_samples(Some(0), 30.0, &link_samples(&raw)).unwrap();
+        assert_eq!(site.stats().active_ref_captures, 1);
+        // Same cell, different day: the stale partial round is discarded.
+        let raw = stream::stream_at_cell(&world, 60.0, ref_cells[1], &cfg, 10);
+        site.ingest_samples(Some(1), 60.0, &link_samples(&raw)).unwrap();
+        let stats = site.stats();
+        assert_eq!(stats.active_ref_captures, 1, "day change restarts the round");
     }
 }

@@ -71,30 +71,39 @@ mod tests {
     #[test]
     fn concurrent_readers_always_see_a_complete_snapshot() {
         // Snapshots are (n, n * 7): a torn read would break the invariant.
+        // Readers do a fixed amount of work while a writer stores until they
+        // finish, so the test cannot depend on scheduling order.
         let cell = Arc::new(SnapshotCell::new((0u64, 0u64)));
         let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let cell = cell.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    n += 1;
+                    cell.store((n, n * 7));
+                }
+                n
+            })
+        };
         let readers: Vec<_> = (0..4)
             .map(|_| {
                 let cell = cell.clone();
-                let stop = stop.clone();
                 std::thread::spawn(move || {
-                    let mut seen = 0u64;
-                    while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..2000 {
                         let s = cell.load();
                         assert_eq!(s.1, s.0 * 7, "torn snapshot");
-                        seen += 1;
                     }
-                    seen
                 })
             })
             .collect();
-        for n in 1..2000u64 {
-            cell.store((n, n * 7));
+        for r in readers {
+            r.join().unwrap();
         }
         stop.store(true, Ordering::Relaxed);
-        for r in readers {
-            assert!(r.join().unwrap() > 0);
-        }
-        assert_eq!(cell.load().0, 1999);
+        let stores = writer.join().unwrap();
+        assert!(stores > 0);
+        assert_eq!(cell.load().0, stores);
     }
 }

@@ -9,10 +9,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
-use taf_rfsim::{campaign, World, WorldConfig};
+use taf_rfsim::{campaign, stream, StreamConfig, World, WorldConfig};
 use tafloc_core::db::FingerprintDb;
 use tafloc_core::monitor::MonitorConfig;
 use tafloc_core::system::{TafLoc, TafLocConfig};
+use tafloc_ingest::LinkSample;
 use tafloc_serve::client::Client;
 use tafloc_serve::maintenance::MaintenancePolicy;
 use tafloc_serve::protocol::{Request, Response};
@@ -238,6 +239,143 @@ fn protocol_errors_leave_the_connection_usable_and_are_counted() {
         }
         other => panic!("unexpected reply to stats: {other:?}"),
     }
+
+    client.call_ok(&Request::Shutdown).unwrap();
+    handle.join();
+}
+
+fn to_link_samples(raw: &[taf_rfsim::RawSample]) -> Vec<LinkSample> {
+    raw.iter().map(|r| LinkSample::new(r.link, r.t_s, r.rss_dbm)).collect()
+}
+
+#[test]
+fn streaming_ingest_feeds_locate_stream_and_locate_batch() {
+    let (world, sys) = calibrated_site(15);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers: 2, default_policy: manual_policy(), ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    server.add_site("lab", sys.clone(), 0.0).unwrap();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).unwrap();
+
+    // locate-stream before any sample is a clean error, not a panic.
+    assert!(client.locate_stream("lab").is_err());
+
+    // Stream raw samples of a target standing at a known cell, in a few
+    // batches like a radio gateway would deliver them.
+    let target_cell = 7;
+    let cfg = StreamConfig { duration_s: 30.0, ..Default::default() };
+    let raw = stream::stream_at_cell(&world, 0.0, target_cell, &cfg, 21);
+    let samples = to_link_samples(&raw);
+    let mut accepted = 0;
+    for chunk in samples.chunks(64) {
+        let report = client.ingest("lab", chunk.to_vec()).unwrap();
+        assert_eq!(report.total() as usize, chunk.len());
+        accepted += report.accepted;
+    }
+    assert!(accepted > 0, "samples must land in the live window");
+
+    // The assembled live vector localizes to the same cell as the library
+    // path fed with the averaged campaign snapshot.
+    let y_avg = campaign::snapshot_at_cell(&world, 0.0, target_cell, SAMPLES);
+    let expected = sys.localize(&y_avg).unwrap().cell;
+    let (cell, _, _, version) = client.locate_stream("lab").unwrap();
+    assert_eq!(version, 0);
+    assert_eq!(cell, expected, "stream-assembled fix must match the averaged path");
+
+    // The full reply carries the quality flags.
+    match client.call_ok(&Request::LocateStream { site: "lab".into() }).unwrap() {
+        Response::StreamLocated {
+            missing_links, stale_links, window_samples, stream_t_s, ..
+        } => {
+            assert!(missing_links.is_empty(), "every link streamed: {missing_links:?}");
+            assert!(stale_links.is_empty());
+            assert!(window_samples > 0);
+            assert!(stream_t_s > 0.0);
+        }
+        other => panic!("unexpected reply to locate-stream: {other:?}"),
+    }
+
+    // locate-batch answers every vector from one snapshot version.
+    let ys: Vec<Vec<f64>> =
+        (0..4).map(|c| campaign::snapshot_at_cell(&world, 0.0, c, SAMPLES)).collect();
+    let single: Vec<usize> = ys.iter().map(|y| sys.localize(y).unwrap().cell).collect();
+    let (fixes, version) = client.locate_batch("lab", ys).unwrap();
+    assert_eq!(version, 0);
+    let batch: Vec<usize> = fixes.iter().map(|f| f.cell).collect();
+    assert_eq!(batch, single, "batch fixes must match one-at-a-time locate");
+
+    // Bad input anywhere in the batch fails the whole batch.
+    assert!(client.locate_batch("lab", vec![vec![-50.0; 2]]).is_err());
+
+    // Stats surface the ingest counters and endpoints.
+    match client.call_ok(&Request::Stats).unwrap() {
+        Response::Stats { report } => {
+            assert!(report.endpoints.iter().any(|e| e.endpoint == "ingest"));
+            assert!(report.endpoints.iter().any(|e| e.endpoint == "locate-stream"));
+            assert!(report.endpoints.iter().any(|e| e.endpoint == "locate-batch"));
+            let site = report.sites.iter().find(|s| s.site == "lab").unwrap();
+            assert_eq!(site.ingest.accepted, accepted);
+            assert!(site.stream_clock_s > 0.0);
+            assert_eq!(site.active_ref_captures, 0);
+        }
+        other => panic!("unexpected reply to stats: {other:?}"),
+    }
+
+    client.call_ok(&Request::Shutdown).unwrap();
+    handle.join();
+}
+
+#[test]
+fn streamed_reference_survey_promotes_to_pending_refs_and_auto_refreshes() {
+    let (world, sys) = calibrated_site(16);
+    let policy = MaintenancePolicy {
+        interval_ms: 25,
+        auto_refresh: true,
+        breach_streak: 2,
+        monitor_cells: 2,
+        monitor: MonitorConfig { error_threshold_db: 0.3, min_interval_days: 1.0 },
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers: 2, default_policy: policy, ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    server.add_site("lab", sys.clone(), 0.0).unwrap();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Survey every reference cell at day 60 as raw streams — no averaged
+    // measure-refs call anywhere.
+    let cfg = StreamConfig { duration_s: 30.0, ..Default::default() };
+    let ref_cells: Vec<usize> = sys.reference_cells().to_vec();
+    for (k, &cell) in ref_cells.iter().enumerate() {
+        let raw = stream::stream_at_cell(&world, 60.0, cell, &cfg, 100 + k as u64);
+        let report = client.ingest_for("lab", Some(k), 60.0, to_link_samples(&raw)).unwrap();
+        assert!(report.accepted > 0, "ref capture {k} must accept samples");
+    }
+
+    // The maintenance loop promotes the captures to pending refs, the drift
+    // monitor flags day-60 drift, and the auto-refresh lands.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut refreshed = false;
+    while Instant::now() < deadline {
+        if let Response::Stats { report } = client.call_ok(&Request::Stats).unwrap() {
+            let site = report.sites.iter().find(|s| s.site == "lab").unwrap();
+            if site.version >= 1 {
+                assert!(site.auto_refreshes >= 1);
+                assert_eq!(site.active_ref_captures, 0, "promotion must clear captures");
+                refreshed = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(refreshed, "streamed reference survey never triggered an auto-refresh");
 
     client.call_ok(&Request::Shutdown).unwrap();
     handle.join();
