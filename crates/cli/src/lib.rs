@@ -511,6 +511,85 @@ pub fn cmd_export_db(args: &Args) -> Result<String> {
     ))
 }
 
+/// `testkit`: runs deterministic fault-injection scenarios (taf-testkit)
+/// and checks them against — or re-blesses — the committed golden accuracy
+/// baselines under `results/golden/`.
+fn cmd_testkit(args: &Args) -> Result<String> {
+    if args.switch("list") {
+        let mut out = String::from("built-in scenarios:\n");
+        for s in taf_testkit::builtin_scenarios() {
+            out.push_str(&format!("  {:<16} {}\n", s.name, s.description));
+        }
+        out.push_str("goldens live in results/golden/; re-bless with --bless");
+        return Ok(out);
+    }
+    let mut scenarios = match args.optional("scenario") {
+        Some(name) => vec![taf_testkit::find_scenario(name)
+            .ok_or_else(|| CliError(format!("unknown scenario {name:?} (try --list)")))?],
+        None => taf_testkit::builtin_scenarios(),
+    };
+    // Ad-hoc overrides for experiments (a blessed golden always comes from
+    // the scenario's own seed and a zero bias).
+    if let Some(seed) = args.optional("seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| CliError(format!("flag --seed expects a number, got {seed:?}")))?;
+        for sc in &mut scenarios {
+            sc.seed = seed;
+        }
+    }
+    if let Some(bias) = args.optional("bias") {
+        let bias: f64 = bias
+            .parse()
+            .map_err(|_| CliError(format!("flag --bias expects a number, got {bias:?}")))?;
+        for sc in &mut scenarios {
+            sc.debug_bias_db = bias;
+        }
+    }
+    let bless = args.switch("bless");
+    if bless && (args.optional("seed").is_some() || args.optional("bias").is_some()) {
+        return Err(CliError("--bless cannot be combined with --seed/--bias overrides".into()));
+    }
+    let mut out = String::new();
+    let mut failures = 0usize;
+    for sc in &scenarios {
+        let report = taf_testkit::run_scenario(sc).map_err(CliError)?;
+        if let Some(path) = args.optional("out") {
+            std::fs::write(path, report.to_json()).map_err(|e| CliError(format!("{path}: {e}")))?;
+        }
+        if bless {
+            let path = taf_testkit::bless(&report).map_err(CliError)?;
+            out.push_str(&format!("{}: blessed -> {}\n", sc.name, path.display()));
+            continue;
+        }
+        match taf_testkit::load_golden(sc.name) {
+            Err(e) => {
+                failures += 1;
+                out.push_str(&format!("{}: {e}\n", sc.name));
+            }
+            Ok(golden) => {
+                let violations = taf_testkit::compare(&report, &golden, &sc.tolerances);
+                if violations.is_empty() {
+                    out.push_str(&format!(
+                        "{}: ok (recon RMSE {:.3} dB, drifted mean loc err {:.3} m, {} refreshes)\n",
+                        sc.name, report.recon_rmse_db, report.drifted.loc.mean, report.refreshes
+                    ));
+                } else {
+                    failures += 1;
+                    out.push_str(&format!("{}: FAILED\n", sc.name));
+                    for v in violations {
+                        out.push_str(&format!("    {v}\n"));
+                    }
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(CliError(format!("{}{failures} scenario(s) failed", out)));
+    }
+    Ok(out.trim_end().to_string())
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 tafloc — time-adaptive device-free localization (TafLoc, SIGCOMM '16 reproduction)
@@ -534,6 +613,8 @@ COMMANDS
   export-db     --system system.json --out db.csv
   serve         [--port P | --addr HOST:PORT] [--workers N] [--port-file PATH]
                 [--system system.json [--site NAME] [--day D]]
+  testkit       [--list] [--scenario NAME] [--bless] [--out report.json]
+                [--seed N] [--bias DB]
 ";
 
 /// Dispatches a command; returns the success message to print.
@@ -551,6 +632,7 @@ pub fn run(command: &str, args: &Args) -> Result<String> {
         "info" => cmd_info(args),
         "export-db" => cmd_export_db(args),
         "serve" => cmd_serve(args),
+        "testkit" => cmd_testkit(args),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }

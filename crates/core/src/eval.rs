@@ -7,6 +7,7 @@
 
 use crate::error::TaflocError;
 use crate::Result;
+use serde::{Deserialize, Serialize};
 use taf_linalg::stats::Ecdf;
 use taf_linalg::Matrix;
 use taf_rfsim::geometry::Point;
@@ -30,13 +31,21 @@ pub fn reconstruction_error_cdf(estimate: &Matrix, truth: &Matrix) -> Result<Ecd
     Ecdf::new(&errs).map_err(TaflocError::from)
 }
 
+/// Root-mean-square per-entry reconstruction error (dB) — the single scalar
+/// the regression gates compare across runs.
+pub fn reconstruction_rmse(estimate: &Matrix, truth: &Matrix) -> Result<f64> {
+    let errs = reconstruction_errors(estimate, truth)?;
+    let n = errs.len().max(1);
+    Ok((errs.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt())
+}
+
 /// Euclidean localization error (meters) between an estimate and the truth.
 pub fn localization_error(estimate: &Point, truth: &Point) -> f64 {
     estimate.distance(truth)
 }
 
 /// Summary of one experiment's error sample.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorSummary {
     /// Arithmetic mean error.
     pub mean: f64,
@@ -129,6 +138,15 @@ mod tests {
         let cdf = reconstruction_error_cdf(&est, &truth).unwrap();
         assert_eq!(cdf.eval(2.0), 0.5);
         assert_eq!(cdf.eval(4.0), 1.0);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let truth = Matrix::zeros(1, 4);
+        let est = Matrix::from_rows(&[&[3.0, 4.0, 0.0, 0.0]]).unwrap();
+        let rmse = reconstruction_rmse(&est, &truth).unwrap();
+        assert!((rmse - (25.0f64 / 4.0).sqrt()).abs() < 1e-12);
+        assert!(reconstruction_rmse(&est, &Matrix::zeros(2, 2)).is_err());
     }
 
     #[test]

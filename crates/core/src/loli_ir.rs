@@ -60,6 +60,13 @@ pub struct LoliIrConfig {
     pub max_iters: usize,
     /// Relative objective-decrease stopping tolerance.
     pub tol: f64,
+    /// Test-only fault-injection hook: a constant bias (dB) added to every
+    /// entry of the reconstructed matrix after the solve. `0.0` (the default,
+    /// and the only sane production value) is a strict no-op. The regression
+    /// harness (`taf-testkit`) sets this to verify its accuracy gates detect
+    /// a corrupted reconstruction — see the mutation check in that crate.
+    #[serde(default)]
+    pub debug_bias_db: f64,
 }
 
 impl Default for LoliIrConfig {
@@ -72,6 +79,7 @@ impl Default for LoliIrConfig {
             beta: 0.05,
             max_iters: 60,
             tol: 1e-6,
+            debug_bias_db: 0.0,
         }
     }
 }
@@ -102,6 +110,12 @@ impl LoliIrConfig {
             return Err(TaflocError::InvalidConfig {
                 field: "max_iters",
                 reason: "must be >= 1".into(),
+            });
+        }
+        if !self.debug_bias_db.is_finite() {
+            return Err(TaflocError::InvalidConfig {
+                field: "debug_bias_db",
+                reason: format!("must be finite, got {}", self.debug_bias_db),
             });
         }
         Ok(())
@@ -516,7 +530,12 @@ pub fn reconstruct(
         }
     }
 
-    let matrix = l.matmul_nt(&rf)?;
+    let mut matrix = l.matmul_nt(&rf)?;
+    if config.debug_bias_db != 0.0 {
+        // Fault-injection hook (see `LoliIrConfig::debug_bias_db`): corrupt
+        // the published reconstruction without touching the solve itself.
+        matrix = matrix.map(|v| v + config.debug_bias_db);
+    }
     if matrix.has_non_finite() {
         return Err(TaflocError::SolverFailure {
             solver: "loli-ir",
@@ -782,6 +801,30 @@ mod tests {
         let empty_mask = Mask::falses(6, 12);
         let p = ReconstructionProblem::completion_only(&truth, &empty_mask);
         assert!(reconstruct(&p, &LoliIrConfig::default()).is_err());
+    }
+
+    #[test]
+    fn debug_bias_shifts_output_only() {
+        let truth = ground_truth();
+        let mask = column_mask(&truth, &[0, 4, 8]);
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&truth),
+            location_graph: None,
+            link_graph: None,
+            empty_rss: None,
+            distortion: None,
+        };
+        let clean = reconstruct(&problem, &LoliIrConfig::default()).unwrap();
+        let cfg = LoliIrConfig { debug_bias_db: 3.0, ..Default::default() };
+        let biased = reconstruct(&problem, &cfg).unwrap();
+        let shift = biased.matrix.sub(&clean.matrix).unwrap();
+        assert!(shift.iter().all(|v| (v - 3.0).abs() < 1e-12), "bias must be exactly +3 dB");
+        // The solve itself is untouched: traces agree bit for bit.
+        assert_eq!(clean.objective_trace, biased.objective_trace);
+        let bad = LoliIrConfig { debug_bias_db: f64::NAN, ..Default::default() };
+        assert!(reconstruct(&problem, &bad).is_err());
     }
 
     #[test]

@@ -66,6 +66,36 @@ proptest! {
         prop_assert!(tight.count() <= loose.count());
     }
 
+    /// Mask application round-trips: `B∘X` preserves every observed entry
+    /// bit-exactly, zeroes the rest, is idempotent, and partitions `X`
+    /// against its complement — for *arbitrary* masks, not just column masks.
+    #[test]
+    fn mask_apply_round_trips_observed_entries(
+        (x, bits) in (1usize..7, 1usize..9)
+            .prop_flat_map(|(r, c)| (matrix(r, c), proptest::collection::vec(0usize..2, r * c)))
+    ) {
+        let (rows, cols) = (x.rows(), x.cols());
+        let mut m = Mask::falses(rows, cols);
+        for (idx, &b) in bits.iter().enumerate() {
+            if b == 1 {
+                m.set(idx / cols, idx % cols, true);
+            }
+        }
+        let applied = m.apply(&x).unwrap();
+        for (i, j, v) in applied.indexed_iter() {
+            if m.get(i, j) {
+                prop_assert!(v.to_bits() == x[(i, j)].to_bits(), "observed entry changed");
+            } else {
+                prop_assert_eq!(v, 0.0);
+            }
+        }
+        // Idempotence: re-applying the mask is a no-op.
+        prop_assert!(m.apply(&applied).unwrap().approx_eq(&applied, 0.0));
+        // Partition: B∘X + Bᶜ∘X reassembles X exactly.
+        let rebuilt = applied.add(&m.complement().apply(&x).unwrap()).unwrap();
+        prop_assert!(rebuilt.approx_eq(&x, 0.0));
+    }
+
     // ------------------------------------------------------------------
     // Graphs and smoothness
     // ------------------------------------------------------------------
@@ -96,6 +126,33 @@ proptest! {
     // ------------------------------------------------------------------
     // Reference selection + LRR
     // ------------------------------------------------------------------
+
+    /// Every selection strategy returns exactly `n` distinct, in-bounds
+    /// column indices for arbitrary valid matrices — the contract the LRR
+    /// fit and the serving survey both build on without re-checking.
+    #[test]
+    fn selection_returns_n_distinct_in_bounds_columns(
+        (x, n, seed) in (1usize..7, 1usize..10)
+            .prop_flat_map(|(r, c)| (matrix(r, c), 1..=c, 0u64..1000))
+    ) {
+        let strategies = [
+            ReferenceStrategy::QrPivot,
+            ReferenceStrategy::Random { seed },
+            ReferenceStrategy::LeverageScore,
+        ];
+        for strategy in strategies {
+            let sel = select_references(&x, n, strategy).unwrap();
+            prop_assert_eq!(sel.len(), n, "{strategy:?} returned {} columns", sel.len());
+            prop_assert!(sel.iter().all(|&j| j < x.cols()), "{strategy:?} went out of bounds");
+            let mut sorted = sel.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), n, "{strategy:?} repeated a column: {sel:?}");
+            // Degenerate requests must be rejected, never mis-sized.
+            prop_assert!(select_references(&x, 0, strategy).is_err());
+            prop_assert!(select_references(&x, x.cols() + 1, strategy).is_err());
+        }
+    }
 
     #[test]
     fn qr_selection_spans_low_rank(x in low_rank(6, 14, 3)) {

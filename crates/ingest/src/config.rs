@@ -4,11 +4,12 @@ use crate::error::{IngestError, Result};
 use serde::{Deserialize, Serialize};
 
 /// How a window of retained samples is reduced to one per-link RSS value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "kebab-case")]
 pub enum Aggregator {
     /// Median of the retained (outlier-filtered) samples. The most robust
     /// choice and the default.
+    #[default]
     Median,
     /// Exponentially weighted moving average over the retained samples in
     /// time order — cheaper memory of old samples, faster reaction.
@@ -16,12 +17,6 @@ pub enum Aggregator {
         /// Smoothing factor in `(0, 1]`; larger = faster reaction.
         alpha: f64,
     },
-}
-
-impl Default for Aggregator {
-    fn default() -> Self {
-        Aggregator::Median
-    }
 }
 
 /// Ingestion pipeline configuration.

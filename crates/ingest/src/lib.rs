@@ -47,6 +47,7 @@
 // accept NaN.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod clock;
 pub mod config;
 mod error;
 pub mod pipeline;
@@ -54,6 +55,7 @@ pub mod queue;
 pub mod sample;
 pub mod window;
 
+pub use clock::ClockMode;
 pub use config::{Aggregator, IngestConfig};
 pub use error::{IngestError, Result};
 pub use pipeline::{AssembledVector, IngestStats, Ingestor, LinkFlag};

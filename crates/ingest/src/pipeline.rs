@@ -13,6 +13,7 @@
 //! `M` published aggregate pointers and work on immutable data, so assembly
 //! is wait-free with respect to producers for any practical purpose.
 
+use crate::clock::ClockMode;
 use crate::config::IngestConfig;
 use crate::error::{IngestError, Result};
 use crate::sample::{BatchReport, LinkSample};
@@ -130,6 +131,8 @@ pub struct Ingestor {
     published: Vec<PublishedLink>,
     /// Stream clock: max sample time seen, in microsecond ticks (atomic max).
     clock_us: AtomicU64,
+    /// Whether samples advance the clock or only `advance_clock_to` does.
+    clock_mode: ClockMode,
     accepted: AtomicU64,
     dropped_late: AtomicU64,
     dropped_unknown: AtomicU64,
@@ -147,8 +150,21 @@ fn clock_ticks(t_s: f64) -> u64 {
 
 impl Ingestor {
     /// Creates a pipeline for `num_links` links, striped over `shards`
-    /// mutexes (clamped to at least 1, at most one per link).
+    /// mutexes (clamped to at least 1, at most one per link). The stream
+    /// clock is sample-driven (the production default).
     pub fn new(config: IngestConfig, num_links: usize, shards: usize) -> Result<Ingestor> {
+        Ingestor::with_clock(config, num_links, shards, ClockMode::SampleDriven)
+    }
+
+    /// Creates a pipeline with an explicit [`ClockMode`]. Test harnesses use
+    /// [`ClockMode::Manual`] so staleness and late-drop decisions stay
+    /// deterministic under injected faults (see [`crate::clock`]).
+    pub fn with_clock(
+        config: IngestConfig,
+        num_links: usize,
+        shards: usize,
+        clock_mode: ClockMode,
+    ) -> Result<Ingestor> {
         config.validate()?;
         if num_links == 0 {
             return Err(IngestError::InvalidConfig {
@@ -169,6 +185,7 @@ impl Ingestor {
             shards,
             published: (0..num_links).map(|_| PublishedLink::default()).collect(),
             clock_us: AtomicU64::new(0),
+            clock_mode,
             accepted: AtomicU64::new(0),
             dropped_late: AtomicU64::new(0),
             dropped_unknown: AtomicU64::new(0),
@@ -194,6 +211,20 @@ impl Ingestor {
         self.clock_us.load(Ordering::Acquire) as f64 / 1e6
     }
 
+    /// The clock discipline in force.
+    pub fn clock_mode(&self) -> ClockMode {
+        self.clock_mode
+    }
+
+    /// Advances the stream clock to `t_s` (monotone: earlier times are
+    /// no-ops). In [`ClockMode::Manual`] this is the *only* way the clock
+    /// moves; in [`ClockMode::SampleDriven`] it composes with sample-driven
+    /// advancement (useful to deterministically age windows past the stale
+    /// horizon when every link has gone quiet).
+    pub fn advance_clock_to(&self, t_s: f64) {
+        self.advance_clock(t_s);
+    }
+
     fn advance_clock(&self, t_s: f64) {
         self.clock_us.fetch_max(clock_ticks(t_s), Ordering::AcqRel);
     }
@@ -204,9 +235,12 @@ impl Ingestor {
         let mut report = BatchReport::default();
         // Advance the stream clock first so every window in the batch sees
         // the batch's own newest timestamp (late-drop decisions included).
-        for s in samples {
-            if s.is_finite() {
-                self.advance_clock(s.t_s);
+        // Under a manual clock the harness owns "now"; samples don't move it.
+        if self.clock_mode == ClockMode::SampleDriven {
+            for s in samples {
+                if s.is_finite() {
+                    self.advance_clock(s.t_s);
+                }
             }
         }
         let now = self.stream_clock_s();
@@ -301,11 +335,11 @@ impl Ingestor {
         let mut stale = Vec::new();
         let mut latest: Option<f64> = None;
         let mut window_samples = 0usize;
-        for link in 0..self.num_links {
+        for (link, &fb) in fallback.iter().enumerate() {
             let agg = self.published[link].load();
             match self.classify(agg.as_deref(), now) {
                 LinkStatus::Dead => {
-                    y.push(fallback[link]);
+                    y.push(fb);
                     flags.push(LinkFlag::Imputed);
                     missing.push(link);
                 }
@@ -473,6 +507,39 @@ mod tests {
         assert_eq!(ing.stats().accepted, 8 * 50 * 10);
         let v = ing.assemble(&[-40.0; 8]).unwrap();
         assert!(v.is_complete());
+    }
+
+    #[test]
+    fn manual_clock_only_moves_on_explicit_advance() {
+        let ing = Ingestor::with_clock(cfg(), 2, 1, ClockMode::Manual).unwrap();
+        assert_eq!(ing.clock_mode(), ClockMode::Manual);
+        let report = ing.apply_batch(&batch_for(0, 50.0, 3, -50.0));
+        assert_eq!(report.accepted, 3);
+        assert_eq!(ing.stream_clock_s(), 0.0, "samples must not move a manual clock");
+        ing.advance_clock_to(10.0);
+        assert_eq!(ing.stream_clock_s(), 10.0);
+        ing.advance_clock_to(5.0);
+        assert_eq!(ing.stream_clock_s(), 10.0, "the clock is monotone");
+    }
+
+    #[test]
+    fn manual_clock_forces_staleness_without_new_samples() {
+        let ing = Ingestor::with_clock(cfg(), 1, 1, ClockMode::Manual).unwrap();
+        ing.apply_batch(&batch_for(0, 0.0, 3, -50.0));
+        assert!(ing.assemble(&[-40.0]).unwrap().is_complete());
+        // A total outage: no samples arrive, but scenario time moves on.
+        ing.advance_clock_to(8.0);
+        let v = ing.assemble(&[-40.0]).unwrap();
+        assert_eq!(v.stale, vec![0], "aging past stale_after_s must flag the link");
+    }
+
+    #[test]
+    fn sample_driven_clock_composes_with_manual_advance() {
+        let ing = Ingestor::new(cfg(), 1, 1).unwrap();
+        ing.apply_batch(&batch_for(0, 0.0, 3, -50.0));
+        assert_eq!(ing.stream_clock_s(), 1.0);
+        ing.advance_clock_to(6.0);
+        assert_eq!(ing.stream_clock_s(), 6.0);
     }
 
     #[test]

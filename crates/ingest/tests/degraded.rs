@@ -15,6 +15,9 @@ use tafloc_ingest::{IngestConfig, Ingestor, LinkFlag, LinkSample};
 const SAMPLES: usize = 20;
 const TARGET_CELL: usize = 9;
 
+/// A calibrated small-test system; each test pins its own world seed
+/// (41–43 below), and the raw-sample fixtures are hand-written, so the
+/// degradation outcomes asserted here are exact, not statistical.
 fn calibrated(seed: u64) -> (World, TafLoc) {
     let world = World::new(WorldConfig::small_test(), seed);
     let x0 = campaign::full_calibration(&world, 0.0, SAMPLES);

@@ -1,0 +1,111 @@
+//! Property-based tests of the per-link window invariants.
+//!
+//! These pin the contracts the assembly layer silently relies on: the
+//! Hampel-gated aggregate never emits a non-finite value for finite input,
+//! the EWMA (and median) reduction stays inside the envelope of the values
+//! the window has seen, and eviction keeps the window bounded by both the
+//! ring capacity and the time horizon under arbitrary arrival orderings.
+
+use proptest::prelude::*;
+use tafloc_ingest::{Aggregator, IngestConfig, LinkSample, LinkWindow};
+
+/// Strategy: a batch of finite `(t_s, rss_dbm)` samples in arbitrary time
+/// order. RSS spans the full plausible radio range; timestamps deliberately
+/// interleave early/late arrivals so reordering and late-drop paths run.
+fn sample_batch() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0..100.0f64, -100.0..-20.0f64), 1..64)
+}
+
+/// Strategy: an ingest configuration with both aggregators, small capacities
+/// and short horizons so every bound is actually exercised.
+fn config() -> impl Strategy<Value = IngestConfig> {
+    (1usize..16, 1.0..40.0f64, 0.0..6.0f64, 0.0..2.0f64, 0usize..2, 0.05..1.0f64).prop_map(
+        |(capacity, window_s, hampel_k, floor, kind, alpha)| IngestConfig {
+            window_capacity: capacity,
+            window_s,
+            min_samples: 1,
+            hampel_k,
+            hampel_floor_db: floor,
+            aggregator: if kind == 0 { Aggregator::Median } else { Aggregator::Ewma { alpha } },
+            ..IngestConfig::default()
+        },
+    )
+}
+
+/// Feeds samples with the stream clock at the newest timestamp seen so far
+/// (exactly how the pipeline drives windows). Returns the final clock.
+fn feed(window: &mut LinkWindow, samples: &[(f64, f64)], cfg: &IngestConfig) -> f64 {
+    let mut now = f64::NEG_INFINITY;
+    for &(t, rss) in samples {
+        now = now.max(t);
+        window.push(&LinkSample::new(0, t, rss), now, cfg);
+    }
+    now
+}
+
+proptest! {
+    /// The Hampel gate and both reductions are closed over finite input:
+    /// no NaN or ±inf ever reaches the published aggregate, and the
+    /// bookkeeping counts stay consistent with the retained window.
+    #[test]
+    fn aggregate_never_emits_non_finite((samples, cfg) in (sample_batch(), config())) {
+        let mut w = LinkWindow::new();
+        feed(&mut w, &samples, &cfg);
+        if let Some(agg) = w.aggregate(&cfg) {
+            prop_assert!(agg.rss_dbm.is_finite(), "rss {:?} cfg {cfg:?}", agg.rss_dbm);
+            prop_assert!(agg.spread_db.is_finite() && agg.spread_db >= 0.0);
+            prop_assert!(agg.last_t_s.is_finite());
+            prop_assert!(agg.samples == w.len());
+            prop_assert!(agg.rejected < agg.samples, "the median itself always survives");
+        } else {
+            prop_assert!(w.is_empty(), "only an empty window may decline to aggregate");
+        }
+    }
+
+    /// The EWMA reduction is a convex combination of retained samples, so it
+    /// can never leave the min/max envelope of the values offered to the
+    /// window (retained ⊆ accepted ⊆ offered). The median obeys the same
+    /// bound; both are checked so a future aggregator edit cannot
+    /// extrapolate.
+    #[test]
+    fn aggregate_stays_within_observed_envelope(
+        (samples, cfg, alpha) in (sample_batch(), config(), 0.05..1.0f64)
+    ) {
+        let lo = samples.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+        for aggregator in [Aggregator::Ewma { alpha }, Aggregator::Median] {
+            let cfg = IngestConfig { aggregator, ..cfg };
+            let mut w = LinkWindow::new();
+            feed(&mut w, &samples, &cfg);
+            if let Some(agg) = w.aggregate(&cfg) {
+                prop_assert!(
+                    lo - 1e-12 <= agg.rss_dbm && agg.rss_dbm <= hi + 1e-12,
+                    "{:?} escaped [{lo}, {hi}] under {aggregator:?}",
+                    agg.rss_dbm
+                );
+            }
+        }
+    }
+
+    /// Under arbitrary timestamp orderings the window never exceeds its ring
+    /// capacity, never retains a sample older than the horizon, and keeps
+    /// its samples in non-decreasing time order (checked after every push,
+    /// not just at the end).
+    #[test]
+    fn eviction_bounds_length_and_horizon((samples, cfg) in (sample_batch(), config())) {
+        let mut w = LinkWindow::new();
+        let mut now = f64::NEG_INFINITY;
+        for &(t, rss) in &samples {
+            now = now.max(t);
+            let accepted = w.push(&LinkSample::new(0, t, rss), now, &cfg);
+            prop_assert!(accepted == (t >= now - cfg.window_s));
+            prop_assert!(w.len() <= cfg.window_capacity, "{} > {}", w.len(), cfg.window_capacity);
+            if let Some(last) = w.last_t_s() {
+                prop_assert!(last >= now - cfg.window_s && last <= now);
+            }
+        }
+        // A clock jump far past the newest sample must drain the window.
+        w.evict(now + cfg.window_s + 1.0, &cfg);
+        prop_assert!(w.is_empty(), "horizon eviction must clear aged-out samples");
+    }
+}

@@ -48,6 +48,7 @@ pub mod campaign;
 pub mod deployment;
 pub mod drift;
 pub mod events;
+pub mod faults;
 pub mod geometry;
 pub mod grid;
 pub mod noise;
@@ -61,6 +62,7 @@ pub mod world;
 
 pub use deployment::{Deployment, Link};
 pub use events::EnvironmentEvent;
+pub use faults::{Fault, FaultSchedule};
 pub use geometry::{Point, Segment};
 pub use grid::FloorGrid;
 pub use stream::{RawSample, StreamConfig};

@@ -53,7 +53,9 @@ impl Default for StreamConfig {
 }
 
 impl StreamConfig {
-    fn assert_valid(&self) {
+    /// Panics on out-of-range parameters. Called by every stream generator;
+    /// public so scenario definitions (taf-testkit) can fail fast too.
+    pub fn assert_valid(&self) {
         assert!(self.rate_hz > 0.0 && self.rate_hz.is_finite(), "rate_hz must be positive");
         assert!(
             self.duration_s > 0.0 && self.duration_s.is_finite(),

@@ -33,6 +33,10 @@ fn default_monitor_cells() -> usize {
     2
 }
 
+fn default_manual_tick() -> bool {
+    false
+}
+
 /// Per-site maintenance policy (wire-configurable via `add-site`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MaintenancePolicy {
@@ -51,6 +55,13 @@ pub struct MaintenancePolicy {
     /// (clamped to the reference count at site creation).
     #[serde(default = "default_monitor_cells")]
     pub monitor_cells: usize,
+    /// When `true` no maintenance thread is spawned for the site; the owner
+    /// drives [`Site::maintenance_tick`](crate::site::Site::maintenance_tick)
+    /// explicitly. Deterministic harnesses (taf-testkit) use this so ticks
+    /// happen at scripted points in stream time instead of on a wall-clock
+    /// cadence.
+    #[serde(default = "default_manual_tick")]
+    pub manual_tick: bool,
     /// Thresholds for the underlying [`DriftMonitor`](tafloc_core::monitor::DriftMonitor).
     #[serde(default)]
     pub monitor: MonitorConfig,
@@ -63,6 +74,7 @@ impl Default for MaintenancePolicy {
             auto_refresh: default_auto_refresh(),
             breach_streak: default_breach_streak(),
             monitor_cells: default_monitor_cells(),
+            manual_tick: default_manual_tick(),
             monitor: MonitorConfig::default(),
         }
     }

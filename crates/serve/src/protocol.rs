@@ -42,8 +42,9 @@ pub enum Request {
     AddSite {
         /// Site name (registry key).
         site: String,
-        /// The calibrated system state to serve.
-        snapshot: SystemSnapshot,
+        /// The calibrated system state to serve (boxed: this variant is far
+        /// larger than every other request).
+        snapshot: Box<SystemSnapshot>,
         /// Deployment day the snapshot corresponds to (drift-clock origin).
         #[serde(default)]
         day: f64,

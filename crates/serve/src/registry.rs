@@ -27,7 +27,8 @@ impl Registry {
         Registry::default()
     }
 
-    /// Registers `site` and starts its maintenance thread.
+    /// Registers `site` and starts its maintenance thread (unless the site's
+    /// policy requests manual ticks).
     pub fn add(&self, site: Site) -> Result<Arc<Site>> {
         let site = Arc::new(site);
         {
@@ -37,11 +38,13 @@ impl Registry {
             }
             map.insert(site.name().to_string(), Arc::clone(&site));
         }
-        let handle = spawn_maintenance(Arc::clone(&site));
-        self.maintenance
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .insert(site.name().to_string(), handle);
+        if !site.policy().manual_tick {
+            let handle = spawn_maintenance(Arc::clone(&site));
+            self.maintenance
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(site.name().to_string(), handle);
+        }
         Ok(site)
     }
 

@@ -293,7 +293,7 @@ pub fn dispatch(request: Request, ctx: &ServerCtx) -> Response {
             Response::Sites { sites: ctx.registry.list().iter().map(|s| s.info()).collect() }
         }
         Request::AddSite { site, snapshot, day, policy } => {
-            let system = match TafLoc::from_snapshot(snapshot) {
+            let system = match TafLoc::from_snapshot(*snapshot) {
                 Ok(s) => s,
                 Err(e) => return err_response(e.into()),
             };

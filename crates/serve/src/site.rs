@@ -33,7 +33,7 @@ use tafloc_core::matcher::MatchResult;
 use tafloc_core::monitor::{DriftMonitor, Recommendation};
 use tafloc_core::system::{TafLoc, UpdateReport};
 use tafloc_core::tracking::{ParticleFilter, TrackEstimate, TrackerConfig};
-use tafloc_ingest::{AssembledVector, BatchReport, IngestConfig, Ingestor, LinkSample};
+use tafloc_ingest::{AssembledVector, BatchReport, ClockMode, IngestConfig, Ingestor, LinkSample};
 
 /// The immutable state one `locate` needs, swapped wholesale on refresh.
 #[derive(Debug)]
@@ -105,12 +105,28 @@ impl Site {
     /// Wraps a calibrated system for serving. `day` anchors the drift clock
     /// (the deployment day the system state corresponds to).
     pub fn new(name: &str, system: TafLoc, day: f64, policy: MaintenancePolicy) -> Result<Site> {
+        Site::with_options(name, system, day, policy, IngestConfig::default(), ClockMode::default())
+    }
+
+    /// Like [`Site::new`] but with an explicit ingest configuration and stream
+    /// clock mode. Deterministic harnesses pass [`ClockMode::Manual`] so the
+    /// live ingestor's notion of "now" is pinned to scenario time via
+    /// [`Site::advance_stream_clock`] instead of following sample arrival;
+    /// reference-capture ingestors always stay sample-driven (a survey batch
+    /// carries its own timeline).
+    pub fn with_options(
+        name: &str,
+        system: TafLoc,
+        day: f64,
+        policy: MaintenancePolicy,
+        ingest_config: IngestConfig,
+        clock_mode: ClockMode,
+    ) -> Result<Site> {
         let monitor_cells = policy.monitor_cells.max(1).min(system.reference_cells().len().max(1));
         let monitor = system.monitor(monitor_cells, day, policy.monitor)?;
         let num_links = system.db().num_links();
-        let ingest_config = IngestConfig::default();
-        let ingest_shards = num_links.min(8).max(1);
-        let ingest = Ingestor::new(ingest_config, num_links, ingest_shards)?;
+        let ingest_shards = num_links.clamp(1, 8);
+        let ingest = Ingestor::with_clock(ingest_config, num_links, ingest_shards, clock_mode)?;
         Ok(Site {
             name: name.to_string(),
             cell: SnapshotCell::new(SiteSnapshot { system, version: 0, refreshed_day: day }),
@@ -182,6 +198,15 @@ impl Site {
     /// The site's live streaming ingestor.
     pub fn ingestor(&self) -> &Ingestor {
         &self.ingest
+    }
+
+    /// Advances the live ingestor's stream clock to `t_s` (monotone; moves
+    /// forward only). Under [`ClockMode::SampleDriven`] this composes with
+    /// sample-driven advancement; under [`ClockMode::Manual`] it is the *only*
+    /// thing that moves time, letting a harness age windows through a total
+    /// outage deterministically.
+    pub fn advance_stream_clock(&self, t_s: f64) {
+        self.ingest.advance_clock_to(t_s);
     }
 
     /// Accepts one batch of raw link samples. `ref_cell: None` feeds the live
@@ -500,6 +525,35 @@ mod tests {
     fn locate_stream_without_samples_is_an_error() {
         let (_, site) = calibrated_site(32);
         assert!(site.locate_stream().is_err());
+    }
+
+    #[test]
+    fn manual_clock_site_ages_windows_through_an_outage() {
+        let world = World::new(WorldConfig::small_test(), 77);
+        let x0 = campaign::full_calibration(&world, 0.0, SAMPLES);
+        let e0 = campaign::empty_snapshot(&world, 0.0, SAMPLES);
+        let db = FingerprintDb::from_world(x0, &world).unwrap();
+        let config = TafLocConfig { ref_count: 6, ..Default::default() };
+        let sys = TafLoc::calibrate(config, db, e0).unwrap();
+        let ingest_config = IngestConfig { stale_after_s: 5.0, ..Default::default() };
+        let policy = MaintenancePolicy { manual_tick: true, ..Default::default() };
+        let site =
+            Site::with_options("lab", sys, 0.0, policy, ingest_config, ClockMode::Manual).unwrap();
+        assert!(site.policy().manual_tick);
+
+        let cfg = StreamConfig { duration_s: 10.0, ..Default::default() };
+        let raw = stream::stream_at_cell(&world, 0.0, 3, &cfg, 1);
+        site.ingest_samples(None, 0.0, &link_samples(&raw)).unwrap();
+        // Under a manual clock, samples alone do not move "now": nothing is
+        // stale yet because the clock is still at 0.
+        site.advance_stream_clock(cfg.duration_s);
+        let (_, assembled, _) = site.locate_stream().unwrap();
+        assert!(assembled.stale.is_empty(), "fresh stream must not be stale");
+        // A total outage: no new samples, only scripted time. Every link goes
+        // stale — the exact condition a sample-driven clock would mask.
+        site.advance_stream_clock(cfg.duration_s + 30.0);
+        let (_, assembled, _) = site.locate_stream().unwrap();
+        assert_eq!(assembled.stale.len(), world.num_links(), "all links stale after outage");
     }
 
     #[test]

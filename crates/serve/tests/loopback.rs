@@ -22,6 +22,10 @@ use tafloc_serve::server::{Server, ServerConfig};
 const SAMPLES: usize = 20;
 const UPDATE_DAY: f64 = 45.0;
 
+/// A calibrated small-test site; each test pins its own world seed (11–16
+/// below). Wall-clock appears in this file only as bounded *waits* (deadline
+/// polls, a concurrency-overlap sleep) — every assertion is gated on the
+/// snapshot version actually observed, never on timing.
 fn calibrated_site(seed: u64) -> (World, TafLoc) {
     let world = World::new(WorldConfig::small_test(), seed);
     let x0 = campaign::full_calibration(&world, 0.0, SAMPLES);
@@ -174,6 +178,7 @@ fn maintenance_loop_auto_refreshes_after_breach_streak() {
         breach_streak: 2,
         monitor_cells: 2,
         monitor: MonitorConfig { error_threshold_db: 0.3, min_interval_days: 1.0 },
+        ..Default::default()
     };
     let server = Server::bind(
         "127.0.0.1:0",
@@ -338,6 +343,7 @@ fn streamed_reference_survey_promotes_to_pending_refs_and_auto_refreshes() {
         breach_streak: 2,
         monitor_cells: 2,
         monitor: MonitorConfig { error_threshold_db: 0.3, min_interval_days: 1.0 },
+        ..Default::default()
     };
     let server = Server::bind(
         "127.0.0.1:0",
@@ -400,7 +406,7 @@ fn track_detect_and_multi_site_round_trip() {
     match client
         .call_ok(&Request::AddSite {
             site: "west".into(),
-            snapshot: sys_b.snapshot(),
+            snapshot: Box::new(sys_b.snapshot()),
             day: 0.0,
             policy: None,
         })

@@ -1,0 +1,43 @@
+//! # taf-testkit
+//!
+//! Deterministic simulation testing for the whole TafLoc stack: seeded,
+//! declarative fault-injection scenarios driven through the real
+//! ingest → assemble → LoLi-IR → locate → serve path, with committed golden
+//! baselines gating accuracy regressions in `cargo test`.
+//!
+//! A [`Scenario`] pins everything that could make two runs differ — the
+//! `taf-rfsim` world seed, per-stream seeds, a [`taf_rfsim::FaultSchedule`]
+//! (loss bursts, link death/flap, drift ramps, reorder storms, clock skew,
+//! queue overload), the ingest configuration and the maintenance cadence.
+//! The [`runner`] executes it with **no wall-clock dependence**: the site
+//! runs with a manual stream clock ([`tafloc_ingest::ClockMode::Manual`])
+//! and manual maintenance ticks (`manual_tick` in
+//! [`tafloc_serve::maintenance::MaintenancePolicy`]), so faults land at
+//! scripted instants and the resulting [`ScenarioReport`] is a pure function
+//! of the scenario — byte-identical JSON on every run.
+//!
+//! Reports are compared against goldens in `results/golden/*.json` with
+//! explicit per-scenario [`Tolerances`] (see [`golden`] for the policy);
+//! `tafloc testkit` runs any scenario from the CLI and `--bless` rewrites
+//! the baselines after an intentional change.
+//!
+//! ```no_run
+//! use taf_testkit::{find_scenario, run_scenario};
+//! let scenario = find_scenario("nominal").unwrap();
+//! let report = run_scenario(&scenario).unwrap();
+//! assert_eq!(report.to_json(), run_scenario(&scenario).unwrap().to_json());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod golden;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use golden::{bless, compare, golden_path, load_golden, run_and_check};
+pub use report::{PhaseMetrics, ScenarioReport};
+pub use runner::run_scenario;
+pub use scenario::{builtin_scenarios, find_scenario, Scenario, Tolerances, WorldPreset};

@@ -1,0 +1,195 @@
+//! The structured outcome of one scenario run.
+//!
+//! A [`ScenarioReport`] carries every number the regression gates look at,
+//! serialized through the crate's own canonical JSON ([`crate::json`]) so two
+//! identical runs produce byte-identical files — that property *is* the
+//! same-seed determinism gate.
+
+use crate::json::{self, Json};
+use tafloc_core::eval::ErrorSummary;
+
+/// Localization + stream-health metrics for one evaluation pass (one day).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseMetrics {
+    /// Localization error summary (meters) over the evaluated cells.
+    pub loc: ErrorSummary,
+    /// Fraction of link slots imputed from the empty-room baseline,
+    /// summed over all evaluated locates.
+    pub imputation_rate: f64,
+    /// Fraction of link slots served from a stale aggregate.
+    pub stale_rate: f64,
+}
+
+impl PhaseMetrics {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("loc_mean_m".into(), Json::Num(self.loc.mean)),
+            ("loc_median_m".into(), Json::Num(self.loc.median)),
+            ("loc_p90_m".into(), Json::Num(self.loc.p90)),
+            ("loc_max_m".into(), Json::Num(self.loc.max)),
+            ("loc_count".into(), Json::Num(self.loc.count as f64)),
+            ("imputation_rate".into(), Json::Num(self.imputation_rate)),
+            ("stale_rate".into(), Json::Num(self.stale_rate)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(PhaseMetrics {
+            loc: ErrorSummary {
+                mean: v.num_field("loc_mean_m")?,
+                median: v.num_field("loc_median_m")?,
+                p90: v.num_field("loc_p90_m")?,
+                max: v.num_field("loc_max_m")?,
+                count: v.num_field("loc_count")? as usize,
+            },
+            imputation_rate: v.num_field("imputation_rate")?,
+            stale_rate: v.num_field("stale_rate")?,
+        })
+    }
+}
+
+/// Everything one scenario run measured. Field order below is the golden
+/// file's field order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (also the golden file stem).
+    pub scenario: String,
+    /// World seed the run used.
+    pub seed: u64,
+    /// Deployment day of the drifted phase.
+    pub drift_day: f64,
+    /// Number of cells evaluated per phase.
+    pub eval_cells: u64,
+    /// Day-0 metrics (fresh calibration).
+    pub day0: PhaseMetrics,
+    /// Post-drift metrics (after the survey/refresh machinery ran).
+    pub drifted: PhaseMetrics,
+    /// RMSE (dB) of the served fingerprint database against the drifted
+    /// ground truth — the primary accuracy gate.
+    pub recon_rmse_db: f64,
+    /// Mean *signed* error (dB) of the served database against the drifted
+    /// truth. Near zero for any honest reconstruction in any environment; a
+    /// systematic output bias shifts it one-for-one, which is what makes the
+    /// mutation check robust across RNG backends.
+    pub recon_bias_db: f64,
+    /// Auto-refreshes the maintenance ticks triggered.
+    pub refreshes: u64,
+    /// Maintenance ticks executed.
+    pub maintenance_checks: u64,
+    /// Final snapshot version.
+    pub snapshot_version: u64,
+    /// Whether un-applied reference measurements were still pending at exit.
+    pub pending_refs: bool,
+    /// Samples the live ingestor accepted.
+    pub ingest_accepted: u64,
+    /// Samples dropped as older than the window horizon.
+    pub ingest_dropped_late: u64,
+    /// Batches shed by the scenario's queue-overload cap.
+    pub ingest_dropped_queue_batches: u64,
+    /// Hampel gate exclusion events.
+    pub ingest_rejected_outliers: u64,
+}
+
+impl ScenarioReport {
+    /// Canonical JSON text (byte-stable for identical runs).
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("drift_day".into(), Json::Num(self.drift_day)),
+            ("eval_cells".into(), Json::Num(self.eval_cells as f64)),
+            ("day0".into(), self.day0.to_json()),
+            ("drifted".into(), self.drifted.to_json()),
+            ("recon_rmse_db".into(), Json::Num(self.recon_rmse_db)),
+            ("recon_bias_db".into(), Json::Num(self.recon_bias_db)),
+            ("refreshes".into(), Json::Num(self.refreshes as f64)),
+            ("maintenance_checks".into(), Json::Num(self.maintenance_checks as f64)),
+            ("snapshot_version".into(), Json::Num(self.snapshot_version as f64)),
+            ("pending_refs".into(), Json::Bool(self.pending_refs)),
+            ("ingest_accepted".into(), Json::Num(self.ingest_accepted as f64)),
+            ("ingest_dropped_late".into(), Json::Num(self.ingest_dropped_late as f64)),
+            (
+                "ingest_dropped_queue_batches".into(),
+                Json::Num(self.ingest_dropped_queue_batches as f64),
+            ),
+            ("ingest_rejected_outliers".into(), Json::Num(self.ingest_rejected_outliers as f64)),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a report back from its canonical (or hand-edited) JSON form.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        Ok(ScenarioReport {
+            scenario: v.str_field("scenario")?,
+            seed: v.num_field("seed")? as u64,
+            drift_day: v.num_field("drift_day")?,
+            eval_cells: v.num_field("eval_cells")? as u64,
+            day0: PhaseMetrics::from_json(
+                v.get("day0").ok_or_else(|| "missing `day0` object".to_string())?,
+            )?,
+            drifted: PhaseMetrics::from_json(
+                v.get("drifted").ok_or_else(|| "missing `drifted` object".to_string())?,
+            )?,
+            recon_rmse_db: v.num_field("recon_rmse_db")?,
+            recon_bias_db: v.num_field("recon_bias_db")?,
+            refreshes: v.num_field("refreshes")? as u64,
+            maintenance_checks: v.num_field("maintenance_checks")? as u64,
+            snapshot_version: v.num_field("snapshot_version")? as u64,
+            pending_refs: v
+                .get("pending_refs")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| "missing or non-boolean field `pending_refs`".to_string())?,
+            ingest_accepted: v.num_field("ingest_accepted")? as u64,
+            ingest_dropped_late: v.num_field("ingest_dropped_late")? as u64,
+            ingest_dropped_queue_batches: v.num_field("ingest_dropped_queue_batches")? as u64,
+            ingest_rejected_outliers: v.num_field("ingest_rejected_outliers")? as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ScenarioReport {
+        let phase = |m: f64| PhaseMetrics {
+            loc: ErrorSummary { mean: m, median: m * 0.9, p90: m * 1.5, max: m * 2.0, count: 8 },
+            imputation_rate: 0.125,
+            stale_rate: 0.0,
+        };
+        ScenarioReport {
+            scenario: "nominal".into(),
+            seed: 42,
+            drift_day: 60.0,
+            eval_cells: 8,
+            day0: phase(0.31),
+            drifted: phase(0.44),
+            recon_rmse_db: 1.0625,
+            recon_bias_db: -0.03125,
+            refreshes: 1,
+            maintenance_checks: 3,
+            snapshot_version: 1,
+            pending_refs: false,
+            ingest_accepted: 2880,
+            ingest_dropped_late: 2,
+            ingest_dropped_queue_batches: 0,
+            ingest_rejected_outliers: 17,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_byte_identically() {
+        let r = sample_report();
+        let text = r.to_json();
+        let back = ScenarioReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), text, "emit∘parse must be the identity on canonical text");
+    }
+
+    #[test]
+    fn missing_fields_are_reported_by_name() {
+        let err = ScenarioReport::from_json("{\"scenario\": \"x\"}").unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Executes a [`Scenario`] against the real serving stack.
+//!
+//! The runner drives a [`tafloc_serve::site::Site`] directly — no TCP, no
+//! threads, no wall clock — through the same public entry points the daemon
+//! uses:
+//!
+//! * evaluation streams go through [`Site::ingest_samples`] into the live
+//!   ingestor (manual stream clock, advanced to scripted instants);
+//! * reference surveys go through the capture-window path
+//!   (`ingest_samples(Some(k), ..)`);
+//! * drift detection and refresh happen by calling
+//!   [`Site::maintenance_tick`] at scripted points instead of from the
+//!   background thread (`manual_tick` policy).
+//!
+//! Queue overload is modeled synchronously: the scenario caps how many
+//! batches per stream are admitted and the excess is shed through
+//! [`tafloc_ingest::Ingestor::record_queue_drop`], exactly the accounting
+//! the real bounded queue performs — but deterministically, because the real
+//! queue's shedding depends on consumer-thread timing.
+//!
+//! Successive evaluation streams share one live ingestor, so each stream is
+//! shifted forward in stream time by `duration + window + staleness + 1 s`;
+//! by the time a cell is located, every sample from the previous cell has
+//! fallen off the window horizon.
+
+use crate::report::{PhaseMetrics, ScenarioReport};
+use crate::scenario::Scenario;
+use taf_rfsim::{campaign, stream, RawSample, World};
+use tafloc_core::db::FingerprintDb;
+use tafloc_core::eval::{localization_error, reconstruction_rmse, ErrorSummary};
+use tafloc_core::loli_ir::LoliIrConfig;
+use tafloc_core::monitor::MonitorConfig;
+use tafloc_core::system::{TafLoc, TafLocConfig};
+use tafloc_ingest::{ClockMode, LinkSample};
+use tafloc_serve::maintenance::MaintenancePolicy;
+use tafloc_serve::site::Site;
+
+/// Stream-seed bases per phase, so the day-0 and drifted evaluations (and the
+/// survey) draw from disjoint deterministic noise streams.
+const SEED_EVAL_DAY0: u64 = 1_000;
+const SEED_EVAL_DRIFTED: u64 = 2_000;
+const SEED_SURVEY: u64 = 500;
+
+/// Runs `scenario` to completion and returns its report.
+///
+/// Errors are strings (this is a test harness; the only consumer prints
+/// them) and indicate a scenario so hostile the pipeline could not produce a
+/// fix at all — committed scenarios never error.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    let world = World::new(scenario.world.config(), scenario.seed);
+    scenario.assert_valid(world.num_links());
+
+    // Day-0 calibration: full survey, empty-room baseline, system build.
+    let x0 = campaign::full_calibration(&world, 0.0, scenario.survey_samples);
+    let e0 = campaign::empty_snapshot(&world, 0.0, scenario.survey_samples);
+    let db = FingerprintDb::from_world(x0, &world).map_err(|e| e.to_string())?;
+    let config = TafLocConfig {
+        ref_count: scenario.ref_count,
+        loli: LoliIrConfig { debug_bias_db: scenario.debug_bias_db, ..Default::default() },
+        ..Default::default()
+    };
+    let system = TafLoc::calibrate(config, db, e0).map_err(|e| e.to_string())?;
+
+    let policy = MaintenancePolicy {
+        manual_tick: true,
+        auto_refresh: true,
+        breach_streak: scenario.breach_streak,
+        monitor: MonitorConfig {
+            error_threshold_db: scenario.monitor_threshold_db,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let site =
+        Site::with_options(scenario.name, system, 0.0, policy, scenario.ingest, ClockMode::Manual)
+            .map_err(|e| e.to_string())?;
+
+    let eval_cells: Vec<usize> = (0..world.num_cells()).step_by(scenario.eval_stride).collect();
+    // Gap that guarantees one stream's samples are gone (evicted or at least
+    // stale) before the next stream's verdict is read.
+    let stream_gap_s = scenario.ingest.window_s + scenario.ingest.stale_after_s + 1.0;
+    let mut offset_s = 0.0;
+
+    let day0 = eval_phase(
+        scenario,
+        &world,
+        &site,
+        &eval_cells,
+        0.0,
+        SEED_EVAL_DAY0,
+        stream_gap_s,
+        &mut offset_s,
+    )?;
+
+    // Drift-day reference survey through the capture-window path.
+    let ref_cells: Vec<usize> = site.load().system.reference_cells().to_vec();
+    for (k, &cell) in ref_cells.iter().enumerate() {
+        let raw = stream::stream_at_cell(
+            &world,
+            scenario.drift_day,
+            cell,
+            &scenario.stream,
+            SEED_SURVEY + k as u64,
+        );
+        let faulted = scenario.survey_faults.applied(&raw);
+        for batch in link_samples(&faulted).chunks(scenario.batch_size) {
+            site.ingest_samples(Some(k), scenario.drift_day, batch).map_err(|e| e.to_string())?;
+        }
+    }
+
+    // Scripted maintenance: each tick promotes a finished capture round,
+    // re-checks the monitor and — streak and cooldown permitting — refreshes.
+    let mut refreshes = 0u64;
+    for _ in 0..scenario.max_ticks {
+        if site.maintenance_tick().map_err(|e| e.to_string())?.is_some() {
+            refreshes += 1;
+        }
+    }
+
+    // Primary accuracy gates: the *served* database against the drifted
+    // truth. RMSE catches quality regressions; the mean signed error catches
+    // systematic bias (it cannot hide inside the RMSE tolerance).
+    let truth = world.fingerprint_truth(scenario.drift_day);
+    let snap = site.load();
+    let recon_rmse_db =
+        reconstruction_rmse(snap.system.db().rss(), &truth).map_err(|e| e.to_string())?;
+    let recon_bias_db = {
+        let diff = snap.system.db().rss().sub(&truth).map_err(|e| e.to_string())?;
+        diff.iter().sum::<f64>() / (diff.rows() * diff.cols()).max(1) as f64
+    };
+
+    let drifted = eval_phase(
+        scenario,
+        &world,
+        &site,
+        &eval_cells,
+        scenario.drift_day,
+        SEED_EVAL_DRIFTED,
+        stream_gap_s,
+        &mut offset_s,
+    )?;
+
+    let stats = site.stats();
+    Ok(ScenarioReport {
+        scenario: scenario.name.to_string(),
+        seed: scenario.seed,
+        drift_day: scenario.drift_day,
+        eval_cells: eval_cells.len() as u64,
+        day0,
+        drifted,
+        recon_rmse_db,
+        recon_bias_db,
+        refreshes,
+        maintenance_checks: stats.maintenance_checks,
+        snapshot_version: stats.version,
+        pending_refs: stats.pending_refs,
+        ingest_accepted: stats.ingest.accepted,
+        ingest_dropped_late: stats.ingest.dropped_late,
+        ingest_dropped_queue_batches: stats.ingest.dropped_queue_batches,
+        ingest_rejected_outliers: stats.ingest.rejected_outliers,
+    })
+}
+
+/// One evaluation pass: stream a target at each eval cell through the live
+/// ingestor (faults applied in raw stream time, then time-shifted), locate,
+/// and summarize errors and stream health.
+#[allow(clippy::too_many_arguments)]
+fn eval_phase(
+    scenario: &Scenario,
+    world: &World,
+    site: &Site,
+    eval_cells: &[usize],
+    day: f64,
+    seed_base: u64,
+    stream_gap_s: f64,
+    offset_s: &mut f64,
+) -> Result<PhaseMetrics, String> {
+    let num_links = world.num_links();
+    let mut errors = Vec::with_capacity(eval_cells.len());
+    let mut imputed_slots = 0usize;
+    let mut stale_slots = 0usize;
+    for &cell in eval_cells {
+        let raw =
+            stream::stream_at_cell(world, day, cell, &scenario.stream, seed_base + cell as u64);
+        let mut faulted = scenario.eval_faults.applied(&raw);
+        for s in &mut faulted {
+            s.t_s += *offset_s;
+        }
+        feed_with_overload(scenario, site, &faulted)?;
+        site.advance_stream_clock(*offset_s + scenario.stream.duration_s);
+        let (fix, assembled, _) =
+            site.locate_stream().map_err(|e| format!("locate at cell {cell} (day {day}): {e}"))?;
+        errors.push(localization_error(&fix.point, &world.grid().cell_center(cell)));
+        imputed_slots += assembled.missing.len();
+        stale_slots += assembled.stale.len();
+        *offset_s += scenario.stream.duration_s + stream_gap_s;
+    }
+    let slots = (eval_cells.len() * num_links).max(1) as f64;
+    Ok(PhaseMetrics {
+        loc: ErrorSummary::from_errors(&errors).map_err(|e| e.to_string())?,
+        imputation_rate: imputed_slots as f64 / slots,
+        stale_rate: stale_slots as f64 / slots,
+    })
+}
+
+/// Feeds one stream in batches, shedding everything beyond the scenario's
+/// queue-overload cap with the same accounting the real bounded queue uses.
+fn feed_with_overload(
+    scenario: &Scenario,
+    site: &Site,
+    samples: &[RawSample],
+) -> Result<(), String> {
+    let batches: Vec<&[RawSample]> = samples.chunks(scenario.batch_size).collect();
+    let admitted = if scenario.max_batches_per_stream == 0 {
+        batches.len()
+    } else {
+        scenario.max_batches_per_stream.min(batches.len())
+    };
+    for batch in &batches[..admitted] {
+        site.ingest_samples(None, 0.0, &link_samples(batch)).map_err(|e| e.to_string())?;
+    }
+    for batch in &batches[admitted..] {
+        site.ingestor().record_queue_drop(batch.len());
+    }
+    Ok(())
+}
+
+fn link_samples(raw: &[RawSample]) -> Vec<LinkSample> {
+    raw.iter().map(|r| LinkSample::new(r.link, r.t_s, r.rss_dbm)).collect()
+}

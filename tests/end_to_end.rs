@@ -8,6 +8,11 @@ use tafloc::core::reference::ReferenceStrategy;
 use tafloc::core::system::{TafLoc, TafLocConfig};
 use tafloc::rfsim::{campaign, World, WorldConfig};
 
+/// Builds a calibrated paper-scale system. `seed` pins the *entire*
+/// stochastic chain — world shadowing, drift processes, and campaign noise
+/// all derive from it — so each test names its own seed (1–3 below) and its
+/// numeric thresholds are deterministic for that seed. Changing a seed means
+/// re-tuning the thresholds, not flakiness.
 fn paper_system(seed: u64, samples: usize) -> (World, TafLoc) {
     let world = World::new(WorldConfig::paper_default(), seed);
     let x0 = campaign::full_calibration(&world, 0.0, samples);

@@ -95,7 +95,9 @@ fn drift_anchors_match_paper() {
     assert!((at5 - 2.5).abs() < 0.15, "5-day drift {at5:.2}");
     assert!((at45 - 6.0).abs() < 0.4, "45-day drift {at45:.2}");
 
-    // And the simulator actually realizes those magnitudes.
+    // And the simulator actually realizes those magnitudes: average over six
+    // pinned worlds (seeds 60–65) so the asserted band is deterministic while
+    // still spanning world-to-world spread.
     let mut deltas5 = Vec::new();
     let mut deltas45 = Vec::new();
     for seed in 0..6 {

@@ -17,6 +17,9 @@ struct Fixture {
     t: f64,
 }
 
+/// One calibrated paper-scale world plus its drift-day measurements. Every
+/// test below uses a distinct pinned seed (10–15) so the quality thresholds
+/// are exact, repeatable statements about one world — not flaky averages.
 fn fixture(seed: u64, t: f64) -> Fixture {
     let world = World::new(WorldConfig::paper_default(), seed);
     let x0 = campaign::full_calibration(&world, 0.0, 50);

@@ -1,0 +1,30 @@
+//! Workspace-level hook into the taf-testkit regression gates.
+//!
+//! The sibling integration tests in this directory each pin their own world
+//! seed and assert numbers tuned to it. This one instead delegates to the
+//! testkit scenario runner — the canonical place where seeds, fault
+//! schedules, and accuracy tolerances are declared together — so the
+//! workspace suite fails alongside `taf-testkit` if the end-to-end
+//! ingest → reconstruct → serve accuracy ever regresses past a golden gate.
+
+use taf_testkit::{find_scenario, run_and_check, run_scenario};
+
+/// The no-fault baseline (world seed 42, all stream seeds derived from fixed
+/// bases inside the runner) must pass its committed golden gates.
+#[test]
+fn nominal_scenario_holds_its_golden_gates() {
+    let scenario = find_scenario("nominal").expect("built-in scenario");
+    if let Err(violations) = run_and_check(&scenario) {
+        panic!("nominal scenario regressed:\n  {}", violations.join("\n  "));
+    }
+}
+
+/// The scenario runner is a pure function of the scenario definition: two
+/// runs of the same seed serialize to byte-identical reports.
+#[test]
+fn nominal_scenario_is_deterministic() {
+    let scenario = find_scenario("nominal").expect("built-in scenario");
+    let a = run_scenario(&scenario).unwrap().to_json();
+    let b = run_scenario(&scenario).unwrap().to_json();
+    assert_eq!(a, b);
+}
