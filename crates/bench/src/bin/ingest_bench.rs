@@ -12,11 +12,17 @@
 //!    sized to be a bottleneck, demonstrating shed-and-count backpressure;
 //!    reported as delivered samples/sec plus the drop fraction.
 //!
-//! Usage: `cargo run --release -p taf-bench --bin ingest_bench [threads] [epochs_per_thread] [batch]`
+//! The headline numbers land in `BENCH_ingest.json` at the repo root in the
+//! canonical golden-file JSON form; CI's bench-smoke job re-generates the file
+//! in `--quick` mode and uploads it as an artifact.
+//!
+//! Usage: `cargo run --release -p taf-bench --bin ingest_bench [--quick] [threads] [epochs_per_thread] [batch]`
 
 use std::sync::Arc;
 use std::time::Instant;
+use taf_bench::perf;
 use taf_rfsim::{stream, StreamConfig, World, WorldConfig};
+use taf_testkit::json::Json;
 use tafloc_ingest::{IngestConfig, IngestQueue, Ingestor, LinkSample};
 
 /// One epoch of the base stream, shifted so its timestamps continue the
@@ -31,9 +37,11 @@ fn quantile(sorted_us: &[u64], q: f64) -> u64 {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut args = std::env::args().skip(1).filter(|a| !a.starts_with("--"));
     let threads: usize = args.next().map_or(4, |v| v.parse().expect("threads"));
-    let epochs: usize = args.next().map_or(50, |v| v.parse().expect("epochs"));
+    let epochs: usize =
+        args.next().map_or(if quick { 5 } else { 50 }, |v| v.parse().expect("epochs"));
     let batch: usize = args.next().map_or(256, |v| v.parse().expect("batch"));
     assert!(batch > 0, "batch must be > 0");
 
@@ -82,18 +90,16 @@ fn main() {
     }
     let elapsed = start.elapsed().as_secs_f64();
     let stats = ing.stats();
+    let apply_sps = total_samples / elapsed;
     println!(
-        "apply_batch: {total_samples:.0} samples in {elapsed:.3} s  ->  {:.0} samples/s \
+        "apply_batch: {total_samples:.0} samples in {elapsed:.3} s  ->  {apply_sps:.0} samples/s \
          ({} accepted, {} late, {} outlier exclusions)",
-        total_samples / elapsed,
-        stats.accepted,
-        stats.dropped_late,
-        stats.rejected_outliers,
+        stats.accepted, stats.dropped_late, stats.rejected_outliers,
     );
 
     // Phase 2: assembly latency on the loaded pipeline.
     let fallback = vec![-60.0; m];
-    let rounds = 10_000;
+    let rounds = if quick { 1_000 } else { 10_000 };
     let mut lat_us = Vec::with_capacity(rounds);
     let start = Instant::now();
     for _ in 0..rounds {
@@ -104,10 +110,10 @@ fn main() {
     }
     let elapsed = start.elapsed().as_secs_f64();
     lat_us.sort_unstable();
+    let assemble_per_s = rounds as f64 / elapsed;
     println!(
-        "assemble: {rounds} vectors in {elapsed:.3} s  ->  {:.0} assemblies/s; \
+        "assemble: {rounds} vectors in {elapsed:.3} s  ->  {assemble_per_s:.0} assemblies/s; \
          latency p50 {} us, p95 {} us, p99 {} us, max {} us",
-        rounds as f64 / elapsed,
         quantile(&lat_us, 0.50),
         quantile(&lat_us, 0.95),
         quantile(&lat_us, 0.99),
@@ -141,11 +147,51 @@ fn main() {
     let stats = ing.stats();
     let offered = total_samples;
     let shed = stats.dropped_queue_samples as f64;
+    let delivered_sps = (offered - shed) / elapsed;
+    let shed_frac = shed / offered;
     println!(
-        "queue(cap 4): {offered:.0} samples offered in {elapsed:.3} s  ->  {:.0} samples/s \
+        "queue(cap 4): {offered:.0} samples offered in {elapsed:.3} s  ->  {delivered_sps:.0} samples/s \
          delivered; {:.1}% shed in {} batches (never blocking the producers)",
-        (offered - shed) / elapsed,
-        100.0 * shed / offered,
+        100.0 * shed_frac,
         stats.dropped_queue_batches,
     );
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("ingest".into())),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "threads_available".into(),
+            Json::Num(std::thread::available_parallelism().map_or(1, |p| p.get()) as f64),
+        ),
+        (
+            "load".into(),
+            Json::Obj(vec![
+                ("links".into(), Json::Num(m as f64)),
+                ("producer_threads".into(), Json::Num(threads as f64)),
+                ("epochs_per_thread".into(), Json::Num(epochs as f64)),
+                ("batch".into(), Json::Num(batch as f64)),
+            ]),
+        ),
+        ("peak_rss_kb".into(), perf::peak_rss_json()),
+        ("apply_samples_per_s".into(), Json::Num(perf::round_ms(apply_sps))),
+        (
+            "assemble".into(),
+            Json::Obj(vec![
+                ("per_s".into(), Json::Num(perf::round_ms(assemble_per_s))),
+                ("p50_us".into(), Json::Num(quantile(&lat_us, 0.50) as f64)),
+                ("p95_us".into(), Json::Num(quantile(&lat_us, 0.95) as f64)),
+                ("p99_us".into(), Json::Num(quantile(&lat_us, 0.99) as f64)),
+                ("max_us".into(), Json::Num(lat_us[lat_us.len() - 1] as f64)),
+            ]),
+        ),
+        (
+            "queue".into(),
+            Json::Obj(vec![
+                ("delivered_samples_per_s".into(), Json::Num(perf::round_ms(delivered_sps))),
+                ("shed_fraction".into(), Json::Num(perf::round_ms(shed_frac))),
+            ]),
+        ),
+    ]);
+    let path = perf::write_bench_json("ingest", &report);
+    println!("wrote {}", path.display());
 }

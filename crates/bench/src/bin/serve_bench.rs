@@ -9,10 +9,16 @@
 //! expose the protocol overhead amortized away by batching. Reported at the
 //! end: aggregate requests/sec plus the server's own latency histogram.
 //!
-//! Usage: `cargo run --release -p taf-bench --bin serve_bench [threads] [requests_per_thread] [workers]`
+//! The headline numbers land in `BENCH_serve.json` at the repo root in the
+//! canonical golden-file JSON form; CI's bench-smoke job re-generates the file
+//! in `--quick` mode and uploads it as an artifact.
+//!
+//! Usage: `cargo run --release -p taf-bench --bin serve_bench [--quick] [threads] [requests_per_thread] [workers]`
 
 use std::time::Instant;
+use taf_bench::perf;
 use taf_rfsim::{campaign, World, WorldConfig};
+use taf_testkit::json::Json;
 use tafloc_core::db::FingerprintDb;
 use tafloc_core::system::{TafLoc, TafLocConfig};
 use tafloc_serve::client::Client;
@@ -21,9 +27,12 @@ use tafloc_serve::protocol::{Request, Response};
 use tafloc_serve::server::{Server, ServerConfig};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut args = std::env::args().skip(1).filter(|a| !a.starts_with("--"));
+    let default_per_thread = if quick { 200 } else { 2000 };
     let threads: usize = args.next().map_or(4, |v| v.parse().expect("threads"));
-    let per_thread: usize = args.next().map_or(2000, |v| v.parse().expect("requests"));
+    let per_thread: usize =
+        args.next().map_or(default_per_thread, |v| v.parse().expect("requests"));
     let workers: usize = args.next().map_or(threads, |v| v.parse().expect("workers"));
 
     let world = World::new(WorldConfig::paper_default(), 7);
@@ -51,6 +60,25 @@ fn main() {
     server.add_site("bench", sys, 0.0).expect("add site");
     let handle = server.spawn();
 
+    // Offline stub builds of serde_json cannot serialize the wire protocol at
+    // all; probe once and record an honest skip instead of timing nothing.
+    {
+        let mut probe = Client::connect(addr).expect("connect probe");
+        if let Err(e) = probe.locate("bench", &queries[0]) {
+            println!("serve_bench: skipped — the JSON layer is unusable here ({e})");
+            let report = Json::Obj(vec![
+                ("bench".into(), Json::Str("serve".into())),
+                ("skipped".into(), Json::Str(format!("wire protocol unavailable: {e}"))),
+            ]);
+            let path = perf::write_bench_json("serve", &report);
+            println!("wrote {}", path.display());
+            // The wire is unusable, so shut down in-process.
+            handle.shutdown();
+            handle.join();
+            return;
+        }
+    }
+
     println!(
         "serve_bench: {} links x {} cells, {threads} client threads x {per_thread} locates",
         world.num_links(),
@@ -75,11 +103,11 @@ fn main() {
     }
     let elapsed = start.elapsed();
     let total = (threads * per_thread) as f64;
+    let locate_rps = total / elapsed.as_secs_f64();
     println!(
-        "{total:.0} requests in {:.3} s  ->  {:.0} req/s aggregate ({:.0} req/s/thread)",
+        "{total:.0} requests in {:.3} s  ->  {locate_rps:.0} req/s aggregate ({:.0} req/s/thread)",
         elapsed.as_secs_f64(),
-        total / elapsed.as_secs_f64(),
-        total / elapsed.as_secs_f64() / threads as f64,
+        locate_rps / threads as f64,
     );
 
     // Phase 2: the same number of fixes, 16 vectors per round trip.
@@ -106,14 +134,15 @@ fn main() {
     }
     let elapsed = start.elapsed();
     let fixes = (threads * rounds * BATCH) as f64;
+    let batch_fps = fixes / elapsed.as_secs_f64();
     println!(
-        "locate-batch({BATCH}): {fixes:.0} fixes in {:.3} s  ->  {:.0} fixes/s aggregate \
+        "locate-batch({BATCH}): {fixes:.0} fixes in {:.3} s  ->  {batch_fps:.0} fixes/s aggregate \
          ({:.0} round trips/s)",
         elapsed.as_secs_f64(),
-        fixes / elapsed.as_secs_f64(),
-        fixes / elapsed.as_secs_f64() / BATCH as f64,
+        batch_fps / BATCH as f64,
     );
 
+    let mut latency = Vec::new();
     let mut admin = Client::connect(addr).expect("connect admin");
     if let Response::Stats { report } = admin.call_ok(&Request::Stats).expect("stats") {
         for e in &report.endpoints {
@@ -122,9 +151,42 @@ fn main() {
                     "server-side {} latency: p50 <= {} us, p95 <= {} us, p99 <= {} us, max {} us ({} reqs, {} errors)",
                     e.endpoint, e.p50_us, e.p95_us, e.p99_us, e.max_us, e.requests, e.errors
                 );
+                latency.push(Json::Obj(vec![
+                    ("endpoint".into(), Json::Str(e.endpoint.clone())),
+                    ("p50_us".into(), Json::Num(e.p50_us as f64)),
+                    ("p95_us".into(), Json::Num(e.p95_us as f64)),
+                    ("p99_us".into(), Json::Num(e.p99_us as f64)),
+                    ("max_us".into(), Json::Num(e.max_us as f64)),
+                    ("requests".into(), Json::Num(e.requests as f64)),
+                    ("errors".into(), Json::Num(e.errors as f64)),
+                ]));
             }
         }
     }
     admin.call_ok(&Request::Shutdown).expect("shutdown");
     handle.join();
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("serve".into())),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "threads_available".into(),
+            Json::Num(std::thread::available_parallelism().map_or(1, |p| p.get()) as f64),
+        ),
+        (
+            "load".into(),
+            Json::Obj(vec![
+                ("client_threads".into(), Json::Num(threads as f64)),
+                ("requests_per_thread".into(), Json::Num(per_thread as f64)),
+                ("workers".into(), Json::Num(workers.max(threads + 1) as f64)),
+                ("batch".into(), Json::Num(BATCH as f64)),
+            ]),
+        ),
+        ("peak_rss_kb".into(), perf::peak_rss_json()),
+        ("locate_req_per_s".into(), Json::Num(perf::round_ms(locate_rps))),
+        ("batch_fixes_per_s".into(), Json::Num(perf::round_ms(batch_fps))),
+        ("server_latency".into(), Json::Arr(latency)),
+    ]);
+    let path = perf::write_bench_json("serve", &report);
+    println!("wrote {}", path.display());
 }

@@ -1,0 +1,181 @@
+//! LoLi-IR solver throughput: wall time per reconstruction at paper scale,
+//! across thread counts, with the numbers recorded to `BENCH_solver.json`.
+//!
+//! The problem is the rank-8 reconstruction the serving path runs on every
+//! database refresh, scaled up to M=48 links x N=400 cells so the colored
+//! Gauss-Seidel classes clear the parallel fan-out threshold. Each thread
+//! count runs in its own scoped rayon pool; the output is bit-identical
+//! across counts (that contract is enforced by the determinism tests, and
+//! cross-checked here), so the only thing that may change is the clock.
+//!
+//! Reported per thread count: median wall time over the repeat runs,
+//! iterations to converge, and speedup versus the 1-thread pool. Process-wide:
+//! peak RSS. On a single-core container the speedup is honestly ~1.0x — the
+//! JSON records `threads_available` so readers can tell a solver regression
+//! from a small machine.
+//!
+//! Usage: `cargo run --release -p taf-bench --bin solver_bench [--quick]`
+
+use std::time::Instant;
+use taf_bench::perf;
+use taf_linalg::Matrix;
+use taf_testkit::json::Json;
+use tafloc_core::loli_ir::{
+    reconstruct_with, LoliIrConfig, ReconstructionProblem, SolverWorkspace,
+};
+use tafloc_core::mask::Mask;
+use tafloc_core::operators::NeighborGraph;
+
+/// Deterministic pseudo-random matrix in RSS range (xorshift).
+fn pseudo(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        -70.0 + (state % 4000) as f64 / 100.0
+    })
+}
+
+struct Timing {
+    threads: usize,
+    median_ms: f64,
+    iterations: usize,
+    converged: bool,
+    objective: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (m, n, repeats) = if quick { (48, 400, 2) } else { (48, 400, 5) };
+    let rank = 8;
+    let cfg = LoliIrConfig { rank, max_iters: if quick { 10 } else { 30 }, ..Default::default() };
+
+    let truth = pseudo(m, n, 7);
+    let prior = pseudo(m, n, 11);
+    let cols: Vec<usize> = (0..n).step_by(3).collect();
+    let mask = Mask::from_columns(m, n, &cols).expect("in-range reference columns");
+    let g = NeighborGraph::new(n, (0..n - 1).map(|j| (j, j + 1)));
+    let h = NeighborGraph::new(m, (0..m - 1).map(|i| (i, i + 1)));
+    let problem = ReconstructionProblem {
+        observed: &truth,
+        mask: &mask,
+        lrr_prior: Some(&prior),
+        location_graph: Some(&g),
+        link_graph: Some(&h),
+        empty_rss: None,
+        distortion: None,
+    };
+
+    println!(
+        "solver_bench: {m} links x {n} cells, rank {rank}, max {} iters, {repeats} repeats/pool",
+        cfg.max_iters
+    );
+
+    // One timed solve on a warm workspace: steady-state iterations allocate
+    // nothing, so the clock measures arithmetic, not the allocator.
+    let solve = |ws: &mut SolverWorkspace| {
+        let t0 = Instant::now();
+        let rec = reconstruct_with(&problem, &cfg, ws).expect("reconstruction succeeds");
+        (t0.elapsed().as_secs_f64() * 1e3, rec)
+    };
+
+    let thread_counts: &[usize] = if cfg!(feature = "parallel") { &[1, 2, 4] } else { &[1] };
+    let mut timings: Vec<Timing> = Vec::new();
+    let mut reference: Option<Vec<f64>> = None;
+    for &threads in thread_counts {
+        let mut ws = SolverWorkspace::new();
+        let mut run = || {
+            let mut samples = Vec::with_capacity(repeats + 1);
+            let (_, _warmup) = solve(&mut ws);
+            let mut last = None;
+            for _ in 0..repeats {
+                let (ms, rec) = solve(&mut ws);
+                samples.push(ms);
+                last = Some(rec);
+            }
+            (samples, last.expect("at least one repeat"))
+        };
+        #[cfg(feature = "parallel")]
+        let (mut samples, rec) = {
+            let pool =
+                rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool builds");
+            pool.install(&mut run)
+        };
+        #[cfg(not(feature = "parallel"))]
+        let (mut samples, rec) = run();
+
+        // The determinism contract, cross-checked where the numbers are made:
+        // every pool must produce the same bits.
+        match &reference {
+            None => reference = Some(rec.matrix.as_slice().to_vec()),
+            Some(want) => assert_eq!(
+                want,
+                &rec.matrix.as_slice().to_vec(),
+                "thread count {threads} changed the reconstruction"
+            ),
+        }
+
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ms = samples[samples.len() / 2];
+        let objective = *rec.objective_trace.last().expect("non-empty trace");
+        println!(
+            "  {threads} thread(s): median {median_ms:.3} ms, {} iters (converged: {}), objective {objective:.3}",
+            rec.iterations, rec.converged
+        );
+        timings.push(Timing {
+            threads,
+            median_ms,
+            iterations: rec.iterations,
+            converged: rec.converged,
+            objective,
+        });
+    }
+
+    let base_ms = timings[0].median_ms;
+    let results: Vec<Json> = timings
+        .iter()
+        .map(|t| {
+            Json::Obj(vec![
+                ("threads".into(), Json::Num(t.threads as f64)),
+                ("wall_ms".into(), Json::Num(perf::round_ms(t.median_ms))),
+                ("iterations".into(), Json::Num(t.iterations as f64)),
+                ("converged".into(), Json::Bool(t.converged)),
+                ("objective".into(), Json::Num(t.objective)),
+                ("speedup_vs_1_thread".into(), Json::Num(perf::round_ms(base_ms / t.median_ms))),
+            ])
+        })
+        .collect();
+    for (t, r) in timings.iter().zip(&results) {
+        if t.threads > 1 {
+            println!(
+                "  speedup at {} threads: {:.2}x",
+                t.threads,
+                r.num_field("speedup_vs_1_thread").expect("field just written")
+            );
+        }
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("solver".into())),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "threads_available".into(),
+            Json::Num(std::thread::available_parallelism().map_or(1, |p| p.get()) as f64),
+        ),
+        (
+            "problem".into(),
+            Json::Obj(vec![
+                ("links".into(), Json::Num(m as f64)),
+                ("cells".into(), Json::Num(n as f64)),
+                ("rank".into(), Json::Num(rank as f64)),
+                ("max_iters".into(), Json::Num(cfg.max_iters as f64)),
+                ("repeats".into(), Json::Num(repeats as f64)),
+            ]),
+        ),
+        ("peak_rss_kb".into(), perf::peak_rss_json()),
+        ("results".into(), Json::Arr(results)),
+    ]);
+    let path = perf::write_bench_json("solver", &report);
+    println!("wrote {}", path.display());
+}

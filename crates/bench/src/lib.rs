@@ -19,6 +19,7 @@ pub mod ablation;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod perf;
 pub mod report;
 
 use parking_lot::Mutex;

@@ -228,6 +228,35 @@ impl Args {
 }
 
 // ----------------------------------------------------------------------
+// Thread-pool scoping
+// ----------------------------------------------------------------------
+
+/// Runs `f` inside a scoped rayon pool when `--threads N` is given (0 = one
+/// thread per core). Without the flag, `f` runs on the process-wide default
+/// pool; in a serial (`--no-default-features`) build the flag parses but has
+/// no effect.
+fn with_threads<T>(args: &Args, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    let Some(v) = args.optional("threads") else {
+        return f();
+    };
+    let threads: usize =
+        v.parse().map_err(|_| CliError(format!("flag --threads expects a number, got {v:?}")))?;
+    #[cfg(feature = "parallel")]
+    {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| CliError(format!("cannot build a {threads}-thread pool: {e}")))?;
+        pool.install(f)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = threads;
+        f()
+    }
+}
+
+// ----------------------------------------------------------------------
 // Commands
 // ----------------------------------------------------------------------
 
@@ -306,6 +335,7 @@ pub fn cmd_measure_refs(args: &Args) -> Result<String> {
 }
 
 /// `update`: refreshes the system's database from reference measurements.
+/// `--threads N` scopes the LoLi-IR solve to an N-worker pool.
 pub fn cmd_update(args: &Args) -> Result<String> {
     let snapshot: SystemSnapshot = read_json(&args.path("system")?)?;
     let refs: RefsFile = read_json(&args.path("refs")?)?;
@@ -318,7 +348,7 @@ pub fn cmd_update(args: &Args) -> Result<String> {
             sys.reference_cells()
         )));
     }
-    let report = sys.update(&refs.columns, &refs.empty)?;
+    let report = with_threads(args, || Ok(sys.update(&refs.columns, &refs.empty)?))?;
     write_json(&out, &sys.snapshot())?;
     Ok(format!(
         "updated in {} LoLi-IR iterations (converged: {}); DB shifted {:.2} dB; written to {}",
@@ -388,7 +418,11 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
     let addr =
         args.optional("addr").map(str::to_string).unwrap_or_else(|| format!("127.0.0.1:{port}"));
     let workers: usize = args.num("workers", 4)?;
-    let server = Server::bind(addr.as_str(), ServerConfig { workers, ..Default::default() })?;
+    // `--threads` sizes the shared maintenance pool (0 = one per core): it
+    // bounds how many background LoLi-IR refreshes may run at once.
+    let config = ServerConfig { workers, ..Default::default() };
+    let maintenance_threads = args.num("threads", config.maintenance_threads)?;
+    let server = Server::bind(addr.as_str(), ServerConfig { maintenance_threads, ..config })?;
     if let Some(system_path) = args.optional("system") {
         let snapshot: SystemSnapshot = read_json(Path::new(system_path))?;
         let system = TafLoc::from_snapshot(snapshot)?;
@@ -513,8 +547,13 @@ pub fn cmd_export_db(args: &Args) -> Result<String> {
 
 /// `testkit`: runs deterministic fault-injection scenarios (taf-testkit)
 /// and checks them against — or re-blesses — the committed golden accuracy
-/// baselines under `results/golden/`.
+/// baselines under `results/golden/`. `--threads N` scopes the runs to an
+/// N-worker pool — goldens must match at any thread count.
 fn cmd_testkit(args: &Args) -> Result<String> {
+    with_threads(args, || cmd_testkit_inner(args))
+}
+
+fn cmd_testkit_inner(args: &Args) -> Result<String> {
     if args.switch("list") {
         let mut out = String::from("built-in scenarios:\n");
         for s in taf_testkit::builtin_scenarios() {
@@ -601,7 +640,7 @@ COMMANDS
   survey        --world w.json --out survey.json [--day D] [--samples K]
   calibrate     --survey survey.json --out system.json [--refs N]
   measure-refs  --world w.json --system system.json --day D --out refs.json [--samples K]
-  update        --system system.json --refs refs.json --out system.json
+  update        --system system.json --refs refs.json --out system.json [--threads N]
   snapshot      --world w.json --day D --cell C --out y.json [--samples K]
   locate        --system system.json --y y.json
   gen-stream    --world w.json --out stream.json [--day D] [--cell C]
@@ -611,10 +650,13 @@ COMMANDS
                 [--ref-cell K] [--day D] [--locate]
   info          --system system.json
   export-db     --system system.json --out db.csv
-  serve         [--port P | --addr HOST:PORT] [--workers N] [--port-file PATH]
-                [--system system.json [--site NAME] [--day D]]
+  serve         [--port P | --addr HOST:PORT] [--workers N] [--threads N]
+                [--port-file PATH] [--system system.json [--site NAME] [--day D]]
   testkit       [--list] [--scenario NAME] [--bless] [--out report.json]
-                [--seed N] [--bias DB]
+                [--seed N] [--bias DB] [--threads N]
+
+`--threads N` scopes solver work to an N-worker pool (0 = one per core);
+for `serve` it sizes the shared background-maintenance pool.
 ";
 
 /// Dispatches a command; returns the success message to print.

@@ -82,7 +82,7 @@ pub mod tracking;
 pub use db::FingerprintDb;
 pub use detection::{Detection, DetectorConfig, PresenceDetector};
 pub use error::TaflocError;
-pub use loli_ir::{LoliIrConfig, Reconstruction, ReconstructionProblem};
+pub use loli_ir::{LoliIrConfig, Reconstruction, ReconstructionProblem, SolverWorkspace};
 pub use lrr::LrrModel;
 pub use mask::Mask;
 pub use matcher::{MatchMethod, MatchResult};

@@ -34,13 +34,38 @@
 //!
 //! Because every block solve is exact, the objective is monotonically
 //! non-increasing — a property the tests assert.
+//!
+//! # Parallelism and determinism
+//!
+//! Two rows couple in the L-step only through a similarity edge (and two
+//! columns in the R-step only through a continuity edge), so each sweep is run
+//! as a *colored* Gauss-Seidel pass: a deterministic greedy coloring of the
+//! link (resp. location) graph partitions the rows (columns) into classes with
+//! no intra-class edges, classes are visited in fixed order, and the
+//! independent solves inside a class fan out across the rayon pool (behind the
+//! `parallel` feature). Each solve writes only its own [`SolverWorkspace`]
+//! scratch slot; results are scattered back serially in index order, which
+//! makes the output bit-identical at any thread count — including the serial
+//! build. Exact block solves in any order keep the objective monotone.
+//!
+//! Steady-state iterations are allocation-free when the caller reuses a
+//! [`SolverWorkspace`] via [`reconstruct_with`].
 
 use crate::error::TaflocError;
 use crate::mask::Mask;
 use crate::operators::NeighborGraph;
 use crate::Result;
 use serde::{Deserialize, Serialize};
-use taf_linalg::Matrix;
+use taf_linalg::decomp::cholesky::solve_in_place;
+use taf_linalg::{LinalgError, Matrix};
+
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
+/// Estimated fused-multiply-add count below which a class of block solves runs
+/// inline: at small sizes the fork/join overhead exceeds the solve cost, and
+/// staying serial also keeps steady-state iterations allocation-free.
+const PAR_MIN_FLOPS: usize = 1 << 16;
 
 /// LoLi-IR hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -286,10 +311,405 @@ fn build_edge_sets(problem: &ReconstructionProblem<'_>) -> EdgeSets {
     EdgeSets { location, link }
 }
 
+/// Reusable scratch for one in-flight `r x r` block solve.
+///
+/// One slot is leased per row/column of the color class currently being
+/// solved; the slot owns every buffer the solve needs, so running a class in
+/// parallel requires no allocation and no shared mutable state.
+struct RowScratch {
+    /// Normal-equation matrix (`r x r`).
+    lhs: Matrix,
+    /// Cholesky factor of `lhs` (`r x r`).
+    chol: Matrix,
+    /// Right-hand side.
+    rhs: Vec<f64>,
+    /// Solution (seeded from `rhs`, solved in place).
+    sol: Vec<f64>,
+    /// Edge direction buffer (`r_j − r_{j'}` resp. `l_i − l_{i'}`).
+    dir: Vec<f64>,
+    /// Copy slot for the fixed other-endpoint factor row.
+    other: Vec<f64>,
+    /// Failure raised by this slot's solve, if any (checked at scatter time).
+    status: Option<LinalgError>,
+}
+
+impl RowScratch {
+    fn new(r: usize) -> Self {
+        RowScratch {
+            lhs: Matrix::zeros(r, r),
+            chol: Matrix::zeros(r, r),
+            rhs: vec![0.0; r],
+            sol: vec![0.0; r],
+            dir: vec![0.0; r],
+            other: vec![0.0; r],
+            status: None,
+        }
+    }
+}
+
+/// Preallocated buffers for [`reconstruct_with`].
+///
+/// A workspace can be reused across solves of any shape: buffers grow when the
+/// problem does and are reused verbatim otherwise, which makes steady-state
+/// solver iterations allocation-free. `SolverWorkspace::new()` itself
+/// allocates nothing — buffers appear on first use.
+pub struct SolverWorkspace {
+    scratch: Vec<RowScratch>,
+    gram: Matrix,
+    xh: Matrix,
+    trace: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers are allocated lazily by the solver.
+    pub fn new() -> Self {
+        SolverWorkspace {
+            scratch: Vec::new(),
+            gram: Matrix::zeros(0, 0),
+            xh: Matrix::zeros(0, 0),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Grows the buffers to fit an `m x n` rank-`r` problem; a no-op (and
+    /// allocation-free) when they already fit.
+    fn ensure(&mut self, m: usize, n: usize, r: usize, max_iters: usize) {
+        let slots = m.max(n);
+        let slots_fit =
+            self.scratch.len() >= slots && self.scratch.first().is_some_and(|s| s.rhs.len() == r);
+        if !slots_fit {
+            self.scratch = (0..slots).map(|_| RowScratch::new(r)).collect();
+        }
+        if self.gram.shape() != (r, r) {
+            self.gram = Matrix::zeros(r, r);
+        }
+        if self.xh.shape() != (m, n) {
+            self.xh = Matrix::zeros(m, n);
+        }
+        self.trace.clear();
+        self.trace.reserve(max_iters + 1);
+    }
+}
+
+impl Default for SolverWorkspace {
+    fn default() -> Self {
+        SolverWorkspace::new()
+    }
+}
+
+/// Deterministic greedy coloring: vertices are visited in index order and take
+/// the smallest color absent among their already-colored neighbors, so the
+/// classes depend only on the edge list — never on thread count. Vertices
+/// joined by an edge never share a class, hence every block solve within a
+/// class is independent and may run concurrently.
+fn color_classes(
+    n_vertices: usize,
+    edges: impl Iterator<Item = (usize, usize)>,
+) -> Vec<Vec<usize>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_vertices];
+    for (u, v) in edges {
+        adj[u].push(v);
+        adj[v].push(u);
+    }
+    let mut color = vec![usize::MAX; n_vertices];
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for v in 0..n_vertices {
+        let c = (0..=classes.len())
+            .find(|&c| !adj[v].iter().any(|&u| color[u] == c))
+            .expect("a free color always exists");
+        if c == classes.len() {
+            classes.push(Vec::new());
+        }
+        color[v] = c;
+        classes[c].push(v);
+    }
+    classes
+}
+
+/// Cross-link empty-room baseline offset `δ_{ii'} = e_i − e_{i'}`.
+fn baseline_delta(problem: &ReconstructionProblem<'_>, i: usize, i2: usize) -> f64 {
+    problem.empty_rss.map_or(0.0, |e| e[i] - e[i2])
+}
+
+/// Evaluates the LoLi-IR objective at `(L, R)`, writing `L·Rᵀ` into `xh`.
+fn objective(
+    problem: &ReconstructionProblem<'_>,
+    edges: &EdgeSets,
+    config: &LoliIrConfig,
+    mu: f64,
+    l: &Matrix,
+    rf: &Matrix,
+    xh: &mut Matrix,
+) -> Result<f64> {
+    l.matmul_nt_into(rf, xh)?;
+    let mut f = config.lambda * (l.frobenius_norm().powi(2) + rf.frobenius_norm().powi(2));
+    for (i, j) in problem.mask.true_positions() {
+        let d = xh[(i, j)] - problem.observed[(i, j)];
+        f += d * d;
+    }
+    if let Some(p) = problem.lrr_prior {
+        if mu > 0.0 {
+            let mut s = 0.0;
+            for (a, b) in xh.as_slice().iter().zip(p.as_slice()) {
+                let d = a - b;
+                s += d * d;
+            }
+            f += mu * s;
+        }
+    }
+    if config.alpha > 0.0 {
+        for (j, j2, links) in &edges.location {
+            for &i in links {
+                let d = xh[(i, *j)] - xh[(i, *j2)];
+                f += config.alpha * d * d;
+            }
+        }
+    }
+    if config.beta > 0.0 {
+        for (i, i2, cells) in &edges.link {
+            let off = baseline_delta(problem, *i, *i2);
+            for &j in cells {
+                let d = xh[(*i, j)] - xh[(*i2, j)] - off;
+                f += config.beta * d * d;
+            }
+        }
+    }
+    Ok(f)
+}
+
+/// Shared read-only inputs for the L-step solves of one color class.
+struct LStepCtx<'a> {
+    problem: &'a ReconstructionProblem<'a>,
+    edges: &'a EdgeSets,
+    config: &'a LoliIrConfig,
+    mu: f64,
+    l: &'a Matrix,
+    rf: &'a Matrix,
+    /// `RᵀR`.
+    gram: &'a Matrix,
+    row_edges: &'a [Vec<usize>],
+    row_loc_edges: &'a [Vec<usize>],
+}
+
+/// Shared read-only inputs for the R-step solves of one color class.
+struct RStepCtx<'a> {
+    problem: &'a ReconstructionProblem<'a>,
+    edges: &'a EdgeSets,
+    config: &'a LoliIrConfig,
+    mu: f64,
+    l: &'a Matrix,
+    rf: &'a Matrix,
+    /// `LᵀL`.
+    gram: &'a Matrix,
+    col_edges: &'a [Vec<usize>],
+    col_link_edges: &'a [Vec<usize>],
+}
+
+/// Factors `s.lhs` and solves for `s.rhs` into `s.sol`, recording any failure
+/// in `s.status` (parallel workers cannot early-return an error themselves).
+fn finish_solve(s: &mut RowScratch) {
+    match s.lhs.cholesky_into(&mut s.chol) {
+        Ok(()) => {
+            s.sol.copy_from_slice(&s.rhs);
+            if let Err(e) = solve_in_place(&s.chol, &mut s.sol) {
+                s.status = Some(e);
+            }
+        }
+        Err(e) => s.status = Some(e),
+    }
+}
+
+/// Builds and solves the `r x r` ridge system for row `l_i` entirely inside
+/// `s`. Factor rows read through `ctx.l` belong to other color classes, so
+/// every solve in a class is independent of its siblings.
+fn solve_l_row(ctx: &LStepCtx<'_>, i: usize, s: &mut RowScratch) {
+    let r = ctx.gram.rows();
+    let n = ctx.rf.rows();
+    s.status = None;
+    for a in 0..r {
+        for b in 0..r {
+            s.lhs[(a, b)] = ctx.config.lambda * f64::from(a == b) + ctx.mu * ctx.gram[(a, b)];
+        }
+    }
+    s.rhs.fill(0.0);
+    // Data term: Σ_j B_ij (r_jᵀ l_i − x_ij)².
+    for j in 0..n {
+        if ctx.problem.mask.get(i, j) {
+            let rj = ctx.rf.row(j);
+            rank1_update(&mut s.lhs, rj, 1.0);
+            let x = ctx.problem.observed[(i, j)];
+            for (a, &rv) in s.rhs.iter_mut().zip(rj) {
+                *a += x * rv;
+            }
+        }
+    }
+    // LRR prior: μ ‖R l_i − p_i‖².
+    if let Some(p) = ctx.problem.lrr_prior {
+        if ctx.mu > 0.0 {
+            for j in 0..n {
+                let rj = ctx.rf.row(j);
+                let pv = ctx.mu * p[(i, j)];
+                for (a, &rv) in s.rhs.iter_mut().zip(rj) {
+                    *a += pv * rv;
+                }
+            }
+        }
+    }
+    // Similarity edges incident to row i (other endpoint held fixed).
+    if ctx.config.beta > 0.0 {
+        for &k in &ctx.row_edges[i] {
+            let (u, v, cells) = &ctx.edges.link[k];
+            let other = if *u == i { *v } else { *u };
+            let off = if *u == i {
+                baseline_delta(ctx.problem, *u, *v)
+            } else {
+                -baseline_delta(ctx.problem, *u, *v)
+            };
+            s.other.copy_from_slice(ctx.l.row(other));
+            for &j in cells {
+                let rj = ctx.rf.row(j);
+                rank1_update(&mut s.lhs, rj, ctx.config.beta);
+                // Target for x̂_ij is x̂_other,j + off.
+                let t: f64 = taf_linalg::dot(&s.other, rj) + off;
+                let w = ctx.config.beta * t;
+                for (a, &rv) in s.rhs.iter_mut().zip(rj) {
+                    *a += w * rv;
+                }
+            }
+        }
+    }
+    // Continuity edges whose active-link set contains row i:
+    // α (l_iᵀ (r_j − r_{j'}))² — quadratic in l_i with direction
+    // d = r_j − r_{j'} and zero target.
+    if ctx.config.alpha > 0.0 {
+        for &k in &ctx.row_loc_edges[i] {
+            let (j, j2, _) = &ctx.edges.location[k];
+            let rj = ctx.rf.row(*j);
+            let rj2 = ctx.rf.row(*j2);
+            for (dv, (&a, &b)) in s.dir.iter_mut().zip(rj.iter().zip(rj2)) {
+                *dv = a - b;
+            }
+            rank1_update(&mut s.lhs, &s.dir, ctx.config.alpha);
+        }
+    }
+    finish_solve(s);
+}
+
+/// Builds and solves the `r x r` ridge system for column `r_j` inside `s`;
+/// symmetric counterpart of [`solve_l_row`].
+fn solve_r_col(ctx: &RStepCtx<'_>, j: usize, s: &mut RowScratch) {
+    let r = ctx.gram.rows();
+    let m = ctx.l.rows();
+    s.status = None;
+    for a in 0..r {
+        for b in 0..r {
+            s.lhs[(a, b)] = ctx.config.lambda * f64::from(a == b) + ctx.mu * ctx.gram[(a, b)];
+        }
+    }
+    s.rhs.fill(0.0);
+    for i in 0..m {
+        if ctx.problem.mask.get(i, j) {
+            let li = ctx.l.row(i);
+            rank1_update(&mut s.lhs, li, 1.0);
+            let x = ctx.problem.observed[(i, j)];
+            for (a, &lv) in s.rhs.iter_mut().zip(li) {
+                *a += x * lv;
+            }
+        }
+    }
+    if let Some(p) = ctx.problem.lrr_prior {
+        if ctx.mu > 0.0 {
+            for i in 0..m {
+                let li = ctx.l.row(i);
+                let pv = ctx.mu * p[(i, j)];
+                for (a, &lv) in s.rhs.iter_mut().zip(li) {
+                    *a += pv * lv;
+                }
+            }
+        }
+    }
+    if ctx.config.alpha > 0.0 {
+        for &k in &ctx.col_edges[j] {
+            let (u, v, links) = &ctx.edges.location[k];
+            let other = if *u == j { *v } else { *u };
+            s.other.copy_from_slice(ctx.rf.row(other));
+            for &i in links {
+                let li = ctx.l.row(i);
+                rank1_update(&mut s.lhs, li, ctx.config.alpha);
+                let t: f64 = taf_linalg::dot(li, &s.other);
+                let w = ctx.config.alpha * t;
+                for (a, &lv) in s.rhs.iter_mut().zip(li) {
+                    *a += w * lv;
+                }
+            }
+        }
+    }
+    // Similarity edges whose active-cell set contains column j:
+    // β ((l_i − l_{i'})ᵀ r_j − δ_{ii'})² — quadratic in r_j with
+    // direction d = l_i − l_{i'} and target δ.
+    if ctx.config.beta > 0.0 {
+        for &k in &ctx.col_link_edges[j] {
+            let (i, i2, _) = &ctx.edges.link[k];
+            let li = ctx.l.row(*i);
+            let li2 = ctx.l.row(*i2);
+            for (dv, (&a, &b)) in s.dir.iter_mut().zip(li.iter().zip(li2)) {
+                *dv = a - b;
+            }
+            rank1_update(&mut s.lhs, &s.dir, ctx.config.beta);
+            let w = ctx.config.beta * baseline_delta(ctx.problem, *i, *i2);
+            if w != 0.0 {
+                for (a, &dv) in s.rhs.iter_mut().zip(&s.dir) {
+                    *a += w * dv;
+                }
+            }
+        }
+    }
+    finish_solve(s);
+}
+
+/// Runs one color class of independent block solves, fanning out to the rayon
+/// pool when the class is big enough. The serial fallback (and the serial
+/// build) visits the same slots with identical arithmetic, so results are
+/// bit-identical at any thread count.
+fn run_tasks<F>(tasks: &mut [RowScratch], big: bool, f: F)
+where
+    F: Fn(usize, &mut RowScratch) + Sync + Send,
+{
+    #[cfg(feature = "parallel")]
+    if big && rayon::current_num_threads() > 1 {
+        tasks.par_iter_mut().enumerate().for_each(|(k, s)| f(k, s));
+        return;
+    }
+    let _ = big;
+    for (k, s) in tasks.iter_mut().enumerate() {
+        f(k, s);
+    }
+}
+
 /// Runs LoLi-IR on a reconstruction problem.
+///
+/// Convenience wrapper around [`reconstruct_with`] with a fresh workspace;
+/// callers solving repeatedly should hold a [`SolverWorkspace`] and call
+/// [`reconstruct_with`] to skip the per-call buffer allocations.
 pub fn reconstruct(
     problem: &ReconstructionProblem<'_>,
     config: &LoliIrConfig,
+) -> Result<Reconstruction> {
+    reconstruct_with(problem, config, &mut SolverWorkspace::new())
+}
+
+/// Runs LoLi-IR reusing the caller's [`SolverWorkspace`].
+///
+/// Steady-state iterations perform no heap allocation — every buffer lives in
+/// the workspace. The result is bit-identical for a given problem regardless
+/// of thread count: rows/columns are partitioned into graph-coloring classes
+/// solved class by class (a colored Gauss-Seidel sweep), and within a class
+/// each solve writes only its own scratch slot before a serial, index-ordered
+/// scatter back into the factor.
+pub fn reconstruct_with(
+    problem: &ReconstructionProblem<'_>,
+    config: &LoliIrConfig,
+    ws: &mut SolverWorkspace,
 ) -> Result<Reconstruction> {
     config.validate()?;
     problem.validate()?;
@@ -301,7 +721,6 @@ pub fn reconstruct(
     // side with no matching right-hand side would shrink X̂ toward zero).
     let mu = if problem.lrr_prior.is_some() { config.mu } else { 0.0 };
     let edges = build_edge_sets(problem);
-    let delta = |i: usize, i2: usize| -> f64 { problem.empty_rss.map_or(0.0, |e| e[i] - e[i2]) };
 
     // ------------------------------------------------------------------
     // Initialization: truncated SVD of the prior (or of a filled observation).
@@ -314,39 +733,9 @@ pub fn reconstruct(
     let mut l = Matrix::from_fn(m, r, |i, k| svd.u[(i, k)] * svd.sigma[k].sqrt());
     let mut rf = Matrix::from_fn(n, r, |j, k| svd.v[(j, k)] * svd.sigma[k].sqrt());
 
-    let objective = |l: &Matrix, rf: &Matrix| -> f64 {
-        let xh = l.matmul_nt(rf).expect("factor shapes agree");
-        let mut f = config.lambda * (l.frobenius_norm().powi(2) + rf.frobenius_norm().powi(2));
-        for (i, j) in problem.mask.true_positions() {
-            let d = xh[(i, j)] - problem.observed[(i, j)];
-            f += d * d;
-        }
-        if let Some(p) = problem.lrr_prior {
-            if config.mu > 0.0 {
-                f += config.mu * xh.sub(p).expect("shapes agree").frobenius_norm().powi(2);
-            }
-        }
-        if config.alpha > 0.0 {
-            for (j, j2, links) in &edges.location {
-                for &i in links {
-                    let d = xh[(i, *j)] - xh[(i, *j2)];
-                    f += config.alpha * d * d;
-                }
-            }
-        }
-        if config.beta > 0.0 {
-            for (i, i2, cells) in &edges.link {
-                let off = delta(*i, *i2);
-                for &j in cells {
-                    let d = xh[(*i, j)] - xh[(*i2, j)] - off;
-                    f += config.beta * d * d;
-                }
-            }
-        }
-        f
-    };
-
-    let mut trace = vec![objective(&l, &rf)];
+    ws.ensure(m, n, r, config.max_iters);
+    let f0 = objective(problem, &edges, config, mu, &l, &rf, &mut ws.xh)?;
+    ws.trace.push(f0);
     let mut converged = false;
     let mut iterations = 0;
 
@@ -377,164 +766,100 @@ pub fn reconstruct(
         }
     }
 
+    // Color classes for the Gauss-Seidel sweeps. A row's solve reads other L
+    // rows only through similarity edges (and a column's solve reads other R
+    // rows only through continuity edges), so two rows/columns may be solved
+    // concurrently iff no edge joins them — exactly what a proper coloring
+    // guarantees. When the coupling term is off, everything is independent and
+    // a single class covers the whole sweep.
+    let row_classes = if config.beta > 0.0 {
+        color_classes(m, edges.link.iter().map(|(u, v, _)| (*u, *v)))
+    } else {
+        vec![(0..m).collect()]
+    };
+    let col_classes = if config.alpha > 0.0 {
+        color_classes(n, edges.location.iter().map(|(u, v, _)| (*u, *v)))
+    } else {
+        vec![(0..n).collect()]
+    };
+
     for iter in 0..config.max_iters {
         iterations = iter + 1;
 
-        // ---------------- L-step: Gauss-Seidel over rows ----------------
-        let rtr = rf.gram(); // r x r
-        for i in 0..m {
-            let mut lhs =
-                Matrix::from_fn(r, r, |a, b| config.lambda * f64::from(a == b) + mu * rtr[(a, b)]);
-            let mut rhs = vec![0.0; r];
-            // Data term: Σ_j B_ij (r_jᵀ l_i − x_ij)².
-            for j in 0..n {
-                if problem.mask.get(i, j) {
-                    let rj = rf.row(j);
-                    rank1_update(&mut lhs, rj, 1.0);
-                    let x = problem.observed[(i, j)];
-                    for (a, &rv) in rhs.iter_mut().zip(rj) {
-                        *a += x * rv;
-                    }
+        // ---------------- L-step: colored Gauss-Seidel over rows ----------------
+        rf.gram_into(&mut ws.gram)?;
+        for class in &row_classes {
+            let big = class.len() > 1 && class.len() * n * r * r >= PAR_MIN_FLOPS;
+            let ctx = LStepCtx {
+                problem,
+                edges: &edges,
+                config,
+                mu,
+                l: &l,
+                rf: &rf,
+                gram: &ws.gram,
+                row_edges: &row_edges,
+                row_loc_edges: &row_loc_edges,
+            };
+            run_tasks(&mut ws.scratch[..class.len()], big, |k, s| solve_l_row(&ctx, class[k], s));
+            for (k, &i) in class.iter().enumerate() {
+                let s = &mut ws.scratch[k];
+                if let Some(e) = s.status.take() {
+                    return Err(e.into());
                 }
+                l.set_row(i, &s.sol).expect("row length r");
             }
-            // LRR prior: μ ‖R l_i − p_i‖².
-            if let Some(p) = problem.lrr_prior {
-                if config.mu > 0.0 {
-                    for j in 0..n {
-                        let rj = rf.row(j);
-                        let pv = mu * p[(i, j)];
-                        for (a, &rv) in rhs.iter_mut().zip(rj) {
-                            *a += pv * rv;
-                        }
-                    }
-                }
-            }
-            // Similarity edges incident to row i (other endpoint held fixed).
-            if config.beta > 0.0 {
-                for &k in &row_edges[i] {
-                    let (u, v, cells) = &edges.link[k];
-                    let other = if *u == i { *v } else { *u };
-                    let off = if *u == i { delta(*u, *v) } else { -delta(*u, *v) };
-                    let lo = l.row(other).to_vec();
-                    for &j in cells {
-                        let rj = rf.row(j);
-                        rank1_update(&mut lhs, rj, config.beta);
-                        // Target for x̂_ij is x̂_other,j + off.
-                        let t: f64 = taf_linalg::dot(&lo, rj) + off;
-                        let w = config.beta * t;
-                        for (a, &rv) in rhs.iter_mut().zip(rj) {
-                            *a += w * rv;
-                        }
-                    }
-                }
-            }
-            // Continuity edges whose active-link set contains row i:
-            // α (l_iᵀ (r_j − r_{j'}))² — quadratic in l_i with direction
-            // d = r_j − r_{j'} and zero target.
-            if config.alpha > 0.0 {
-                let mut d = vec![0.0; r];
-                for &k in &row_loc_edges[i] {
-                    let (j, j2, _) = &edges.location[k];
-                    let rj = rf.row(*j);
-                    let rj2 = rf.row(*j2);
-                    for (dv, (&a, &b)) in d.iter_mut().zip(rj.iter().zip(rj2)) {
-                        *dv = a - b;
-                    }
-                    rank1_update(&mut lhs, &d, config.alpha);
-                }
-            }
-            let sol = lhs.cholesky()?.solve(&rhs)?;
-            l.set_row(i, &sol).expect("row length r");
         }
 
-        // ---------------- R-step: Gauss-Seidel over columns ----------------
-        let ltl = l.gram();
-        for j in 0..n {
-            let mut lhs =
-                Matrix::from_fn(r, r, |a, b| config.lambda * f64::from(a == b) + mu * ltl[(a, b)]);
-            let mut rhs = vec![0.0; r];
-            for i in 0..m {
-                if problem.mask.get(i, j) {
-                    let li = l.row(i);
-                    rank1_update(&mut lhs, li, 1.0);
-                    let x = problem.observed[(i, j)];
-                    for (a, &lv) in rhs.iter_mut().zip(li) {
-                        *a += x * lv;
-                    }
+        // ---------------- R-step: colored Gauss-Seidel over columns ----------------
+        l.gram_into(&mut ws.gram)?;
+        for class in &col_classes {
+            let big = class.len() > 1 && class.len() * m * r * r >= PAR_MIN_FLOPS;
+            let ctx = RStepCtx {
+                problem,
+                edges: &edges,
+                config,
+                mu,
+                l: &l,
+                rf: &rf,
+                gram: &ws.gram,
+                col_edges: &col_edges,
+                col_link_edges: &col_link_edges,
+            };
+            run_tasks(&mut ws.scratch[..class.len()], big, |k, s| solve_r_col(&ctx, class[k], s));
+            for (k, &j) in class.iter().enumerate() {
+                let s = &mut ws.scratch[k];
+                if let Some(e) = s.status.take() {
+                    return Err(e.into());
                 }
+                rf.set_row(j, &s.sol).expect("row length r");
             }
-            if let Some(p) = problem.lrr_prior {
-                if config.mu > 0.0 {
-                    for i in 0..m {
-                        let li = l.row(i);
-                        let pv = mu * p[(i, j)];
-                        for (a, &lv) in rhs.iter_mut().zip(li) {
-                            *a += pv * lv;
-                        }
-                    }
-                }
-            }
-            if config.alpha > 0.0 {
-                for &k in &col_edges[j] {
-                    let (u, v, links) = &edges.location[k];
-                    let other = if *u == j { *v } else { *u };
-                    let ro = rf.row(other).to_vec();
-                    for &i in links {
-                        let li = l.row(i);
-                        rank1_update(&mut lhs, li, config.alpha);
-                        let t: f64 = taf_linalg::dot(li, &ro);
-                        let w = config.alpha * t;
-                        for (a, &lv) in rhs.iter_mut().zip(li) {
-                            *a += w * lv;
-                        }
-                    }
-                }
-            }
-            // Similarity edges whose active-cell set contains column j:
-            // β ((l_i − l_{i'})ᵀ r_j − δ_{ii'})² — quadratic in r_j with
-            // direction d = l_i − l_{i'} and target δ.
-            if config.beta > 0.0 {
-                let mut d = vec![0.0; r];
-                for &k in &col_link_edges[j] {
-                    let (i, i2, _) = &edges.link[k];
-                    let li = l.row(*i);
-                    let li2 = l.row(*i2);
-                    for (dv, (&a, &b)) in d.iter_mut().zip(li.iter().zip(li2)) {
-                        *dv = a - b;
-                    }
-                    rank1_update(&mut lhs, &d, config.beta);
-                    let w = config.beta * delta(*i, *i2);
-                    if w != 0.0 {
-                        for (a, &dv) in rhs.iter_mut().zip(&d) {
-                            *a += w * dv;
-                        }
-                    }
-                }
-            }
-            let sol = lhs.cholesky()?.solve(&rhs)?;
-            rf.set_row(j, &sol).expect("row length r");
         }
 
-        let f = objective(&l, &rf);
+        let f = objective(problem, &edges, config, mu, &l, &rf, &mut ws.xh)?;
         if !f.is_finite() {
             return Err(TaflocError::SolverFailure {
                 solver: "loli-ir",
                 reason: format!("objective became non-finite at iteration {iterations}"),
             });
         }
-        let prev = *trace.last().expect("trace seeded");
-        trace.push(f);
+        let prev = *ws.trace.last().expect("trace seeded");
+        ws.trace.push(f);
         if (prev - f).abs() <= config.tol * prev.abs().max(1.0) {
             converged = true;
             break;
         }
     }
 
-    let mut matrix = l.matmul_nt(&rf)?;
+    // `ws.xh` already holds `L·Rᵀ` for the final factors — the last objective
+    // evaluation wrote it — so publishing is a straight copy.
+    let mut matrix = ws.xh.clone();
     if config.debug_bias_db != 0.0 {
         // Fault-injection hook (see `LoliIrConfig::debug_bias_db`): corrupt
         // the published reconstruction without touching the solve itself.
-        matrix = matrix.map(|v| v + config.debug_bias_db);
+        for v in matrix.as_mut_slice() {
+            *v += config.debug_bias_db;
+        }
     }
     if matrix.has_non_finite() {
         return Err(TaflocError::SolverFailure {
@@ -542,7 +867,14 @@ pub fn reconstruct(
             reason: "reconstruction contains non-finite values".into(),
         });
     }
-    Ok(Reconstruction { matrix, l, r: rf, objective_trace: trace, iterations, converged })
+    Ok(Reconstruction {
+        matrix,
+        l,
+        r: rf,
+        objective_trace: ws.trace.clone(),
+        iterations,
+        converged,
+    })
 }
 
 /// `lhs += w · v·vᵀ` for a symmetric `r x r` accumulator.
@@ -843,6 +1175,68 @@ mod tests {
         let cfg = LoliIrConfig { rank: 99, ..Default::default() };
         let rec = reconstruct(&problem, &cfg).unwrap();
         assert_eq!(rec.l.cols(), 6);
+    }
+
+    #[test]
+    fn coloring_is_proper_and_deterministic() {
+        // Chain 0-1-2-3-4 plus a chord 0-2: needs 3 colors at vertex 2.
+        let edges = [(0usize, 1usize), (1, 2), (2, 3), (3, 4), (0, 2)];
+        let classes = color_classes(5, edges.iter().copied());
+        // Every vertex appears exactly once.
+        let mut seen = vec![0usize; 5];
+        for class in &classes {
+            for &v in class {
+                seen[v] += 1;
+            }
+        }
+        assert_eq!(seen, vec![1; 5]);
+        // No edge inside a class.
+        for class in &classes {
+            for &(u, v) in &edges {
+                assert!(
+                    !(class.contains(&u) && class.contains(&v)),
+                    "edge ({u},{v}) inside class {class:?}"
+                );
+            }
+        }
+        // Deterministic: a second run is identical.
+        assert_eq!(classes, color_classes(5, edges.iter().copied()));
+        // Edge-free graph collapses to a single class in index order.
+        assert_eq!(color_classes(4, std::iter::empty()), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let truth = ground_truth();
+        let mask = column_mask(&truth, &[1, 5, 9]);
+        let noisy_prior = truth.map(|v| v + 0.8 * (v * 17.0).sin());
+        let g = NeighborGraph::new(12, (0..11).map(|j| (j, j + 1)));
+        let h = NeighborGraph::new(6, (0..5).map(|i| (i, i + 1)));
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&noisy_prior),
+            location_graph: Some(&g),
+            link_graph: Some(&h),
+            empty_rss: None,
+            distortion: None,
+        };
+        let cfg = LoliIrConfig { max_iters: 10, tol: 0.0, ..Default::default() };
+        let fresh = reconstruct(&problem, &cfg).unwrap();
+        let mut ws = SolverWorkspace::new();
+        // Warm the workspace on a different problem shape first, then solve the
+        // real one twice: a dirty, resized workspace must not leak state.
+        let small_mask = Mask::trues(3, 4);
+        let small = Matrix::from_fn(3, 4, |i, j| -(40.0 + i as f64 + j as f64));
+        let small_problem = ReconstructionProblem::completion_only(&small, &small_mask);
+        reconstruct_with(&small_problem, &LoliIrConfig { rank: 2, ..cfg }, &mut ws).unwrap();
+        for _ in 0..2 {
+            let reused = reconstruct_with(&problem, &cfg, &mut ws).unwrap();
+            assert_eq!(fresh.matrix.as_slice(), reused.matrix.as_slice());
+            assert_eq!(fresh.l.as_slice(), reused.l.as_slice());
+            assert_eq!(fresh.r.as_slice(), reused.r.as_slice());
+            assert_eq!(fresh.objective_trace, reused.objective_trace);
+        }
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! LoLi-IR determinism contract: reconstruction output is bit-identical
+//! across thread counts and across repeated runs.
+//!
+//! The colored Gauss-Seidel sweep guarantees this by construction (each class
+//! member writes only its own scratch slot, scatter is serial and
+//! index-ordered); these tests pin the property down end to end, both below
+//! the parallel fan-out threshold (where the solver stays inline) and above it
+//! (where the rayon pool actually runs the class members concurrently).
+
+use proptest::prelude::*;
+use taf_linalg::Matrix;
+use tafloc_core::loli_ir::{
+    reconstruct, reconstruct_with, LoliIrConfig, ReconstructionProblem, SolverWorkspace,
+};
+use tafloc_core::mask::Mask;
+use tafloc_core::operators::NeighborGraph;
+
+/// Deterministic pseudo-random matrix in RSS range (xorshift).
+fn pseudo(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        -70.0 + (state % 4000) as f64 / 100.0
+    })
+}
+
+/// Snapshot of everything a reconstruction publishes, for exact comparison.
+fn fingerprint(
+    rec: &tafloc_core::loli_ir::Reconstruction,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    (
+        rec.matrix.as_slice().to_vec(),
+        rec.l.as_slice().to_vec(),
+        rec.r.as_slice().to_vec(),
+        rec.objective_trace.clone(),
+    )
+}
+
+fn solve_problem(
+    truth: &Matrix,
+    prior: &Matrix,
+    mask: &Mask,
+    cfg: &LoliIrConfig,
+) -> tafloc_core::loli_ir::Reconstruction {
+    let g = NeighborGraph::new(truth.cols(), (0..truth.cols() - 1).map(|j| (j, j + 1)));
+    let h = NeighborGraph::new(truth.rows(), (0..truth.rows() - 1).map(|i| (i, i + 1)));
+    let problem = ReconstructionProblem {
+        observed: truth,
+        mask,
+        lrr_prior: Some(prior),
+        location_graph: Some(&g),
+        link_graph: Some(&h),
+        empty_rss: None,
+        distortion: None,
+    };
+    reconstruct(&problem, cfg).unwrap()
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let truth = pseudo(6, 12, 41);
+    let prior = pseudo(6, 12, 43);
+    let mask = Mask::from_columns(6, 12, &[0, 4, 8]).unwrap();
+    let cfg = LoliIrConfig { max_iters: 8, tol: 0.0, ..Default::default() };
+    let first = fingerprint(&solve_problem(&truth, &prior, &mask, &cfg));
+    for _ in 0..3 {
+        assert_eq!(first, fingerprint(&solve_problem(&truth, &prior, &mask, &cfg)));
+    }
+}
+
+/// Above the fan-out threshold the class solves really do run on the pool;
+/// the output must not depend on how many workers the pool has.
+#[cfg(feature = "parallel")]
+#[test]
+fn large_problem_bit_identical_across_thread_counts() {
+    // 20 x 400 with chain graphs: L-step classes of ~10 rows and R-step
+    // classes of ~200 columns both clear PAR_MIN_FLOPS at rank 8.
+    let truth = pseudo(20, 400, 7);
+    let prior = pseudo(20, 400, 11);
+    let cols: Vec<usize> = (0..400).step_by(3).collect();
+    let mask = Mask::from_columns(20, 400, &cols).unwrap();
+    let cfg = LoliIrConfig { max_iters: 4, tol: 0.0, ..Default::default() };
+
+    let mut reference = None;
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let got = pool.install(|| fingerprint(&solve_problem(&truth, &prior, &mask, &cfg)));
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(want, &got, "thread count {threads} changed the result"),
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+mod proptests {
+    use super::*;
+
+    proptest! {
+        /// Random small problems: serial inline path, pools of 1/2/8 workers, and
+        /// a reused workspace all produce the same bits.
+        #[test]
+        fn reconstruct_bit_identical_across_thread_counts(
+            seed in 0u64..1000,
+            m in 3usize..7,
+            n in 4usize..10,
+            keep in 1usize..4,
+        ) {
+            let truth = pseudo(m, n, seed * 2 + 1);
+            let prior = pseudo(m, n, seed * 2 + 500);
+            let cols: Vec<usize> = (0..n).step_by(keep).collect();
+            let mask = Mask::from_columns(m, n, &cols).unwrap();
+            let cfg = LoliIrConfig { rank: 3, max_iters: 5, tol: 0.0, ..Default::default() };
+
+            let base = fingerprint(&solve_problem(&truth, &prior, &mask, &cfg));
+            for threads in [1usize, 2, 8] {
+                let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+                let got = pool.install(|| fingerprint(&solve_problem(&truth, &prior, &mask, &cfg)));
+                prop_assert_eq!(&base, &got, "thread count {}", threads);
+            }
+
+            // Workspace reuse must not change the bits either.
+            let g = NeighborGraph::new(n, (0..n - 1).map(|j| (j, j + 1)));
+            let h = NeighborGraph::new(m, (0..m - 1).map(|i| (i, i + 1)));
+            let problem = ReconstructionProblem {
+                observed: &truth,
+                mask: &mask,
+                lrr_prior: Some(&prior),
+                location_graph: Some(&g),
+                link_graph: Some(&h),
+                empty_rss: None,
+                distortion: None,
+            };
+            let mut ws = SolverWorkspace::new();
+            for _ in 0..2 {
+                let reused = fingerprint(&reconstruct_with(&problem, &cfg, &mut ws).unwrap());
+                prop_assert_eq!(&base, &reused);
+            }
+        }
+    }
+}

@@ -22,8 +22,26 @@ impl Matrix {
         if !self.is_square() {
             return Err(LinalgError::NotSquare { op: "Matrix::cholesky", shape: self.shape() });
         }
+        let mut l = Matrix::zeros(self.rows(), self.rows());
+        self.cholesky_into(&mut l)?;
+        Ok(Cholesky { l })
+    }
+
+    /// Like [`Matrix::cholesky`], but writes the lower-triangular factor into a
+    /// caller-provided `n x n` buffer without allocating. The strict upper
+    /// triangle of `l` is zeroed.
+    pub fn cholesky_into(&self, l: &mut Matrix) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "Matrix::cholesky", shape: self.shape() });
+        }
         let n = self.rows();
-        let mut l = Matrix::zeros(n, n);
+        if l.shape() != (n, n) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::cholesky_into",
+                lhs: (n, n),
+                rhs: l.shape(),
+            });
+        }
         for j in 0..n {
             let mut diag = self[(j, j)];
             for k in 0..j {
@@ -41,9 +59,43 @@ impl Matrix {
                 }
                 l[(i, j)] = acc / ljj;
             }
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
         }
-        Ok(Cholesky { l })
+        Ok(())
     }
+}
+
+/// Solves `A·x = b` in place given a lower-triangular Cholesky factor of `A`
+/// (as produced by [`Matrix::cholesky_into`]); `x` holds `b` on entry and the
+/// solution on return. The allocation-free twin of [`Cholesky::solve`].
+pub fn solve_in_place(l: &Matrix, x: &mut [f64]) -> Result<()> {
+    let n = l.rows();
+    if !l.is_square() || x.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cholesky::solve_in_place",
+            lhs: l.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    // Forward: L·y = b
+    for i in 0..n {
+        let mut acc = x[i];
+        for j in 0..i {
+            acc -= l[(i, j)] * x[j];
+        }
+        x[i] = acc / l[(i, i)];
+    }
+    // Backward: Lᵀ·x = y
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for j in (i + 1)..n {
+            acc -= l[(j, i)] * x[j];
+        }
+        x[i] = acc / l[(i, i)];
+    }
+    Ok(())
 }
 
 impl Cholesky {
@@ -211,6 +263,36 @@ mod tests {
         let chol = a.cholesky().unwrap();
         let det = a.determinant().unwrap();
         assert!((chol.log_det() - det.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_place_paths_match_allocating_ones() {
+        let a = spd();
+        let chol = a.cholesky().unwrap();
+        let mut l = Matrix::zeros(3, 3);
+        a.cholesky_into(&mut l).unwrap();
+        assert!(l.approx_eq(chol.factor(), 0.0));
+
+        let b = [1.0, -2.0, 0.5];
+        let mut x = b;
+        solve_in_place(&l, &mut x).unwrap();
+        let reference = chol.solve(&b).unwrap();
+        assert_eq!(x.to_vec(), reference);
+
+        assert!(a.cholesky_into(&mut Matrix::zeros(2, 2)).is_err());
+        assert!(solve_in_place(&l, &mut [1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_into_zeroes_stale_upper_triangle() {
+        let a = spd();
+        let mut l = Matrix::from_fn(3, 3, |_, _| 42.0);
+        a.cholesky_into(&mut l).unwrap();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
     }
 
     #[test]

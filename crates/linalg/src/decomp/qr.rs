@@ -4,7 +4,13 @@
 //! selection: the first `n` pivot columns of the fingerprint matrix are its "most
 //! linearly independent" columns, exactly the property the paper asks for.
 
-use crate::{LinalgError, Matrix, Result};
+use crate::par::{for_each_row, PAR_MIN_FLOPS};
+use crate::{axpy_slice, dot, LinalgError, Matrix, Result};
+
+/// Fixed row-block size for the reflector-application reduction. The partial
+/// sums are always combined in block order, so results do not depend on the
+/// thread count (the serial path walks the same blocks).
+const REFLECT_ROW_BLOCK: usize = 64;
 
 /// Thin QR decomposition `A = Q·R` with `Q` of shape `m x k`, `R` of shape `k x n`,
 /// `k = min(m, n)`; `Q` has orthonormal columns and `R` is upper trapezoidal.
@@ -40,9 +46,16 @@ fn householder(
     // Q accumulated as an m x m product applied to the identity; trimmed at the end.
     let mut q = Matrix::identity(m);
 
-    // Running squared column norms for pivot selection.
-    let mut col_norms: Vec<f64> =
-        (0..n).map(|j| (0..m).map(|i| work[(i, j)] * work[(i, j)]).sum()).collect();
+    // Running squared column norms for pivot selection (row-major traversal).
+    let mut col_norms: Vec<f64> = vec![0.0; n];
+    for row in work.rows_iter() {
+        for (j, &x) in row.iter().enumerate() {
+            col_norms[j] += x * x;
+        }
+    }
+    // Scratch reused across steps by the panel update.
+    let mut s = vec![0.0; n];
+    let mut partials = vec![0.0; m.div_ceil(REFLECT_ROW_BLOCK) * n];
 
     for step in 0..k {
         if pivoting {
@@ -79,21 +92,52 @@ fn householder(
             continue;
         }
 
-        // Apply H = I - 2vvᵀ/(vᵀv) to the trailing block of `work`.
-        for j in step..n {
-            let dot: f64 = (step..m).map(|i| v[i - step] * work[(i, j)]).sum();
-            let scale = 2.0 * dot / v_norm_sq;
-            for i in step..m {
-                work[(i, j)] -= scale * v[i - step];
+        // Apply H = I - 2vvᵀ/(vᵀv) to the trailing block of `work`, row-major
+        // and in two phases: s = vᵀ·W, then W -= (2/vᵀv)·v·s. Phase one reduces
+        // over rows in fixed-size blocks whose partials are combined in block
+        // order, so the result is identical whether the blocks ran serially or
+        // on the pool.
+        let rows = m - step;
+        let width = n - step;
+        let blocks = rows.div_ceil(REFLECT_ROW_BLOCK);
+        let big = rows * width >= PAR_MIN_FLOPS;
+        {
+            let pbuf = &mut partials[..blocks * width];
+            let work_ro = &work;
+            let v_ro = &v;
+            for_each_row(pbuf, width, big, |b, buf| {
+                buf.fill(0.0);
+                let r0 = step + b * REFLECT_ROW_BLOCK;
+                let r1 = (r0 + REFLECT_ROW_BLOCK).min(m);
+                for i in r0..r1 {
+                    axpy_slice(buf, v_ro[i - step], &work_ro.row(i)[step..]);
+                }
+            });
+            s[..width].fill(0.0);
+            for b in 0..blocks {
+                for (sj, pj) in s[..width].iter_mut().zip(&pbuf[b * width..(b + 1) * width]) {
+                    *sj += pj;
+                }
             }
         }
-        // Accumulate into Q (apply H on the right: Q ← Q·H).
-        for i in 0..m {
-            let dot: f64 = (step..m).map(|j| q[(i, j)] * v[j - step]).sum();
-            let scale = 2.0 * dot / v_norm_sq;
-            for j in step..m {
-                q[(i, j)] -= scale * v[j - step];
-            }
+        {
+            let s_ro = &s[..width];
+            let v_ro = &v;
+            for_each_row(work.as_mut_slice(), n, big, |i, row| {
+                if i >= step {
+                    axpy_slice(&mut row[step..], -2.0 * v_ro[i - step] / v_norm_sq, s_ro);
+                }
+            });
+        }
+        // Accumulate into Q (apply H on the right: Q ← Q·H). Each Q row is an
+        // independent dot-and-axpy, so rows fan out directly.
+        {
+            let v_ro = &v;
+            let big_q = m * rows >= PAR_MIN_FLOPS;
+            for_each_row(q.as_mut_slice(), m, big_q, |_, q_row| {
+                let d = dot(&q_row[step..m], v_ro);
+                axpy_slice(&mut q_row[step..m], -2.0 * d / v_norm_sq, v_ro);
+            });
         }
         // Update running column norms (cheap downdate + occasional refresh).
         if pivoting {

@@ -1,9 +1,15 @@
 //! Matrix arithmetic: products, sums, scaling, and the operator overloads.
 //!
-//! Multiplication uses the cache-friendly `ikj` loop ordering, which is ample for the
-//! problem sizes in this reproduction (fingerprint matrices are on the order of
-//! tens-of-links x hundreds-of-grids).
+//! The three dense products (`matmul`, `matmul_nt`, `matmul_tn`) share one
+//! structure: every output row is an independent accumulation over rows of the
+//! operands, built from the chunked [`dot`]/[`axpy_slice`] helpers. Above
+//! [`crate::par::PAR_MIN_FLOPS`] worth of work the rows are fanned out across
+//! the rayon pool (feature `parallel`); since each row is produced by the same
+//! serial kernel either way, parallel and serial results are bit-identical.
+//! Fingerprint matrices are dense, so there is deliberately no zero-skip branch
+//! here — sparse operands should go through `Csr::matmul_dense`.
 
+use crate::par::{for_each_row, PAR_MIN_FLOPS};
 use crate::{LinalgError, Matrix, Result};
 
 impl Matrix {
@@ -18,19 +24,13 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows(), self.cols(), other.cols());
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
+        let big = m * k * n >= PAR_MIN_FLOPS;
+        for_each_row(out.as_mut_slice(), n.max(1), big, |i, o_row| {
             let a_row = self.row(i);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(p);
-                let o_row = out.row_mut(i);
-                for j in 0..n {
-                    o_row[j] += a_ip * b_row[j];
-                }
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                axpy_slice(o_row, a_ip, other.row(p));
             }
-        }
+        });
         Ok(out)
     }
 
@@ -39,6 +39,14 @@ impl Matrix {
     /// Both operands are traversed row-wise, which makes this noticeably faster than
     /// `self.matmul(&other.transpose())` and avoids the intermediate allocation.
     pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        self.matmul_nt_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Matrix::matmul_nt`], but writes into a caller-provided output
+    /// matrix of shape `(self.rows, other.rows)` without allocating.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols() != other.cols() {
             return Err(LinalgError::DimensionMismatch {
                 op: "Matrix::matmul_nt",
@@ -46,21 +54,34 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let (m, n) = (self.rows(), other.rows());
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let o_row = out.row_mut(i);
-            for j in 0..n {
-                let b_row = other.row(j);
-                o_row[j] = dot(a_row, b_row);
-            }
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        if out.shape() != (m, n) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::matmul_nt_into",
+                lhs: (m, n),
+                rhs: out.shape(),
+            });
         }
-        Ok(out)
+        let big = m * k * n >= PAR_MIN_FLOPS;
+        for_each_row(out.as_mut_slice(), n.max(1), big, |i, o_row| {
+            let a_row = self.row(i);
+            for (j, o) in o_row.iter_mut().enumerate() {
+                *o = dot(a_row, other.row(j));
+            }
+        });
+        Ok(())
     }
 
     /// Product with the transpose of the left operand: `selfᵀ * other`.
     pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        self.matmul_tn_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Matrix::matmul_tn`], but writes into a caller-provided output
+    /// matrix of shape `(self.cols, other.cols)` without allocating.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.rows() != other.rows() {
             return Err(LinalgError::DimensionMismatch {
                 op: "Matrix::matmul_tn",
@@ -69,26 +90,32 @@ impl Matrix {
             });
         }
         let (k, m, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(m, n);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a_pi) in a_row.iter().enumerate().take(m) {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let o_row = out.row_mut(i);
-                for j in 0..n {
-                    o_row[j] += a_pi * b_row[j];
-                }
-            }
+        if out.shape() != (m, n) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::matmul_tn_into",
+                lhs: (m, n),
+                rhs: out.shape(),
+            });
         }
-        Ok(out)
+        let big = k * m * n >= PAR_MIN_FLOPS;
+        for_each_row(out.as_mut_slice(), n.max(1), big, |i, o_row| {
+            o_row.fill(0.0);
+            for p in 0..k {
+                axpy_slice(o_row, self[(p, i)], other.row(p));
+            }
+        });
+        Ok(())
     }
 
     /// Gram matrix `selfᵀ * self` (always square, `cols x cols`).
     pub fn gram(&self) -> Matrix {
         self.matmul_tn(self).expect("gram: shapes always agree")
+    }
+
+    /// Like [`Matrix::gram`], but writes into a caller-provided `cols x cols`
+    /// output matrix without allocating.
+    pub fn gram_into(&self, out: &mut Matrix) -> Result<()> {
+        self.matmul_tn_into(self, out)
     }
 
     /// Matrix-vector product `self * v`. Panics if `v.len() != cols`.
@@ -169,9 +196,41 @@ impl Matrix {
 }
 
 /// Dot product of two equal-length slices. Panics on length mismatch.
+///
+/// Accumulates in four independent lanes so the compiler can keep the partial
+/// sums in registers; the lane structure (and therefore the rounding) is fixed
+/// regardless of thread count.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4 * 4;
+    for (ca, cb) in a[..chunks].chunks_exact(4).zip(b[..chunks].chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[chunks..].iter().zip(&b[chunks..]) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// In-place `out += alpha * src` over equal-length slices, unrolled to match
+/// [`dot`]'s chunking. Panics on length mismatch.
+pub fn axpy_slice(out: &mut [f64], alpha: f64, src: &[f64]) {
+    assert_eq!(out.len(), src.len(), "axpy: length mismatch {} vs {}", out.len(), src.len());
+    let chunks = out.len() / 4 * 4;
+    for (co, cs) in out[..chunks].chunks_exact_mut(4).zip(src[..chunks].chunks_exact(4)) {
+        co[0] += alpha * cs[0];
+        co[1] += alpha * cs[1];
+        co[2] += alpha * cs[2];
+        co[3] += alpha * cs[3];
+    }
+    for (o, s) in out[chunks..].iter_mut().zip(&src[chunks..]) {
+        *o += alpha * s;
+    }
 }
 
 /// Euclidean norm of a slice.
@@ -344,10 +403,40 @@ mod tests {
     }
 
     #[test]
-    fn matmul_with_zero_blocks_skips_correctly() {
-        // Exercise the `a_ip == 0.0` fast path.
+    fn matmul_with_zero_blocks() {
         let sparse_ish = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
         let c = sparse_ish.matmul(&Matrix::identity(2)).unwrap();
         assert!(c.approx_eq(&sparse_ish, 0.0));
+    }
+
+    #[test]
+    fn into_variants_match_and_check_shapes() {
+        let m = a(); // 3x2
+        let n = Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5], &[0.0, 3.0], &[4.0, 4.0]]).unwrap();
+        let mut out = Matrix::zeros(3, 4);
+        m.matmul_nt_into(&n, &mut out).unwrap();
+        assert!(out.approx_eq(&m.matmul_nt(&n).unwrap(), 0.0));
+        assert!(m.matmul_nt_into(&n, &mut Matrix::zeros(2, 2)).is_err());
+
+        let mut g = Matrix::zeros(2, 2);
+        m.gram_into(&mut g).unwrap();
+        assert!(g.approx_eq(&m.gram(), 0.0));
+        assert!(m.gram_into(&mut Matrix::zeros(3, 3)).is_err());
+
+        let mut tn = Matrix::zeros(2, 2);
+        m.matmul_tn_into(&a(), &mut tn).unwrap();
+        assert!(tn.approx_eq(&m.matmul_tn(&a()).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn axpy_slice_matches_scalar_loop() {
+        let src: Vec<f64> = (0..11).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let mut fast = vec![1.0; 11];
+        let mut slow = fast.clone();
+        axpy_slice(&mut fast, -0.7, &src);
+        for (o, s) in slow.iter_mut().zip(&src) {
+            *o += -0.7 * s;
+        }
+        assert_eq!(fast, slow);
     }
 }

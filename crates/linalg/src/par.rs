@@ -1,0 +1,54 @@
+//! Parallel execution helpers for the dense kernels.
+//!
+//! All parallelism in this crate routes through [`for_each_row`], which splits a
+//! row-major output buffer into whole-row chunks and runs the same per-row
+//! kernel on each. Because every output row is produced by one task executing
+//! the identical serial instruction sequence, results are bit-identical to the
+//! serial path at any thread count — no atomics, no reduction trees, no
+//! thread-count-dependent summation order.
+//!
+//! With the `parallel` feature disabled, [`for_each_row`] degrades to a plain
+//! loop and [`current_threads`] reports 1.
+
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
+/// Work-size floor (in fused multiply-add counts) below which kernels stay
+/// serial: at small shapes fork/join overhead dwarfs the arithmetic.
+pub const PAR_MIN_FLOPS: usize = 1 << 16;
+
+/// Number of worker threads parallel kernels may use (1 when the `parallel`
+/// feature is off).
+pub fn current_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Runs `kernel(i, row)` for every `row_len`-sized row of `out`, in parallel
+/// when `big_enough` holds and more than one thread is available.
+///
+/// The kernel must depend only on `i` and data it reads through captured
+/// shared references; rows are disjoint so no synchronization is needed.
+pub(crate) fn for_each_row<F>(out: &mut [f64], row_len: usize, big_enough: bool, kernel: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync + Send,
+{
+    debug_assert!(row_len > 0 && out.len() % row_len == 0);
+    #[cfg(feature = "parallel")]
+    {
+        if big_enough && rayon::current_num_threads() > 1 && out.len() > row_len {
+            out.par_chunks_mut(row_len).enumerate().for_each(|(i, row)| kernel(i, row));
+            return;
+        }
+    }
+    let _ = big_enough;
+    for (i, row) in out.chunks_mut(row_len).enumerate() {
+        kernel(i, row);
+    }
+}

@@ -1,0 +1,89 @@
+//! Equivalence of the parallel kernel paths with the serial ones.
+//!
+//! Two properties are checked on shapes spanning `PAR_MIN_FLOPS` (small shapes
+//! take the serial branch, 64³ and up take the parallel branch):
+//!
+//! 1. Against a naive triple-loop reference, to tolerance — the kernels are
+//!    correct regardless of which branch ran.
+//! 2. Bit-identical output across thread pools of size 1, 2, and 8 — the
+//!    per-row decomposition makes thread count invisible in the result.
+
+use taf_linalg::Matrix;
+
+/// Deterministic pseudo-random matrix (xorshift, no rand dependency needed).
+fn pseudo(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 2000) as f64 / 100.0 - 10.0
+    })
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| (0..a.cols()).map(|p| a[(i, p)] * b[(p, j)]).sum())
+}
+
+/// Shapes on both sides of the parallel size threshold (m, k, n).
+const SHAPES: &[(usize, usize, usize)] =
+    &[(3, 4, 5), (17, 9, 23), (48, 8, 400), (64, 64, 64), (80, 100, 90)];
+
+#[test]
+fn products_match_naive_reference_across_threshold() {
+    for &(m, k, n) in SHAPES {
+        let a = pseudo(m, k, 11 + m as u64);
+        let b = pseudo(k, n, 29 + n as u64);
+        let tol = 1e-9 * (1.0 + (k as f64) * 100.0);
+
+        let c = a.matmul(&b).unwrap();
+        assert!(c.approx_eq(&naive_matmul(&a, &b), tol), "matmul {m}x{k}x{n}");
+
+        let nt = a.matmul_nt(&b.transpose()).unwrap();
+        assert!(nt.approx_eq(&c, tol), "matmul_nt {m}x{k}x{n}");
+
+        let tn = a.transpose().matmul_tn(&b).unwrap();
+        assert!(tn.approx_eq(&c, tol), "matmul_tn {m}x{k}x{n}");
+
+        let g = a.gram();
+        assert!(g.approx_eq(&naive_matmul(&a.transpose(), &a), tol), "gram {m}x{k}");
+    }
+}
+
+#[cfg(feature = "parallel")]
+#[test]
+fn kernels_bit_identical_across_thread_counts() {
+    for &(m, k, n) in SHAPES {
+        let a = pseudo(m, k, 3 + m as u64);
+        let b = pseudo(k, n, 7 + n as u64);
+        let bt = b.transpose();
+
+        let run = || {
+            (
+                a.matmul(&b).unwrap(),
+                a.matmul_nt(&bt).unwrap(),
+                a.transpose().matmul_tn(&b).unwrap(),
+                a.gram(),
+                a.qr().unwrap().r().clone(),
+                a.svd().map(|s| s.sigma).unwrap_or_default(),
+            )
+        };
+
+        let mut reference = None;
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got = pool.install(run);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    assert_eq!(want.0.as_slice(), got.0.as_slice(), "matmul @{threads}");
+                    assert_eq!(want.1.as_slice(), got.1.as_slice(), "matmul_nt @{threads}");
+                    assert_eq!(want.2.as_slice(), got.2.as_slice(), "matmul_tn @{threads}");
+                    assert_eq!(want.3.as_slice(), got.3.as_slice(), "gram @{threads}");
+                    assert_eq!(want.4.as_slice(), got.4.as_slice(), "qr @{threads}");
+                    assert_eq!(want.5, got.5, "svd sigma @{threads}");
+                }
+            }
+        }
+    }
+}

@@ -1,20 +1,30 @@
-//! The background maintenance loop: the daemon half of "time-adaptive".
+//! The background maintenance scheduler: the daemon half of "time-adaptive".
 //!
-//! Each registered site gets one maintenance thread. On every tick it
-//! re-evaluates the most recently ingested reference measurements against the
-//! site's [`tafloc_core::monitor::DriftMonitor`] and — when the estimated
-//! database error has stayed above threshold for `breach_streak` consecutive
-//! checks *and* the monitor's own `min_interval_days` cooldown has elapsed —
-//! runs LoLi-IR off the request path and atomically swaps the site snapshot.
-//! Two layers of hysteresis (the streak and the cooldown) keep one noisy
-//! spot check from thrashing the database.
+//! All registered sites share one scheduler thread and one bounded rayon pool.
+//! The scheduler tracks a per-site deadline derived from the site's
+//! `interval_ms`; when a tick is due it re-evaluates the most recently
+//! ingested reference measurements against the site's
+//! [`tafloc_core::monitor::DriftMonitor`] and — when the estimated database
+//! error has stayed above threshold for `breach_streak` consecutive checks
+//! *and* the monitor's own `min_interval_days` cooldown has elapsed — runs
+//! LoLi-IR off the request path and atomically swaps the site snapshot. Two
+//! layers of hysteresis (the streak and the cooldown) keep one noisy spot
+//! check from thrashing the database.
+//!
+//! Ticks that fall due together fan out across the shared pool (behind the
+//! `parallel` feature; the serial build runs them back to back), so
+//! background CPU stays bounded by the pool size no matter how many sites the
+//! daemon hosts — instead of one thread per site, each free to run a LoLi-IR
+//! solve at the same time.
 
 use crate::site::Site;
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tafloc_core::monitor::MonitorConfig;
 
 fn default_interval_ms() -> u64 {
@@ -80,29 +90,154 @@ impl Default for MaintenancePolicy {
     }
 }
 
-/// Spawns the maintenance thread for `site`. The thread exits promptly once
-/// the site's stop flag is raised (at `remove-site` or server shutdown).
-pub fn spawn_maintenance(site: Arc<Site>) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(format!("taflocd-maint-{}", site.name()))
-        .spawn(move || {
-            let interval = Duration::from_millis(site.policy().interval_ms.max(1));
-            while !site.stop_flag().load(Ordering::Relaxed) {
-                // Sleep in short slices so shutdown stays responsive even
-                // under multi-second tick intervals.
-                let mut remaining = interval;
-                while !remaining.is_zero() && !site.stop_flag().load(Ordering::Relaxed) {
-                    let slice = remaining.min(Duration::from_millis(20));
-                    std::thread::sleep(slice);
-                    remaining = remaining.saturating_sub(slice);
+/// How often the scheduler thread wakes to look for due sites. Also bounds
+/// how long shutdown can go unnoticed between batches.
+const SCHEDULER_SLICE: Duration = Duration::from_millis(10);
+
+/// A scheduled site and its next tick deadline.
+#[derive(Debug)]
+struct Entry {
+    site: Arc<Site>,
+    next_due: Instant,
+}
+
+/// State shared between the scheduler thread and its owner.
+#[derive(Debug, Default)]
+struct SchedulerShared {
+    /// Sites with automatic maintenance, with their deadlines.
+    entries: Mutex<Vec<Entry>>,
+    /// Held by the scheduler for the whole of each batch (deadline collection
+    /// through tick completion). [`MaintenanceScheduler::unschedule`] acquires
+    /// it to wait out any batch that may still reference a removed site.
+    running: Mutex<()>,
+    /// Tells the scheduler thread to exit.
+    stop: AtomicBool,
+}
+
+/// The shared maintenance scheduler: one thread that watches every
+/// automatically-ticked site and fans due ticks out across a bounded rayon
+/// pool.
+///
+/// The scheduler thread (and the pool) only exist while at least one site has
+/// ever been scheduled; manual-tick-only deployments (the deterministic
+/// test harness) spawn nothing.
+#[derive(Debug)]
+pub struct MaintenanceScheduler {
+    /// Pool workers (0 = one per core).
+    threads: usize,
+    shared: Arc<SchedulerShared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl MaintenanceScheduler {
+    /// Creates a stopped scheduler whose pool, once started, has `threads`
+    /// workers (0 = one per core).
+    pub fn new(threads: usize) -> Self {
+        MaintenanceScheduler {
+            threads,
+            shared: Arc::new(SchedulerShared::default()),
+            handle: Mutex::new(None),
+        }
+    }
+
+    /// Adds `site` to the schedule (first tick one interval from now) and
+    /// starts the scheduler thread if it is not running.
+    pub fn schedule(&self, site: Arc<Site>) {
+        let interval = Duration::from_millis(site.policy().interval_ms.max(1));
+        let entry = Entry { site, next_due: Instant::now() + interval };
+        self.shared.entries.lock().unwrap_or_else(|p| p.into_inner()).push(entry);
+        let mut handle = self.handle.lock().unwrap_or_else(|p| p.into_inner());
+        if handle.is_none() {
+            self.shared.stop.store(false, Ordering::Relaxed);
+            let shared = Arc::clone(&self.shared);
+            let threads = self.threads;
+            *handle = Some(
+                std::thread::Builder::new()
+                    .name("taflocd-maint".to_string())
+                    .spawn(move || scheduler_loop(&shared, threads))
+                    .expect("spawning the maintenance scheduler cannot fail"),
+            );
+        }
+    }
+
+    /// Drops `name` from the schedule and waits for any in-flight batch, so
+    /// that no tick for the site runs after this returns. (Callers raise the
+    /// site's stop flag first; ticks re-check it as a second line of defense.)
+    pub fn unschedule(&self, name: &str) {
+        self.shared
+            .entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .retain(|e| e.site.name() != name);
+        drop(self.shared.running.lock().unwrap_or_else(|p| p.into_inner()));
+    }
+
+    /// Stops and joins the scheduler thread and clears the schedule. The
+    /// scheduler restarts transparently if a site is scheduled afterwards.
+    pub fn stop_and_join(&self) {
+        let handle = self.handle.lock().unwrap_or_else(|p| p.into_inner()).take();
+        if let Some(h) = handle {
+            self.shared.stop.store(true, Ordering::Relaxed);
+            let _ = h.join();
+        }
+        self.shared.entries.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}
+
+/// One maintenance tick, skipped if the site was stopped in the meantime. A
+/// failed tick (e.g. a solver hiccup) must not kill the loop; the next
+/// ingested measurement gets a fresh chance.
+fn run_tick(site: &Arc<Site>) {
+    if !site.stop_flag().load(Ordering::Relaxed) {
+        let _ = site.maintenance_tick();
+    }
+}
+
+fn scheduler_loop(shared: &SchedulerShared, threads: usize) {
+    // The pool lives on the scheduler thread; `threads` bounds how many site
+    // refreshes can consume CPU simultaneously.
+    #[cfg(feature = "parallel")]
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().ok();
+    #[cfg(not(feature = "parallel"))]
+    let _ = threads;
+
+    let mut due: Vec<Arc<Site>> = Vec::new();
+    while !shared.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(SCHEDULER_SLICE);
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // Deadline collection and tick execution happen under the batch lock:
+        // once `unschedule` has removed a site and taken this lock, no later
+        // batch can see the site.
+        let batch = shared.running.lock().unwrap_or_else(|p| p.into_inner());
+        let now = Instant::now();
+        due.clear();
+        {
+            let mut entries = shared.entries.lock().unwrap_or_else(|p| p.into_inner());
+            entries.retain(|e| !e.site.stop_flag().load(Ordering::Relaxed));
+            for e in entries.iter_mut() {
+                if now >= e.next_due {
+                    let interval = Duration::from_millis(e.site.policy().interval_ms.max(1));
+                    e.next_due = now + interval;
+                    due.push(Arc::clone(&e.site));
                 }
-                if site.stop_flag().load(Ordering::Relaxed) {
-                    break;
-                }
-                // A failed tick (e.g. a solver hiccup) must not kill the
-                // loop; the next ingested measurement gets a fresh chance.
-                let _ = site.maintenance_tick();
             }
-        })
-        .expect("spawning the maintenance thread cannot fail")
+        }
+        if due.is_empty() {
+            continue;
+        }
+        #[cfg(feature = "parallel")]
+        if let Some(pool) = &pool {
+            if due.len() > 1 {
+                pool.install(|| due.par_iter().for_each(run_tick));
+                drop(batch);
+                continue;
+            }
+        }
+        for site in &due {
+            run_tick(site);
+        }
+        drop(batch);
+    }
 }

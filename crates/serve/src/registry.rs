@@ -1,33 +1,57 @@
 //! The site registry: shards daemon state by site id.
 //!
-//! Sites are independent — separate snapshots, separate maintenance threads,
-//! separate mutable state — so the registry itself is just a name → `Arc<Site>`
-//! map behind an `RwLock` that is only held for lookups and membership
-//! changes. Request handling clones the `Arc` out and drops the lock before
-//! doing any work.
+//! Sites are independent — separate snapshots, separate mutable state — so
+//! the registry itself is just a name → `Arc<Site>` map behind an `RwLock`
+//! that is only held for lookups and membership changes. Request handling
+//! clones the `Arc` out and drops the lock before doing any work.
+//!
+//! Background maintenance is delegated to one shared
+//! [`MaintenanceScheduler`]: every automatically-ticked site is registered
+//! with it, and its bounded pool (rather than a thread per site) runs the
+//! ticks.
 
-use crate::maintenance::spawn_maintenance;
+use crate::maintenance::MaintenanceScheduler;
 use crate::site::Site;
 use crate::{Result, ServeError};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex, RwLock};
-use std::thread::JoinHandle;
+use std::sync::{Arc, RwLock};
 
-/// Name → site map plus the maintenance threads it owns.
-#[derive(Debug, Default)]
+/// Pool workers the shared maintenance scheduler uses unless the server
+/// configures otherwise. Deliberately small: background refreshes should not
+/// crowd out request serving.
+pub const DEFAULT_MAINTENANCE_THREADS: usize = 2;
+
+/// Name → site map plus the shared maintenance scheduler.
+#[derive(Debug)]
 pub struct Registry {
     sites: RwLock<HashMap<String, Arc<Site>>>,
-    maintenance: Mutex<HashMap<String, JoinHandle<()>>>,
+    scheduler: MaintenanceScheduler,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
 }
 
 impl Registry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with the default maintenance pool size.
     pub fn new() -> Self {
-        Registry::default()
+        Registry::with_maintenance_threads(DEFAULT_MAINTENANCE_THREADS)
     }
 
-    /// Registers `site` and starts its maintenance thread (unless the site's
+    /// Creates an empty registry whose maintenance pool has `threads` workers
+    /// (0 = one per core). The pool and its scheduler thread only start when
+    /// the first automatically-ticked site is added.
+    pub fn with_maintenance_threads(threads: usize) -> Self {
+        Registry {
+            sites: RwLock::new(HashMap::new()),
+            scheduler: MaintenanceScheduler::new(threads),
+        }
+    }
+
+    /// Registers `site` and schedules its maintenance (unless the site's
     /// policy requests manual ticks).
     pub fn add(&self, site: Site) -> Result<Arc<Site>> {
         let site = Arc::new(site);
@@ -39,11 +63,7 @@ impl Registry {
             map.insert(site.name().to_string(), Arc::clone(&site));
         }
         if !site.policy().manual_tick {
-            let handle = spawn_maintenance(Arc::clone(&site));
-            self.maintenance
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .insert(site.name().to_string(), handle);
+            self.scheduler.schedule(Arc::clone(&site));
         }
         Ok(site)
     }
@@ -58,18 +78,15 @@ impl Registry {
             .ok_or_else(|| ServeError::UnknownSite(name.to_string()))
     }
 
-    /// Unregisters a site, stops and joins its maintenance thread.
+    /// Unregisters a site and waits until no maintenance tick for it can run
+    /// anymore.
     pub fn remove(&self, name: &str) -> Result<Arc<Site>> {
         let site = {
             let mut map = self.sites.write().unwrap_or_else(|p| p.into_inner());
             map.remove(name).ok_or_else(|| ServeError::UnknownSite(name.to_string()))?
         };
         site.stop_flag().store(true, Ordering::Relaxed);
-        if let Some(handle) =
-            self.maintenance.lock().unwrap_or_else(|p| p.into_inner()).remove(name)
-        {
-            let _ = handle.join();
-        }
+        self.scheduler.unschedule(name);
         Ok(site)
     }
 
@@ -81,18 +98,12 @@ impl Registry {
         sites
     }
 
-    /// Raises every site's stop flag and joins all maintenance threads
+    /// Raises every site's stop flag and stops the maintenance scheduler
     /// (server shutdown). Sites stay registered and readable.
     pub fn stop_maintenance(&self) {
         for site in self.list() {
             site.stop_flag().store(true, Ordering::Relaxed);
         }
-        let handles: Vec<JoinHandle<()>> = {
-            let mut map = self.maintenance.lock().unwrap_or_else(|p| p.into_inner());
-            map.drain().map(|(_, h)| h).collect()
-        };
-        for h in handles {
-            let _ = h.join();
-        }
+        self.scheduler.stop_and_join();
     }
 }

@@ -11,8 +11,8 @@
 //! [`ServerHandle::shutdown`]) raises the flag and nudges the accept loop
 //! with a loopback connection; the accept thread stops handing out new
 //! connections and drops the channel sender; workers finish the connections
-//! they hold (and any still queued) and exit; maintenance threads are stopped
-//! and joined last.
+//! they hold (and any still queued) and exit; the maintenance scheduler is
+//! stopped and joined last.
 
 use crate::maintenance::MaintenancePolicy;
 use crate::metrics::Metrics;
@@ -39,6 +39,10 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// Maintenance policy applied to sites added without an explicit one.
     pub default_policy: MaintenancePolicy,
+    /// Workers in the shared maintenance pool that runs per-site refresh work
+    /// off the request path (0 = one per core). Shared by all sites, so
+    /// background CPU stays bounded regardless of site count.
+    pub maintenance_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +51,7 @@ impl Default for ServerConfig {
             workers: 4,
             read_timeout: Some(Duration::from_secs(60)),
             default_policy: MaintenancePolicy::default(),
+            maintenance_threads: crate::registry::DEFAULT_MAINTENANCE_THREADS,
         }
     }
 }
@@ -110,7 +115,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let ctx = Arc::new(ServerCtx {
-            registry: Registry::new(),
+            registry: Registry::with_maintenance_threads(config.maintenance_threads),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
             local_addr,

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Solver performance gate: re-runs solver_bench and fails if the fresh
+# 1-thread wall time regresses more than BENCH_GATE_THRESHOLD (default 1.25,
+# i.e. +25%) against the committed BENCH_solver.json.
+#
+#   ./scripts/bench_gate.sh
+#
+# The committed file is the tracked baseline; the fresh run overwrites it in
+# the working tree (CI uploads the fresh file as an artifact, it is never
+# committed from CI). Machine-to-machine variance is real — the threshold is
+# deliberately loose, and BENCH_GATE_THRESHOLD can be raised for a known-slow
+# runner. A *faster* machine trivially passes; the gate only catches changes
+# that make the solver substantially slower on comparable hardware.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold="${BENCH_GATE_THRESHOLD:-1.25}"
+baseline=BENCH_solver.json
+
+if [ ! -f "$baseline" ]; then
+  echo "bench_gate: no committed $baseline to compare against" >&2
+  exit 1
+fi
+
+# The canonical emitter writes one field per line in a fixed order; the first
+# wall_ms belongs to the threads=1 result.
+wall_ms_1() { grep -m1 '"wall_ms"' "$1" | tr -cd '0-9.'; }
+
+old_ms="$(wall_ms_1 "$baseline")"
+echo "bench_gate: committed 1-thread wall time: ${old_ms} ms (threshold x${threshold})"
+
+cargo run --release -p taf-bench --bin solver_bench
+
+new_ms="$(wall_ms_1 "$baseline")"
+echo "bench_gate: fresh 1-thread wall time: ${new_ms} ms"
+
+if awk -v new="$new_ms" -v old="$old_ms" -v t="$threshold" \
+    'BEGIN { exit !(new <= old * t) }'; then
+  echo "bench_gate: OK (${new_ms} ms <= ${old_ms} ms x ${threshold})"
+else
+  echo "bench_gate: FAIL — solver regressed: ${new_ms} ms > ${old_ms} ms x ${threshold}" >&2
+  exit 1
+fi
