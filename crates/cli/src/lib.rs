@@ -422,7 +422,18 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
     // bounds how many background LoLi-IR refreshes may run at once.
     let config = ServerConfig { workers, ..Default::default() };
     let maintenance_threads = args.num("threads", config.maintenance_threads)?;
-    let server = Server::bind(addr.as_str(), ServerConfig { maintenance_threads, ..config })?;
+    // `--data-dir` turns on crash-safe persistence: committed generations
+    // are snapshotted there and recovered on the next start.
+    let data_dir = args.optional("data-dir").map(std::path::PathBuf::from);
+    let server =
+        Server::bind(addr.as_str(), ServerConfig { maintenance_threads, data_dir, ..config })?;
+    let (recovered, skipped) = server.recover_sites()?;
+    for name in &recovered {
+        eprintln!("site {name:?} recovered from --data-dir");
+    }
+    for issue in &skipped {
+        eprintln!("warning: skipped snapshot {}: {}", issue.path.display(), issue.reason);
+    }
     if let Some(system_path) = args.optional("system") {
         let snapshot: SystemSnapshot = read_json(Path::new(system_path))?;
         let system = TafLoc::from_snapshot(snapshot)?;
@@ -651,7 +662,8 @@ COMMANDS
   info          --system system.json
   export-db     --system system.json --out db.csv
   serve         [--port P | --addr HOST:PORT] [--workers N] [--threads N]
-                [--port-file PATH] [--system system.json [--site NAME] [--day D]]
+                [--port-file PATH] [--data-dir DIR]
+                [--system system.json [--site NAME] [--day D]]
   testkit       [--list] [--scenario NAME] [--bless] [--out report.json]
                 [--seed N] [--bias DB] [--threads N]
 

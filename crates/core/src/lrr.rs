@@ -58,6 +58,38 @@ impl LrrModel {
         Ok(LrrModel { ref_cells: ref_cells.to_vec(), z, lambda })
     }
 
+    /// Reassembles a model from its stored parts (the persistence path:
+    /// `taflocd`'s snapshot store round-trips `Z` without refitting it).
+    /// Validates the same invariants [`LrrModel::fit`] establishes.
+    pub fn from_parts(ref_cells: Vec<usize>, z: Matrix, lambda: f64) -> Result<Self> {
+        if ref_cells.is_empty() {
+            return Err(TaflocError::InvalidConfig {
+                field: "ref_cells",
+                reason: "LRR needs at least one reference column".into(),
+            });
+        }
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(TaflocError::InvalidConfig {
+                field: "lambda",
+                reason: format!("must be finite and > 0, got {lambda}"),
+            });
+        }
+        if z.rows() != ref_cells.len() {
+            return Err(TaflocError::DimensionMismatch {
+                op: "LrrModel::from_parts",
+                expected: (ref_cells.len(), z.cols()),
+                actual: z.shape(),
+            });
+        }
+        if z.has_non_finite() {
+            return Err(TaflocError::InvalidConfig {
+                field: "z",
+                reason: "correlation matrix contains NaN or infinite values".into(),
+            });
+        }
+        Ok(LrrModel { ref_cells, z, lambda })
+    }
+
     /// The reference cells this model was fitted on.
     pub fn ref_cells(&self) -> &[usize] {
         &self.ref_cells

@@ -120,6 +120,22 @@ impl DriftMonitor {
         &self.cells
     }
 
+    /// The stored comparison baseline (`M x k`, one column per monitored
+    /// cell). Exposed so the serving layer can persist monitor state.
+    pub fn stored(&self) -> &Matrix {
+        &self.stored
+    }
+
+    /// Day of the last completed update (the cooldown anchor).
+    pub fn last_update_day(&self) -> f64 {
+        self.last_update_day
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> MonitorConfig {
+        self.config
+    }
+
     /// Feeds a spot check: freshly measured columns at the monitored cells
     /// (`M x k`, same order), on day `day`. Returns the recommendation.
     pub fn check(&self, day: f64, fresh_columns: &Matrix) -> Result<Recommendation> {

@@ -113,6 +113,45 @@ pub struct SystemSnapshot {
     pub empty_rss: Vec<f64>,
 }
 
+fn default_max_ref_rmse_db() -> f64 {
+    6.0
+}
+
+fn default_max_mean_delta_db() -> f64 {
+    25.0
+}
+
+/// Sanity ceilings a reconstructed database must clear before it may replace
+/// the served one.
+///
+/// The defaults are calibrated against the regression suite: a legitimate
+/// refresh reproduces its own measured reference columns to well under 1 dB
+/// RMSE and moves the database by a few dB at most, while a poisoned solve
+/// (NaN propagation, a runaway bias, garbage reference measurements) blows
+/// through one of the ceilings. The ceilings sit far above honest-run values
+/// so the guard never vetoes a refresh the accuracy gates would accept.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconstructionGuard {
+    /// Ceiling (dB) on the RMSE between the reconstruction's reference
+    /// columns and the freshly *measured* reference columns that drove it.
+    /// A reconstruction that cannot reproduce its own inputs is garbage.
+    #[serde(default = "default_max_ref_rmse_db")]
+    pub max_ref_rmse_db: f64,
+    /// Ceiling (dB) on the mean absolute change vs. the currently served
+    /// database — bounds how far one refresh may move the deployment.
+    #[serde(default = "default_max_mean_delta_db")]
+    pub max_mean_delta_db: f64,
+}
+
+impl Default for ReconstructionGuard {
+    fn default() -> Self {
+        ReconstructionGuard {
+            max_ref_rmse_db: default_max_ref_rmse_db(),
+            max_mean_delta_db: default_max_mean_delta_db(),
+        }
+    }
+}
+
 /// Diagnostics from one database update.
 #[derive(Debug, Clone)]
 pub struct UpdateReport {
@@ -262,11 +301,74 @@ impl TafLoc {
         reconstruct(&problem, &self.config.loli)
     }
 
-    /// Refreshes the stored database from freshly measured reference columns
-    /// (`M x n`, column order = [`TafLoc::reference_cells`]) and a fresh
-    /// empty-room snapshot.
-    pub fn update(&mut self, fresh_refs: &Matrix, fresh_empty: &[f64]) -> Result<UpdateReport> {
-        let rec = self.reconstruct_db(fresh_refs, fresh_empty)?;
+    /// Checks a reconstruction against `guard` before it is allowed to
+    /// replace the served database. `fresh_refs` must be the measured
+    /// reference columns that drove the solve. Returns the rejection reason
+    /// on failure — the caller decides what rollback means (for `taflocd`:
+    /// keep the old snapshot live and count the rejection).
+    pub fn validate_reconstruction(
+        &self,
+        rec: &Reconstruction,
+        fresh_refs: &Matrix,
+        guard: &ReconstructionGuard,
+    ) -> std::result::Result<(), String> {
+        if rec.matrix.shape() != self.db.rss().shape() {
+            return Err(format!(
+                "reconstruction shape {:?} does not match the database {:?}",
+                rec.matrix.shape(),
+                self.db.rss().shape()
+            ));
+        }
+        if rec.matrix.has_non_finite() {
+            return Err("reconstruction contains non-finite entries".into());
+        }
+        // RMSE of the reconstruction at the reference cells vs. what was
+        // actually measured there.
+        let mut sq_sum = 0.0;
+        let mut count = 0usize;
+        for (k, &cell) in self.ref_cells.iter().enumerate() {
+            for i in 0..rec.matrix.rows() {
+                let d = rec.matrix[(i, cell)] - fresh_refs[(i, k)];
+                sq_sum += d * d;
+                count += 1;
+            }
+        }
+        let ref_rmse = (sq_sum / count.max(1) as f64).sqrt();
+        if !(ref_rmse <= guard.max_ref_rmse_db) {
+            return Err(format!(
+                "reconstruction misses its measured reference columns by {ref_rmse:.2} dB RMSE \
+                 (ceiling {:.2} dB)",
+                guard.max_ref_rmse_db
+            ));
+        }
+        let delta =
+            self.db.mean_abs_error(&rec.matrix).map_err(|e| format!("delta check failed: {e}"))?;
+        if !(delta <= guard.max_mean_delta_db) {
+            return Err(format!(
+                "reconstruction moves the database by {delta:.2} dB mean absolute change \
+                 (ceiling {:.2} dB)",
+                guard.max_mean_delta_db
+            ));
+        }
+        Ok(())
+    }
+
+    /// Commits an already-validated reconstruction: swaps the database,
+    /// adopts the fresh empty-room baseline and rebuilds the derived state.
+    /// Split out of [`TafLoc::update`] so callers can run
+    /// [`TafLoc::validate_reconstruction`] between solve and commit.
+    pub fn apply_reconstruction(
+        &mut self,
+        rec: Reconstruction,
+        fresh_empty: &[f64],
+    ) -> Result<UpdateReport> {
+        if fresh_empty.len() != self.db.num_links() {
+            return Err(TaflocError::DimensionMismatch {
+                op: "TafLoc::apply_reconstruction",
+                expected: (self.db.num_links(), 1),
+                actual: (fresh_empty.len(), 1),
+            });
+        }
         let change = self.db.mean_abs_error(&rec.matrix)?;
         self.db = self.db.with_rss(rec.matrix)?;
         self.empty_rss = fresh_empty.to_vec();
@@ -281,6 +383,14 @@ impl TafLoc {
             objective_trace: rec.objective_trace,
             mean_abs_change_db: change,
         })
+    }
+
+    /// Refreshes the stored database from freshly measured reference columns
+    /// (`M x n`, column order = [`TafLoc::reference_cells`]) and a fresh
+    /// empty-room snapshot.
+    pub fn update(&mut self, fresh_refs: &Matrix, fresh_empty: &[f64]) -> Result<UpdateReport> {
+        let rec = self.reconstruct_db(fresh_refs, fresh_empty)?;
+        self.apply_reconstruction(rec, fresh_empty)
     }
 
     /// Localizes a live RSS vector against the current database.
@@ -564,5 +674,55 @@ mod tests {
         let empty = campaign::empty_snapshot(&world, 10.0, 10);
         let _ = sys.reconstruct_db(&fresh, &empty).unwrap();
         assert!(sys.db().rss().approx_eq(&before, 0.0));
+    }
+
+    #[test]
+    fn guard_passes_honest_solves_and_rejects_poison() {
+        let (world, sys) = setup(8);
+        let fresh = campaign::measure_columns(&world, 30.0, sys.reference_cells(), 20);
+        let empty = campaign::empty_snapshot(&world, 30.0, 20);
+        let rec = sys.reconstruct_db(&fresh, &empty).unwrap();
+        let guard = ReconstructionGuard::default();
+        sys.validate_reconstruction(&rec, &fresh, &guard).unwrap();
+
+        // A single NaN entry fails the non-finite gate.
+        let mut poisoned = rec.clone();
+        poisoned.matrix.set(0, 0, f64::NAN).unwrap();
+        let reason = sys.validate_reconstruction(&poisoned, &fresh, &guard).unwrap_err();
+        assert!(reason.contains("non-finite"), "{reason}");
+
+        // A runaway bias misses the measured reference columns.
+        let mut biased = rec.clone();
+        biased.matrix.map_inplace(|v| v + 40.0);
+        let reason = sys.validate_reconstruction(&biased, &fresh, &guard).unwrap_err();
+        assert!(reason.contains("reference columns"), "{reason}");
+
+        // A near-zero delta ceiling trips the bounded-delta gate even on an
+        // honest solve (the DB did drift between day 0 and day 30).
+        let tight = ReconstructionGuard { max_mean_delta_db: 1e-9, ..Default::default() };
+        let reason = sys.validate_reconstruction(&rec, &fresh, &tight).unwrap_err();
+        assert!(reason.contains("moves the database"), "{reason}");
+
+        // Shape mismatch is caught before anything else.
+        let mut wrong = rec.clone();
+        wrong.matrix = Matrix::zeros(1, 1);
+        assert!(sys.validate_reconstruction(&wrong, &fresh, &guard).is_err());
+    }
+
+    #[test]
+    fn apply_reconstruction_matches_update() {
+        let (world, mut a) = setup(9);
+        let mut b = a.clone();
+        let fresh = campaign::measure_columns(&world, 45.0, a.reference_cells(), 20);
+        let empty = campaign::empty_snapshot(&world, 45.0, 20);
+        let ra = a.update(&fresh, &empty).unwrap();
+        let rec = b.reconstruct_db(&fresh, &empty).unwrap();
+        let rb = b.apply_reconstruction(rec, &empty).unwrap();
+        assert!(a.db().rss().approx_eq(b.db().rss(), 0.0));
+        assert_eq!(ra.mean_abs_change_db, rb.mean_abs_change_db);
+        assert_eq!(ra.iterations, rb.iterations);
+        // Bad empty length is rejected before any mutation.
+        let rec = b.reconstruct_db(&fresh, &empty).unwrap();
+        assert!(b.apply_reconstruction(rec, &[0.0; 1]).is_err());
     }
 }

@@ -3,19 +3,88 @@
 //! One request per call, one response per line, in order — the protocol is
 //! strictly request/response per connection, so a persistent [`Client`] can
 //! pipeline calls back to back without correlation ids.
+//!
+//! [`Client::locate_with_retry`] adds a bounded, jittered-exponential-backoff
+//! retry for *transient transport* failures only (reset, broken pipe,
+//! timeout, a server restart dropping the connection). Semantic failures —
+//! an error response, an unknown site, malformed JSON — are never retried:
+//! the server already answered, and asking again cannot change the answer.
 
 use crate::protocol::{read_message, write_message, Fix, Request, Response};
 use crate::{Result, ServeError};
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use tafloc_ingest::{BatchReport, LinkSample};
+
+/// Retry schedule for [`Client::locate_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each subsequent retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Seed for the deterministic backoff jitter (any value is fine; give
+    /// concurrent clients different seeds so their retries don't align).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// Whether `err` is a transient transport failure that a retry (on a fresh
+/// connection) can plausibly fix. Semantic errors — the server *answered*,
+/// unhappily — must not be retried.
+pub fn is_transient(err: &ServeError) -> bool {
+    match err {
+        ServeError::Io(e) => matches!(
+            e.kind(),
+            std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::ConnectionRefused
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::NotConnected
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::UnexpectedEof
+        ),
+        // The server (or its restart) closed the connection between our
+        // request and its response — indistinguishable from a reset.
+        ServeError::Protocol(s) => s == "server closed the connection",
+        _ => false,
+    }
+}
+
+/// xorshift64* step — a tiny deterministic jitter source (the workspace's
+/// `rand` is a compile-only stub).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
 
 /// A persistent connection to a `taflocd` server.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Peer address, kept so a retry can reconnect after a reset.
+    peer: SocketAddr,
+    /// Last timeout set via [`Client::set_timeout`], reapplied on reconnect.
+    timeout: Option<Duration>,
 }
 
 impl Client {
@@ -23,13 +92,25 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true)?;
+        let peer = writer.peer_addr()?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        Ok(Client { reader, writer, peer, timeout: None })
     }
 
     /// Sets the receive timeout for subsequent calls.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
         self.writer.set_read_timeout(timeout)?;
+        self.timeout = timeout;
+        Ok(())
+    }
+
+    /// Drops the current connection and dials the same peer again,
+    /// reapplying the configured timeout. Any half-read response on the old
+    /// connection is discarded with it, so the new connection starts framed.
+    pub fn reconnect(&mut self) -> Result<()> {
+        let mut fresh = Client::connect(self.peer)?;
+        fresh.set_timeout(self.timeout)?;
+        *self = fresh;
         Ok(())
     }
 
@@ -55,6 +136,48 @@ impl Client {
             Response::Located { cell, x, y, version, .. } => Ok((cell, x, y, version)),
             other => Err(ServeError::Protocol(format!("unexpected reply {other:?} to locate"))),
         }
+    }
+
+    /// Like [`locate`](Client::locate), but retries *transient transport*
+    /// failures (see [`is_transient`]) up to `policy.max_attempts` total
+    /// attempts, reconnecting and sleeping a jittered exponential backoff
+    /// between attempts. `locate` is safe to retry: it is a pure read — at
+    /// worst the server computes a fix nobody reads. Semantic errors (an
+    /// error response, unknown site, malformed reply) return immediately.
+    pub fn locate_with_retry(
+        &mut self,
+        site: &str,
+        y: &[f64],
+        policy: &RetryPolicy,
+    ) -> Result<(usize, f64, f64, u64)> {
+        let attempts = policy.max_attempts.max(1);
+        let mut jitter_state = policy.jitter_seed | 1;
+        let mut backoff = policy.base_delay;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                // Jitter in [backoff/2, backoff] so a fleet of clients that
+                // lost the same server doesn't retry in lockstep.
+                let half = backoff / 2;
+                let span_ms = half.as_millis().max(1) as u64;
+                let sleep = half + Duration::from_millis(xorshift(&mut jitter_state) % span_ms);
+                std::thread::sleep(sleep.min(policy.max_delay));
+                backoff = (backoff * 2).min(policy.max_delay);
+                if self.reconnect().is_err() {
+                    // The server may still be coming back; burn this attempt
+                    // and keep backing off.
+                    continue;
+                }
+            }
+            match self.locate(site, y) {
+                Ok(fix) => return Ok(fix),
+                Err(e) if is_transient(&e) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            ServeError::Protocol("retries exhausted without reaching the server".into())
+        }))
     }
 
     /// Convenience: liveness probe.
@@ -106,5 +229,60 @@ impl Client {
                 Err(ServeError::Protocol(format!("unexpected reply {other:?} to locate-batch")))
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::ErrorKind;
+
+    fn io(kind: ErrorKind) -> ServeError {
+        ServeError::Io(std::io::Error::new(kind, "test"))
+    }
+
+    #[test]
+    fn transport_failures_are_transient() {
+        for kind in [
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::ConnectionRefused,
+            ErrorKind::BrokenPipe,
+            ErrorKind::NotConnected,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(is_transient(&io(kind)), "{kind:?} must be retryable");
+        }
+        assert!(is_transient(&ServeError::Protocol("server closed the connection".into())));
+    }
+
+    #[test]
+    fn semantic_failures_are_never_retried() {
+        // The server answered; retrying cannot change its mind — and for
+        // non-idempotent requests it could double-apply work.
+        assert!(!is_transient(&ServeError::Remote("unknown site \"attic\"".into())));
+        assert!(!is_transient(&ServeError::UnknownSite("attic".into())));
+        assert!(!is_transient(&ServeError::SiteExists("lab".into())));
+        assert!(!is_transient(&ServeError::RefreshRejected {
+            reason: "non-finite".into(),
+            quarantined: false,
+        }));
+        assert!(!is_transient(&ServeError::Protocol("unexpected reply".into())));
+        assert!(!is_transient(&ServeError::OversizedLine { got: 9, limit: 4 }));
+        assert!(!is_transient(&ServeError::Store("checksum mismatch".into())));
+        // Non-transport I/O (permissions, disk) is not a retry candidate.
+        assert!(!is_transient(&io(ErrorKind::PermissionDenied)));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_nonzero() {
+        let mut a = 0x5EEDu64 | 1;
+        let mut b = 0x5EEDu64 | 1;
+        let xs: Vec<u64> = (0..8).map(|_| xorshift(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| xorshift(&mut b)).collect();
+        assert_eq!(xs, ys, "same seed, same sequence");
+        assert!(xs.windows(2).any(|w| w[0] != w[1]), "sequence must vary");
     }
 }

@@ -20,8 +20,28 @@ pub enum ServeError {
     UnknownSite(String),
     /// `add-site` for a name that is already registered.
     SiteExists(String),
-    /// Wire-protocol violation (unexpected EOF, oversized line, ...).
+    /// Wire-protocol violation (unexpected EOF, invalid UTF-8, ...).
     Protocol(String),
+    /// A request line exceeded the per-line byte cap. Recoverable: the
+    /// reader drained through the terminating newline, so the connection
+    /// stays framed and the server answers with an error frame.
+    OversizedLine {
+        /// Bytes the offending line occupied on the wire.
+        got: usize,
+        /// The configured cap it exceeded.
+        limit: usize,
+    },
+    /// A reconstructed database failed the sanity gates and was rolled
+    /// back; the previous snapshot is still being served.
+    RefreshRejected {
+        /// Human-readable gate failure.
+        reason: String,
+        /// Whether the rejection pushed the site into quarantine.
+        quarantined: bool,
+    },
+    /// A snapshot-store failure (unreadable directory, corrupt file, bad
+    /// checksum, torn write).
+    Store(String),
     /// The server answered a client call with an error response.
     Remote(String),
 }
@@ -37,6 +57,17 @@ impl fmt::Display for ServeError {
             ServeError::UnknownSite(s) => write!(f, "unknown site {s:?}"),
             ServeError::SiteExists(s) => write!(f, "site {s:?} already registered"),
             ServeError::Protocol(s) => write!(f, "protocol error: {s}"),
+            ServeError::OversizedLine { got, limit } => {
+                write!(f, "request line of {got} bytes exceeds the {limit}-byte cap")
+            }
+            ServeError::RefreshRejected { reason, quarantined } => {
+                write!(f, "refresh rejected ({reason}); previous snapshot stays live")?;
+                if *quarantined {
+                    write!(f, "; site quarantined")?;
+                }
+                Ok(())
+            }
+            ServeError::Store(s) => write!(f, "snapshot store: {s}"),
             ServeError::Remote(s) => write!(f, "server error: {s}"),
         }
     }

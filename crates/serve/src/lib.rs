@@ -17,6 +17,8 @@
 //! * [`registry`] — the name → site map and maintenance-thread ownership;
 //! * [`maintenance`] — the background drift/refresh loop and its policy;
 //! * [`metrics`] — wait-free per-endpoint counters and latency histograms;
+//! * [`store`] — crash-safe checksummed per-site snapshot persistence
+//!   behind `--data-dir`;
 //! * [`server`] — TCP accept loop, worker pool, dispatch, graceful shutdown;
 //! * [`client`] — a thin blocking client for the line protocol.
 //!
@@ -45,5 +47,6 @@ pub mod registry;
 pub mod server;
 pub mod site;
 pub mod snapshot;
+pub mod store;
 
 pub use error::{Result, ServeError};

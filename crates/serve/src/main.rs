@@ -1,24 +1,34 @@
 //! `taflocd` — the standalone daemon binary.
 //!
 //! ```text
-//! taflocd --addr 127.0.0.1:7777 [--workers 4] [--site NAME --system system.json]
+//! taflocd --addr 127.0.0.1:7777 [--workers 4] [--data-dir DIR]
+//!         [--site NAME --system system.json]...
 //! ```
 //!
 //! `--site`/`--system` may repeat (pairwise) to pre-load several sites; more
-//! can be added at runtime with an `add-site` request. The daemon prints the
-//! bound address on startup and serves until a `shutdown` request.
+//! can be added at runtime with an `add-site` request. With `--data-dir`,
+//! every committed site generation is persisted as a checksummed snapshot
+//! and recovered on the next start — a crashed daemon restarted on the same
+//! directory comes back serving every site at its last committed state. The
+//! daemon prints the bound address on startup and serves until a `shutdown`
+//! request.
 
 use tafloc_serve::server::{Server, ServerConfig};
 
 const USAGE: &str = "\
 taflocd — always-on TafLoc localization daemon (newline-delimited JSON over TCP)
 
-USAGE: taflocd [--addr HOST:PORT] [--workers N] [--site NAME --system PATH]...
+USAGE: taflocd [--addr HOST:PORT] [--workers N] [--data-dir DIR]
+               [--port-file PATH] [--site NAME --system PATH]...
 
-  --addr     listen address (default 127.0.0.1:7777; port 0 = ephemeral)
-  --workers  worker threads (default 4)
-  --site     name for the next --system snapshot (repeatable)
-  --system   path to a system.json written by `tafloc calibrate` (repeatable)
+  --addr       listen address (default 127.0.0.1:7777; port 0 = ephemeral)
+  --workers    worker threads (default 4)
+  --data-dir   snapshot directory: persist every committed site generation
+               and recover all sites from it on startup (default: in-memory)
+  --port-file  write the bound port (just the number) to PATH once listening;
+               lets scripts find an ephemeral port without parsing stdout
+  --site       name for the next --system snapshot (repeatable)
+  --system     path to a system.json written by `tafloc calibrate` (repeatable)
 ";
 
 fn fail(msg: &str) -> ! {
@@ -30,6 +40,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7777".to_string();
     let mut workers = 4usize;
+    let mut data_dir: Option<String> = None;
+    let mut port_file: Option<String> = None;
     let mut site_names: Vec<String> = Vec::new();
     let mut system_paths: Vec<String> = Vec::new();
     let mut i = 0;
@@ -39,7 +51,7 @@ fn main() {
                 print!("{USAGE}");
                 return;
             }
-            "--addr" | "--workers" | "--site" | "--system" => {
+            "--addr" | "--workers" | "--data-dir" | "--port-file" | "--site" | "--system" => {
                 let Some(value) = args.get(i + 1) else {
                     fail(&format!("flag {} expects a value", args[i]));
                 };
@@ -50,6 +62,8 @@ fn main() {
                             fail(&format!("--workers expects a number, got {value:?}"))
                         });
                     }
+                    "--data-dir" => data_dir = Some(value.clone()),
+                    "--port-file" => port_file = Some(value.clone()),
                     "--site" => site_names.push(value.clone()),
                     _ => system_paths.push(value.clone()),
                 }
@@ -62,10 +76,31 @@ fn main() {
         fail("--site and --system must come in pairs");
     }
 
-    let server = match Server::bind(&addr, ServerConfig { workers, ..Default::default() }) {
+    let config = ServerConfig {
+        workers,
+        data_dir: data_dir.as_ref().map(std::path::PathBuf::from),
+        ..Default::default()
+    };
+    let server = match Server::bind(&addr, config) {
         Ok(s) => s,
         Err(e) => fail(&format!("cannot bind {addr}: {e}")),
     };
+    // Recovery first: persisted sites come back at their last committed
+    // generation. A `--site` for an already-recovered name then fails with
+    // "already registered" rather than silently clobbering recovered state.
+    match server.recover_sites() {
+        Ok((names, skipped)) => {
+            for name in &names {
+                eprintln!("site {name:?} recovered from {}", data_dir.as_deref().unwrap_or("?"));
+            }
+            for issue in &skipped {
+                eprintln!("warning: skipped snapshot {}: {}", issue.path.display(), issue.reason);
+            }
+        }
+        Err(e) => {
+            fail(&format!("cannot recover from {:?}: {e}", data_dir.as_deref().unwrap_or("")))
+        }
+    }
     for (name, path) in site_names.iter().zip(&system_paths) {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
@@ -78,7 +113,12 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("cannot add site {name:?}: {e}")));
         eprintln!("site {name:?} loaded from {path}");
     }
-    println!("taflocd listening on {}", server.local_addr());
+    let local = server.local_addr();
+    if let Some(path) = &port_file {
+        std::fs::write(path, format!("{}\n", local.port()))
+            .unwrap_or_else(|e| fail(&format!("cannot write port file {path}: {e}")));
+    }
+    println!("taflocd listening on {local}");
     if let Err(e) = server.run() {
         fail(&format!("server failed: {e}"));
     }

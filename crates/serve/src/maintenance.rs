@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tafloc_core::monitor::MonitorConfig;
+use tafloc_core::system::ReconstructionGuard;
 
 fn default_interval_ms() -> u64 {
     250
@@ -45,6 +46,18 @@ fn default_monitor_cells() -> usize {
 
 fn default_manual_tick() -> bool {
     false
+}
+
+fn default_quarantine_after() -> u32 {
+    3
+}
+
+fn default_quarantine_cooldown_ticks() -> u32 {
+    8
+}
+
+fn default_backoff_cap() -> u32 {
+    6
 }
 
 /// Per-site maintenance policy (wire-configurable via `add-site`).
@@ -75,6 +88,32 @@ pub struct MaintenancePolicy {
     /// Thresholds for the underlying [`DriftMonitor`](tafloc_core::monitor::DriftMonitor).
     #[serde(default)]
     pub monitor: MonitorConfig,
+    /// Sanity ceilings a freshly reconstructed database must clear before
+    /// it replaces the served snapshot; a failing refresh is rolled back.
+    #[serde(default)]
+    pub guard: ReconstructionGuard,
+    /// Consecutive rejected refreshes (or panicking ticks) after which the
+    /// site is quarantined: it keeps serving its last good snapshot
+    /// read-only and the scheduler skips its maintenance until the cooldown
+    /// elapses or an explicit `refresh` succeeds.
+    #[serde(default = "default_quarantine_after")]
+    pub quarantine_after: u32,
+    /// Scheduler passes a quarantined site sits out before re-admission.
+    #[serde(default = "default_quarantine_cooldown_ticks")]
+    pub quarantine_cooldown_ticks: u32,
+    /// Cap on the exponent of the per-site refresh backoff: after `f`
+    /// consecutive failures the next tick is scheduled
+    /// `interval_ms * 2^min(f, backoff_cap)` away instead of hot-looping
+    /// the solver on poisoned inputs.
+    #[serde(default = "default_backoff_cap")]
+    pub backoff_cap: u32,
+    /// Test-only fault-injection hook: the first `n` maintenance ticks of
+    /// the site panic before doing any work. `0` (the default, and the only
+    /// sane production value) is a strict no-op. The fault-tolerance tests
+    /// use this to prove a panicking tick is isolated by the scheduler's
+    /// panic boundary instead of killing the daemon.
+    #[serde(default)]
+    pub debug_panic_ticks: u32,
 }
 
 impl Default for MaintenancePolicy {
@@ -86,6 +125,11 @@ impl Default for MaintenancePolicy {
             monitor_cells: default_monitor_cells(),
             manual_tick: default_manual_tick(),
             monitor: MonitorConfig::default(),
+            guard: ReconstructionGuard::default(),
+            quarantine_after: default_quarantine_after(),
+            quarantine_cooldown_ticks: default_quarantine_cooldown_ticks(),
+            backoff_cap: default_backoff_cap(),
+            debug_panic_ticks: 0,
         }
     }
 }
@@ -186,10 +230,21 @@ impl MaintenanceScheduler {
 
 /// One maintenance tick, skipped if the site was stopped in the meantime. A
 /// failed tick (e.g. a solver hiccup) must not kill the loop; the next
-/// ingested measurement gets a fresh chance.
+/// ingested measurement gets a fresh chance. Quarantined sites get a
+/// cooldown-bookkeeping pass instead of real work, and the tick body runs
+/// inside a panic boundary so one poisoned site cannot take the scheduler
+/// (and with it every other site's maintenance) down.
 fn run_tick(site: &Arc<Site>) {
-    if !site.stop_flag().load(Ordering::Relaxed) {
-        let _ = site.maintenance_tick();
+    if site.stop_flag().load(Ordering::Relaxed) {
+        return;
+    }
+    if site.quarantine_tick() {
+        return;
+    }
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| site.maintenance_tick()));
+    if outcome.is_err() {
+        site.note_tick_panic();
     }
 }
 
@@ -219,7 +274,11 @@ fn scheduler_loop(shared: &SchedulerShared, threads: usize) {
             for e in entries.iter_mut() {
                 if now >= e.next_due {
                     let interval = Duration::from_millis(e.site.policy().interval_ms.max(1));
-                    e.next_due = now + interval;
+                    // Exponential backoff: a site whose refreshes keep getting
+                    // rejected (or whose ticks keep panicking) is rescheduled
+                    // further and further out instead of hot-looping LoLi-IR
+                    // on poisoned inputs. One success resets the factor to 1.
+                    e.next_due = now + interval * e.site.backoff_factor();
                     due.push(Arc::clone(&e.site));
                 }
             }

@@ -149,10 +149,17 @@ pub struct EndpointMetrics {
     latency: LatencyHistogram,
 }
 
-/// The server-wide metrics table, indexed by [`Endpoint`].
+/// The server-wide metrics table, indexed by [`Endpoint`], plus
+/// connection-lifecycle counters that have no endpoint to charge.
 #[derive(Debug, Default)]
 pub struct Metrics {
     endpoints: [EndpointMetrics; ALL_ENDPOINTS.len()],
+    /// Connections closed because the read timeout elapsed (idle peer).
+    conn_timeouts: AtomicU64,
+    /// Connections closed by a transport error (reset, broken pipe, ...).
+    conn_resets: AtomicU64,
+    /// Connection handlers that panicked (isolated; the worker survived).
+    conn_panics: AtomicU64,
 }
 
 impl Metrics {
@@ -179,6 +186,36 @@ impl Metrics {
     /// Error responses on one endpoint so far.
     pub fn errors(&self, endpoint: Endpoint) -> u64 {
         self.endpoints[endpoint.index()].errors.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection closed by a read timeout.
+    pub fn record_conn_timeout(&self) {
+        self.conn_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closed by a transport error.
+    pub fn record_conn_reset(&self) {
+        self.conn_resets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection handler that panicked.
+    pub fn record_conn_panic(&self) {
+        self.conn_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections closed by a read timeout so far.
+    pub fn conn_timeouts(&self) -> u64 {
+        self.conn_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed by a transport error so far.
+    pub fn conn_resets(&self) -> u64 {
+        self.conn_resets.load(Ordering::Relaxed)
+    }
+
+    /// Connection handlers that panicked so far.
+    pub fn conn_panics(&self) -> u64 {
+        self.conn_panics.load(Ordering::Relaxed)
     }
 
     /// Snapshot of every endpoint that has seen traffic.
@@ -256,6 +293,19 @@ mod tests {
         assert_eq!(h.quantile_us(0.99), 0);
         assert_eq!(h.quantile_us(1.0), 0);
         assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn connection_counters_are_independent() {
+        let m = Metrics::new();
+        m.record_conn_timeout();
+        m.record_conn_timeout();
+        m.record_conn_reset();
+        m.record_conn_panic();
+        assert_eq!(m.conn_timeouts(), 2);
+        assert_eq!(m.conn_resets(), 1);
+        assert_eq!(m.conn_panics(), 1);
+        assert_eq!(m.requests(Endpoint::Ping), 0, "no endpoint is charged");
     }
 
     #[test]

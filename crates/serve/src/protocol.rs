@@ -311,6 +311,15 @@ pub struct SiteInfo {
 pub struct StatsReport {
     /// Seconds since the server started.
     pub uptime_s: f64,
+    /// Connections closed because the read timeout elapsed.
+    #[serde(default)]
+    pub conn_timeouts: u64,
+    /// Connections closed by a transport error (reset, broken pipe, ...).
+    #[serde(default)]
+    pub conn_resets: u64,
+    /// Connection handlers that panicked (isolated; the worker survived).
+    #[serde(default)]
+    pub conn_panics: u64,
     /// Per-endpoint request counters and latency quantiles.
     pub endpoints: Vec<EndpointStats>,
     /// Per-site health.
@@ -353,6 +362,24 @@ pub struct SiteStats {
     pub maintenance_checks: u64,
     /// Refreshes triggered automatically by the maintenance loop.
     pub auto_refreshes: u64,
+    /// Refreshes the reconstruction guard rejected and rolled back.
+    #[serde(default)]
+    pub refresh_rejections: u64,
+    /// Why the most recent refresh was rejected, if any.
+    #[serde(default)]
+    pub last_reject_reason: Option<String>,
+    /// Consecutive rejections/panics since the last committed refresh.
+    #[serde(default)]
+    pub consecutive_failures: u32,
+    /// Whether the site is quarantined (read-only, maintenance suspended).
+    #[serde(default)]
+    pub quarantined: bool,
+    /// Maintenance ticks that panicked (isolated by the scheduler).
+    #[serde(default)]
+    pub tick_panics: u64,
+    /// Snapshot saves that failed (persistence is best-effort).
+    #[serde(default)]
+    pub persist_failures: u64,
     /// Live tracking streams.
     pub active_trackers: usize,
     /// Cumulative ingestion-pipeline counters (samples, drops, link health).
@@ -372,22 +399,65 @@ pub fn write_message<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<()> {
     Ok(())
 }
 
-/// Reads one newline-terminated JSON message. Blank lines are skipped;
-/// `Ok(None)` means the peer closed the connection cleanly.
-pub fn read_message<R: BufRead, T: DeserializeOwned>(r: &mut R) -> Result<Option<T>> {
-    let mut line = String::new();
+/// Reads one line of at most `limit` bytes (newline included) into `buf`.
+///
+/// Unlike `BufRead::read_line`, the cap is enforced *while reading*: an
+/// attacker streaming an endless unterminated line is cut off at the cap
+/// instead of growing the buffer without bound. On overflow the reader
+/// drains (without buffering) through the terminating newline so the
+/// connection stays framed, then reports [`ServeError::OversizedLine`] with
+/// the true line size. Returns the bytes consumed; `0` means clean EOF.
+fn read_bounded_line<R: BufRead>(r: &mut R, buf: &mut Vec<u8>, limit: usize) -> Result<usize> {
+    buf.clear();
+    let mut total = 0usize;
+    let mut overflowed = false;
     loop {
-        line.clear();
-        let n = r.read_line(&mut line)?;
+        let available = r.fill_buf()?;
+        if available.is_empty() {
+            // EOF. A partial unterminated line is handed to the caller;
+            // oversize still errors below.
+            break;
+        }
+        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(i) => (&available[..=i], true),
+            None => (available, false),
+        };
+        let used = chunk.len();
+        total += used;
+        if !overflowed {
+            if buf.len() + used > limit {
+                overflowed = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(chunk);
+            }
+        }
+        r.consume(used);
+        if done {
+            break;
+        }
+    }
+    if overflowed {
+        return Err(ServeError::OversizedLine { got: total, limit });
+    }
+    Ok(total)
+}
+
+/// Reads one newline-terminated JSON message. Blank lines are skipped;
+/// `Ok(None)` means the peer closed the connection cleanly. Lines over
+/// [`MAX_LINE_BYTES`] are rejected with [`ServeError::OversizedLine`]
+/// *without* buffering them, and malformed JSON with [`ServeError::Json`];
+/// both leave the stream positioned at the next line.
+pub fn read_message<R: BufRead, T: DeserializeOwned>(r: &mut R) -> Result<Option<T>> {
+    let mut line = Vec::new();
+    loop {
+        let n = read_bounded_line(r, &mut line, MAX_LINE_BYTES)?;
         if n == 0 {
             return Ok(None);
         }
-        if n > MAX_LINE_BYTES {
-            return Err(ServeError::Protocol(format!(
-                "line of {n} bytes exceeds the {MAX_LINE_BYTES}-byte cap"
-            )));
-        }
-        let trimmed = line.trim();
+        let text = std::str::from_utf8(&line)
+            .map_err(|_| ServeError::Protocol("line is not valid UTF-8".into()))?;
+        let trimmed = text.trim();
         if trimmed.is_empty() {
             continue;
         }
@@ -437,5 +507,51 @@ mod tests {
         let got: Request = read_message(&mut reader).unwrap().unwrap();
         assert!(matches!(got, Request::Ping));
         assert!(read_message::<_, Request>(&mut reader).is_err());
+    }
+
+    #[test]
+    fn bounded_reader_enforces_the_cap_and_stays_framed() {
+        // A 100-byte line against a 16-byte cap, followed by a small line:
+        // the oversized line errors with its true size, and the next read
+        // lands cleanly on the following line.
+        let mut wire = vec![b'x'; 100];
+        wire.push(b'\n');
+        wire.extend_from_slice(b"ok\n");
+        // Tiny BufReader capacity so the line spans many fill_buf chunks.
+        let mut reader = BufReader::with_capacity(8, &wire[..]);
+        let mut buf = Vec::new();
+        let err = read_bounded_line(&mut reader, &mut buf, 16).unwrap_err();
+        match err {
+            ServeError::OversizedLine { got, limit } => {
+                assert_eq!(got, 101, "true size, newline included");
+                assert_eq!(limit, 16);
+            }
+            other => panic!("expected OversizedLine, got {other}"),
+        }
+        assert_eq!(read_bounded_line(&mut reader, &mut buf, 16).unwrap(), 3);
+        assert_eq!(buf, b"ok\n");
+    }
+
+    #[test]
+    fn bounded_reader_handles_eof_and_exact_fit() {
+        // Unterminated final line under the cap: delivered as-is.
+        let mut reader = BufReader::with_capacity(4, "tail".as_bytes());
+        let mut buf = Vec::new();
+        assert_eq!(read_bounded_line(&mut reader, &mut buf, 16).unwrap(), 4);
+        assert_eq!(buf, b"tail");
+        assert_eq!(read_bounded_line(&mut reader, &mut buf, 16).unwrap(), 0, "clean EOF");
+        // A line of exactly `limit` bytes fits; one more does not.
+        let mut reader = BufReader::new("abc\nabcd\n".as_bytes());
+        assert_eq!(read_bounded_line(&mut reader, &mut buf, 4).unwrap(), 4);
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut buf, 4),
+            Err(ServeError::OversizedLine { got: 5, limit: 4 })
+        ));
+        // Oversized unterminated line at EOF still errors.
+        let mut reader = BufReader::new("xxxxxxxxxx".as_bytes());
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut buf, 4),
+            Err(ServeError::OversizedLine { got: 10, limit: 4 })
+        ));
     }
 }

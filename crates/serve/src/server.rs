@@ -19,6 +19,7 @@ use crate::metrics::Metrics;
 use crate::protocol::{read_message, write_message, Request, Response, StatsReport};
 use crate::registry::Registry;
 use crate::site::{detection_detail, recommendation_name, Site};
+use crate::store::SiteStore;
 use crate::{Result, ServeError};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -43,6 +44,11 @@ pub struct ServerConfig {
     /// off the request path (0 = one per core). Shared by all sites, so
     /// background CPU stays bounded regardless of site count.
     pub maintenance_threads: usize,
+    /// Snapshot directory (`--data-dir`). When set, every committed site
+    /// generation is persisted there and [`Server::bind`] recovers the
+    /// newest valid generation of each site on startup. `None` keeps the
+    /// daemon fully in-memory.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +58,7 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(60)),
             default_policy: MaintenancePolicy::default(),
             maintenance_threads: crate::registry::DEFAULT_MAINTENANCE_THREADS,
+            data_dir: None,
         }
     }
 }
@@ -69,6 +76,8 @@ pub struct ServerCtx {
     default_policy: MaintenancePolicy,
     workers: usize,
     started: Instant,
+    /// The attached snapshot store (`--data-dir`), if persistence is on.
+    store: Option<Arc<SiteStore>>,
 }
 
 impl ServerCtx {
@@ -89,9 +98,17 @@ impl ServerCtx {
     pub fn stats_report(&self) -> StatsReport {
         StatsReport {
             uptime_s: self.started.elapsed().as_secs_f64(),
+            conn_timeouts: self.metrics.conn_timeouts(),
+            conn_resets: self.metrics.conn_resets(),
+            conn_panics: self.metrics.conn_panics(),
             endpoints: self.metrics.report(),
             sites: self.registry.list().iter().map(|s| s.stats()).collect(),
         }
+    }
+
+    /// The snapshot store backing `--data-dir`, if persistence is on.
+    pub fn store(&self) -> Option<&Arc<SiteStore>> {
+        self.store.as_ref()
     }
 }
 
@@ -114,6 +131,10 @@ impl Server {
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let store = match &config.data_dir {
+            Some(dir) => Some(Arc::new(SiteStore::open(dir)?)),
+            None => None,
+        };
         let ctx = Arc::new(ServerCtx {
             registry: Registry::with_maintenance_threads(config.maintenance_threads),
             metrics: Metrics::new(),
@@ -123,8 +144,30 @@ impl Server {
             default_policy: config.default_policy,
             workers: config.workers.max(1),
             started: Instant::now(),
+            store,
         });
         Ok(Server { listener, ctx })
+    }
+
+    /// Recovers every persisted site from the configured `data_dir` into the
+    /// registry (no-op without one). Each site comes back at its last
+    /// committed generation; corrupt or truncated snapshot files are skipped
+    /// and reported, never fatal. Returns the recovered site names and the
+    /// files that had to be skipped.
+    pub fn recover_sites(&self) -> Result<(Vec<String>, Vec<crate::store::RecoveryIssue>)> {
+        let Some(store) = &self.ctx.store else {
+            return Ok((Vec::new(), Vec::new()));
+        };
+        let recovery = store.recover_all()?;
+        let mut names = Vec::with_capacity(recovery.sites.len());
+        for persisted in recovery.sites {
+            let name = persisted.name.clone();
+            let site = Site::from_persisted(persisted, tafloc_ingest::ClockMode::default())?
+                .with_persistence(Arc::clone(store))?;
+            self.ctx.registry.add(site)?;
+            names.push(name);
+        }
+        Ok((names, recovery.skipped))
     }
 
     /// The bound address (resolves the ephemeral port).
@@ -137,10 +180,16 @@ impl Server {
         &self.ctx
     }
 
-    /// Registers a site before (or while) serving.
+    /// Registers a site before (or while) serving. With persistence on, the
+    /// site's generation 0 is written immediately so even a crash before the
+    /// first refresh recovers it.
     pub fn add_site(&self, name: &str, system: TafLoc, day: f64) -> Result<()> {
         let policy = self.ctx.default_policy;
-        self.ctx.registry.add(Site::new(name, system, day, policy)?)?;
+        let mut site = Site::new(name, system, day, policy)?;
+        if let Some(store) = &self.ctx.store {
+            site = site.with_persistence(Arc::clone(store))?;
+        }
+        self.ctx.registry.add(site)?;
         Ok(())
     }
 
@@ -203,6 +252,12 @@ impl ServerHandle {
             let _ = t.join();
         }
         self.ctx.registry.stop_maintenance();
+        // Graceful shutdown persists every site's final state (no-op for
+        // sites without an attached store). After maintenance has stopped,
+        // so nothing can move the generation mid-save.
+        for site in self.ctx.registry.list() {
+            let _ = site.persist_now();
+        }
     }
 }
 
@@ -237,7 +292,15 @@ fn worker_loop(rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>, ctx: Arc<ServerCtx>) {
         };
         match stream {
             Ok(s) => {
-                let _ = handle_connection(s, &ctx);
+                // Panic boundary: a handler bug (or a panic escaping the core
+                // on pathological input) kills this connection, not the
+                // worker — the daemon keeps serving every other client.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = handle_connection(s, &ctx);
+                }));
+                if outcome.is_err() {
+                    ctx.metrics.record_conn_panic();
+                }
             }
             Err(_) => break, // channel closed: shutdown drain complete
         }
@@ -262,7 +325,25 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> Result<()> {
                 )?;
                 continue;
             }
-            Err(_) => return Ok(()), // timeout / reset: close quietly
+            Err(e @ ServeError::OversizedLine { .. }) => {
+                // The reader drained through the newline without buffering
+                // the line, so the connection is still framed: answer with
+                // an error frame and keep serving it.
+                write_message(&mut writer, &Response::Error { message: e.to_string() })?;
+                continue;
+            }
+            Err(ServeError::Io(e)) => {
+                // An idle peer hitting the read timeout and a torn transport
+                // are different operational signals; count them apart.
+                match e.kind() {
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                        ctx.metrics.record_conn_timeout()
+                    }
+                    _ => ctx.metrics.record_conn_reset(),
+                }
+                return Ok(());
+            }
+            Err(_) => return Ok(()), // protocol violation (e.g. non-UTF-8): close quietly
         };
         let endpoint = request.endpoint();
         let shutdown_requested = matches!(request, Request::Shutdown);
@@ -305,7 +386,11 @@ pub fn dispatch(request: Request, ctx: &ServerCtx) -> Response {
             let links = system.db().num_links();
             let cells = system.db().num_cells();
             let policy = policy.unwrap_or(ctx.default_policy);
-            match Site::new(&site, system, day, policy).and_then(|s| ctx.registry.add(s)) {
+            let built = Site::new(&site, system, day, policy).and_then(|s| match &ctx.store {
+                Some(store) => s.with_persistence(Arc::clone(store)),
+                None => Ok(s),
+            });
+            match built.and_then(|s| ctx.registry.add(s)) {
                 Ok(_) => Response::SiteAdded { site, links, cells },
                 Err(e) => err_response(e),
             }

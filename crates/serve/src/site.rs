@@ -17,14 +17,27 @@
 //!   reference-cell capture windows accumulate survey streams and are
 //!   promoted to [`PendingRefs`] by the maintenance loop once every
 //!   reference cell has a complete vector.
+//!
+//! Refreshes are additionally *gated*: the reconstruction must pass the
+//! policy's [`ReconstructionGuard`](tafloc_core::system::ReconstructionGuard)
+//! before it is promoted. A failing solve is rolled back — the previous
+//! snapshot stays live, the pending references are kept for a retried (and
+//! backed-off) attempt, and enough consecutive rejections or panicking ticks
+//! push the site into *quarantine*: it keeps answering `locate` from its last
+//! good snapshot but sits out maintenance until a cooldown elapses or an
+//! explicit `refresh` succeeds. When a [`SiteStore`] is attached, every
+//! committed generation is persisted so a crash recovers to the last good
+//! state.
 
 use crate::maintenance::MaintenancePolicy;
 use crate::protocol::{SiteInfo, SiteStats};
 use crate::snapshot::SnapshotCell;
+use crate::store::{PersistedSite, SiteStore};
 use crate::{Result, ServeError};
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex, MutexGuard};
 use taf_linalg::Matrix;
@@ -68,6 +81,24 @@ struct SiteDynamic {
     last_estimate_db: Option<f64>,
     maintenance_checks: u64,
     auto_refreshes: u64,
+    /// Refreshes the reconstruction guard rejected (lifetime).
+    refresh_rejections: u64,
+    /// Consecutive guard rejections / panicking ticks since the last success
+    /// (drives backoff and quarantine; cleared by a committed refresh).
+    consecutive_failures: u32,
+    /// Why the most recent refresh was rejected, if any.
+    last_reject_reason: Option<String>,
+    /// Whether the site is quarantined (serving read-only, skipped by the
+    /// maintenance scheduler).
+    quarantined: bool,
+    /// Scheduler passes left before a quarantined site is re-admitted.
+    quarantine_cooldown: u32,
+    /// Maintenance ticks that panicked (lifetime).
+    tick_panics: u64,
+    /// Snapshot saves that failed (lifetime; persistence is best-effort).
+    persist_failures: u64,
+    /// Remaining injected-panic budget (from `policy.debug_panic_ticks`).
+    panic_budget: u32,
     /// Per-reference-cell capture ingestors (keyed by reference index, not
     /// cell id). `Arc` so a capture batch can be applied outside the mutex.
     ref_captures: HashMap<usize, Arc<Ingestor>>,
@@ -91,6 +122,9 @@ pub struct Site {
     ingest_shards: usize,
     policy: MaintenancePolicy,
     monitor_cells: usize,
+    /// Attached snapshot store; when present, committed generations are
+    /// persisted (best-effort) after every refresh and on graceful shutdown.
+    store: Option<Arc<SiteStore>>,
     stop: AtomicBool,
 }
 
@@ -139,6 +173,14 @@ impl Site {
                 last_estimate_db: None,
                 maintenance_checks: 0,
                 auto_refreshes: 0,
+                refresh_rejections: 0,
+                consecutive_failures: 0,
+                last_reject_reason: None,
+                quarantined: false,
+                quarantine_cooldown: 0,
+                tick_panics: 0,
+                persist_failures: 0,
+                panic_budget: policy.debug_panic_ticks,
                 ref_captures: HashMap::new(),
                 ref_capture_day: 0.0,
             }),
@@ -148,6 +190,71 @@ impl Site {
             ingest_shards,
             policy,
             monitor_cells,
+            store: None,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Attaches a snapshot store: the current generation is persisted
+    /// immediately (so even a site that crashes before its first refresh
+    /// recovers), and every committed refresh persists the new one.
+    pub fn with_persistence(mut self, store: Arc<SiteStore>) -> Result<Site> {
+        self.store = Some(store);
+        self.persist_now()?;
+        Ok(self)
+    }
+
+    /// Resurrects a site from a recovered snapshot. Live stream state
+    /// (ingestion windows, trackers, detectors) is inherently volatile and
+    /// restarts empty; everything committed — the calibrated system at its
+    /// last good generation, monitor baseline, hysteresis and health
+    /// counters, quarantine state — comes back exactly as persisted.
+    pub fn from_persisted(p: PersistedSite, clock_mode: ClockMode) -> Result<Site> {
+        let system = TafLoc::from_snapshot(p.snapshot)?;
+        let monitor_cells = p.monitor_cells.len();
+        let monitor = DriftMonitor::new(
+            p.monitor_stored,
+            p.monitor_cells,
+            p.monitor_last_update_day,
+            p.monitor_config,
+        )?;
+        let num_links = system.db().num_links();
+        let ingest_shards = num_links.clamp(1, 8);
+        let ingest = Ingestor::with_clock(p.ingest, num_links, ingest_shards, clock_mode)?;
+        Ok(Site {
+            name: p.name,
+            cell: SnapshotCell::new(SiteSnapshot {
+                system,
+                version: p.generation,
+                refreshed_day: p.refreshed_day,
+            }),
+            dynamic: Mutex::new(SiteDynamic {
+                monitor,
+                pending: None,
+                trackers: HashMap::new(),
+                detectors: HashMap::new(),
+                breach_streak: p.breach_streak,
+                last_estimate_db: None,
+                maintenance_checks: p.maintenance_checks,
+                auto_refreshes: p.auto_refreshes,
+                refresh_rejections: p.refresh_rejections,
+                consecutive_failures: p.consecutive_failures,
+                last_reject_reason: p.last_reject_reason,
+                quarantined: p.quarantined,
+                quarantine_cooldown: p.quarantine_cooldown,
+                tick_panics: p.tick_panics,
+                persist_failures: 0,
+                panic_budget: p.policy.debug_panic_ticks,
+                ref_captures: HashMap::new(),
+                ref_capture_day: 0.0,
+            }),
+            refresh: Mutex::new(()),
+            ingest,
+            ingest_config: p.ingest,
+            ingest_shards,
+            policy: p.policy,
+            monitor_cells,
+            store: None,
             stop: AtomicBool::new(false),
         })
     }
@@ -328,9 +435,17 @@ impl Site {
         Ok(rec)
     }
 
-    /// Runs LoLi-IR on the pending reference measurements and publishes the
-    /// reconstructed database as a new snapshot. The heavy solve happens off
-    /// both the read path and the dynamic-state mutex.
+    /// Runs LoLi-IR on the pending reference measurements, validates the
+    /// reconstruction against the policy's guard, and — only if it passes —
+    /// publishes it as a new snapshot. The heavy solve happens off both the
+    /// read path and the dynamic-state mutex.
+    ///
+    /// A guard failure *rolls back*: the previous snapshot stays live, the
+    /// pending references are kept (a later `measure-refs` overwrites them;
+    /// the maintenance loop retries with backoff), the rejection is counted,
+    /// and enough consecutive rejections quarantine the site. A successful
+    /// refresh clears the failure state, lifts any quarantine, and persists
+    /// the new generation when a store is attached.
     pub fn refresh(&self) -> Result<(UpdateReport, u64)> {
         let _serialized = match self.refresh.lock() {
             Ok(g) => g,
@@ -343,7 +458,14 @@ impl Site {
         })?;
         let snap = self.load();
         let mut system = snap.system.clone();
-        let report = system.update(&pending.columns, &pending.empty)?;
+        let rec = system.reconstruct_db(&pending.columns, &pending.empty)?;
+        if let Err(reason) =
+            system.validate_reconstruction(&rec, &pending.columns, &self.policy.guard)
+        {
+            let quarantined = self.note_failure(Some(reason.clone()));
+            return Err(ServeError::RefreshRejected { reason, quarantined });
+        }
+        let report = system.apply_reconstruction(rec, &pending.empty)?;
         let monitored: Vec<usize> = system.reference_cells()[..self.monitor_cells].to_vec();
         let refreshed_cols = system.db().rss().select_cols(&monitored)?;
         let fresh_empty = system.empty_rss().to_vec();
@@ -356,9 +478,114 @@ impl Site {
             }
             d.pending = None;
             d.breach_streak = 0;
+            // Success wipes the failure record and lifts any quarantine: an
+            // explicit `refresh` that passes the guard re-admits the site.
+            d.consecutive_failures = 0;
+            d.last_reject_reason = None;
+            d.quarantined = false;
+            d.quarantine_cooldown = 0;
         }
         self.cell.store(SiteSnapshot { system, version, refreshed_day: pending.day });
+        // Best-effort: a full disk must not fail the refresh that already
+        // committed in memory, but it is counted and visible in `stats`.
+        if self.persist_now().is_err() {
+            self.lock_dynamic().persist_failures += 1;
+        }
         Ok((report, version))
+    }
+
+    /// Records one failure (a guard rejection when `reason` is set, a
+    /// panicking tick otherwise) and returns whether the site is now
+    /// quarantined. Crossing `quarantine_after` arms the cooldown.
+    fn note_failure(&self, reason: Option<String>) -> bool {
+        let mut d = self.lock_dynamic();
+        d.consecutive_failures = d.consecutive_failures.saturating_add(1);
+        if let Some(reason) = reason {
+            d.refresh_rejections += 1;
+            d.last_reject_reason = Some(reason);
+        }
+        if d.consecutive_failures >= self.policy.quarantine_after.max(1) {
+            d.quarantined = true;
+            d.quarantine_cooldown = self.policy.quarantine_cooldown_ticks;
+        }
+        d.quarantined
+    }
+
+    /// Called by the scheduler when a maintenance tick panicked. Panics count
+    /// toward the same failure streak as guard rejections.
+    pub fn note_tick_panic(&self) {
+        self.lock_dynamic().tick_panics += 1;
+        self.note_failure(None);
+    }
+
+    /// The scheduler's quarantine gate: returns `true` when the site must be
+    /// skipped this pass. Each skipped pass burns one cooldown tick; when the
+    /// cooldown reaches zero the quarantine flag clears, but the failure
+    /// streak does *not* — the site is on probation, and the next rejection
+    /// re-quarantines it instantly. (A successful refresh clears everything.)
+    pub fn quarantine_tick(&self) -> bool {
+        let mut d = self.lock_dynamic();
+        if !d.quarantined {
+            return false;
+        }
+        if d.quarantine_cooldown > 0 {
+            d.quarantine_cooldown -= 1;
+            if d.quarantine_cooldown == 0 {
+                d.quarantined = false;
+            }
+        }
+        true
+    }
+
+    /// Whether the site is currently quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        self.lock_dynamic().quarantined
+    }
+
+    /// Multiplier the scheduler applies to the site's tick interval:
+    /// `2^min(consecutive_failures, backoff_cap)`. One committed refresh
+    /// resets it to 1.
+    pub fn backoff_factor(&self) -> u32 {
+        let f = self.lock_dynamic().consecutive_failures;
+        1u32 << f.min(self.policy.backoff_cap).min(16)
+    }
+
+    /// Captures everything a restart needs as a [`PersistedSite`]. Safe to
+    /// call while [`Site::refresh`] holds the refresh mutex (it only reads
+    /// the snapshot cell and the dynamic mutex).
+    pub fn to_persisted(&self) -> PersistedSite {
+        let snap = self.load();
+        let d = self.lock_dynamic();
+        PersistedSite {
+            name: self.name.clone(),
+            generation: snap.version,
+            refreshed_day: snap.refreshed_day,
+            snapshot: snap.system.snapshot(),
+            monitor_stored: d.monitor.stored().clone(),
+            monitor_cells: d.monitor.cells().to_vec(),
+            monitor_last_update_day: d.monitor.last_update_day(),
+            monitor_config: d.monitor.config(),
+            breach_streak: d.breach_streak,
+            maintenance_checks: d.maintenance_checks,
+            auto_refreshes: d.auto_refreshes,
+            refresh_rejections: d.refresh_rejections,
+            consecutive_failures: d.consecutive_failures,
+            last_reject_reason: d.last_reject_reason.clone(),
+            quarantined: d.quarantined,
+            quarantine_cooldown: d.quarantine_cooldown,
+            tick_panics: d.tick_panics,
+            policy: self.policy,
+            ingest: self.ingest_config,
+        }
+    }
+
+    /// Persists the current generation to the attached store, if any.
+    /// Returns the snapshot path when a save happened.
+    pub fn persist_now(&self) -> Result<Option<PathBuf>> {
+        match &self.store {
+            Some(store) => store.save(&self.to_persisted()).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Promotes a finished reference-capture round into [`PendingRefs`]:
@@ -399,6 +626,21 @@ impl Site {
     /// cooldown both allow it. Returns the new version when a refresh was
     /// triggered.
     pub fn maintenance_tick(&self) -> Result<Option<u64>> {
+        {
+            let mut d = self.lock_dynamic();
+            if d.panic_budget > 0 {
+                // Test-only injected fault (`policy.debug_panic_ticks`); the
+                // lock is released first so the panic does not poison it.
+                d.panic_budget -= 1;
+                drop(d);
+                panic!("injected maintenance-tick panic (debug_panic_ticks)");
+            }
+            if d.quarantined {
+                // Defense in depth: the scheduler already skips quarantined
+                // sites, but a manual-tick harness reaches here directly.
+                return Ok(None);
+            }
+        }
         self.promote_ref_captures()?;
         let trigger = {
             let mut d = self.lock_dynamic();
@@ -448,6 +690,12 @@ impl Site {
             estimated_error_db: d.last_estimate_db,
             maintenance_checks: d.maintenance_checks,
             auto_refreshes: d.auto_refreshes,
+            refresh_rejections: d.refresh_rejections,
+            last_reject_reason: d.last_reject_reason.clone(),
+            consecutive_failures: d.consecutive_failures,
+            quarantined: d.quarantined,
+            tick_panics: d.tick_panics,
+            persist_failures: d.persist_failures,
             active_trackers: d.trackers.len(),
             ingest: self.ingest.stats(),
             stream_clock_s: self.ingest.stream_clock_s(),

@@ -1,0 +1,995 @@
+//! Crash-safe per-site snapshot persistence.
+//!
+//! `taflocd` holds every site's state in memory; this module is what makes a
+//! crash survivable. Each committed generation of a site — fingerprint
+//! database, correlation matrix `Z`, reference set, drift-monitor state,
+//! health counters and the maintenance policy — is written as one
+//! self-contained snapshot file under the daemon's `--data-dir`:
+//!
+//! ```text
+//! magic     "TAFSNAP1"              8 bytes
+//! version   format version          u32 LE
+//! length    payload byte count      u64 LE
+//! payload   encoded PersistedSite   `length` bytes
+//! checksum  CRC32 (IEEE) of payload u32 LE
+//! ```
+//!
+//! Writes are torn-write safe: the file is assembled in a `.tmp` sibling,
+//! fsynced, then atomically renamed into place — a crash mid-write leaves
+//! either the previous generation or a `.tmp` orphan, never a half-valid
+//! snapshot under the real name. Recovery scans the directory, decodes every
+//! `.snap` file, keeps the newest valid generation per site and reports (but
+//! survives) corrupt, truncated, or mis-checksummed files.
+//!
+//! The payload is a hand-rolled little-endian binary encoding rather than
+//! JSON: the snapshot store must keep working in builds where `serde_json`
+//! is stubbed out, and the dominant content is two large `f64` matrices that
+//! a text codec would bloat and slow down for no benefit. The site name
+//! *inside* the payload is authoritative; the filename only makes listings
+//! readable.
+
+use crate::maintenance::MaintenancePolicy;
+use crate::{Result, ServeError};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use taf_linalg::Matrix;
+use taf_rfsim::geometry::{Point, Segment};
+use taf_rfsim::grid::FloorGrid;
+use tafloc_core::db::FingerprintDb;
+use tafloc_core::loli_ir::LoliIrConfig;
+use tafloc_core::matcher::MatchMethod;
+use tafloc_core::monitor::MonitorConfig;
+use tafloc_core::reference::ReferenceStrategy;
+use tafloc_core::system::{ReconstructionGuard, SystemSnapshot, TafLocConfig, ZRefreshPolicy};
+use tafloc_core::LrrModel;
+use tafloc_ingest::{Aggregator, IngestConfig};
+
+/// File magic: identifies a taflocd snapshot and its major layout.
+pub const MAGIC: &[u8; 8] = b"TAFSNAP1";
+
+/// Payload format version. Bump on any change to the encoded layout.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Committed generations retained per site; older snapshot files are pruned
+/// after each successful save. More than one so a latent corruption of the
+/// newest file still leaves a recoverable (if stale) generation behind.
+pub const KEEP_GENERATIONS: usize = 3;
+
+/// CRC32 (IEEE 802.3, polynomial `0xEDB88320`) — the checksum guarding the
+/// snapshot payload. Hand-rolled because the workspace deliberately carries
+/// no compression/hashing dependency.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = u32::MAX;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ u32::MAX
+}
+
+/// Everything needed to resurrect a serving site after a restart.
+#[derive(Debug, Clone)]
+pub struct PersistedSite {
+    /// Site name (the registry key; authoritative over the filename).
+    pub name: String,
+    /// Snapshot version at save time — the site's committed generation.
+    pub generation: u64,
+    /// Deployment day of the last refresh (or calibration).
+    pub refreshed_day: f64,
+    /// The calibrated system: config, database, reference cells, LRR, empty
+    /// baseline.
+    pub snapshot: SystemSnapshot,
+    /// Drift-monitor comparison baseline (`M x k`).
+    pub monitor_stored: Matrix,
+    /// Cells the monitor spot-checks.
+    pub monitor_cells: Vec<usize>,
+    /// Day of the monitor's last completed update (cooldown anchor).
+    pub monitor_last_update_day: f64,
+    /// Monitor thresholds.
+    pub monitor_config: MonitorConfig,
+    /// Consecutive over-threshold checks at save time (hysteresis state).
+    pub breach_streak: u32,
+    /// Lifetime maintenance-loop spot checks.
+    pub maintenance_checks: u64,
+    /// Lifetime auto-refreshes.
+    pub auto_refreshes: u64,
+    /// Lifetime refreshes rejected by the reconstruction guard.
+    pub refresh_rejections: u64,
+    /// Consecutive failed refreshes / panicking ticks (backoff input).
+    pub consecutive_failures: u32,
+    /// Reason the most recent refresh was rejected, if any.
+    pub last_reject_reason: Option<String>,
+    /// Whether the site was quarantined at save time.
+    pub quarantined: bool,
+    /// Scheduler passes left before a quarantined site is re-admitted.
+    pub quarantine_cooldown: u32,
+    /// Lifetime maintenance ticks that panicked.
+    pub tick_panics: u64,
+    /// The maintenance policy in force.
+    pub policy: MaintenancePolicy,
+    /// The streaming-ingestion configuration in force.
+    pub ingest: IngestConfig,
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, v: &str) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+    fn opt_str(&mut self, v: Option<&str>) {
+        match v {
+            None => self.u8(0),
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+        }
+    }
+    fn usizes(&mut self, v: &[usize]) {
+        self.usize(v.len());
+        for &x in v {
+            self.usize(x);
+        }
+    }
+    fn f64s(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+    fn matrix(&mut self, m: &Matrix) {
+        self.usize(m.rows());
+        self.usize(m.cols());
+        for &x in m.as_slice() {
+            self.f64(x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+/// Sanity cap on any decoded element count, so a corrupted length prefix
+/// that slipped past the checksum cannot drive a huge allocation.
+const MAX_ELEMENTS: usize = 1 << 28;
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Dec { data, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| ServeError::Store("payload truncated".into()))?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.data.len() {
+            return Err(ServeError::Store(format!(
+                "{} trailing bytes after the payload",
+                self.data.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(ServeError::Store(format!("invalid bool byte {v}"))),
+        }
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn usize(&mut self) -> Result<usize> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| ServeError::Store("count does not fit this platform".into()))
+    }
+    fn count(&mut self) -> Result<usize> {
+        let n = self.usize()?;
+        if n > MAX_ELEMENTS {
+            return Err(ServeError::Store(format!("element count {n} is implausible")));
+        }
+        Ok(n)
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn str(&mut self) -> Result<String> {
+        let n = self.count()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ServeError::Store("string is not valid UTF-8".into()))
+    }
+    fn opt_str(&mut self) -> Result<Option<String>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            v => Err(ServeError::Store(format!("invalid option tag {v}"))),
+        }
+    }
+    fn usizes(&mut self) -> Result<Vec<usize>> {
+        let n = self.count()?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>> {
+        let n = self.count()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn matrix(&mut self) -> Result<Matrix> {
+        let rows = self.count()?;
+        let cols = self.count()?;
+        let len = rows
+            .checked_mul(cols)
+            .filter(|&n| n <= MAX_ELEMENTS)
+            .ok_or_else(|| ServeError::Store("matrix shape is implausible".into()))?;
+        let data: Result<Vec<f64>> = (0..len).map(|_| self.f64()).collect();
+        Matrix::from_vec(rows, cols, data?).map_err(ServeError::from)
+    }
+}
+
+fn enc_ref_strategy(e: &mut Enc, s: &ReferenceStrategy) {
+    match s {
+        ReferenceStrategy::QrPivot => e.u8(0),
+        ReferenceStrategy::Random { seed } => {
+            e.u8(1);
+            e.u64(*seed);
+        }
+        ReferenceStrategy::LeverageScore => e.u8(2),
+    }
+}
+
+fn dec_ref_strategy(d: &mut Dec<'_>) -> Result<ReferenceStrategy> {
+    Ok(match d.u8()? {
+        0 => ReferenceStrategy::QrPivot,
+        1 => ReferenceStrategy::Random { seed: d.u64()? },
+        2 => ReferenceStrategy::LeverageScore,
+        v => return Err(ServeError::Store(format!("unknown reference strategy tag {v}"))),
+    })
+}
+
+fn enc_matcher(e: &mut Enc, m: &MatchMethod) {
+    match m {
+        MatchMethod::NearestNeighbor => e.u8(0),
+        MatchMethod::Knn { k } => {
+            e.u8(1);
+            e.usize(*k);
+        }
+        MatchMethod::Probabilistic { sigma_db } => {
+            e.u8(2);
+            e.f64(*sigma_db);
+        }
+    }
+}
+
+fn dec_matcher(d: &mut Dec<'_>) -> Result<MatchMethod> {
+    Ok(match d.u8()? {
+        0 => MatchMethod::NearestNeighbor,
+        1 => MatchMethod::Knn { k: d.usize()? },
+        2 => MatchMethod::Probabilistic { sigma_db: d.f64()? },
+        v => return Err(ServeError::Store(format!("unknown matcher tag {v}"))),
+    })
+}
+
+fn enc_config(e: &mut Enc, c: &TafLocConfig) {
+    e.usize(c.ref_count);
+    enc_ref_strategy(e, &c.ref_strategy);
+    e.f64(c.lrr_lambda);
+    e.f64(c.distortion_threshold_db);
+    e.usize(c.link_graph_k);
+    enc_loli(e, &c.loli);
+    enc_matcher(e, &c.matcher);
+    e.bool(c.consistency_gate);
+    e.f64(c.gate_hi_db);
+    e.f64(c.gate_lo_db);
+    e.u8(match c.z_policy {
+        ZRefreshPolicy::Fixed => 0,
+        ZRefreshPolicy::RefitAfterUpdate => 1,
+    });
+}
+
+fn dec_config(d: &mut Dec<'_>) -> Result<TafLocConfig> {
+    Ok(TafLocConfig {
+        ref_count: d.usize()?,
+        ref_strategy: dec_ref_strategy(d)?,
+        lrr_lambda: d.f64()?,
+        distortion_threshold_db: d.f64()?,
+        link_graph_k: d.usize()?,
+        loli: dec_loli(d)?,
+        matcher: dec_matcher(d)?,
+        consistency_gate: d.bool()?,
+        gate_hi_db: d.f64()?,
+        gate_lo_db: d.f64()?,
+        z_policy: match d.u8()? {
+            0 => ZRefreshPolicy::Fixed,
+            1 => ZRefreshPolicy::RefitAfterUpdate,
+            v => return Err(ServeError::Store(format!("unknown z-policy tag {v}"))),
+        },
+    })
+}
+
+fn enc_loli(e: &mut Enc, l: &LoliIrConfig) {
+    e.usize(l.rank);
+    e.f64(l.lambda);
+    e.f64(l.mu);
+    e.f64(l.alpha);
+    e.f64(l.beta);
+    e.usize(l.max_iters);
+    e.f64(l.tol);
+    e.f64(l.debug_bias_db);
+}
+
+fn dec_loli(d: &mut Dec<'_>) -> Result<LoliIrConfig> {
+    Ok(LoliIrConfig {
+        rank: d.usize()?,
+        lambda: d.f64()?,
+        mu: d.f64()?,
+        alpha: d.f64()?,
+        beta: d.f64()?,
+        max_iters: d.usize()?,
+        tol: d.f64()?,
+        debug_bias_db: d.f64()?,
+    })
+}
+
+fn enc_monitor_config(e: &mut Enc, c: &MonitorConfig) {
+    e.f64(c.error_threshold_db);
+    e.f64(c.min_interval_days);
+}
+
+fn dec_monitor_config(d: &mut Dec<'_>) -> Result<MonitorConfig> {
+    Ok(MonitorConfig { error_threshold_db: d.f64()?, min_interval_days: d.f64()? })
+}
+
+fn enc_policy(e: &mut Enc, p: &MaintenancePolicy) {
+    e.u64(p.interval_ms);
+    e.bool(p.auto_refresh);
+    e.u32(p.breach_streak);
+    e.usize(p.monitor_cells);
+    e.bool(p.manual_tick);
+    enc_monitor_config(e, &p.monitor);
+    e.f64(p.guard.max_ref_rmse_db);
+    e.f64(p.guard.max_mean_delta_db);
+    e.u32(p.quarantine_after);
+    e.u32(p.quarantine_cooldown_ticks);
+    e.u32(p.backoff_cap);
+    e.u32(p.debug_panic_ticks);
+}
+
+fn dec_policy(d: &mut Dec<'_>) -> Result<MaintenancePolicy> {
+    Ok(MaintenancePolicy {
+        interval_ms: d.u64()?,
+        auto_refresh: d.bool()?,
+        breach_streak: d.u32()?,
+        monitor_cells: d.usize()?,
+        manual_tick: d.bool()?,
+        monitor: dec_monitor_config(d)?,
+        guard: ReconstructionGuard { max_ref_rmse_db: d.f64()?, max_mean_delta_db: d.f64()? },
+        quarantine_after: d.u32()?,
+        quarantine_cooldown_ticks: d.u32()?,
+        backoff_cap: d.u32()?,
+        debug_panic_ticks: d.u32()?,
+    })
+}
+
+fn enc_ingest(e: &mut Enc, c: &IngestConfig) {
+    e.usize(c.window_capacity);
+    e.f64(c.window_s);
+    e.usize(c.min_samples);
+    e.f64(c.stale_after_s);
+    e.f64(c.hampel_k);
+    e.f64(c.hampel_floor_db);
+    match c.aggregator {
+        Aggregator::Median => e.u8(0),
+        Aggregator::Ewma { alpha } => {
+            e.u8(1);
+            e.f64(alpha);
+        }
+    }
+}
+
+fn dec_ingest(d: &mut Dec<'_>) -> Result<IngestConfig> {
+    Ok(IngestConfig {
+        window_capacity: d.usize()?,
+        window_s: d.f64()?,
+        min_samples: d.usize()?,
+        stale_after_s: d.f64()?,
+        hampel_k: d.f64()?,
+        hampel_floor_db: d.f64()?,
+        aggregator: match d.u8()? {
+            0 => Aggregator::Median,
+            1 => Aggregator::Ewma { alpha: d.f64()? },
+            v => return Err(ServeError::Store(format!("unknown aggregator tag {v}"))),
+        },
+    })
+}
+
+fn enc_db(e: &mut Enc, db: &FingerprintDb) {
+    e.matrix(db.rss());
+    e.usize(db.links().len());
+    for s in db.links() {
+        e.f64(s.a.x);
+        e.f64(s.a.y);
+        e.f64(s.b.x);
+        e.f64(s.b.y);
+    }
+    let grid = db.grid();
+    let origin = grid.origin();
+    e.f64(origin.x);
+    e.f64(origin.y);
+    e.f64(grid.cell_size());
+    e.usize(grid.nx());
+    e.usize(grid.ny());
+}
+
+fn dec_db(d: &mut Dec<'_>) -> Result<FingerprintDb> {
+    let rss = d.matrix()?;
+    let n_links = d.count()?;
+    let mut links = Vec::with_capacity(n_links);
+    for _ in 0..n_links {
+        let a = Point::new(d.f64()?, d.f64()?);
+        let b = Point::new(d.f64()?, d.f64()?);
+        links.push(Segment::new(a, b));
+    }
+    let origin = Point::new(d.f64()?, d.f64()?);
+    let cell_size = d.f64()?;
+    let nx = d.usize()?;
+    let ny = d.usize()?;
+    // FloorGrid::new treats these as programming errors and panics; a decoder
+    // must reject them as data errors instead.
+    if cell_size <= 0.0 || !cell_size.is_finite() || nx == 0 || ny == 0 {
+        return Err(ServeError::Store(format!(
+            "invalid grid: cell_size {cell_size}, {nx}x{ny} cells"
+        )));
+    }
+    let grid = FloorGrid::new(origin, cell_size, nx, ny);
+    FingerprintDb::new(rss, links, grid).map_err(ServeError::from)
+}
+
+fn encode_payload(site: &PersistedSite) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.str(&site.name);
+    e.u64(site.generation);
+    e.f64(site.refreshed_day);
+    enc_config(&mut e, &site.snapshot.config);
+    enc_db(&mut e, &site.snapshot.db);
+    e.usizes(&site.snapshot.ref_cells);
+    e.usizes(site.snapshot.lrr.ref_cells());
+    e.matrix(site.snapshot.lrr.z());
+    e.f64(site.snapshot.lrr.lambda());
+    e.f64s(&site.snapshot.empty_rss);
+    e.matrix(&site.monitor_stored);
+    e.usizes(&site.monitor_cells);
+    e.f64(site.monitor_last_update_day);
+    enc_monitor_config(&mut e, &site.monitor_config);
+    e.u32(site.breach_streak);
+    e.u64(site.maintenance_checks);
+    e.u64(site.auto_refreshes);
+    e.u64(site.refresh_rejections);
+    e.u32(site.consecutive_failures);
+    e.opt_str(site.last_reject_reason.as_deref());
+    e.bool(site.quarantined);
+    e.u32(site.quarantine_cooldown);
+    e.u64(site.tick_panics);
+    enc_policy(&mut e, &site.policy);
+    enc_ingest(&mut e, &site.ingest);
+    e.buf
+}
+
+fn decode_payload(data: &[u8]) -> Result<PersistedSite> {
+    let mut d = Dec::new(data);
+    let name = d.str()?;
+    let generation = d.u64()?;
+    let refreshed_day = d.f64()?;
+    let config = dec_config(&mut d)?;
+    let db = dec_db(&mut d)?;
+    let ref_cells = d.usizes()?;
+    let lrr_cells = d.usizes()?;
+    let z = d.matrix()?;
+    let lambda = d.f64()?;
+    let lrr = LrrModel::from_parts(lrr_cells, z, lambda)?;
+    let empty_rss = d.f64s()?;
+    let site = PersistedSite {
+        name,
+        generation,
+        refreshed_day,
+        snapshot: SystemSnapshot { config, db, ref_cells, lrr, empty_rss },
+        monitor_stored: d.matrix()?,
+        monitor_cells: d.usizes()?,
+        monitor_last_update_day: d.f64()?,
+        monitor_config: dec_monitor_config(&mut d)?,
+        breach_streak: d.u32()?,
+        maintenance_checks: d.u64()?,
+        auto_refreshes: d.u64()?,
+        refresh_rejections: d.u64()?,
+        consecutive_failures: d.u32()?,
+        last_reject_reason: d.opt_str()?,
+        quarantined: d.bool()?,
+        quarantine_cooldown: d.u32()?,
+        tick_panics: d.u64()?,
+        policy: dec_policy(&mut d)?,
+        ingest: dec_ingest(&mut d)?,
+    };
+    d.finish()?;
+    Ok(site)
+}
+
+// ---------------------------------------------------------------------------
+// File store
+// ---------------------------------------------------------------------------
+
+/// One file the recovery pass had to skip, and why.
+#[derive(Debug)]
+pub struct RecoveryIssue {
+    /// The skipped file.
+    pub path: PathBuf,
+    /// Why it was unusable (truncated, bad checksum, undecodable, ...).
+    pub reason: String,
+}
+
+/// What a directory scan recovered.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Newest valid generation of every recoverable site, name-sorted.
+    pub sites: Vec<PersistedSite>,
+    /// Files that were present but unusable.
+    pub skipped: Vec<RecoveryIssue>,
+}
+
+/// A directory of per-site snapshot files.
+#[derive(Debug, Clone)]
+pub struct SiteStore {
+    dir: PathBuf,
+}
+
+impl SiteStore {
+    /// Opens (creating if needed) the snapshot directory.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<SiteStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| ServeError::Store(format!("cannot create {}: {e}", dir.display())))?;
+        Ok(SiteStore { dir })
+    }
+
+    /// The directory snapshots live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Filename stem for a site: a readable sanitized prefix plus a short
+    /// hash of the exact name, so distinct names that sanitize identically
+    /// ("a/b" vs "a:b") cannot collide. The name inside the payload is what
+    /// recovery trusts; this is only for humans and pruning.
+    fn stem(name: &str) -> String {
+        let sanitized: String = name
+            .chars()
+            .take(48)
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        format!("{sanitized}-{:08x}", (h.finish() & 0xFFFF_FFFF) as u32)
+    }
+
+    fn snap_path(&self, name: &str, generation: u64) -> PathBuf {
+        self.dir.join(format!("{}.{generation:020}.snap", SiteStore::stem(name)))
+    }
+
+    /// Persists one site generation: encode, checksum, write to a `.tmp`
+    /// sibling, fsync, rename into place, then prune generations older than
+    /// the newest [`KEEP_GENERATIONS`]. Returns the snapshot path.
+    pub fn save(&self, site: &PersistedSite) -> Result<PathBuf> {
+        let payload = encode_payload(site);
+        let mut file = Vec::with_capacity(payload.len() + 24);
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&crc32(&payload).to_le_bytes());
+
+        let final_path = self.snap_path(&site.name, site.generation);
+        let tmp_path = final_path.with_extension("tmp");
+        let io = |what: &str, e: std::io::Error| {
+            ServeError::Store(format!("{what} {}: {e}", tmp_path.display()))
+        };
+        {
+            let mut f = std::fs::File::create(&tmp_path).map_err(|e| io("cannot create", e))?;
+            f.write_all(&file).map_err(|e| io("cannot write", e))?;
+            f.sync_all().map_err(|e| io("cannot sync", e))?;
+        }
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+            ServeError::Store(format!(
+                "cannot rename {} to {}: {e}",
+                tmp_path.display(),
+                final_path.display()
+            ))
+        })?;
+        self.prune(&site.name, site.generation);
+        Ok(final_path)
+    }
+
+    /// Removes generations of `name` older than the newest
+    /// [`KEEP_GENERATIONS`]. Best-effort: pruning failures never fail a save.
+    fn prune(&self, name: &str, _newest: u64) {
+        let prefix = format!("{}.", SiteStore::stem(name));
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return };
+        let mut generations: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "snap")
+                    && p.file_name()
+                        .and_then(|f| f.to_str())
+                        .is_some_and(|f| f.starts_with(&prefix))
+            })
+            .collect();
+        // The zero-padded generation suffix makes lexicographic order
+        // chronological.
+        generations.sort();
+        if generations.len() > KEEP_GENERATIONS {
+            for old in &generations[..generations.len() - KEEP_GENERATIONS] {
+                let _ = std::fs::remove_file(old);
+            }
+        }
+    }
+
+    /// Reads and validates one snapshot file.
+    pub fn load(path: &Path) -> Result<PersistedSite> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ServeError::Store(format!("cannot read {}: {e}", path.display())))?;
+        if bytes.len() < MAGIC.len() + 4 + 8 + 4 {
+            return Err(ServeError::Store("file too short for a snapshot header".into()));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(ServeError::Store("bad magic: not a taflocd snapshot".into()));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(ServeError::Store(format!(
+                "unsupported format version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let payload_len = usize::try_from(payload_len)
+            .map_err(|_| ServeError::Store("payload length does not fit this platform".into()))?;
+        let expected_total = 20usize
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(4))
+            .ok_or_else(|| ServeError::Store("payload length overflows".into()))?;
+        if bytes.len() < expected_total {
+            return Err(ServeError::Store(format!(
+                "truncated: header promises {payload_len} payload bytes, file holds {}",
+                bytes.len().saturating_sub(24)
+            )));
+        }
+        let payload = &bytes[20..20 + payload_len];
+        let stored_crc =
+            u32::from_le_bytes(bytes[20 + payload_len..24 + payload_len].try_into().expect("4"));
+        let actual_crc = crc32(payload);
+        if stored_crc != actual_crc {
+            return Err(ServeError::Store(format!(
+                "checksum mismatch: stored {stored_crc:08x}, computed {actual_crc:08x}"
+            )));
+        }
+        decode_payload(payload)
+    }
+
+    /// Scans the directory and recovers the newest valid generation of every
+    /// site. Corrupt, truncated, or undecodable files are skipped and
+    /// reported — a bad newest generation falls back to the next older valid
+    /// one. `.tmp` orphans from torn writes are ignored (and cleaned up).
+    pub fn recover_all(&self) -> Result<Recovery> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| ServeError::Store(format!("cannot scan {}: {e}", self.dir.display())))?;
+        let mut best: HashMap<String, PersistedSite> = HashMap::new();
+        let mut skipped = Vec::new();
+        let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        paths.sort();
+        for path in paths {
+            match path.extension().and_then(|x| x.to_str()) {
+                Some("snap") => {}
+                Some("tmp") => {
+                    // A torn write that never reached its rename; never valid.
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                }
+                _ => continue,
+            }
+            match SiteStore::load(&path) {
+                Ok(site) => {
+                    let keep =
+                        best.get(&site.name).map_or(true, |cur| site.generation > cur.generation);
+                    if keep {
+                        best.insert(site.name.clone(), site);
+                    }
+                }
+                Err(e) => skipped.push(RecoveryIssue { path, reason: e.to_string() }),
+            }
+        }
+        let mut sites: Vec<PersistedSite> = best.into_values().collect();
+        sites.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(Recovery { sites, skipped })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> SiteStore {
+        let dir =
+            std::env::temp_dir().join(format!("tafloc-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SiteStore::open(&dir).unwrap()
+    }
+
+    /// A small hand-built site: 2 links x 4 cells, enough to exercise every
+    /// field of the codec without running a calibration.
+    fn sample_site(name: &str, generation: u64) -> PersistedSite {
+        let rss =
+            Matrix::from_vec(2, 4, vec![-50.0, -51.5, -49.0, -60.25, -40.0, -41.0, -42.5, -43.75])
+                .unwrap();
+        let links = vec![
+            Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 0.0)),
+            Segment::new(Point::new(0.0, 1.0), Point::new(3.0, 1.0)),
+        ];
+        let grid = FloorGrid::new(Point::new(-0.5, -0.5), 1.0, 4, 1);
+        let db = FingerprintDb::new(rss, links, grid).unwrap();
+        let z = Matrix::from_vec(2, 4, vec![1.0, 0.0, 0.25, -0.5, 0.0, 1.0, 0.75, 1.5]).unwrap();
+        let lrr = LrrModel::from_parts(vec![0, 2], z, 1e-2).unwrap();
+        PersistedSite {
+            name: name.to_string(),
+            generation,
+            refreshed_day: 45.5,
+            snapshot: SystemSnapshot {
+                config: TafLocConfig {
+                    ref_count: 2,
+                    ref_strategy: ReferenceStrategy::Random { seed: 99 },
+                    matcher: MatchMethod::Knn { k: 3 },
+                    z_policy: ZRefreshPolicy::RefitAfterUpdate,
+                    ..Default::default()
+                },
+                db,
+                ref_cells: vec![0, 2],
+                lrr,
+                empty_rss: vec![-38.0, -39.5],
+            },
+            monitor_stored: Matrix::from_vec(2, 1, vec![-50.0, -40.0]).unwrap(),
+            monitor_cells: vec![0],
+            monitor_last_update_day: 44.0,
+            monitor_config: MonitorConfig { error_threshold_db: 2.5, min_interval_days: 1.0 },
+            breach_streak: 1,
+            maintenance_checks: 17,
+            auto_refreshes: 4,
+            refresh_rejections: 2,
+            consecutive_failures: 1,
+            last_reject_reason: Some("reconstruction contains non-finite entries".into()),
+            quarantined: false,
+            quarantine_cooldown: 0,
+            tick_panics: 1,
+            policy: MaintenancePolicy {
+                interval_ms: 125,
+                breach_streak: 3,
+                quarantine_after: 5,
+                ..Default::default()
+            },
+            ingest: IngestConfig {
+                stale_after_s: 7.5,
+                aggregator: Aggregator::Ewma { alpha: 0.3 },
+                ..Default::default()
+            },
+        }
+    }
+
+    fn assert_sites_equal(a: &PersistedSite, b: &PersistedSite) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.generation, b.generation);
+        assert_eq!(a.refreshed_day, b.refreshed_day);
+        assert!(a.snapshot.db.rss().approx_eq(b.snapshot.db.rss(), 0.0));
+        assert_eq!(a.snapshot.db.links(), b.snapshot.db.links());
+        assert_eq!(a.snapshot.ref_cells, b.snapshot.ref_cells);
+        assert_eq!(a.snapshot.lrr.ref_cells(), b.snapshot.lrr.ref_cells());
+        assert!(a.snapshot.lrr.z().approx_eq(b.snapshot.lrr.z(), 0.0));
+        assert_eq!(a.snapshot.lrr.lambda(), b.snapshot.lrr.lambda());
+        assert_eq!(a.snapshot.empty_rss, b.snapshot.empty_rss);
+        assert_eq!(a.snapshot.config, b.snapshot.config);
+        assert!(a.monitor_stored.approx_eq(&b.monitor_stored, 0.0));
+        assert_eq!(a.monitor_cells, b.monitor_cells);
+        assert_eq!(a.monitor_last_update_day, b.monitor_last_update_day);
+        assert_eq!(a.monitor_config, b.monitor_config);
+        assert_eq!(a.breach_streak, b.breach_streak);
+        assert_eq!(a.maintenance_checks, b.maintenance_checks);
+        assert_eq!(a.auto_refreshes, b.auto_refreshes);
+        assert_eq!(a.refresh_rejections, b.refresh_rejections);
+        assert_eq!(a.consecutive_failures, b.consecutive_failures);
+        assert_eq!(a.last_reject_reason, b.last_reject_reason);
+        assert_eq!(a.quarantined, b.quarantined);
+        assert_eq!(a.quarantine_cooldown, b.quarantine_cooldown);
+        assert_eq!(a.tick_panics, b.tick_panics);
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.ingest, b.ingest);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let store = temp_store("roundtrip");
+        let site = sample_site("lab", 3);
+        let path = store.save(&site).unwrap();
+        let loaded = SiteStore::load(&path).unwrap();
+        assert_sites_equal(&site, &loaded);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn recovery_keeps_newest_valid_generation_and_reports_corruption() {
+        let store = temp_store("recovery");
+        let g1 = sample_site("lab", 1);
+        let mut g2 = sample_site("lab", 2);
+        g2.auto_refreshes = 5;
+        store.save(&g1).unwrap();
+        let p2 = store.save(&g2).unwrap();
+
+        // Torn write: generation 2 is truncated mid-payload.
+        let bytes = std::fs::read(&p2).unwrap();
+        std::fs::write(&p2, &bytes[..bytes.len() / 2]).unwrap();
+        // And a torn tmp orphan is lying around.
+        std::fs::write(store.dir().join("lab-garbage.tmp"), b"half").unwrap();
+
+        let rec = store.recover_all().unwrap();
+        assert_eq!(rec.sites.len(), 1, "generation 1 must survive");
+        assert_sites_equal(&rec.sites[0], &g1);
+        assert_eq!(rec.skipped.len(), 1);
+        assert!(rec.skipped[0].reason.contains("truncated"), "{}", rec.skipped[0].reason);
+        assert!(!store.dir().join("lab-garbage.tmp").exists(), "tmp orphans are cleaned");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn checksum_catches_a_flipped_byte() {
+        let store = temp_store("crc");
+        let path = store.save(&sample_site("lab", 1)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = SiteStore::load(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        let rec = store.recover_all().unwrap();
+        assert!(rec.sites.is_empty());
+        assert_eq!(rec.skipped.len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let store = temp_store("magic");
+        let path = store.dir().join("junk.snap");
+        std::fs::write(&path, b"NOTASNAPxxxxxxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(SiteStore::load(&path).unwrap_err().to_string().contains("magic"));
+
+        let site = sample_site("lab", 1);
+        let real = store.save(&site).unwrap();
+        let mut bytes = std::fs::read(&real).unwrap();
+        bytes[8] = 0xFF; // format version
+        std::fs::write(&real, &bytes).unwrap();
+        assert!(SiteStore::load(&real).unwrap_err().to_string().contains("version"));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn old_generations_are_pruned() {
+        let store = temp_store("prune");
+        for gen in 1..=6u64 {
+            store.save(&sample_site("lab", gen)).unwrap();
+        }
+        let snaps: Vec<_> = std::fs::read_dir(store.dir())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "snap"))
+            .collect();
+        assert_eq!(snaps.len(), KEEP_GENERATIONS);
+        let rec = store.recover_all().unwrap();
+        assert_eq!(rec.sites[0].generation, 6);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn hostile_site_names_stay_inside_the_directory() {
+        let store = temp_store("names");
+        // Distinct names that sanitize identically must not collide.
+        let a = sample_site("a/b", 1);
+        let b = sample_site("a:b", 1);
+        let pa = store.save(&a).unwrap();
+        let pb = store.save(&b).unwrap();
+        assert_ne!(pa, pb);
+        assert_eq!(pa.parent().unwrap(), store.dir());
+        assert_eq!(pb.parent().unwrap(), store.dir());
+        let rec = store.recover_all().unwrap();
+        let names: Vec<&str> = rec.sites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a/b", "a:b"], "payload name is authoritative");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn decode_rejects_garbage_that_passes_the_checksum() {
+        // A structurally valid file whose payload is nonsense: the decoder
+        // must error, not panic or allocate absurdly.
+        let mut file = Vec::new();
+        let payload = vec![0xFFu8; 64];
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let dir = temp_store("garbage");
+        let path = dir.dir().join("g.snap");
+        std::fs::write(&path, &file).unwrap();
+        assert!(SiteStore::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(dir.dir());
+    }
+}

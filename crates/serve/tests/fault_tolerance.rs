@@ -1,0 +1,286 @@
+//! Fault tolerance: refresh sanity gates with rollback, quarantine and
+//! re-admission, panic isolation in the maintenance scheduler, and site
+//! persistence round-trips — all at the library level (no sockets), so every
+//! failure is injected deterministically.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use taf_rfsim::{campaign, World, WorldConfig};
+use tafloc_core::db::FingerprintDb;
+use tafloc_core::loli_ir::LoliIrConfig;
+use tafloc_core::system::{TafLoc, TafLocConfig};
+use tafloc_serve::maintenance::MaintenancePolicy;
+use tafloc_serve::registry::Registry;
+use tafloc_serve::site::Site;
+use tafloc_serve::store::SiteStore;
+use tafloc_serve::ServeError;
+
+const SAMPLES: usize = 20;
+const UPDATE_DAY: f64 = 45.0;
+
+fn calibrated(seed: u64, config: TafLocConfig) -> (World, TafLoc) {
+    let world = World::new(WorldConfig::small_test(), seed);
+    let x0 = campaign::full_calibration(&world, 0.0, SAMPLES);
+    let e0 = campaign::empty_snapshot(&world, 0.0, SAMPLES);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    let sys = TafLoc::calibrate(config, db, e0).unwrap();
+    (world, sys)
+}
+
+fn honest_config() -> TafLocConfig {
+    TafLocConfig { ref_count: 6, ..Default::default() }
+}
+
+/// A system whose every reconstruction is poisoned: the test-only
+/// `debug_bias_db` hook shifts the solve +40 dB, far past the guard's
+/// reference-RMSE ceiling.
+fn poisoned_config() -> TafLocConfig {
+    TafLocConfig {
+        ref_count: 6,
+        loli: LoliIrConfig { debug_bias_db: 40.0, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn fresh_refs(world: &World, sys: &TafLoc) -> (taf_linalg::Matrix, Vec<f64>) {
+    let cols = campaign::measure_columns(world, UPDATE_DAY, sys.reference_cells(), SAMPLES);
+    let empty = campaign::empty_snapshot(world, UPDATE_DAY, SAMPLES);
+    (cols, empty)
+}
+
+fn wait_until(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    done()
+}
+
+#[test]
+fn guard_rejection_rolls_back_and_quarantines() {
+    let (world, sys) = calibrated(41, poisoned_config());
+    let policy = MaintenancePolicy {
+        auto_refresh: false,
+        manual_tick: true,
+        quarantine_after: 2,
+        ..Default::default()
+    };
+    let site = Site::new("lab", sys, 0.0, policy).unwrap();
+    let (cols, empty) = fresh_refs(&world, &site.load().system);
+    let query = campaign::snapshot_at_cell(&world, 0.0, 3, SAMPLES);
+    let before = site.locate(&query).unwrap().0.cell;
+
+    site.ingest_refs(UPDATE_DAY, cols, empty).unwrap();
+
+    // First rejection: rolled back, counted, not yet quarantined.
+    let err = site.refresh().unwrap_err();
+    match &err {
+        ServeError::RefreshRejected { reason, quarantined } => {
+            assert!(reason.contains("reference columns"), "{reason}");
+            assert!(!quarantined, "one strike is not enough");
+        }
+        other => panic!("expected RefreshRejected, got {other}"),
+    }
+    let stats = site.stats();
+    assert_eq!(stats.version, 0, "old snapshot stays live");
+    assert_eq!(stats.refresh_rejections, 1);
+    assert_eq!(stats.consecutive_failures, 1);
+    assert!(!stats.quarantined);
+    assert!(stats.last_reject_reason.as_deref().unwrap().contains("reference columns"));
+    assert!(stats.pending_refs, "pending refs are kept for a retried attempt");
+
+    // The read path is untouched by the rejection.
+    let (fix, version) = site.locate(&query).unwrap();
+    assert_eq!((fix.cell, version), (before, 0));
+
+    // Second strike crosses `quarantine_after`.
+    let err = site.refresh().unwrap_err();
+    assert!(
+        matches!(err, ServeError::RefreshRejected { quarantined: true, .. }),
+        "second strike must quarantine: {err}"
+    );
+    let stats = site.stats();
+    assert!(stats.quarantined);
+    assert_eq!(stats.refresh_rejections, 2);
+    assert!(site.backoff_factor() > 1, "failures must back the scheduler off");
+
+    // Quarantined sites are skipped by the scheduler gate and their manual
+    // ticks are inert — but they keep serving reads.
+    assert!(site.quarantine_tick());
+    assert_eq!(site.locate(&query).unwrap().0.cell, before);
+}
+
+#[test]
+fn quarantine_cooldown_re_admits_on_probation() {
+    let (world, sys) = calibrated(42, poisoned_config());
+    let policy = MaintenancePolicy {
+        auto_refresh: false,
+        manual_tick: true,
+        quarantine_after: 1,
+        quarantine_cooldown_ticks: 2,
+        ..Default::default()
+    };
+    let site = Site::new("lab", sys, 0.0, policy).unwrap();
+    let (cols, empty) = fresh_refs(&world, &site.load().system);
+    site.ingest_refs(UPDATE_DAY, cols, empty).unwrap();
+    assert!(site.refresh().is_err());
+    assert!(site.is_quarantined(), "quarantine_after = 1: first strike quarantines");
+
+    // Two scheduler passes burn the cooldown; the site comes back...
+    assert!(site.quarantine_tick());
+    assert!(site.quarantine_tick());
+    assert!(!site.is_quarantined(), "cooldown elapsed");
+    assert!(!site.quarantine_tick(), "no longer skipped");
+
+    // ...on probation: the failure streak survives re-admission, so the very
+    // next rejection re-quarantines instantly.
+    assert!(site.refresh().is_err());
+    assert!(site.is_quarantined(), "probation: one more strike re-quarantines");
+}
+
+#[test]
+fn nan_poisoned_refs_never_commit() {
+    let (world, sys) = calibrated(43, honest_config());
+    let policy = MaintenancePolicy { auto_refresh: false, manual_tick: true, ..Default::default() };
+    let site = Site::new("lab", sys, 0.0, policy).unwrap();
+    let (mut cols, empty) = fresh_refs(&world, &site.load().system);
+    cols.set(0, 0, f64::NAN).unwrap();
+    let query = campaign::snapshot_at_cell(&world, 0.0, 2, SAMPLES);
+    let before = site.locate(&query).unwrap().0.cell;
+
+    site.ingest_refs(UPDATE_DAY, cols, empty).unwrap();
+    // Whether the solver chokes or the guard catches the non-finite result,
+    // a poisoned refresh must never commit.
+    assert!(site.refresh().is_err());
+    let (fix, version) = site.locate(&query).unwrap();
+    assert_eq!((fix.cell, version), (before, 0), "rollback: old snapshot serves on");
+}
+
+#[test]
+fn honest_refresh_clears_quarantine_and_failure_state() {
+    let (world, sys) = calibrated(44, honest_config());
+    let policy = MaintenancePolicy {
+        auto_refresh: false,
+        manual_tick: true,
+        quarantine_after: 1,
+        ..Default::default()
+    };
+    let site = Site::new("lab", sys, 0.0, policy).unwrap();
+
+    // Poison via NaN reference measurements until quarantined.
+    let (cols, empty) = fresh_refs(&world, &site.load().system);
+    let mut bad = cols.clone();
+    bad.set(0, 0, f64::NAN).unwrap();
+    site.ingest_refs(UPDATE_DAY, bad, empty.clone()).unwrap();
+    let _ = site.refresh();
+    // NaN may surface as a solver error rather than a guard rejection; force
+    // the quarantine path deterministically if it did not count.
+    if !site.is_quarantined() {
+        site.note_tick_panic();
+    }
+    assert!(site.is_quarantined());
+
+    // An explicit refresh with honest measurements re-admits the site: new
+    // measure-refs overwrite the poisoned pending columns.
+    site.ingest_refs(UPDATE_DAY, cols, empty).unwrap();
+    let (report, version) = site.refresh().unwrap();
+    assert!(report.converged);
+    assert_eq!(version, 1);
+    let stats = site.stats();
+    assert!(!stats.quarantined, "a committed refresh lifts quarantine");
+    assert_eq!(stats.consecutive_failures, 0);
+    assert!(stats.last_reject_reason.is_none());
+    assert_eq!(site.backoff_factor(), 1, "backoff resets on success");
+}
+
+#[test]
+fn panicking_ticks_are_isolated_and_the_site_recovers() {
+    let (world, sys) = calibrated(45, honest_config());
+    // The first 3 ticks panic (injected); 3 strikes quarantine; a 2-pass
+    // cooldown re-admits. The scheduler thread must survive all of it.
+    let policy = MaintenancePolicy {
+        interval_ms: 10,
+        auto_refresh: false,
+        debug_panic_ticks: 3,
+        quarantine_after: 3,
+        quarantine_cooldown_ticks: 2,
+        ..Default::default()
+    };
+    let registry = Registry::new();
+    let site = registry.add(Site::new("lab", sys, 0.0, policy).unwrap()).unwrap();
+    let query = campaign::snapshot_at_cell(&world, 0.0, 4, SAMPLES);
+
+    // All three injected panics fire (each isolated by the panic boundary).
+    assert!(
+        wait_until(Duration::from_secs(20), || site.stats().tick_panics >= 3),
+        "scheduler died before surviving 3 injected panics: {:?}",
+        site.stats()
+    );
+    // Reads never stopped working.
+    site.locate(&query).unwrap();
+
+    // Quarantine, then cooldown-driven re-admission, then healthy ticks
+    // (the panic budget is exhausted, so resumed ticks run for real).
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            let s = site.stats();
+            !s.quarantined && s.maintenance_checks >= 1
+        }),
+        "site never recovered from quarantine: {:?}",
+        site.stats()
+    );
+    let stats = site.stats();
+    assert_eq!(stats.tick_panics, 3, "no panics after the injected budget");
+
+    // And an explicit honest refresh clears the failure streak entirely.
+    let (cols, empty) = fresh_refs(&world, &site.load().system);
+    site.ingest_refs(UPDATE_DAY, cols, empty).unwrap();
+    let (_, version) = site.refresh().unwrap();
+    assert_eq!(version, 1);
+    assert_eq!(site.stats().consecutive_failures, 0);
+    registry.stop_maintenance();
+}
+
+#[test]
+fn persisted_site_survives_a_simulated_restart() {
+    let dir = std::env::temp_dir().join(format!("tafloc-ft-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(SiteStore::open(&dir).unwrap());
+
+    let (world, sys) = calibrated(46, honest_config());
+    let policy = MaintenancePolicy { auto_refresh: false, manual_tick: true, ..Default::default() };
+    let site =
+        Site::new("lab", sys, 0.0, policy).unwrap().with_persistence(Arc::clone(&store)).unwrap();
+
+    // Generation 0 was persisted on attach; commit generation 1 too.
+    let (cols, empty) = fresh_refs(&world, &site.load().system);
+    site.ingest_refs(UPDATE_DAY, cols, empty).unwrap();
+    let (_, version) = site.refresh().unwrap();
+    assert_eq!(version, 1);
+    let queries: Vec<Vec<f64>> = (0..world.num_cells())
+        .map(|c| campaign::snapshot_at_cell(&world, UPDATE_DAY, c, SAMPLES))
+        .collect();
+    let expected: Vec<usize> = queries.iter().map(|y| site.locate(y).unwrap().0.cell).collect();
+    let stats_before = site.stats();
+    drop(site);
+
+    // "Restart": a fresh store over the same directory, recover, resurrect.
+    let store2 = SiteStore::open(&dir).unwrap();
+    let recovery = store2.recover_all().unwrap();
+    assert!(recovery.skipped.is_empty(), "{:?}", recovery.skipped);
+    assert_eq!(recovery.sites.len(), 1);
+    let revived =
+        Site::from_persisted(recovery.sites.into_iter().next().unwrap(), Default::default())
+            .unwrap();
+    let stats_after = revived.stats();
+    assert_eq!(stats_after.version, 1, "recovered at the committed generation");
+    assert_eq!(stats_after.refreshed_day, UPDATE_DAY);
+    assert_eq!(stats_after.maintenance_checks, stats_before.maintenance_checks);
+    let revived_fixes: Vec<usize> =
+        queries.iter().map(|y| revived.locate(y).unwrap().0.cell).collect();
+    assert_eq!(revived_fixes, expected, "locate must be bit-equal across the restart");
+    let _ = std::fs::remove_dir_all(&dir);
+}

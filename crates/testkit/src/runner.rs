@@ -34,6 +34,7 @@ use tafloc_core::system::{TafLoc, TafLocConfig};
 use tafloc_ingest::{ClockMode, LinkSample};
 use tafloc_serve::maintenance::MaintenancePolicy;
 use tafloc_serve::site::Site;
+use tafloc_serve::store::SiteStore;
 
 /// Stream-seed bases per phase, so the day-0 and drifted evaluations (and the
 /// survey) draw from disjoint deterministic noise streams.
@@ -71,7 +72,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         },
         ..Default::default()
     };
-    let site =
+    let mut site =
         Site::with_options(scenario.name, system, 0.0, policy, scenario.ingest, ClockMode::Manual)
             .map_err(|e| e.to_string())?;
 
@@ -117,6 +118,16 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         }
     }
 
+    // Simulated crash/restart: write the site's committed state through the
+    // real persistence path, throw the live site away, and recover from the
+    // snapshot file — everything below runs against the revived site, so any
+    // lossiness in the codec shows up in the accuracy gates. (Pending refs
+    // and the live ingestion window are deliberately *not* persisted; the
+    // stream gap already guarantees the window is drained between streams.)
+    if scenario.restart_after_refresh {
+        site = restart_through_store(scenario, site)?;
+    }
+
     // Primary accuracy gates: the *served* database against the drifted
     // truth. RMSE catches quality regressions; the mean signed error catches
     // systematic bias (it cannot hide inside the RMSE tolerance).
@@ -159,6 +170,36 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         ingest_dropped_queue_batches: stats.ingest.dropped_queue_batches,
         ingest_rejected_outliers: stats.ingest.rejected_outliers,
     })
+}
+
+/// Persists `site` via [`SiteStore`], drops it, and resurrects it from the
+/// snapshot file — the testkit's stand-in for a `kill -9` + restart of the
+/// daemon. Recovery problems (corrupt/skipped snapshots, a failed decode)
+/// surface as scenario errors.
+fn restart_through_store(scenario: &Scenario, site: Site) -> Result<Site, String> {
+    let dir = std::env::temp_dir().join(format!(
+        "tafloc-testkit-restart-{}-{}",
+        std::process::id(),
+        scenario.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let revived = (|| -> Result<Site, String> {
+        let store = SiteStore::open(&dir).map_err(|e| e.to_string())?;
+        store.save(&site.to_persisted()).map_err(|e| e.to_string())?;
+        drop(site); // the "crash": nothing survives but the snapshot file
+        let recovery = store.recover_all().map_err(|e| e.to_string())?;
+        if !recovery.skipped.is_empty() {
+            return Err(format!("recovery skipped snapshots: {:?}", recovery.skipped));
+        }
+        let persisted = recovery
+            .sites
+            .into_iter()
+            .next()
+            .ok_or_else(|| "no site recovered from the snapshot directory".to_string())?;
+        Site::from_persisted(persisted, ClockMode::Manual).map_err(|e| e.to_string())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    revived
 }
 
 /// One evaluation pass: stream a target at each eval cell through the live

@@ -124,6 +124,12 @@ pub struct Scenario {
     /// scenario. The mutation gate sets this to a non-zero value and asserts
     /// that the golden comparison fails.
     pub debug_bias_db: f64,
+    /// Simulate a crash/restart after the maintenance ticks: persist the
+    /// site through [`tafloc_serve::store::SiteStore`], drop it, recover
+    /// from the snapshot file, and run the drifted evaluation on the revived
+    /// site. Accuracy metrics must be unaffected — persistence is supposed
+    /// to be exact — which the restart-equivalence test pins down.
+    pub restart_after_refresh: bool,
     /// Golden-comparison tolerances.
     pub tolerances: Tolerances,
 }
@@ -151,6 +157,7 @@ impl Scenario {
             breach_streak: 2,
             max_ticks: 5,
             debug_bias_db: 0.0,
+            restart_after_refresh: false,
             tolerances: Tolerances::default(),
         }
     }
@@ -228,7 +235,20 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
         ..Tolerances::default()
     };
 
-    vec![nominal, lossy, dead, outage]
+    let mut restart = Scenario::base(
+        "restart-recovery",
+        "daemon is killed right after the drift refresh; recovery from the snapshot must serve on",
+        46,
+    );
+    restart.restart_after_refresh = true;
+    // The live ingestion window is deliberately not persisted, so a restart
+    // is only *bit-equal* when the window state cannot leak across streams:
+    // with the ring capped below a stream's per-link sample count (~30 at
+    // 1 Hz x 30 s), every stream fully displaces the previous one and the
+    // warm and cold ingestors converge on the same newest-16 samples.
+    restart.ingest = IngestConfig { window_capacity: 16, ..IngestConfig::default() };
+
+    vec![nominal, lossy, dead, outage, restart]
 }
 
 /// Looks a built-in scenario up by name.

@@ -108,3 +108,38 @@ fn zero_bias_hook_is_a_no_op() {
     let golden = load_golden("nominal").unwrap();
     assert!(compare(&report, &golden, &scenario.tolerances).is_empty());
 }
+
+#[test]
+fn restart_recovery_passes_its_golden_gates() {
+    check("restart-recovery");
+}
+
+/// Restart equivalence: the same scenario run with and without the simulated
+/// crash/restart must produce identical post-restart accuracy — persistence
+/// is exact, not approximate. Only the cumulative ingest counters may differ
+/// (the live ingestion window is deliberately not persisted); every metric
+/// computed after the restart point must match to the last bit.
+#[test]
+fn restart_is_invisible_to_every_accuracy_metric() {
+    let with_restart = find_scenario("restart-recovery").unwrap();
+    let mut without = with_restart.clone();
+    without.restart_after_refresh = false;
+
+    let a = run_scenario(&with_restart).unwrap();
+    let b = run_scenario(&without).unwrap();
+
+    assert_eq!(a.day0, b.day0, "day-0 phase precedes the restart entirely");
+    assert_eq!(a.drifted, b.drifted, "drifted eval must be bit-equal across the restart");
+    assert_eq!(
+        a.recon_rmse_db.to_bits(),
+        b.recon_rmse_db.to_bits(),
+        "served DB must round-trip bit-exactly: {} vs {}",
+        a.recon_rmse_db,
+        b.recon_rmse_db
+    );
+    assert_eq!(a.recon_bias_db.to_bits(), b.recon_bias_db.to_bits());
+    assert_eq!(a.refreshes, b.refreshes);
+    assert_eq!(a.maintenance_checks, b.maintenance_checks, "tick counters are persisted");
+    assert_eq!(a.snapshot_version, b.snapshot_version);
+    assert_eq!(a.pending_refs, b.pending_refs);
+}

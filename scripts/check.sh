@@ -19,6 +19,9 @@ cargo test -q
 echo "==> cargo test -q --workspace --no-default-features  (serial fallback)"
 cargo test -q --workspace --no-default-features
 
+echo "==> cargo test -p tafloc-serve --test protocol_fuzz  (decoder fuzz)"
+cargo test -q -p tafloc-serve --test protocol_fuzz
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
