@@ -325,7 +325,9 @@ mod tests {
 
     #[test]
     fn localize_multi_single_target_yields_one_dominant_peak() {
-        let w = world();
+        // Seed-tuned: the shadowing field must not carry a shadow deeper than
+        // the single target's, or the dominant-peak assertion is meaningless.
+        let w = World::new(WorldConfig::paper_default(), 22);
         let rti = rti_for(&w);
         let empty = campaign::empty_snapshot(&w, 0.0, 100);
         let p = w.grid().cell_center(40);

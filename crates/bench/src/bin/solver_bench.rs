@@ -43,6 +43,10 @@ struct Timing {
     iterations: usize,
     converged: bool,
     objective: f64,
+    /// Relative objective decrease over the final iteration, in the same
+    /// normalization the solver's stopping rule uses.
+    final_rel_delta: f64,
+    stop_reason: &'static str,
 }
 
 fn main() {
@@ -118,10 +122,21 @@ fn main() {
 
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         let median_ms = samples[samples.len() / 2];
-        let objective = *rec.objective_trace.last().expect("non-empty trace");
+        let trace = &rec.objective_trace;
+        let objective = *trace.last().expect("non-empty trace");
+        // The solver stops when (prev - f).abs() <= tol * prev.abs().max(1);
+        // report the same normalized delta so readers can see how far from
+        // the tolerance a max-iters run ended.
+        let final_rel_delta = if trace.len() >= 2 {
+            let prev = trace[trace.len() - 2];
+            (prev - objective).abs() / prev.abs().max(1.0)
+        } else {
+            0.0
+        };
+        let stop_reason = if rec.converged { "converged" } else { "max_iters" };
         println!(
-            "  {threads} thread(s): median {median_ms:.3} ms, {} iters (converged: {}), objective {objective:.3}",
-            rec.iterations, rec.converged
+            "  {threads} thread(s): median {median_ms:.3} ms, {} iters (stop: {stop_reason}), objective {objective:.3}, final rel delta {final_rel_delta:.2e}",
+            rec.iterations
         );
         timings.push(Timing {
             threads,
@@ -129,6 +144,8 @@ fn main() {
             iterations: rec.iterations,
             converged: rec.converged,
             objective,
+            final_rel_delta,
+            stop_reason,
         });
     }
 
@@ -141,7 +158,9 @@ fn main() {
                 ("wall_ms".into(), Json::Num(perf::round_ms(t.median_ms))),
                 ("iterations".into(), Json::Num(t.iterations as f64)),
                 ("converged".into(), Json::Bool(t.converged)),
+                ("stop_reason".into(), Json::Str(t.stop_reason.into())),
                 ("objective".into(), Json::Num(t.objective)),
+                ("final_rel_delta".into(), Json::Num(t.final_rel_delta)),
                 ("speedup_vs_1_thread".into(), Json::Num(perf::round_ms(base_ms / t.median_ms))),
             ])
         })

@@ -69,6 +69,12 @@ impl From<tafloc_serve::ServeError> for CliError {
     }
 }
 
+impl From<taf_plan::PlanError> for CliError {
+    fn from(e: taf_plan::PlanError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Result alias for CLI operations.
 pub type Result<T> = std::result::Result<T, CliError>;
 
@@ -334,8 +340,110 @@ pub fn cmd_measure_refs(args: &Args) -> Result<String> {
     ))
 }
 
+// ----------------------------------------------------------------------
+// Adaptive sensing (taf-plan)
+// ----------------------------------------------------------------------
+
+/// Parses `--policy` (default: uncertainty-greedy).
+fn policy_from_args(args: &Args) -> Result<taf_plan::PlanPolicy> {
+    match args.optional("policy") {
+        None => Ok(taf_plan::PlanPolicy::UncertaintyGreedy),
+        Some(p) => Ok(p.parse::<taf_plan::PlanPolicy>()?),
+    }
+}
+
+/// The system's stored reference columns (`M x n`) — the probe input when no
+/// fresh reference measurements are on hand.
+fn stored_ref_columns(sys: &TafLoc) -> Result<Matrix> {
+    let cells = sys.reference_cells();
+    let mut out = Matrix::zeros(sys.db().num_links(), cells.len());
+    for (k, &cell) in cells.iter().enumerate() {
+        out.set_col(k, &sys.db().rss().col(cell))?;
+    }
+    Ok(out)
+}
+
+/// Runs a probe reconstruction to extract per-reference-cell confidence and
+/// turns it into a measurement plan. Every link is assumed measurable — the
+/// CLI has no live link census; the daemon path feeds the real one.
+fn plan_from_probe(
+    sys: &TafLoc,
+    probe_refs: &Matrix,
+    probe_empty: &[f64],
+    budget: usize,
+    policy: taf_plan::PlanPolicy,
+    epoch: u64,
+) -> Result<(taf_plan::MeasurementPlan, Vec<f64>)> {
+    let rec = sys.reconstruct_db(probe_refs, probe_empty)?;
+    let confidence: Vec<f64> =
+        sys.reference_cells().iter().map(|&c| rec.diagnostics.cell_confidence[c]).collect();
+    let planner = taf_plan::Planner::new(taf_plan::PlannerConfig::new(budget, policy))?;
+    let health = vec![tafloc_ingest::LinkStatus::Live; sys.db().num_links()];
+    let plan = planner.plan(&taf_plan::PlanInputs {
+        epoch,
+        n_refs: confidence.len(),
+        link_health: &health,
+        confidence: Some(&confidence),
+        last_surveyed: None,
+    })?;
+    Ok((plan, confidence))
+}
+
+/// `plan`: computes a budgeted measurement plan for the next reference
+/// survey from the system's per-cell reconstruction confidence.
+pub fn cmd_plan(args: &Args) -> Result<String> {
+    let snapshot: SystemSnapshot = read_json(&args.path("system")?)?;
+    let sys = TafLoc::from_snapshot(snapshot)?;
+    let budget: usize = args.num_required("budget")?;
+    let policy = policy_from_args(args)?;
+    let epoch: u64 = args.num("epoch", 1)?;
+    // Probe input: fresh reference measurements when provided, else the
+    // stored database's own columns (self-probe: confidence then reflects
+    // the solver's leverage/coverage structure, not new data).
+    let (probe_refs, probe_empty) = match args.optional("refs") {
+        Some(p) => {
+            let refs: RefsFile = read_json(Path::new(p))?;
+            if refs.cells != sys.reference_cells() {
+                return Err(CliError(format!(
+                    "reference cells in the refs file {:?} disagree with the system's {:?}",
+                    refs.cells,
+                    sys.reference_cells()
+                )));
+            }
+            (refs.columns, refs.empty)
+        }
+        None => (stored_ref_columns(&sys)?, sys.empty_rss().to_vec()),
+    };
+    let (plan, confidence) = with_threads(args, || {
+        plan_from_probe(&sys, &probe_refs, &probe_empty, budget, policy, epoch)
+    })?;
+    let mut msg = format!(
+        "plan for epoch {epoch} ({policy}): {} of {} link-measurements ({:.0}%)\n",
+        plan.planned_cost,
+        plan.full_cost,
+        100.0 * plan.planned_cost as f64 / plan.full_cost.max(1) as f64
+    );
+    for entry in &plan.entries {
+        msg.push_str(&format!(
+            "  ref slot {} (cell {}, confidence {:.3}): {} link(s)\n",
+            entry.ref_slot,
+            sys.reference_cells()[entry.ref_slot],
+            confidence[entry.ref_slot],
+            entry.links.len()
+        ));
+    }
+    if let Some(out) = args.optional("out") {
+        write_json(Path::new(out), &plan)?;
+        msg.push_str(&format!("written to {out}\n"));
+    }
+    Ok(msg.trim_end().to_string())
+}
+
 /// `update`: refreshes the system's database from reference measurements.
-/// `--threads N` scopes the LoLi-IR solve to an N-worker pool.
+/// `--threads N` scopes the LoLi-IR solve to an N-worker pool. With
+/// `--budget N` (and optionally `--policy`), only the plan-selected
+/// reference entries are taken from the refs file; the rest keep their
+/// stored values and are excluded from the data fit (budgeted refresh).
 pub fn cmd_update(args: &Args) -> Result<String> {
     let snapshot: SystemSnapshot = read_json(&args.path("system")?)?;
     let refs: RefsFile = read_json(&args.path("refs")?)?;
@@ -348,10 +456,45 @@ pub fn cmd_update(args: &Args) -> Result<String> {
             sys.reference_cells()
         )));
     }
-    let report = with_threads(args, || Ok(sys.update(&refs.columns, &refs.empty)?))?;
+    let (report, cost_note) = match args.optional("budget") {
+        None => {
+            if args.optional("policy").is_some() {
+                return Err(CliError("--policy requires --budget".into()));
+            }
+            (with_threads(args, || Ok(sys.update(&refs.columns, &refs.empty)?))?, String::new())
+        }
+        Some(_) => {
+            let budget: usize = args.num_required("budget")?;
+            let policy = policy_from_args(args)?;
+            let epoch: u64 = args.num("epoch", 1)?;
+            with_threads(args, || {
+                // Probe on the stored columns first: which references is the
+                // system least certain about, before spending the budget.
+                let stored = stored_ref_columns(&sys)?;
+                let empty_now = sys.empty_rss().to_vec();
+                let (plan, _) = plan_from_probe(&sys, &stored, &empty_now, budget, policy, epoch)?;
+                // Planned entries come from the fresh measurements; the rest
+                // keep their stored values and stay outside the data fit.
+                let mut columns = stored;
+                let mut mask = tafloc_core::Mask::falses(sys.db().num_links(), refs.cells.len());
+                for entry in &plan.entries {
+                    for &l in &entry.links {
+                        columns[(l, entry.ref_slot)] = refs.columns[(l, entry.ref_slot)];
+                        mask.set(l, entry.ref_slot, true);
+                    }
+                }
+                let report = sys.update_masked(&columns, &refs.empty, &mask)?;
+                let note = format!(
+                    "; re-surveyed {} of {} link-measurements ({policy})",
+                    plan.planned_cost, plan.full_cost
+                );
+                Ok((report, note))
+            })?
+        }
+    };
     write_json(&out, &sys.snapshot())?;
     Ok(format!(
-        "updated in {} LoLi-IR iterations (converged: {}); DB shifted {:.2} dB; written to {}",
+        "updated in {} LoLi-IR iterations (converged: {}); DB shifted {:.2} dB{cost_note}; written to {}",
         report.iterations,
         report.converged,
         report.mean_abs_change_db,
@@ -425,8 +568,25 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
     // `--data-dir` turns on crash-safe persistence: committed generations
     // are snapshotted there and recovered on the next start.
     let data_dir = args.optional("data-dir").map(std::path::PathBuf::from);
-    let server =
-        Server::bind(addr.as_str(), ServerConfig { maintenance_threads, data_dir, ..config })?;
+    // `--budget N [--policy P]` attaches an adaptive-sensing planner to every
+    // site the daemon registers or recovers: refreshes then accept budgeted
+    // reference rounds guided by reconstruction confidence.
+    let plan = match args.optional("budget") {
+        Some(_) => {
+            let budget: usize = args.num_required("budget")?;
+            Some(taf_plan::PlannerConfig::new(budget, policy_from_args(args)?))
+        }
+        None => {
+            if args.optional("policy").is_some() {
+                return Err(CliError("--policy requires --budget".into()));
+            }
+            None
+        }
+    };
+    let server = Server::bind(
+        addr.as_str(),
+        ServerConfig { maintenance_threads, data_dir, plan, ..config },
+    )?;
     let (recovered, skipped) = server.recover_sites()?;
     for name in &recovered {
         eprintln!("site {name:?} recovered from --data-dir");
@@ -596,9 +756,61 @@ fn cmd_testkit_inner(args: &Args) -> Result<String> {
             sc.debug_bias_db = bias;
         }
     }
+    // `--budget N [--policy P]`: adaptive-sensing overrides. On a plan
+    // scenario they replace the committed budget/policy; on any other
+    // scenario `--budget` attaches a second, budgeted survey epoch 30 days
+    // past the drift day. Experiments only — never blessable.
+    if args.optional("budget").is_some() || args.optional("policy").is_some() {
+        if args.optional("scenario").is_none() {
+            return Err(CliError("--budget/--policy require --scenario".into()));
+        }
+        for sc in &mut scenarios {
+            if let Some(b) = args.optional("budget") {
+                let budget: usize = b
+                    .parse()
+                    .map_err(|_| CliError(format!("flag --budget expects a number, got {b:?}")))?;
+                let full = sc.ref_count * sc.world.config().num_links;
+                if budget == 0 || budget > full {
+                    return Err(CliError(format!(
+                        "--budget must be in 1..={full} link-measurements for this scenario"
+                    )));
+                }
+                if sc.restart_after_refresh {
+                    return Err(CliError(format!(
+                        "scenario {:?} simulates a restart; plan state is not persisted, so \
+                         --budget cannot apply",
+                        sc.name
+                    )));
+                }
+                let mut spec = sc.plan.unwrap_or(taf_testkit::PlanSpec {
+                    budget_fraction: 1.0,
+                    policy: taf_plan::PlanPolicy::UncertaintyGreedy,
+                    second_drift_day: sc.drift_day + 30.0,
+                });
+                spec.budget_fraction = budget as f64 / full as f64;
+                sc.plan = Some(spec);
+            }
+            match (&mut sc.plan, args.optional("policy")) {
+                (Some(spec), Some(p)) => spec.policy = p.parse::<taf_plan::PlanPolicy>()?,
+                (None, Some(_)) => {
+                    return Err(CliError(
+                        "--policy needs --budget or a plan scenario (plan-*)".into(),
+                    ))
+                }
+                _ => {}
+            }
+        }
+    }
     let bless = args.switch("bless");
-    if bless && (args.optional("seed").is_some() || args.optional("bias").is_some()) {
-        return Err(CliError("--bless cannot be combined with --seed/--bias overrides".into()));
+    if bless
+        && (args.optional("seed").is_some()
+            || args.optional("bias").is_some()
+            || args.optional("budget").is_some()
+            || args.optional("policy").is_some())
+    {
+        return Err(CliError(
+            "--bless cannot be combined with --seed/--bias/--budget/--policy overrides".into(),
+        ));
     }
     let mut out = String::new();
     let mut failures = 0usize;
@@ -652,6 +864,9 @@ COMMANDS
   calibrate     --survey survey.json --out system.json [--refs N]
   measure-refs  --world w.json --system system.json --day D --out refs.json [--samples K]
   update        --system system.json --refs refs.json --out system.json [--threads N]
+                [--budget N [--policy uncertainty-greedy|fixed-schedule] [--epoch E]]
+  plan          --system system.json --budget N [--policy P] [--epoch E]
+                [--refs refs.json] [--out plan.json]
   snapshot      --world w.json --day D --cell C --out y.json [--samples K]
   locate        --system system.json --y y.json
   gen-stream    --world w.json --out stream.json [--day D] [--cell C]
@@ -662,10 +877,10 @@ COMMANDS
   info          --system system.json
   export-db     --system system.json --out db.csv
   serve         [--port P | --addr HOST:PORT] [--workers N] [--threads N]
-                [--port-file PATH] [--data-dir DIR]
+                [--port-file PATH] [--data-dir DIR] [--budget N [--policy P]]
                 [--system system.json [--site NAME] [--day D]]
   testkit       [--list] [--scenario NAME] [--bless] [--out report.json]
-                [--seed N] [--bias DB] [--threads N]
+                [--seed N] [--bias DB] [--budget N] [--policy P] [--threads N]
 
 `--threads N` scopes solver work to an N-worker pool (0 = one per core);
 for `serve` it sizes the shared background-maintenance pool.
@@ -679,6 +894,7 @@ pub fn run(command: &str, args: &Args) -> Result<String> {
         "calibrate" => cmd_calibrate(args),
         "measure-refs" => cmd_measure_refs(args),
         "update" => cmd_update(args),
+        "plan" => cmd_plan(args),
         "snapshot" => cmd_snapshot(args),
         "locate" => cmd_locate(args),
         "gen-stream" => cmd_gen_stream(args),

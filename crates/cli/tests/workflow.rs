@@ -99,6 +99,59 @@ fn full_lifecycle_through_cli_commands() {
 }
 
 #[test]
+fn plan_and_budgeted_update_spend_exactly_the_budget() {
+    let dir = TempDir::new("plan");
+    let world = dir.file("world.json");
+    let survey = dir.file("survey.json");
+    let system = dir.file("system.json");
+    let refs = dir.file("refs.json");
+    let plan = dir.file("plan.json");
+
+    run("new-world", &args(&["--seed", "13", "--out", &world, "--small"])).unwrap();
+    run("survey", &args(&["--world", &world, "--out", &survey, "--samples", "20"])).unwrap();
+    run("calibrate", &args(&["--survey", &survey, "--out", &system, "--refs", "6"])).unwrap();
+    run(
+        "measure-refs",
+        &args(&["--world", &world, "--system", &system, "--day", "60", "--out", &refs]),
+    )
+    .unwrap();
+
+    // 3 of 6 reference cells at 6 links each.
+    let msg = run("plan", &args(&["--system", &system, "--budget", "18", "--out", &plan])).unwrap();
+    assert!(msg.contains("18 of 36 link-measurements (50%)"), "{msg}");
+    assert_eq!(msg.matches("ref slot").count(), 3, "{msg}");
+    let text = std::fs::read_to_string(&plan).unwrap();
+    assert!(text.contains("\"planned_cost\":18"), "{text}");
+    assert!(text.contains("uncertainty-greedy"), "{text}");
+
+    // Budgeted update spends the same 18 and still converges on a commit.
+    let msg = run(
+        "update",
+        &args(&["--system", &system, "--refs", &refs, "--out", &system, "--budget", "18"]),
+    )
+    .unwrap();
+    assert!(msg.contains("re-surveyed 18 of 36 link-measurements"), "{msg}");
+    assert!(msg.contains("uncertainty-greedy"), "{msg}");
+
+    // The fixed-schedule policy is selectable; --policy without --budget is not.
+    let msg = run(
+        "update",
+        &args(&[
+            "--system", &system, "--refs", &refs, "--out", &system, "--budget", "12", "--policy",
+            "fixed",
+        ]),
+    )
+    .unwrap();
+    assert!(msg.contains("re-surveyed 12 of 36 link-measurements (fixed-schedule)"), "{msg}");
+    let err = run(
+        "update",
+        &args(&["--system", &system, "--refs", &refs, "--out", &system, "--policy", "fixed"]),
+    )
+    .unwrap_err();
+    assert!(err.0.contains("--policy requires --budget"), "{err}");
+}
+
+#[test]
 fn update_rejects_mismatched_refs_file() {
     let dir = TempDir::new("mismatch");
     let world = dir.file("world.json");

@@ -265,6 +265,143 @@ pub struct Reconstruction {
     pub iterations: usize,
     /// Whether the relative-decrease tolerance was met.
     pub converged: bool,
+    /// Per-cell/per-link reconstruction confidence derived from the final
+    /// factors — the signal an adaptive-sensing planner consumes.
+    pub diagnostics: ReconstructionDiagnostics,
+}
+
+/// Per-cell reconstruction confidence, computed from the final `(L, R)`
+/// factors after the solve.
+///
+/// Three ingredients, all deterministic functions of the solution:
+///
+/// * **residual** — RMS misfit (dB) between `X̂` and the observed entries,
+///   per location cell (column) and per link (row). A cell whose observed
+///   entries the solver could not fit is a cell whose unobserved entries
+///   should not be trusted either.
+/// * **leverage** — the ridge leverage score
+///   `h_j = r_jᵀ (RᵀR + λI)⁻¹ r_j ∈ [0, 1)` of each cell's factor row. High
+///   leverage means the cell's column occupies a direction of factor space
+///   that few other columns share, so little information is borrowed from
+///   them and the completion rests on thin evidence.
+/// * **coverage** — the fraction of the cell's entries that were observed.
+///
+/// They combine into `cell_confidence ∈ [0, 1]`: high when a well-observed
+/// column was fit closely in a well-supported direction, low for unobserved
+/// or poorly-fit or high-leverage columns. Only the *ordering* is consumed
+/// by the planner, so the exact blend matters less than its monotonicity in
+/// each ingredient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconstructionDiagnostics {
+    /// Per-cell RMS residual (dB) over the cell's observed entries; cells
+    /// with no observed entry take the global RMS residual.
+    pub cell_rms_residual_db: Vec<f64>,
+    /// Per-cell ridge leverage score in `[0, 1]`.
+    pub cell_leverage: Vec<f64>,
+    /// Observed entries per cell.
+    pub cell_observed: Vec<usize>,
+    /// Combined per-cell confidence in `[0, 1]` (higher = more trusted).
+    pub cell_confidence: Vec<f64>,
+    /// Per-link RMS residual (dB) over the link's observed entries; links
+    /// with no observed entry take the global RMS residual.
+    pub link_rms_residual_db: Vec<f64>,
+    /// Global RMS residual (dB) over every observed entry.
+    pub rms_residual_db: f64,
+}
+
+/// Weight of the coverage floor in the confidence blend: a fully unobserved
+/// cell keeps this fraction of the coverage term, so residual and leverage
+/// still order the unobserved cells among themselves.
+const CONFIDENCE_COVERAGE_FLOOR: f64 = 0.15;
+
+/// Computes [`ReconstructionDiagnostics`] for the final factors. Runs once
+/// per solve, after the iteration loop; it may allocate (the iteration loop
+/// may not) but reuses the workspace's `gram` and scratch slot 0 for the
+/// `r x r` leverage solves.
+fn compute_diagnostics(
+    problem: &ReconstructionProblem<'_>,
+    config: &LoliIrConfig,
+    rf: &Matrix,
+    ws: &mut SolverWorkspace,
+) -> Result<ReconstructionDiagnostics> {
+    let (m, n) = problem.observed.shape();
+    let r = rf.cols();
+    let SolverWorkspace { scratch, gram, xh, .. } = ws;
+
+    // Residuals of the reconstruction against the observed entries. `xh`
+    // holds the final `L·Rᵀ` (the last objective evaluation wrote it).
+    let mut cell_sq = vec![0.0f64; n];
+    let mut cell_observed = vec![0usize; n];
+    let mut link_sq = vec![0.0f64; m];
+    let mut link_observed = vec![0usize; m];
+    let mut total_sq = 0.0f64;
+    let mut total_count = 0usize;
+    for (i, j) in problem.mask.true_positions() {
+        let d = xh[(i, j)] - problem.observed[(i, j)];
+        cell_sq[j] += d * d;
+        cell_observed[j] += 1;
+        link_sq[i] += d * d;
+        link_observed[i] += 1;
+        total_sq += d * d;
+        total_count += 1;
+    }
+    let rms_residual_db = (total_sq / total_count.max(1) as f64).sqrt();
+    let cell_rms_residual_db: Vec<f64> = (0..n)
+        .map(|j| {
+            if cell_observed[j] > 0 {
+                (cell_sq[j] / cell_observed[j] as f64).sqrt()
+            } else {
+                rms_residual_db
+            }
+        })
+        .collect();
+    let link_rms_residual_db: Vec<f64> = (0..m)
+        .map(|i| {
+            if link_observed[i] > 0 {
+                (link_sq[i] / link_observed[i] as f64).sqrt()
+            } else {
+                rms_residual_db
+            }
+        })
+        .collect();
+
+    // Ridge leverage scores h_j = r_jᵀ (RᵀR + λI)⁻¹ r_j via one Cholesky of
+    // the r x r gram (reusing workspace buffers sized by `ensure`).
+    rf.gram_into(gram)?;
+    let s = &mut scratch[0];
+    for a in 0..r {
+        for b in 0..r {
+            s.lhs[(a, b)] = gram[(a, b)] + config.lambda * f64::from(a == b);
+        }
+    }
+    s.lhs.cholesky_into(&mut s.chol)?;
+    let mut cell_leverage = Vec::with_capacity(n);
+    for j in 0..n {
+        s.sol.copy_from_slice(rf.row(j));
+        solve_in_place(&s.chol, &mut s.sol)?;
+        let h: f64 = taf_linalg::dot(rf.row(j), &s.sol);
+        cell_leverage.push(h.clamp(0.0, 1.0));
+    }
+
+    let cell_confidence: Vec<f64> = (0..n)
+        .map(|j| {
+            let coverage = cell_observed[j] as f64 / m.max(1) as f64;
+            let coverage_term =
+                CONFIDENCE_COVERAGE_FLOOR + (1.0 - CONFIDENCE_COVERAGE_FLOOR) * coverage;
+            let fit_term = 1.0 / (1.0 + cell_rms_residual_db[j]);
+            let support_term = 1.0 - cell_leverage[j];
+            (coverage_term * fit_term * support_term).clamp(0.0, 1.0)
+        })
+        .collect();
+
+    Ok(ReconstructionDiagnostics {
+        cell_rms_residual_db,
+        cell_leverage,
+        cell_observed,
+        cell_confidence,
+        link_rms_residual_db,
+        rms_residual_db,
+    })
 }
 
 /// Pre-resolved edge lists: for each undirected edge, the indices of the "active"
@@ -852,7 +989,10 @@ pub fn reconstruct_with(
     }
 
     // `ws.xh` already holds `L·Rᵀ` for the final factors — the last objective
-    // evaluation wrote it — so publishing is a straight copy.
+    // evaluation wrote it — so publishing is a straight copy. Diagnostics are
+    // computed first, from the same final state (and before the debug bias,
+    // which corrupts only the published matrix).
+    let diagnostics = compute_diagnostics(problem, config, &rf, ws)?;
     let mut matrix = ws.xh.clone();
     if config.debug_bias_db != 0.0 {
         // Fault-injection hook (see `LoliIrConfig::debug_bias_db`): corrupt
@@ -874,6 +1014,7 @@ pub fn reconstruct_with(
         objective_trace: ws.trace.clone(),
         iterations,
         converged,
+        diagnostics,
     })
 }
 
@@ -1237,6 +1378,69 @@ mod tests {
             assert_eq!(fresh.r.as_slice(), reused.r.as_slice());
             assert_eq!(fresh.objective_trace, reused.objective_trace);
         }
+    }
+
+    #[test]
+    fn diagnostics_rank_observed_columns_above_unobserved() {
+        let truth = ground_truth();
+        let observed_cols = [0usize, 3, 7, 11];
+        let mask = column_mask(&truth, &observed_cols);
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&truth),
+            location_graph: None,
+            link_graph: None,
+            empty_rss: None,
+            distortion: None,
+        };
+        let rec = reconstruct(&problem, &LoliIrConfig::default()).unwrap();
+        let d = &rec.diagnostics;
+        assert_eq!(d.cell_confidence.len(), 12);
+        assert_eq!(d.cell_rms_residual_db.len(), 12);
+        assert_eq!(d.cell_leverage.len(), 12);
+        assert_eq!(d.cell_observed.len(), 12);
+        assert_eq!(d.link_rms_residual_db.len(), 6);
+        assert!(d.rms_residual_db.is_finite());
+        for j in 0..12 {
+            assert!((0.0..=1.0).contains(&d.cell_confidence[j]), "{}", d.cell_confidence[j]);
+            assert!((0.0..=1.0).contains(&d.cell_leverage[j]));
+            assert_eq!(d.cell_observed[j], if observed_cols.contains(&j) { 6 } else { 0 });
+        }
+        // Every observed column must outrank every unobserved one: the
+        // coverage term alone separates 6/6 from 0/6 observed entries.
+        let min_observed =
+            observed_cols.iter().map(|&j| d.cell_confidence[j]).fold(f64::INFINITY, f64::min);
+        let max_unobserved = (0..12)
+            .filter(|j| !observed_cols.contains(j))
+            .map(|j| d.cell_confidence[j])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            min_observed > max_unobserved,
+            "observed {min_observed} must beat unobserved {max_unobserved}"
+        );
+        // Deterministic: a second identical solve reproduces them bit for bit.
+        let again = reconstruct(&problem, &LoliIrConfig::default()).unwrap();
+        assert_eq!(*d, again.diagnostics);
+    }
+
+    #[test]
+    fn diagnostics_unaffected_by_debug_bias() {
+        let truth = ground_truth();
+        let mask = column_mask(&truth, &[0, 4, 8]);
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&truth),
+            location_graph: None,
+            link_graph: None,
+            empty_rss: None,
+            distortion: None,
+        };
+        let clean = reconstruct(&problem, &LoliIrConfig::default()).unwrap();
+        let cfg = LoliIrConfig { debug_bias_db: 3.0, ..Default::default() };
+        let biased = reconstruct(&problem, &cfg).unwrap();
+        assert_eq!(clean.diagnostics, biased.diagnostics);
     }
 
     #[test]

@@ -259,6 +259,26 @@ impl TafLoc {
         fresh_refs: &Matrix,
         fresh_empty: &[f64],
     ) -> Result<Reconstruction> {
+        let entries = Mask::trues(self.db.num_links(), self.ref_cells.len());
+        self.reconstruct_db_masked(fresh_refs, fresh_empty, &entries)
+    }
+
+    /// Like [`TafLoc::reconstruct_db`], but with an explicit per-entry
+    /// observation mask over the reference columns (`M x n`, same layout as
+    /// `fresh_refs`). An entry marked false is still fed to the LRR prior —
+    /// the prior needs complete reference columns — but is excluded from the
+    /// data-fit term, so LoLi-IR treats it as unobserved and reconstructs it.
+    ///
+    /// This is the entry point for *budgeted* refreshes: a measurement plan
+    /// re-surveys only a subset of reference cells/links, fills the rest from
+    /// a survey-history window, and marks exactly the entries backed by a
+    /// real measurement as observed.
+    pub fn reconstruct_db_masked(
+        &self,
+        fresh_refs: &Matrix,
+        fresh_empty: &[f64],
+        observed_entries: &Mask,
+    ) -> Result<Reconstruction> {
         let (m, n) = self.db.rss().shape();
         if fresh_refs.shape() != (m, self.ref_cells.len()) {
             return Err(TaflocError::DimensionMismatch {
@@ -274,13 +294,26 @@ impl TafLoc {
                 actual: (fresh_empty.len(), 1),
             });
         }
+        if observed_entries.shape() != (m, self.ref_cells.len()) {
+            return Err(TaflocError::DimensionMismatch {
+                op: "TafLoc::reconstruct_db(observed_entries)",
+                expected: (m, self.ref_cells.len()),
+                actual: observed_entries.shape(),
+            });
+        }
 
-        // Observed matrix: fresh reference columns in place, zeros elsewhere.
+        // Observed matrix: fresh reference columns in place, zeros elsewhere;
+        // the mask admits exactly the plan-backed entries of those columns.
         let mut observed = Matrix::zeros(m, n);
+        let mut mask = Mask::falses(m, n);
         for (k, &cell) in self.ref_cells.iter().enumerate() {
             observed.set_col(cell, &fresh_refs.col(k))?;
+            for i in 0..m {
+                if observed_entries.get(i, k) {
+                    mask.set(i, cell, true);
+                }
+            }
         }
-        let mask = Mask::from_columns(m, n, &self.ref_cells)?;
 
         // LRR prior from the *stable* correlation matrix and the fresh references.
         let prior = self.lrr.predict(fresh_refs)?;
@@ -312,6 +345,30 @@ impl TafLoc {
         fresh_refs: &Matrix,
         guard: &ReconstructionGuard,
     ) -> std::result::Result<(), String> {
+        let entries = Mask::trues(self.db.num_links(), self.ref_cells.len());
+        self.validate_reconstruction_masked(rec, fresh_refs, &entries, guard)
+    }
+
+    /// Like [`TafLoc::validate_reconstruction`], but the reference-column
+    /// RMSE is computed only over the entries of `observed_entries` that are
+    /// true. A budgeted refresh only has fresh ground truth where the plan
+    /// actually measured; the carried-forward entries are themselves
+    /// reconstruction targets and must not count against the guard.
+    pub fn validate_reconstruction_masked(
+        &self,
+        rec: &Reconstruction,
+        fresh_refs: &Matrix,
+        observed_entries: &Mask,
+        guard: &ReconstructionGuard,
+    ) -> std::result::Result<(), String> {
+        if observed_entries.shape() != (self.db.num_links(), self.ref_cells.len()) {
+            return Err(format!(
+                "observation mask shape {:?} does not match the reference columns ({}, {})",
+                observed_entries.shape(),
+                self.db.num_links(),
+                self.ref_cells.len()
+            ));
+        }
         if rec.matrix.shape() != self.db.rss().shape() {
             return Err(format!(
                 "reconstruction shape {:?} does not match the database {:?}",
@@ -328,6 +385,9 @@ impl TafLoc {
         let mut count = 0usize;
         for (k, &cell) in self.ref_cells.iter().enumerate() {
             for i in 0..rec.matrix.rows() {
+                if !observed_entries.get(i, k) {
+                    continue;
+                }
                 let d = rec.matrix[(i, cell)] - fresh_refs[(i, k)];
                 sq_sum += d * d;
                 count += 1;
@@ -390,6 +450,20 @@ impl TafLoc {
     /// empty-room snapshot.
     pub fn update(&mut self, fresh_refs: &Matrix, fresh_empty: &[f64]) -> Result<UpdateReport> {
         let rec = self.reconstruct_db(fresh_refs, fresh_empty)?;
+        self.apply_reconstruction(rec, fresh_empty)
+    }
+
+    /// Budgeted variant of [`TafLoc::update`]: reference entries whose mask
+    /// bit is false (carried from an earlier survey rather than freshly
+    /// measured) feed the LRR prior but are excluded from the data fit. See
+    /// [`TafLoc::reconstruct_db_masked`].
+    pub fn update_masked(
+        &mut self,
+        fresh_refs: &Matrix,
+        fresh_empty: &[f64],
+        observed_entries: &Mask,
+    ) -> Result<UpdateReport> {
+        let rec = self.reconstruct_db_masked(fresh_refs, fresh_empty, observed_entries)?;
         self.apply_reconstruction(rec, fresh_empty)
     }
 
@@ -557,6 +631,36 @@ mod tests {
             rec_err < stale_err,
             "reconstruction ({rec_err:.2} dB) must beat the stale DB ({stale_err:.2} dB)"
         );
+    }
+
+    #[test]
+    fn masked_reconstruction_generalizes_the_full_survey_path() {
+        let (world, sys) = setup(7);
+        let t = 45.0;
+        let fresh = campaign::measure_columns(&world, t, sys.reference_cells(), 20);
+        let empty = campaign::empty_snapshot(&world, t, 20);
+
+        // All-trues entry mask must be bit-identical to the unmasked path.
+        let full = sys.reconstruct_db(&fresh, &empty).unwrap();
+        let all = Mask::trues(sys.db().num_links(), sys.reference_cells().len());
+        let masked = sys.reconstruct_db_masked(&fresh, &empty, &all).unwrap();
+        assert!(full.matrix.approx_eq(&masked.matrix, 0.0));
+        assert_eq!(full.diagnostics, masked.diagnostics);
+
+        // A partial mask still reconstructs, and the dropped entries register
+        // as unobserved in the diagnostics.
+        let mut partial = all.clone();
+        for i in 0..sys.db().num_links() {
+            partial.set(i, 0, false);
+        }
+        let rec = sys.reconstruct_db_masked(&fresh, &empty, &partial).unwrap();
+        let slot0_cell = sys.reference_cells()[0];
+        assert_eq!(rec.diagnostics.cell_observed[slot0_cell], 0);
+        assert!(rec.matrix.iter().all(|v| v.is_finite()));
+
+        // Shape mismatch on the entry mask is rejected.
+        let bad = Mask::trues(2, 2);
+        assert!(sys.reconstruct_db_masked(&fresh, &empty, &bad).is_err());
     }
 
     #[test]

@@ -361,6 +361,21 @@ impl Ingestor {
         Ok(AssembledVector { y, flags, missing, stale, latest_t_s: latest, window_samples })
     }
 
+    /// Current per-link health, indexed by link id.
+    ///
+    /// The same classification [`stats`](Ingestor::stats) aggregates into
+    /// counts, exposed per link so a measurement planner can exclude dead
+    /// links from the re-survey budget and deprioritize stale ones.
+    pub fn link_statuses(&self) -> Vec<LinkStatus> {
+        let now = self.stream_clock_s();
+        (0..self.num_links)
+            .map(|link| {
+                let agg = self.published[link].load();
+                self.classify(agg.as_deref(), now)
+            })
+            .collect()
+    }
+
     /// Cumulative counters plus a current link-health census.
     pub fn stats(&self) -> IngestStats {
         let now = self.stream_clock_s();
@@ -456,6 +471,22 @@ mod tests {
         let stats = ing.stats();
         assert_eq!(stats.live_links, 1);
         assert_eq!(stats.stale_links, 1);
+    }
+
+    #[test]
+    fn link_statuses_mirror_the_stats_census() {
+        let ing = Ingestor::new(cfg(), 3, 2).unwrap();
+        ing.apply_batch(&batch_for(0, 0.0, 5, -50.0));
+        ing.apply_batch(&batch_for(1, 0.0, 5, -60.0));
+        // Advance the stream clock via link 0 only; link 1 goes quiet and
+        // link 2 never reports.
+        ing.apply_batch(&batch_for(0, 6.0, 4, -50.0));
+        let statuses = ing.link_statuses();
+        assert_eq!(statuses, vec![LinkStatus::Live, LinkStatus::Stale, LinkStatus::Dead]);
+        let stats = ing.stats();
+        assert_eq!(stats.live_links, 1);
+        assert_eq!(stats.stale_links, 1);
+        assert_eq!(stats.dead_links, 1);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Error type shared across the planning crate.
+
+use std::fmt;
+
+/// Everything that can go wrong while building a measurement plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A configuration field is out of range.
+    InvalidConfig {
+        /// Which field was rejected.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An input slice disagrees with the declared problem size.
+    DimensionMismatch {
+        /// Which input was rejected.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A confidence score was NaN or infinite.
+    NonFiniteConfidence {
+        /// Reference slot holding the bad score.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::InvalidConfig { field, reason } => {
+                write!(f, "invalid plan config `{field}`: {reason}")
+            }
+            PlanError::DimensionMismatch { what, expected, actual } => {
+                write!(f, "{what}: expected length {expected}, got {actual}")
+            }
+            PlanError::NonFiniteConfidence { slot } => {
+                write!(f, "confidence for reference slot {slot} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PlanError>;

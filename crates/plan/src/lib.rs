@@ -1,0 +1,60 @@
+//! # taf-plan
+//!
+//! Uncertainty-driven adaptive sensing: decide *where to spend scarce
+//! measurements* when refreshing a fingerprint database.
+//!
+//! TafLoc's refresh path re-surveys a handful of reference cells and
+//! reconstructs the rest (LoLi-IR). This crate closes the remaining cost
+//! loop: instead of re-surveying every reference cell on every refresh, a
+//! [`Planner`] reads the reconstruction's own per-cell confidence (from
+//! `tafloc_core`'s `ReconstructionDiagnostics`) plus the live/stale/dead
+//! link census (from `tafloc-ingest`) and emits an explicit
+//! [`MeasurementPlan`] under a hard link-measurement budget:
+//!
+//! * [`PlanPolicy::UncertaintyGreedy`] — re-survey the cells the last
+//!   reconstruction was least sure about, staleness-tie-broken;
+//! * [`PlanPolicy::FixedSchedule`] — round-robin rotation, the non-adaptive
+//!   baseline the greedy policy is measured against;
+//! * [`HistoryWindow`] — a bounded (reference slot × epoch) ring of past
+//!   survey columns that seeds the entries a budgeted plan skips, so a
+//!   partial survey still yields a complete reference matrix with an honest
+//!   per-entry observation mask.
+//!
+//! The crate is deliberately small and dependency-light: plans are pure
+//! deterministic functions of their inputs (no clocks, no RNG), which is
+//! what lets the testkit pin cost-vs-accuracy goldens byte-for-byte.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use taf_plan::{PlanInputs, PlanPolicy, Planner, PlannerConfig};
+//! use tafloc_ingest::LinkStatus;
+//!
+//! // 4 reference cells over 3 live links; budget = half a full survey.
+//! let planner = Planner::new(PlannerConfig::new(6, PlanPolicy::UncertaintyGreedy)).unwrap();
+//! let health = vec![LinkStatus::Live; 3];
+//! let confidence = [0.9, 0.2, 0.85, 0.4]; // cells 1 and 3 look shaky
+//! let plan = planner
+//!     .plan(&PlanInputs {
+//!         epoch: 7,
+//!         n_refs: 4,
+//!         link_health: &health,
+//!         confidence: Some(&confidence),
+//!         last_surveyed: None,
+//!     })
+//!     .unwrap();
+//! assert_eq!(plan.planned_cost, 6);
+//! assert!(plan.is_planned(1) && plan.is_planned(3));
+//! assert_eq!(plan.full_cost, 12); // vs 12 for the full survey
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod history;
+mod planner;
+
+pub use error::{PlanError, Result};
+pub use history::{HistoryWindow, SurveyRecord};
+pub use planner::{MeasurementPlan, PlanEntry, PlanInputs, PlanPolicy, Planner, PlannerConfig};

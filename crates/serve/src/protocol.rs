@@ -388,6 +388,20 @@ pub struct SiteStats {
     pub stream_clock_s: f64,
     /// Reference-cell capture windows currently accumulating samples.
     pub active_ref_captures: usize,
+    /// Cumulative link-measurements the measurement planner scheduled
+    /// (equal to the full-survey cost when no planner is attached).
+    #[serde(default)]
+    pub planned_cost: u64,
+    /// Cumulative link-measurements actually delivered by surveys.
+    #[serde(default)]
+    pub actual_cost: u64,
+    /// Cumulative link-measurements a full survey would have cost over the
+    /// same refresh cycles — the savings baseline.
+    #[serde(default)]
+    pub full_survey_cost: u64,
+    /// Active measurement-planning policy, if any.
+    #[serde(default)]
+    pub plan_policy: Option<String>,
 }
 
 /// Serializes `msg` as one newline-terminated JSON line and flushes.

@@ -49,6 +49,11 @@ pub struct ServerConfig {
     /// newest valid generation of each site on startup. `None` keeps the
     /// daemon fully in-memory.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Adaptive-sensing planner attached to every site the server registers
+    /// or recovers (`None` = classic full-survey refreshes). Plan state is
+    /// not persisted, so recovery re-attaches the planner here and the first
+    /// post-restart survey round is a full one.
+    pub plan: Option<taf_plan::PlannerConfig>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +64,7 @@ impl Default for ServerConfig {
             default_policy: MaintenancePolicy::default(),
             maintenance_threads: crate::registry::DEFAULT_MAINTENANCE_THREADS,
             data_dir: None,
+            plan: None,
         }
     }
 }
@@ -74,6 +80,7 @@ pub struct ServerCtx {
     local_addr: SocketAddr,
     read_timeout: Option<Duration>,
     default_policy: MaintenancePolicy,
+    plan: Option<taf_plan::PlannerConfig>,
     workers: usize,
     started: Instant,
     /// The attached snapshot store (`--data-dir`), if persistence is on.
@@ -142,6 +149,7 @@ impl Server {
             local_addr,
             read_timeout: config.read_timeout,
             default_policy: config.default_policy,
+            plan: config.plan,
             workers: config.workers.max(1),
             started: Instant::now(),
             store,
@@ -162,8 +170,11 @@ impl Server {
         let mut names = Vec::with_capacity(recovery.sites.len());
         for persisted in recovery.sites {
             let name = persisted.name.clone();
-            let site = Site::from_persisted(persisted, tafloc_ingest::ClockMode::default())?
+            let mut site = Site::from_persisted(persisted, tafloc_ingest::ClockMode::default())?
                 .with_persistence(Arc::clone(store))?;
+            if let Some(plan) = self.ctx.plan {
+                site = site.with_planning(plan)?;
+            }
             self.ctx.registry.add(site)?;
             names.push(name);
         }
@@ -188,6 +199,9 @@ impl Server {
         let mut site = Site::new(name, system, day, policy)?;
         if let Some(store) = &self.ctx.store {
             site = site.with_persistence(Arc::clone(store))?;
+        }
+        if let Some(plan) = self.ctx.plan {
+            site = site.with_planning(plan)?;
         }
         self.ctx.registry.add(site)?;
         Ok(())

@@ -41,12 +41,16 @@ use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex, MutexGuard};
 use taf_linalg::Matrix;
+use taf_plan::{HistoryWindow, MeasurementPlan, PlanInputs, Planner, PlannerConfig, SurveyRecord};
 use tafloc_core::detection::{Detection, DetectorConfig, PresenceDetector};
+use tafloc_core::mask::Mask;
 use tafloc_core::matcher::MatchResult;
 use tafloc_core::monitor::{DriftMonitor, Recommendation};
 use tafloc_core::system::{TafLoc, UpdateReport};
 use tafloc_core::tracking::{ParticleFilter, TrackEstimate, TrackerConfig};
-use tafloc_ingest::{AssembledVector, BatchReport, ClockMode, IngestConfig, Ingestor, LinkSample};
+use tafloc_ingest::{
+    AssembledVector, BatchReport, ClockMode, IngestConfig, Ingestor, LinkFlag, LinkSample,
+};
 
 /// The immutable state one `locate` needs, swapped wholesale on refresh.
 #[derive(Debug)]
@@ -68,6 +72,10 @@ pub struct PendingRefs {
     pub columns: Matrix,
     /// Fresh empty-room baseline.
     pub empty: Vec<f64>,
+    /// `M x n` per-entry observation mask for budgeted surveys: true where
+    /// `columns` holds a measurement taken this round, false where it was
+    /// carried forward from survey history. `None` means a full survey.
+    pub mask: Option<Mask>,
 }
 
 /// The mutable half of a site.
@@ -105,6 +113,26 @@ struct SiteDynamic {
     /// Deployment day the current capture round belongs to; a batch tagged
     /// with a different day starts a fresh round.
     ref_capture_day: f64,
+    /// Bounded per-reference-slot ring of past survey columns; present only
+    /// once a planner is attached ([`Site::with_planning`] seeds it).
+    history: Option<HistoryWindow>,
+    /// The plan the next survey round should follow (produced by the last
+    /// successful refresh when a planner is attached).
+    current_plan: Option<MeasurementPlan>,
+    /// Per-reference-slot reconstruction confidence from the last committed
+    /// refresh's diagnostics.
+    last_ref_confidence: Option<Vec<f64>>,
+    /// Monotone survey counter: bumps once per promoted capture round or
+    /// `measure-refs`, and orders the history records.
+    survey_epoch: u64,
+    /// Cumulative link-measurements the planner scheduled (full-survey cost
+    /// when no planner is attached).
+    planned_cost: u64,
+    /// Cumulative link-measurements actually delivered by surveys.
+    actual_cost: u64,
+    /// Cumulative cost a full survey would have incurred over the same
+    /// cycles.
+    full_survey_cost: u64,
 }
 
 /// One registered site.
@@ -125,6 +153,9 @@ pub struct Site {
     /// Attached snapshot store; when present, committed generations are
     /// persisted (best-effort) after every refresh and on graceful shutdown.
     store: Option<Arc<SiteStore>>,
+    /// Attached measurement planner; when present, each committed refresh
+    /// computes the next round's budgeted [`MeasurementPlan`].
+    planner: Option<Planner>,
     stop: AtomicBool,
 }
 
@@ -183,6 +214,13 @@ impl Site {
                 panic_budget: policy.debug_panic_ticks,
                 ref_captures: HashMap::new(),
                 ref_capture_day: 0.0,
+                history: None,
+                current_plan: None,
+                last_ref_confidence: None,
+                survey_epoch: 0,
+                planned_cost: 0,
+                actual_cost: 0,
+                full_survey_cost: 0,
             }),
             refresh: Mutex::new(()),
             ingest,
@@ -191,6 +229,7 @@ impl Site {
             policy,
             monitor_cells,
             store: None,
+            planner: None,
             stop: AtomicBool::new(false),
         })
     }
@@ -202,6 +241,54 @@ impl Site {
         self.store = Some(store);
         self.persist_now()?;
         Ok(self)
+    }
+
+    /// Attaches a measurement planner. The first survey round after this is
+    /// still a full one (no diagnostics exist yet to plan from); every
+    /// committed refresh then computes the next round's budgeted
+    /// [`MeasurementPlan`], and subsequent capture rounds only wait for —
+    /// and only count the cost of — the planned (cell, link) pairs, carrying
+    /// everything else forward from the survey-history window seeded here
+    /// with the current database's reference columns.
+    pub fn with_planning(mut self, config: PlannerConfig) -> Result<Site> {
+        let planner =
+            Planner::new(config).map_err(|e| ServeError::Protocol(format!("planner: {e}")))?;
+        let snap = self.load();
+        let m = snap.system.db().num_links();
+        let ref_cells = snap.system.reference_cells();
+        let mut history = HistoryWindow::new(ref_cells.len(), m, config.history_depth)
+            .map_err(|e| ServeError::Protocol(format!("planner history: {e}")))?;
+        for (k, &cell) in ref_cells.iter().enumerate() {
+            let record = SurveyRecord {
+                epoch: 0,
+                y: snap.system.db().rss().col(cell),
+                fresh: vec![true; m],
+            };
+            history
+                .record(k, record)
+                .map_err(|e| ServeError::Protocol(format!("planner history: {e}")))?;
+        }
+        self.lock_dynamic().history = Some(history);
+        self.planner = Some(planner);
+        Ok(self)
+    }
+
+    /// The attached measurement planner, if any.
+    pub fn planner(&self) -> Option<&Planner> {
+        self.planner.as_ref()
+    }
+
+    /// The measurement plan the next survey round should follow: present
+    /// once a planner is attached and a committed refresh has produced
+    /// diagnostics to plan from.
+    pub fn current_plan(&self) -> Option<MeasurementPlan> {
+        self.lock_dynamic().current_plan.clone()
+    }
+
+    /// Per-reference-slot reconstruction confidence from the last committed
+    /// refresh, if any.
+    pub fn last_ref_confidence(&self) -> Option<Vec<f64>> {
+        self.lock_dynamic().last_ref_confidence.clone()
     }
 
     /// Resurrects a site from a recovered snapshot. Live stream state
@@ -247,6 +334,13 @@ impl Site {
                 panic_budget: p.policy.debug_panic_ticks,
                 ref_captures: HashMap::new(),
                 ref_capture_day: 0.0,
+                history: None,
+                current_plan: None,
+                last_ref_confidence: None,
+                survey_epoch: 0,
+                planned_cost: 0,
+                actual_cost: 0,
+                full_survey_cost: 0,
             }),
             refresh: Mutex::new(()),
             ingest,
@@ -255,6 +349,7 @@ impl Site {
             policy: p.policy,
             monitor_cells,
             store: None,
+            planner: None,
             stop: AtomicBool::new(false),
         })
     }
@@ -431,7 +526,22 @@ impl Site {
         let mut d = self.lock_dynamic();
         let rec = d.monitor.check(day, &monitored)?;
         d.last_estimate_db = Some(rec.estimated_error_db());
-        d.pending = Some(PendingRefs { day, columns, empty });
+        // `measure-refs` is by definition a full survey: every entry was
+        // measured, so the full cost was paid regardless of any plan.
+        d.survey_epoch += 1;
+        let epoch = d.survey_epoch;
+        if let Some(h) = d.history.as_mut() {
+            for k in 0..n {
+                let record = SurveyRecord { epoch, y: columns.col(k), fresh: vec![true; m] };
+                h.record(k, record)
+                    .map_err(|e| ServeError::Protocol(format!("planner history: {e}")))?;
+            }
+        }
+        let full = (m * n) as u64;
+        d.planned_cost += full;
+        d.actual_cost += full;
+        d.full_survey_cost += full;
+        d.pending = Some(PendingRefs { day, columns, empty, mask: None });
         Ok(rec)
     }
 
@@ -458,17 +568,38 @@ impl Site {
         })?;
         let snap = self.load();
         let mut system = snap.system.clone();
-        let rec = system.reconstruct_db(&pending.columns, &pending.empty)?;
-        if let Err(reason) =
-            system.validate_reconstruction(&rec, &pending.columns, &self.policy.guard)
-        {
+        let rec = match &pending.mask {
+            Some(mask) => system.reconstruct_db_masked(&pending.columns, &pending.empty, mask)?,
+            None => system.reconstruct_db(&pending.columns, &pending.empty)?,
+        };
+        let verdict = match &pending.mask {
+            // Budgeted refresh: only the entries the plan actually measured
+            // are ground truth; the carried-forward ones are reconstruction
+            // targets and must not count against the guard.
+            Some(mask) => system.validate_reconstruction_masked(
+                &rec,
+                &pending.columns,
+                mask,
+                &self.policy.guard,
+            ),
+            None => system.validate_reconstruction(&rec, &pending.columns, &self.policy.guard),
+        };
+        if let Err(reason) = verdict {
             let quarantined = self.note_failure(Some(reason.clone()));
             return Err(ServeError::RefreshRejected { reason, quarantined });
         }
+        // Per-reference-slot confidence, read off before the reconstruction
+        // is consumed: this is what the planner spends the next budget on.
+        let ref_confidence: Vec<f64> = system
+            .reference_cells()
+            .iter()
+            .map(|&cell| rec.diagnostics.cell_confidence[cell])
+            .collect();
         let report = system.apply_reconstruction(rec, &pending.empty)?;
         let monitored: Vec<usize> = system.reference_cells()[..self.monitor_cells].to_vec();
         let refreshed_cols = system.db().rss().select_cols(&monitored)?;
         let fresh_empty = system.empty_rss().to_vec();
+        let n_refs = system.reference_cells().len();
         let version = snap.version + 1;
         {
             let mut d = self.lock_dynamic();
@@ -484,6 +615,21 @@ impl Site {
             d.last_reject_reason = None;
             d.quarantined = false;
             d.quarantine_cooldown = 0;
+            d.last_ref_confidence = Some(ref_confidence);
+            if let Some(planner) = &self.planner {
+                let link_health = self.ingest.link_statuses();
+                let last_surveyed = d.history.as_ref().map(|h| h.last_surveyed());
+                let plan = planner.plan(&PlanInputs {
+                    epoch: d.survey_epoch + 1,
+                    n_refs,
+                    link_health: &link_health,
+                    confidence: d.last_ref_confidence.as_deref(),
+                    last_surveyed: last_surveyed.as_deref(),
+                });
+                // Planning must never fail a refresh that already committed;
+                // a failed plan just means the next round is a full survey.
+                d.current_plan = plan.ok();
+            }
         }
         self.cell.store(SiteSnapshot { system, version, refreshed_day: pending.day });
         // Best-effort: a full disk must not fail the refresh that already
@@ -588,34 +734,118 @@ impl Site {
         }
     }
 
-    /// Promotes a finished reference-capture round into [`PendingRefs`]:
-    /// once every reference cell owns a capture window whose assembled vector
-    /// is complete (no missing, no stale links), the vectors become the
-    /// pending `M x n` reference columns, exactly as if they had arrived via
-    /// `measure-refs`. The empty-room baseline is carried forward from the
-    /// current snapshot — the survey re-measures the occupied columns only.
-    /// Returns whether a promotion happened.
+    /// Promotes a finished reference-capture round into [`PendingRefs`].
+    ///
+    /// Without a measurement plan, a round is finished once every reference
+    /// cell owns a capture window whose assembled vector is complete (no
+    /// missing, no stale links); the vectors become the pending `M x n`
+    /// reference columns, exactly as if they had arrived via `measure-refs`.
+    ///
+    /// With a plan (a planner is attached and a previous refresh produced
+    /// one), only the *planned* (cell, link) pairs need live capture data;
+    /// every other entry is carried forward from the survey-history window
+    /// and marked unobserved in [`PendingRefs::mask`], so the refresh
+    /// reconstructs it instead of trusting it. Only the planned pairs count
+    /// toward the actual measurement cost.
+    ///
+    /// The empty-room baseline is carried forward from the current snapshot —
+    /// the survey re-measures the occupied columns only. Returns whether a
+    /// promotion happened.
     pub fn promote_ref_captures(&self) -> Result<bool> {
         let snap = self.load();
-        let n_refs = snap.system.reference_cells().len();
+        let ref_cells = snap.system.reference_cells();
+        let n_refs = ref_cells.len();
         let m = snap.system.db().num_links();
         let empty = snap.system.empty_rss();
         let mut d = self.lock_dynamic();
-        if d.ref_captures.len() < n_refs {
-            return Ok(false);
-        }
-        let mut columns = Matrix::zeros(m, n_refs);
-        for k in 0..n_refs {
-            let Some(capture) = d.ref_captures.get(&k) else {
-                return Ok(false);
-            };
-            let v = capture.assemble(empty)?;
-            if !v.is_complete() {
-                return Ok(false);
+        let plan = if self.planner.is_some() { d.current_plan.clone() } else { None };
+
+        // Completion check first: an unfinished round must change nothing.
+        match &plan {
+            Some(plan) => {
+                if plan.entries.is_empty() {
+                    // A zero-budget plan schedules no measurements; there is
+                    // nothing a capture round could ever complete.
+                    return Ok(false);
+                }
+                for e in &plan.entries {
+                    let Some(capture) = d.ref_captures.get(&e.ref_slot) else {
+                        return Ok(false);
+                    };
+                    let v = capture.assemble(empty)?;
+                    if e.links.iter().any(|&l| v.flags[l] != LinkFlag::Live) {
+                        return Ok(false);
+                    }
+                }
             }
-            columns.set_col(k, &v.y)?;
+            None => {
+                if d.ref_captures.len() < n_refs {
+                    return Ok(false);
+                }
+                for k in 0..n_refs {
+                    let Some(capture) = d.ref_captures.get(&k) else {
+                        return Ok(false);
+                    };
+                    if !capture.assemble(empty)?.is_complete() {
+                        return Ok(false);
+                    }
+                }
+            }
         }
-        d.pending = Some(PendingRefs { day: d.ref_capture_day, columns, empty: empty.to_vec() });
+
+        d.survey_epoch += 1;
+        let epoch = d.survey_epoch;
+        let full = (n_refs * m) as u64;
+        let mut columns = Matrix::zeros(m, n_refs);
+        let mask = match &plan {
+            Some(plan) => {
+                let mut mask = Mask::falses(m, n_refs);
+                for (k, &ref_cell) in ref_cells.iter().enumerate() {
+                    // Base: newest surveyed column from history (seeded at
+                    // planner attach), falling back to the served database.
+                    let mut y = match d.history.as_ref().and_then(|h| h.latest(k)) {
+                        Some(r) => r.y.clone(),
+                        None => snap.system.db().rss().col(ref_cell),
+                    };
+                    let mut fresh = vec![false; m];
+                    if let Some(links) = plan.links_for(k) {
+                        let capture = d.ref_captures.get(&k).expect("checked above");
+                        let v = capture.assemble(empty)?;
+                        for &l in links {
+                            y[l] = v.y[l];
+                            fresh[l] = true;
+                            mask.set(l, k, true);
+                        }
+                    }
+                    columns.set_col(k, &y)?;
+                    if let Some(h) = d.history.as_mut() {
+                        h.record(k, SurveyRecord { epoch, y, fresh })
+                            .map_err(|e| ServeError::Protocol(format!("planner history: {e}")))?;
+                    }
+                }
+                d.planned_cost += plan.planned_cost as u64;
+                d.actual_cost += mask.count() as u64;
+                d.full_survey_cost += full;
+                Some(mask)
+            }
+            None => {
+                for k in 0..n_refs {
+                    let capture = d.ref_captures.get(&k).expect("checked above");
+                    let v = capture.assemble(empty)?;
+                    columns.set_col(k, &v.y)?;
+                    if let Some(h) = d.history.as_mut() {
+                        h.record(k, SurveyRecord { epoch, y: v.y, fresh: vec![true; m] })
+                            .map_err(|e| ServeError::Protocol(format!("planner history: {e}")))?;
+                    }
+                }
+                d.planned_cost += full;
+                d.actual_cost += full;
+                d.full_survey_cost += full;
+                None
+            }
+        };
+        d.pending =
+            Some(PendingRefs { day: d.ref_capture_day, columns, empty: empty.to_vec(), mask });
         d.ref_captures.clear();
         Ok(true)
     }
@@ -700,6 +930,10 @@ impl Site {
             ingest: self.ingest.stats(),
             stream_clock_s: self.ingest.stream_clock_s(),
             active_ref_captures: d.ref_captures.len(),
+            planned_cost: d.planned_cost,
+            actual_cost: d.actual_cost,
+            full_survey_cost: d.full_survey_cost,
+            plan_policy: self.planner.as_ref().map(|p| p.config().policy.to_string()),
         }
     }
 }
@@ -855,6 +1089,104 @@ mod tests {
         assert!(report.converged);
         assert_eq!(version, 1);
         assert!(!site.stats().pending_refs);
+    }
+
+    fn survey_into(site: &Site, world: &World, day: f64, slots: &[usize], seed_base: u64) {
+        let ref_cells: Vec<usize> = site.load().system.reference_cells().to_vec();
+        let cfg = StreamConfig { duration_s: 30.0, ..Default::default() };
+        for &k in slots {
+            let raw = stream::stream_at_cell(world, day, ref_cells[k], &cfg, seed_base + k as u64);
+            site.ingest_samples(Some(k), day, &link_samples(&raw)).unwrap();
+        }
+    }
+
+    #[test]
+    fn budgeted_round_promotes_with_history_fill_in() {
+        use taf_plan::{PlanPolicy, PlannerConfig};
+        let (world, site) = calibrated_site(37);
+        let m = world.num_links();
+        let n_refs = site.load().system.reference_cells().len();
+        let full = (m * n_refs) as u64;
+        // Budget = half a full survey, in whole cells.
+        let budget = n_refs / 2 * m;
+        let site =
+            site.with_planning(PlannerConfig::new(budget, PlanPolicy::UncertaintyGreedy)).unwrap();
+        assert!(site.current_plan().is_none(), "no diagnostics yet, so no plan");
+
+        // Round 1: full survey (no plan exists), full cost.
+        survey_into(&site, &world, 60.0, &(0..n_refs).collect::<Vec<_>>(), 50);
+        assert!(site.promote_ref_captures().unwrap());
+        let (_, version) = site.refresh().unwrap();
+        assert_eq!(version, 1);
+        let stats = site.stats();
+        assert_eq!(
+            (stats.planned_cost, stats.actual_cost, stats.full_survey_cost),
+            (full, full, full)
+        );
+        assert_eq!(stats.plan_policy.as_deref(), Some("uncertainty-greedy"));
+        let plan = site.current_plan().expect("a committed refresh must plan the next round");
+        assert_eq!(plan.planned_cost, budget);
+        assert!(site.last_ref_confidence().unwrap().iter().all(|c| (0.0..=1.0).contains(c)));
+
+        // Round 2: survey only the planned cells; unplanned slots never get
+        // a capture, yet the round promotes with history fill-in.
+        let planned: Vec<usize> = plan.entries.iter().map(|e| e.ref_slot).collect();
+        assert!(planned.len() < n_refs);
+        survey_into(&site, &world, 120.0, &planned, 80);
+        assert!(site.promote_ref_captures().unwrap());
+        {
+            let d = site.lock_dynamic();
+            let pending = d.pending.as_ref().unwrap();
+            let mask = pending.mask.as_ref().expect("budgeted round must carry a mask");
+            assert_eq!(mask.count(), budget);
+        }
+        let (report, version) = site.refresh().unwrap();
+        assert!(report.converged);
+        assert_eq!(version, 2);
+        let stats = site.stats();
+        assert_eq!(stats.planned_cost, full + budget as u64);
+        assert_eq!(stats.actual_cost, full + budget as u64);
+        assert_eq!(stats.full_survey_cost, 2 * full);
+    }
+
+    #[test]
+    fn partial_budgeted_round_does_not_promote_until_planned_cells_arrive() {
+        use taf_plan::{PlanPolicy, PlannerConfig};
+        let (world, site) = calibrated_site(38);
+        let m = world.num_links();
+        let n_refs = site.load().system.reference_cells().len();
+        let site =
+            site.with_planning(PlannerConfig::new(2 * m, PlanPolicy::FixedSchedule)).unwrap();
+        survey_into(&site, &world, 60.0, &(0..n_refs).collect::<Vec<_>>(), 50);
+        assert!(site.promote_ref_captures().unwrap());
+        site.refresh().unwrap();
+        let plan = site.current_plan().unwrap();
+        let planned: Vec<usize> = plan.entries.iter().map(|e| e.ref_slot).collect();
+        assert_eq!(planned.len(), 2);
+
+        // Only one of the two planned cells surveyed: no promotion.
+        survey_into(&site, &world, 120.0, &planned[..1], 90);
+        assert!(!site.promote_ref_captures().unwrap());
+        // The second arrives: the round completes.
+        survey_into(&site, &world, 120.0, &planned[1..], 91);
+        assert!(site.promote_ref_captures().unwrap());
+    }
+
+    #[test]
+    fn planless_sites_account_full_survey_cost() {
+        let (world, site) = calibrated_site(39);
+        let m = world.num_links();
+        let n_refs = site.load().system.reference_cells().len();
+        survey_into(&site, &world, 60.0, &(0..n_refs).collect::<Vec<_>>(), 50);
+        assert!(site.promote_ref_captures().unwrap());
+        let stats = site.stats();
+        let full = (m * n_refs) as u64;
+        assert_eq!(
+            (stats.planned_cost, stats.actual_cost, stats.full_survey_cost),
+            (full, full, full)
+        );
+        assert_eq!(stats.plan_policy, None);
+        assert!(site.current_plan().is_none());
     }
 
     #[test]

@@ -80,6 +80,12 @@ pub fn compare(report: &ScenarioReport, golden: &ScenarioReport, tol: &Tolerance
             report.seed, report.eval_cells, golden.seed, golden.eval_cells
         ));
     }
+    if report.plan_policy != golden.plan_policy {
+        gate(format!(
+            "plan policy `{}` != golden `{}` — re-bless",
+            report.plan_policy, golden.plan_policy
+        ));
+    }
 
     let mut upper = |label: &str, got: f64, base: f64, tol: f64| {
         if got > base + tol {
@@ -163,6 +169,25 @@ pub fn compare(report: &ScenarioReport, golden: &ScenarioReport, tol: &Tolerance
                 report.pending_refs, golden.pending_refs
             ));
         }
+        // Measurement-cost accounting is a pure function of the scenario:
+        // the planner is deterministic and every survey round's size is
+        // scripted, so the counters must match the golden exactly. This is
+        // the "budgeted refresh really cost <= 50%" gate.
+        if report.planned_cost != golden.planned_cost {
+            gate(format!(
+                "planned cost: {} != golden {}",
+                report.planned_cost, golden.planned_cost
+            ));
+        }
+        if report.actual_cost != golden.actual_cost {
+            gate(format!("actual cost: {} != golden {}", report.actual_cost, golden.actual_cost));
+        }
+        if report.full_survey_cost != golden.full_survey_cost {
+            gate(format!(
+                "full-survey cost: {} != golden {}",
+                report.full_survey_cost, golden.full_survey_cost
+            ));
+        }
     }
     violations
 }
@@ -209,6 +234,10 @@ mod tests {
             ingest_dropped_late: 0,
             ingest_dropped_queue_batches: 0,
             ingest_rejected_outliers: 0,
+            planned_cost: 36,
+            actual_cost: 36,
+            full_survey_cost: 36,
+            plan_policy: String::new(),
         }
     }
 

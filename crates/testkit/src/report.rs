@@ -88,6 +88,19 @@ pub struct ScenarioReport {
     pub ingest_dropped_queue_batches: u64,
     /// Hampel gate exclusion events.
     pub ingest_rejected_outliers: u64,
+    /// Link-measurements the attached planner budgeted across every survey
+    /// round (full rounds count `n_refs x links`). Equals `actual_cost` for
+    /// planless scenarios.
+    pub planned_cost: u64,
+    /// Link-measurements actually committed into the served database; the
+    /// numerator of the cost-vs-accuracy gates.
+    pub actual_cost: u64,
+    /// What the same number of survey rounds would have cost with no
+    /// planning (`rounds x n_refs x links`); the denominator of the gates.
+    pub full_survey_cost: u64,
+    /// Planner policy wire name, or the empty string when no planner is
+    /// attached. A policy change is a shape change and demands a re-bless.
+    pub plan_policy: String,
 }
 
 impl ScenarioReport {
@@ -113,6 +126,10 @@ impl ScenarioReport {
                 Json::Num(self.ingest_dropped_queue_batches as f64),
             ),
             ("ingest_rejected_outliers".into(), Json::Num(self.ingest_rejected_outliers as f64)),
+            ("planned_cost".into(), Json::Num(self.planned_cost as f64)),
+            ("actual_cost".into(), Json::Num(self.actual_cost as f64)),
+            ("full_survey_cost".into(), Json::Num(self.full_survey_cost as f64)),
+            ("plan_policy".into(), Json::Str(self.plan_policy.clone())),
         ])
         .to_pretty()
     }
@@ -144,6 +161,10 @@ impl ScenarioReport {
             ingest_dropped_late: v.num_field("ingest_dropped_late")? as u64,
             ingest_dropped_queue_batches: v.num_field("ingest_dropped_queue_batches")? as u64,
             ingest_rejected_outliers: v.num_field("ingest_rejected_outliers")? as u64,
+            planned_cost: v.num_field("planned_cost")? as u64,
+            actual_cost: v.num_field("actual_cost")? as u64,
+            full_survey_cost: v.num_field("full_survey_cost")? as u64,
+            plan_policy: v.str_field("plan_policy")?,
         })
     }
 }
@@ -175,6 +196,10 @@ mod tests {
             ingest_dropped_late: 2,
             ingest_dropped_queue_batches: 0,
             ingest_rejected_outliers: 17,
+            planned_cost: 36,
+            actual_cost: 36,
+            full_survey_cost: 36,
+            plan_policy: "uncertainty-greedy".into(),
         }
     }
 

@@ -25,6 +25,7 @@
 
 use crate::report::{PhaseMetrics, ScenarioReport};
 use crate::scenario::Scenario;
+use taf_plan::PlannerConfig;
 use taf_rfsim::{campaign, stream, RawSample, World};
 use tafloc_core::db::FingerprintDb;
 use tafloc_core::eval::{localization_error, reconstruction_rmse, ErrorSummary};
@@ -41,6 +42,9 @@ use tafloc_serve::store::SiteStore;
 const SEED_EVAL_DAY0: u64 = 1_000;
 const SEED_EVAL_DRIFTED: u64 = 2_000;
 const SEED_SURVEY: u64 = 500;
+/// Stream-seed base for the second (budgeted) survey epoch of plan
+/// scenarios, disjoint from every other base.
+const SEED_SURVEY_EPOCH2: u64 = 700;
 
 /// Runs `scenario` to completion and returns its report.
 ///
@@ -75,6 +79,13 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
     let mut site =
         Site::with_options(scenario.name, system, 0.0, policy, scenario.ingest, ClockMode::Manual)
             .map_err(|e| e.to_string())?;
+    if let Some(plan) = &scenario.plan {
+        let full = scenario.ref_count * world.num_links();
+        let budget = (plan.budget_fraction * full as f64).round() as usize;
+        site = site
+            .with_planning(PlannerConfig::new(budget, plan.policy))
+            .map_err(|e| e.to_string())?;
+    }
 
     let eval_cells: Vec<usize> = (0..world.num_cells()).step_by(scenario.eval_stride).collect();
     // Gap that guarantees one stream's samples are gone (evicted or at least
@@ -118,6 +129,40 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         }
     }
 
+    // Adaptive-sensing second epoch: the first refresh published a
+    // measurement plan; re-survey *only* the reference cells it names, at the
+    // later drift day, and let the history window fill in the rest. The
+    // budgeted refresh then runs through the same scripted ticks.
+    let final_day = match &scenario.plan {
+        Some(plan) => {
+            let current = site.current_plan().ok_or_else(|| {
+                "plan scenario produced no measurement plan after the first refresh".to_string()
+            })?;
+            for entry in &current.entries {
+                let cell = ref_cells[entry.ref_slot];
+                let raw = stream::stream_at_cell(
+                    &world,
+                    plan.second_drift_day,
+                    cell,
+                    &scenario.stream,
+                    SEED_SURVEY_EPOCH2 + entry.ref_slot as u64,
+                );
+                let faulted = scenario.survey_faults.applied(&raw);
+                for batch in link_samples(&faulted).chunks(scenario.batch_size) {
+                    site.ingest_samples(Some(entry.ref_slot), plan.second_drift_day, batch)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            for _ in 0..scenario.max_ticks {
+                if site.maintenance_tick().map_err(|e| e.to_string())?.is_some() {
+                    refreshes += 1;
+                }
+            }
+            plan.second_drift_day
+        }
+        None => scenario.drift_day,
+    };
+
     // Simulated crash/restart: write the site's committed state through the
     // real persistence path, throw the live site away, and recover from the
     // snapshot file — everything below runs against the revived site, so any
@@ -131,7 +176,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
     // Primary accuracy gates: the *served* database against the drifted
     // truth. RMSE catches quality regressions; the mean signed error catches
     // systematic bias (it cannot hide inside the RMSE tolerance).
-    let truth = world.fingerprint_truth(scenario.drift_day);
+    let truth = world.fingerprint_truth(final_day);
     let snap = site.load();
     let recon_rmse_db =
         reconstruction_rmse(snap.system.db().rss(), &truth).map_err(|e| e.to_string())?;
@@ -145,7 +190,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         &world,
         &site,
         &eval_cells,
-        scenario.drift_day,
+        final_day,
         SEED_EVAL_DRIFTED,
         stream_gap_s,
         &mut offset_s,
@@ -169,6 +214,10 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         ingest_dropped_late: stats.ingest.dropped_late,
         ingest_dropped_queue_batches: stats.ingest.dropped_queue_batches,
         ingest_rejected_outliers: stats.ingest.rejected_outliers,
+        planned_cost: stats.planned_cost,
+        actual_cost: stats.actual_cost,
+        full_survey_cost: stats.full_survey_cost,
+        plan_policy: stats.plan_policy.unwrap_or_default(),
     })
 }
 

@@ -11,6 +11,7 @@
 //! golden baseline under `results/golden/<name>.json` (see [`crate::golden`]
 //! for the blessing workflow and tolerance policy).
 
+use taf_plan::PlanPolicy;
 use taf_rfsim::{Fault, FaultSchedule, StreamConfig};
 use tafloc_ingest::IngestConfig;
 
@@ -81,6 +82,30 @@ impl Default for Tolerances {
     }
 }
 
+/// Adaptive-sensing configuration for a scenario's *second* survey epoch.
+///
+/// When present, the runner attaches a [`taf_plan::Planner`] to the site,
+/// runs the usual full survey + refresh at `drift_day`, then drives a second,
+/// *budgeted* epoch at [`second_drift_day`](Self::second_drift_day): only the
+/// reference cells named by the site's published
+/// [`MeasurementPlan`](taf_plan::MeasurementPlan) are re-surveyed, the
+/// history window fills in the rest, and the drifted evaluation runs against
+/// the day the budgeted refresh had to track. The report's cost counters
+/// (`planned_cost` / `actual_cost` / `full_survey_cost`) are what the
+/// cost-vs-accuracy gates compare.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanSpec {
+    /// Measurement budget as a fraction of one full survey
+    /// (`ref_count x num_links` link-measurements); `1.0` plans everything
+    /// and is the accuracy twin the budgeted scenarios are gated against.
+    pub budget_fraction: f64,
+    /// Planner spending policy.
+    pub policy: PlanPolicy,
+    /// Deployment day of the second (budgeted) survey epoch; must be past
+    /// `drift_day` so the monitor's cooldown has elapsed.
+    pub second_drift_day: f64,
+}
+
 /// One deterministic fault-injection scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -130,6 +155,9 @@ pub struct Scenario {
     /// site. Accuracy metrics must be unaffected — persistence is supposed
     /// to be exact — which the restart-equivalence test pins down.
     pub restart_after_refresh: bool,
+    /// Adaptive-sensing second epoch; `None` runs the classic single-refresh
+    /// flow with no planner attached.
+    pub plan: Option<PlanSpec>,
     /// Golden-comparison tolerances.
     pub tolerances: Tolerances,
 }
@@ -158,6 +186,7 @@ impl Scenario {
             max_ticks: 5,
             debug_bias_db: 0.0,
             restart_after_refresh: false,
+            plan: None,
             tolerances: Tolerances::default(),
         }
     }
@@ -169,6 +198,17 @@ impl Scenario {
         assert!(self.eval_stride >= 1, "eval_stride must be >= 1");
         assert!(self.batch_size >= 1, "batch_size must be >= 1");
         assert!(self.max_ticks >= 1, "max_ticks must be >= 1");
+        if let Some(plan) = &self.plan {
+            assert!(
+                plan.budget_fraction > 0.0 && plan.budget_fraction <= 1.0,
+                "budget_fraction must be in (0, 1]"
+            );
+            assert!(
+                plan.second_drift_day > self.drift_day,
+                "the budgeted epoch must come after the first drift day"
+            );
+            assert!(!self.restart_after_refresh, "plan state is not persisted across restarts");
+        }
         self.stream.assert_valid();
         for f in self.eval_faults.faults.iter().chain(self.survey_faults.faults.iter()) {
             f.assert_valid();
@@ -248,7 +288,50 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
     // warm and cold ingestors converge on the same newest-16 samples.
     restart.ingest = IngestConfig { window_capacity: 16, ..IngestConfig::default() };
 
-    vec![nominal, lossy, dead, outage, restart]
+    // Adaptive-sensing triplet: one world (seed 47), three sensing policies.
+    // `plan-full-survey` re-surveys everything in the second epoch and is the
+    // accuracy twin; the two budgeted scenarios spend half that and are gated
+    // on staying within tolerance of their own goldens (and, in the scenario
+    // suite, of the twin). Exact cost counters are pinned by `exact_counts`.
+    let mut plan_full = Scenario::base(
+        "plan-full-survey",
+        "planner attached with a full budget: second epoch re-surveys every reference cell",
+        47,
+    );
+    plan_full.plan = Some(PlanSpec {
+        budget_fraction: 1.0,
+        policy: PlanPolicy::UncertaintyGreedy,
+        second_drift_day: 90.0,
+    });
+    // A budgeted refresh carries the skipped reference columns from the
+    // previous epoch's history, so the served database legitimately sits
+    // further from the day-90 truth than a full re-survey would — and its
+    // cross-backend spread is wider. The localization gates stay at their
+    // defaults: the end metric is what the cost saving must not regress.
+    plan_full.tolerances =
+        Tolerances { recon_rmse_db: 1.5, recon_bias_db: 1.5, ..Tolerances::default() };
+
+    let mut plan_uncertainty = plan_full.clone();
+    plan_uncertainty.name = "plan-uncertainty-50";
+    plan_uncertainty.description =
+        "uncertainty-greedy planner at half budget: least-confident cells re-surveyed first";
+    plan_uncertainty.plan = Some(PlanSpec {
+        budget_fraction: 0.5,
+        policy: PlanPolicy::UncertaintyGreedy,
+        second_drift_day: 90.0,
+    });
+
+    let mut plan_fixed = plan_full.clone();
+    plan_fixed.name = "plan-fixed-50";
+    plan_fixed.description =
+        "fixed-schedule planner at half budget: rotating round-robin re-survey baseline";
+    plan_fixed.plan = Some(PlanSpec {
+        budget_fraction: 0.5,
+        policy: PlanPolicy::FixedSchedule,
+        second_drift_day: 90.0,
+    });
+
+    vec![nominal, lossy, dead, outage, restart, plan_full, plan_uncertainty, plan_fixed]
 }
 
 /// Looks a built-in scenario up by name.

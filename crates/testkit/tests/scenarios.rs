@@ -114,6 +114,91 @@ fn restart_recovery_passes_its_golden_gates() {
     check("restart-recovery");
 }
 
+#[test]
+fn plan_full_survey_passes_its_golden_gates() {
+    check("plan-full-survey");
+}
+
+#[test]
+fn plan_uncertainty_50_passes_its_golden_gates() {
+    check("plan-uncertainty-50");
+}
+
+#[test]
+fn plan_fixed_50_passes_its_golden_gates() {
+    check("plan-fixed-50");
+}
+
+/// The adaptive-sensing headline: the uncertainty-greedy planner at half
+/// budget must spend at most 50% of a full re-survey on the drifted refresh
+/// while keeping the drifted *localization* accuracy within the golden
+/// tolerances of its full-survey twin (identical world, seed and streams —
+/// the only difference is how many reference cells are re-measured).
+#[test]
+fn uncertainty_planning_halves_cost_without_losing_accuracy() {
+    let full_twin = find_scenario("plan-full-survey").unwrap();
+    let budgeted = find_scenario("plan-uncertainty-50").unwrap();
+    let full = run_scenario(&full_twin).unwrap();
+    let half = run_scenario(&budgeted).unwrap();
+
+    // Cost: counters are cumulative over two survey rounds and round 1 is
+    // always full, so the drifted refresh is the remainder.
+    let per_round = full.full_survey_cost / 2;
+    assert_eq!(full.actual_cost, full.full_survey_cost, "the twin re-surveys everything");
+    let refresh_cost = half.actual_cost - per_round;
+    assert!(
+        refresh_cost * 2 <= per_round,
+        "budgeted refresh spent {refresh_cost} of a {per_round} link-measurement round"
+    );
+    assert_eq!(half.planned_cost, half.actual_cost, "every planned measurement was delivered");
+
+    // Accuracy: within the one-sided golden tolerances of the full twin.
+    let tol = &budgeted.tolerances;
+    assert!(
+        half.drifted.loc.mean <= full.drifted.loc.mean + tol.loc_mean_m,
+        "drifted mean {:.3} m vs full-survey {:.3} m (+{:.2} m allowed)",
+        half.drifted.loc.mean,
+        full.drifted.loc.mean,
+        tol.loc_mean_m
+    );
+    assert!(
+        half.drifted.loc.p90 <= full.drifted.loc.p90 + tol.loc_p90_m,
+        "drifted p90 {:.3} m vs full-survey {:.3} m (+{:.2} m allowed)",
+        half.drifted.loc.p90,
+        full.drifted.loc.p90,
+        tol.loc_p90_m
+    );
+    // Day-0 phases precede any planning and must be bit-equal.
+    assert_eq!(half.day0, full.day0, "planning must not disturb the pre-drift phase");
+}
+
+/// The cost-vs-accuracy leaderboard runs, includes the RTI and RASS baseline
+/// rows, and reproduces the ordering the planner exists for: the budgeted
+/// uncertainty-greedy refresh — at half the measurement cost of a full
+/// re-survey and through the noisier full serving stack — still beats the
+/// zero-cost stale-database RASS baseline (which skips ingest entirely and
+/// localizes clean averaged snapshots).
+#[test]
+fn leaderboard_includes_baselines_and_tafloc_beats_stale_rass() {
+    let rows = taf_testkit::leaderboard().unwrap();
+    println!("{}", taf_testkit::render_markdown(&rows));
+    assert_eq!(rows.len(), 5, "{rows:?}");
+    let by_name = |needle: &str| {
+        rows.iter()
+            .find(|r| r.system.contains(needle))
+            .unwrap_or_else(|| panic!("no `{needle}` row in {rows:?}"))
+    };
+    let full = by_name("full re-survey");
+    let unc = by_name("uncertainty-greedy");
+    let rass = by_name("RASS");
+    let rti = by_name("RTI");
+    assert_eq!(rass.refresh_cost, 0);
+    assert_eq!(rti.refresh_cost, 0);
+    assert_eq!(full.cost_fraction, 1.0, "{rows:?}");
+    assert!(unc.refresh_cost * 2 <= full.refresh_cost, "{rows:?}");
+    assert!(unc.drifted_loc_mean_m < rass.drifted_loc_mean_m, "{rows:?}");
+}
+
 /// Restart equivalence: the same scenario run with and without the simulated
 /// crash/restart must produce identical post-restart accuracy — persistence
 /// is exact, not approximate. Only the cumulative ingest counters may differ

@@ -22,6 +22,18 @@ cargo test -q --workspace --no-default-features
 echo "==> cargo test -p tafloc-serve --test protocol_fuzz  (decoder fuzz)"
 cargo test -q -p tafloc-serve --test protocol_fuzz
 
+# The planner is consumed by serve/cli/testkit with default features off, so
+# gate that configuration (and its lints/formatting) by name — a workspace run
+# with default features would not catch a planner regression behind a feature.
+echo "==> cargo test -q -p taf-plan --no-default-features  (planner)"
+cargo test -q -p taf-plan --no-default-features
+
+echo "==> cargo clippy -p taf-plan --all-targets -- -D warnings  (planner)"
+cargo clippy -q -p taf-plan --all-targets -- -D warnings
+
+echo "==> cargo fmt -p taf-plan --check  (planner)"
+cargo fmt -p taf-plan --check
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,122 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Compiles the workspace's `harness = false` benches and, when run,
+//! executes every benchmark body exactly once with no measurement. Real
+//! performance numbers come from the `taf-bench` binaries, not from this.
+
+use std::fmt::Display;
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        eprintln!("criterion stub: group {name} (single uninstrumented pass)");
+        BenchmarkGroup { _c: self }
+    }
+
+    /// Runs one ungrouped benchmark body once.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("criterion stub: bench {id}");
+        f(&mut Bencher { _private: () });
+        self
+    }
+}
+
+/// A group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one grouped benchmark body once.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("criterion stub: bench {id}");
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    /// Runs one parameterized benchmark body once.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        eprintln!("criterion stub: bench {}", id.0);
+        f(&mut Bencher { _private: () }, input);
+        self
+    }
+
+    /// Records (and ignores) a sample-size hint.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Runs benchmark bodies; the stub executes them once, unmeasured.
+#[derive(Debug)]
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Calls `f` once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Function + parameter identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

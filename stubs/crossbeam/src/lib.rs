@@ -1,0 +1,51 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with spawns executed immediately on
+//! the calling thread. The one consumer (`taf-bench`'s seed sweep) only
+//! relies on scoped closures borrowing locals, not on actual concurrency.
+
+pub mod thread {
+    //! Scoped "threads" that run inline.
+
+    use std::marker::PhantomData;
+
+    /// Runs `f` with a scope whose spawns execute serially; returns its
+    /// result as `Ok` (a panicking spawn propagates the panic directly
+    /// instead of surfacing it here).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let scope = Scope { _marker: PhantomData };
+        Ok(f(&scope))
+    }
+
+    /// Spawn handle container, mirroring `crossbeam::thread::Scope`.
+    #[derive(Debug)]
+    pub struct Scope<'env> {
+        _marker: PhantomData<&'env mut &'env ()>,
+    }
+
+    impl<'env> Scope<'env> {
+        /// Runs `f` immediately and returns its result wrapped in a handle.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+        where
+            F: FnOnce(&Scope<'env>) -> T,
+        {
+            ScopedJoinHandle { result: f(self) }
+        }
+    }
+
+    /// Handle to a completed inline "thread".
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<T> {
+        result: T,
+    }
+
+    impl<T> ScopedJoinHandle<T> {
+        /// Returns the already-computed result.
+        pub fn join(self) -> std::thread::Result<T> {
+            Ok(self.result)
+        }
+    }
+}

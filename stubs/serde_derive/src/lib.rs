@@ -1,0 +1,474 @@
+//! Hand-rolled offline stand-in for `serde_derive`.
+//!
+//! Generates working `Serialize`/`Deserialize` impls against the stub
+//! `serde` crate's JSON `Value` model. Supports exactly the subset this
+//! workspace uses: non-generic braced structs and enums with unit or
+//! struct variants, plus the attributes `#[serde(default)]`,
+//! `#[serde(default = "path")]`, `#[serde(tag = "...")]` and
+//! `#[serde(rename_all = "kebab-case")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c).parse().expect("stub serde_derive: generated Serialize must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c).parse().expect("stub serde_derive: generated Deserialize must parse")
+}
+
+struct Container {
+    name: String,
+    tag: Option<String>,
+    rename_all: bool,
+    default: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    /// Fallback expression from `#[serde(default)]` / `#[serde(default = "f")]`.
+    default: Option<String>,
+    optional: bool,
+}
+
+struct Variant {
+    name: String,
+    unit: bool,
+    fields: Vec<Field>,
+}
+
+#[derive(Default)]
+struct SerdeAttr {
+    tag: Option<String>,
+    rename_all: bool,
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Strips the surrounding quotes from a string-literal token.
+fn literal_str(t: &TokenTree) -> Option<String> {
+    let s = t.to_string();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Some(s[1..s.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+/// Accumulates `#[serde(...)]` keys out of one attribute's bracket content.
+fn scan_serde_attr(attr: TokenStream, out: &mut SerdeAttr) {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match toks.first().and_then(ident_of) {
+        Some(name) if name == "serde" => {}
+        _ => return,
+    }
+    let args = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let mut items: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    for t in args {
+        if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+            items.push(Vec::new());
+        } else {
+            items.last_mut().unwrap().push(t);
+        }
+    }
+    for item in items {
+        let Some(key) = item.first().and_then(ident_of) else { continue };
+        let val = item.get(2).and_then(literal_str);
+        match key.as_str() {
+            "tag" => out.tag = val,
+            "rename_all" => out.rename_all = val.as_deref() == Some("kebab-case"),
+            "default" => out.default = Some(val),
+            _ => {}
+        }
+    }
+}
+
+/// Consumes leading `#[...]` attributes at `*i`, folding serde ones into `out`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize, out: &mut SerdeAttr) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            scan_serde_attr(g.stream(), out);
+        }
+        *i += 2;
+    }
+}
+
+/// Consumes `pub` / `pub(...)` at `*i`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if ident_of(&toks[*i]).as_deref() == Some("pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attr = SerdeAttr::default();
+    skip_attrs(&toks, &mut i, &mut attr);
+    skip_vis(&toks, &mut i);
+    let kw = ident_of(&toks[i]).expect("stub serde_derive: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("stub serde_derive: expected a type name");
+    i += 1;
+    let body = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("stub serde_derive: generic types are unsupported")
+            }
+            Some(_) => i += 1,
+            None => panic!("stub serde_derive: only braced structs/enums are supported"),
+        }
+    };
+    let kind = match kw.as_str() {
+        "struct" => Kind::Struct(parse_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("stub serde_derive: cannot derive for `{other}`"),
+    };
+    Container { name, tag: attr.tag, rename_all: attr.rename_all, default: attr.default.is_some(), kind }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let mut attr = SerdeAttr::default();
+        skip_attrs(&toks, &mut i, &mut attr);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        let name = ident_of(&toks[i])
+            .unwrap_or_else(|| panic!("stub serde_derive: expected a field name, got {}", toks[i]));
+        i += 1;
+        assert!(
+            matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "stub serde_derive: tuple structs are unsupported"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        let mut ty = String::new();
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                let ch = p.as_char();
+                if ch == ',' && depth == 0 {
+                    i += 1;
+                    break;
+                }
+                if ch == '<' {
+                    depth += 1;
+                }
+                if ch == '>' {
+                    depth -= 1;
+                }
+            }
+            ty.push_str(&toks[i].to_string());
+            // `::` arrives as two puncts with Joint spacing; a space between
+            // them would emit an unparsable `: :`.
+            match &toks[i] {
+                TokenTree::Punct(p) if p.spacing() == proc_macro::Spacing::Joint => {}
+                _ => ty.push(' '),
+            }
+            i += 1;
+        }
+        let optional = ty.starts_with("Option ");
+        let default = attr.default.map(|d| match d {
+            Some(path) => format!("{path} ()"),
+            None => "::core::default::Default::default ()".to_string(),
+        });
+        fields.push(Field { name, ty, default, optional });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let mut attr = SerdeAttr::default();
+        skip_attrs(&toks, &mut i, &mut attr);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i])
+            .unwrap_or_else(|| panic!("stub serde_derive: expected a variant name, got {}", toks[i]));
+        i += 1;
+        let mut unit = true;
+        let mut fields = Vec::new();
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            assert!(
+                g.delimiter() == Delimiter::Brace,
+                "stub serde_derive: tuple variants are unsupported"
+            );
+            fields = parse_fields(g.stream());
+            unit = false;
+            i += 1;
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, unit, fields });
+    }
+    variants
+}
+
+fn kebab(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_wire_name(c: &Container, v: &Variant) -> String {
+    if c.rename_all {
+        kebab(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+fn push_field_pairs(out: &mut String, fields: &[Field], accessor: impl Fn(&str) -> String) {
+    for f in fields {
+        out.push_str(&format!(
+            "__obj.push((::std::string::String::from(\"{}\"), ::serde::Serialize::to_value({})?));",
+            f.name,
+            accessor(&f.name)
+        ));
+    }
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "#[automatically_derived] impl ::serde::Serialize for {} {{ \
+         fn to_value(&self) -> ::core::option::Option<::serde::Value> {{",
+        c.name
+    ));
+    match &c.kind {
+        Kind::Struct(fields) => {
+            s.push_str(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();",
+            );
+            push_field_pairs(&mut s, fields, |f| format!("&self.{f}"));
+            s.push_str("::core::option::Option::Some(::serde::Value::Obj(__obj))");
+        }
+        Kind::Enum(variants) => {
+            s.push_str("match self {");
+            for v in variants {
+                let wire = variant_wire_name(c, v);
+                let pat = if v.unit {
+                    format!("{}::{}", c.name, v.name)
+                } else {
+                    let binds: Vec<&str> = v.fields.iter().map(|f| f.name.as_str()).collect();
+                    format!("{}::{} {{ {} }}", c.name, v.name, binds.join(", "))
+                };
+                s.push_str(&format!("{pat} => {{"));
+                match (&c.tag, v.unit) {
+                    (Some(tag), _) => {
+                        s.push_str(
+                            "let mut __obj: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();",
+                        );
+                        s.push_str(&format!(
+                            "__obj.push((::std::string::String::from(\"{tag}\"), \
+                             ::serde::Value::Str(::std::string::String::from(\"{wire}\"))));"
+                        ));
+                        push_field_pairs(&mut s, &v.fields, |f| f.to_string());
+                        s.push_str("::core::option::Option::Some(::serde::Value::Obj(__obj))");
+                    }
+                    (None, true) => {
+                        s.push_str(&format!(
+                            "::core::option::Option::Some(::serde::Value::Str(\
+                             ::std::string::String::from(\"{wire}\")))"
+                        ));
+                    }
+                    (None, false) => {
+                        s.push_str(
+                            "let mut __obj: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();",
+                        );
+                        push_field_pairs(&mut s, &v.fields, |f| f.to_string());
+                        s.push_str(&format!(
+                            "::core::option::Option::Some(::serde::Value::Obj(::std::vec![(\
+                             ::std::string::String::from(\"{wire}\"), \
+                             ::serde::Value::Obj(__obj))]))"
+                        ));
+                    }
+                }
+                s.push('}');
+            }
+            s.push('}');
+        }
+    }
+    s.push_str("} }");
+    s
+}
+
+/// `match` expression that extracts and deserializes one field of `fields`
+/// from the object bound to `__src`, honouring defaults.
+fn field_expr(c: &Container, f: &Field, src: &str) -> String {
+    let err = "<__D::Error as ::serde::de::Error>::custom";
+    let fallback = if let Some(d) = &f.default {
+        d.clone()
+    } else if f.optional {
+        "::core::option::Option::None".to_string()
+    } else if c.default {
+        format!(
+            "{{ let __dflt: {} = ::core::default::Default::default(); __dflt.{} }}",
+            c.name, f.name
+        )
+    } else {
+        format!(
+            "return ::core::result::Result::Err({err}(\"{}: missing field `{}`\"))",
+            c.name, f.name
+        )
+    };
+    format!(
+        "match ::serde::__stub_field({src}, \"{fname}\") {{ \
+           ::core::option::Option::Some(__x) => match ::serde::__stub_de::<{ty}>(__x) {{ \
+             ::core::result::Result::Ok(__ok) => __ok, \
+             ::core::result::Result::Err(__e) => return ::core::result::Result::Err({err}(\
+               ::std::format!(\"{cname}.{fname}: {{}}\", __e))), \
+           }}, \
+           ::core::option::Option::None => {fallback}, \
+         }}",
+        fname = f.name,
+        ty = f.ty,
+        cname = c.name,
+    )
+}
+
+fn struct_literal(c: &Container, path: &str, fields: &[Field], src: &str) -> String {
+    let mut s = format!("{path} {{");
+    for f in fields {
+        s.push_str(&format!("{}: {},", f.name, field_expr(c, f, src)));
+    }
+    s.push('}');
+    s
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let err = "<__D::Error as ::serde::de::Error>::custom";
+    let mut s = String::new();
+    s.push_str(&format!(
+        "#[automatically_derived] impl<'de> ::serde::Deserialize<'de> for {0} {{ \
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{ \
+         let __v = ::serde::Deserializer::stub_value(&__d);",
+        c.name
+    ));
+    match &c.kind {
+        Kind::Struct(fields) => {
+            s.push_str(&format!(
+                "if !::serde::__stub_is_obj(__v) {{ return ::core::result::Result::Err({err}(\
+                 \"{}: expected a JSON object\")); }}",
+                c.name
+            ));
+            s.push_str(&format!(
+                "::core::result::Result::Ok({})",
+                struct_literal(c, &c.name, fields, "__v")
+            ));
+        }
+        Kind::Enum(variants) => {
+            if let Some(tag) = &c.tag {
+                s.push_str(&format!(
+                    "let __tag: &str = match ::serde::__stub_field(__v, \"{tag}\") {{ \
+                       ::core::option::Option::Some(::serde::Value::Str(__s)) => __s.as_str(), \
+                       _ => return ::core::result::Result::Err({err}(\
+                         \"{0}: missing or non-string tag `{tag}`\")), \
+                     }}; match __tag {{",
+                    c.name
+                ));
+                for v in variants {
+                    let wire = variant_wire_name(c, v);
+                    let body = if v.unit {
+                        format!("{}::{}", c.name, v.name)
+                    } else {
+                        struct_literal(c, &format!("{}::{}", c.name, v.name), &v.fields, "__v")
+                    };
+                    s.push_str(&format!("\"{wire}\" => ::core::result::Result::Ok({body}),"));
+                }
+                s.push_str(&format!(
+                    "__other => ::core::result::Result::Err({err}(::std::format!(\
+                     \"{}: unknown variant `{{}}`\", __other))), }}",
+                    c.name
+                ));
+            } else {
+                s.push_str("match __v { ::serde::Value::Str(__s) => match __s.as_str() {");
+                for v in variants.iter().filter(|v| v.unit) {
+                    let wire = variant_wire_name(c, v);
+                    s.push_str(&format!(
+                        "\"{wire}\" => ::core::result::Result::Ok({}::{}),",
+                        c.name, v.name
+                    ));
+                }
+                s.push_str(&format!(
+                    "__other => ::core::result::Result::Err({err}(::std::format!(\
+                     \"{0}: unknown variant `{{}}`\", __other))), }},",
+                    c.name
+                ));
+                s.push_str(
+                    "::serde::Value::Obj(__pairs) if __pairs.len() == 1 => { \
+                     let __inner = &__pairs[0].1; match __pairs[0].0.as_str() {",
+                );
+                for v in variants {
+                    let wire = variant_wire_name(c, v);
+                    let body = if v.unit {
+                        format!("{}::{}", c.name, v.name)
+                    } else {
+                        struct_literal(c, &format!("{}::{}", c.name, v.name), &v.fields, "__inner")
+                    };
+                    s.push_str(&format!("\"{wire}\" => ::core::result::Result::Ok({body}),"));
+                }
+                s.push_str(&format!(
+                    "__other => ::core::result::Result::Err({err}(::std::format!(\
+                     \"{0}: unknown variant `{{}}`\", __other))), }} }},",
+                    c.name
+                ));
+                s.push_str(&format!(
+                    "_ => ::core::result::Result::Err({err}(\
+                     \"{0}: expected a variant name or single-key object\")), }}",
+                    c.name
+                ));
+            }
+        }
+    }
+    s.push_str("} }");
+    s
+}

@@ -96,7 +96,7 @@ fn all_systems_produce_in_bounds_estimates() {
 #[test]
 fn rti_is_drift_immune_fingerprint_systems_are_not() {
     // RTI error at day 0 vs day 90 stays flat; RASS w/o rec degrades.
-    let world = World::new(WorldConfig::paper_default(), 102);
+    let world = World::new(WorldConfig::paper_default(), 101);
     let links: Vec<Segment> = world.deployment().links().iter().map(|l| l.segment).collect();
     let rti = Rti::new(&links, world.grid(), RtiConfig::default()).unwrap();
     let x0 = campaign::full_calibration(&world, 0.0, 50);
