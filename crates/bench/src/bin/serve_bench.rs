@@ -1,17 +1,23 @@
 //! Serving-throughput baseline: `locate` requests/sec against an in-process
-//! `taflocd` over loopback TCP.
+//! `taflocd` over loopback TCP, measured for **both wire protocols**.
 //!
-//! This is the number later serving-performance PRs must beat. The setup is
-//! the paper-scale site (10 links, 96 cells), one persistent connection per
-//! client thread, every request a full `locate` round trip (JSON encode →
-//! TCP → dispatch → fingerprint match → JSON decode). A second phase sends
-//! the same fixes as `locate-batch` requests (16 vectors per round trip) to
-//! expose the protocol overhead amortized away by batching. Reported at the
-//! end: aggregate requests/sec plus the server's own latency histogram.
+//! These are the numbers later serving-performance PRs must beat. The setup
+//! is the paper-scale site (10 links, 96 cells), one persistent connection
+//! per client thread, every request a full `locate` round trip (encode → TCP
+//! → dispatch → fingerprint match → decode). Phases:
 //!
-//! The headline numbers land in `BENCH_serve.json` at the repo root in the
-//! canonical golden-file JSON form; CI's bench-smoke job re-generates the file
-//! in `--quick` mode and uploads it as an artifact.
+//! 1. `locate` over v1 (newline-delimited JSON) and over v2 (length-prefixed
+//!    checksummed binary), with client-side per-request p50/p99;
+//! 2. `locate-batch` (16 vectors per round trip) over each protocol, to
+//!    expose the framing overhead amortized away by batching;
+//! 3. a mixed many-client phase — `4 x threads` concurrent connections,
+//!    alternating v1/v2 — exercising version sniffing under contention.
+//!
+//! The wire codecs are hand-rolled in `taf-wire`, so this bench produces
+//! real numbers even in builds where serde_json is a compile-only stub (it
+//! used to skip itself there). The headline numbers land in
+//! `BENCH_serve.json` at the repo root in the canonical golden-file JSON
+//! form; CI's bench-smoke job re-generates the file in `--quick` mode.
 //!
 //! Usage: `cargo run --release -p taf-bench --bin serve_bench [--quick] [threads] [requests_per_thread] [workers]`
 
@@ -25,6 +31,93 @@ use tafloc_serve::client::Client;
 use tafloc_serve::maintenance::MaintenancePolicy;
 use tafloc_serve::protocol::{Request, Response};
 use tafloc_serve::server::{Server, ServerConfig};
+use tafloc_serve::wire::WireVersion;
+
+const BATCH: usize = 16;
+
+fn label(version: WireVersion) -> &'static str {
+    match version {
+        WireVersion::V1Json => "v1",
+        WireVersion::V2Binary => "v2",
+    }
+}
+
+/// Sorted-micros quantile (client-side, whole round trip).
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One `locate` phase: `threads` persistent connections in `version`, each
+/// issuing `per_thread` round trips. Returns (req/s, p50 µs, p99 µs).
+fn locate_phase(
+    addr: std::net::SocketAddr,
+    version: WireVersion,
+    threads: usize,
+    per_thread: usize,
+    queries: &[Vec<f64>],
+) -> (f64, u64, u64) {
+    let start = Instant::now();
+    let joins: Vec<_> = (0..threads)
+        .map(|t| {
+            let queries = queries.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_with(addr, version).expect("connect");
+                let mut micros = Vec::with_capacity(per_thread);
+                for k in 0..per_thread {
+                    let y = &queries[(t + k) % queries.len()];
+                    let t0 = Instant::now();
+                    client.locate("bench", y).expect("locate");
+                    micros.push(t0.elapsed().as_micros() as u64);
+                }
+                micros
+            })
+        })
+        .collect();
+    let mut micros: Vec<u64> = Vec::with_capacity(threads * per_thread);
+    for j in joins {
+        micros.extend(j.join().expect("client thread"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    micros.sort_unstable();
+    let total = (threads * per_thread) as f64;
+    (total / elapsed, quantile_us(&micros, 0.50), quantile_us(&micros, 0.99))
+}
+
+/// One `locate-batch` phase (16 vectors per round trip). Returns fixes/s.
+fn batch_phase(
+    addr: std::net::SocketAddr,
+    version: WireVersion,
+    threads: usize,
+    per_thread: usize,
+    queries: &[Vec<f64>],
+) -> f64 {
+    let rounds = per_thread.div_ceil(BATCH);
+    let start = Instant::now();
+    let joins: Vec<_> = (0..threads)
+        .map(|t| {
+            let queries = queries.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_with(addr, version).expect("connect");
+                for k in 0..rounds {
+                    let ys: Vec<Vec<f64>> = (0..BATCH)
+                        .map(|j| queries[(t + k * BATCH + j) % queries.len()].clone())
+                        .collect();
+                    let (fixes, _) = client.locate_batch("bench", ys).expect("locate-batch");
+                    assert_eq!(fixes.len(), BATCH);
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (threads * rounds * BATCH) as f64 / elapsed
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -45,12 +138,15 @@ fn main() {
     let queries: Vec<Vec<f64>> =
         (0..world.num_cells()).map(|c| campaign::snapshot_at_cell(&world, 0.0, c, 50)).collect();
 
+    // The mixed phase opens many persistent connections at once; the server
+    // needs a worker per connection (plus one for the admin client) so nobody
+    // starves.
+    let mixed_clients = (threads * 4).max(8);
     let policy = MaintenancePolicy { auto_refresh: false, ..Default::default() };
-    // Keep a worker free for the stats/shutdown connection.
     let server = Server::bind(
         "127.0.0.1:0",
         ServerConfig {
-            workers: workers.max(threads + 1),
+            workers: workers.max(mixed_clients + 1),
             default_policy: policy,
             ..Default::default()
         },
@@ -60,87 +156,79 @@ fn main() {
     server.add_site("bench", sys, 0.0).expect("add site");
     let handle = server.spawn();
 
-    // Offline stub builds of serde_json cannot serialize the wire protocol at
-    // all; probe once and record an honest skip instead of timing nothing.
-    {
-        let mut probe = Client::connect(addr).expect("connect probe");
-        if let Err(e) = probe.locate("bench", &queries[0]) {
-            println!("serve_bench: skipped — the JSON layer is unusable here ({e})");
-            let report = Json::Obj(vec![
-                ("bench".into(), Json::Str("serve".into())),
-                ("skipped".into(), Json::Str(format!("wire protocol unavailable: {e}"))),
-            ]);
-            let path = perf::write_bench_json("serve", &report);
-            println!("wrote {}", path.display());
-            // The wire is unusable, so shut down in-process.
-            handle.shutdown();
-            handle.join();
-            return;
-        }
-    }
-
     println!(
         "serve_bench: {} links x {} cells, {threads} client threads x {per_thread} locates",
         world.num_links(),
         world.num_cells()
     );
 
-    let start = Instant::now();
-    let joins: Vec<_> = (0..threads)
-        .map(|t| {
-            let queries = queries.clone();
-            std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
-                for k in 0..per_thread {
-                    let y = &queries[(t + k) % queries.len()];
-                    client.locate("bench", y).expect("locate");
-                }
-            })
-        })
-        .collect();
-    for j in joins {
-        j.join().expect("client thread");
-    }
-    let elapsed = start.elapsed();
-    let total = (threads * per_thread) as f64;
-    let locate_rps = total / elapsed.as_secs_f64();
-    println!(
-        "{total:.0} requests in {:.3} s  ->  {locate_rps:.0} req/s aggregate ({:.0} req/s/thread)",
-        elapsed.as_secs_f64(),
-        locate_rps / threads as f64,
-    );
+    let mut results: Vec<(String, Json)> = Vec::new();
+    for version in [WireVersion::V1Json, WireVersion::V2Binary] {
+        let tag = label(version);
+        let (rps, p50, p99) = locate_phase(addr, version, threads, per_thread, &queries);
+        println!(
+            "{tag} locate: {:.0} requests  ->  {rps:.0} req/s, client p50 {p50} us, p99 {p99} us",
+            (threads * per_thread) as f64,
+        );
+        results.push((format!("{tag}_locate_req_per_s"), Json::Num(perf::round_ms(rps))));
+        results.push((format!("{tag}_locate_p50_us"), Json::Num(p50 as f64)));
+        results.push((format!("{tag}_locate_p99_us"), Json::Num(p99 as f64)));
 
-    // Phase 2: the same number of fixes, 16 vectors per round trip.
-    const BATCH: usize = 16;
-    let rounds = per_thread.div_ceil(BATCH);
+        let fps = batch_phase(addr, version, threads, per_thread, &queries);
+        println!(
+            "{tag} locate-batch({BATCH}): {fps:.0} fixes/s aggregate ({:.0} round trips/s)",
+            fps / BATCH as f64,
+        );
+        results.push((format!("{tag}_batch_fixes_per_s"), Json::Num(perf::round_ms(fps))));
+    }
+
+    // Mixed phase: many clients, alternating versions on one server, so the
+    // per-message sniffing path is exercised under real contention.
+    let mixed_per_client = per_thread.div_ceil(2).max(1);
     let start = Instant::now();
-    let joins: Vec<_> = (0..threads)
+    let joins: Vec<_> = (0..mixed_clients)
         .map(|t| {
             let queries = queries.clone();
+            let version = if t % 2 == 0 { WireVersion::V1Json } else { WireVersion::V2Binary };
             std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
-                for k in 0..rounds {
-                    let ys: Vec<Vec<f64>> = (0..BATCH)
-                        .map(|j| queries[(t + k * BATCH + j) % queries.len()].clone())
-                        .collect();
-                    let (fixes, _) = client.locate_batch("bench", ys).expect("locate-batch");
-                    assert_eq!(fixes.len(), BATCH);
+                let mut client = Client::connect_with(addr, version).expect("connect");
+                let mut micros = Vec::with_capacity(mixed_per_client);
+                for k in 0..mixed_per_client {
+                    let y = &queries[(t + k) % queries.len()];
+                    let t0 = Instant::now();
+                    client.locate("bench", y).expect("locate");
+                    micros.push(t0.elapsed().as_micros() as u64);
                 }
+                (version, micros)
             })
         })
         .collect();
+    let mut micros: Vec<u64> = Vec::new();
+    let (mut v1_reqs, mut v2_reqs) = (0usize, 0usize);
     for j in joins {
-        j.join().expect("client thread");
+        let (version, m) = j.join().expect("mixed client thread");
+        match version {
+            WireVersion::V1Json => v1_reqs += m.len(),
+            WireVersion::V2Binary => v2_reqs += m.len(),
+        }
+        micros.extend(m);
     }
-    let elapsed = start.elapsed();
-    let fixes = (threads * rounds * BATCH) as f64;
-    let batch_fps = fixes / elapsed.as_secs_f64();
+    let elapsed = start.elapsed().as_secs_f64();
+    micros.sort_unstable();
+    let mixed_rps = micros.len() as f64 / elapsed;
+    let (mp50, mp99) = (quantile_us(&micros, 0.50), quantile_us(&micros, 0.99));
     println!(
-        "locate-batch({BATCH}): {fixes:.0} fixes in {:.3} s  ->  {batch_fps:.0} fixes/s aggregate \
-         ({:.0} round trips/s)",
-        elapsed.as_secs_f64(),
-        batch_fps / BATCH as f64,
+        "mixed ({mixed_clients} clients, alternating v1/v2): {mixed_rps:.0} req/s, \
+         client p50 {mp50} us, p99 {mp99} us",
     );
+    results.push(("mixed_clients".into(), Json::Num(mixed_clients as f64)));
+    results.push(("mixed_req_per_s".into(), Json::Num(perf::round_ms(mixed_rps))));
+    results
+        .push(("mixed_v1_req_per_s".into(), Json::Num(perf::round_ms(v1_reqs as f64 / elapsed))));
+    results
+        .push(("mixed_v2_req_per_s".into(), Json::Num(perf::round_ms(v2_reqs as f64 / elapsed))));
+    results.push(("mixed_p50_us".into(), Json::Num(mp50 as f64)));
+    results.push(("mixed_p99_us".into(), Json::Num(mp99 as f64)));
 
     let mut latency = Vec::new();
     let mut admin = Client::connect(addr).expect("connect admin");
@@ -166,7 +254,7 @@ fn main() {
     admin.call_ok(&Request::Shutdown).expect("shutdown");
     handle.join();
 
-    let report = Json::Obj(vec![
+    let mut report = vec![
         ("bench".into(), Json::Str("serve".into())),
         ("quick".into(), Json::Bool(quick)),
         (
@@ -178,15 +266,14 @@ fn main() {
             Json::Obj(vec![
                 ("client_threads".into(), Json::Num(threads as f64)),
                 ("requests_per_thread".into(), Json::Num(per_thread as f64)),
-                ("workers".into(), Json::Num(workers.max(threads + 1) as f64)),
+                ("workers".into(), Json::Num(workers.max(mixed_clients + 1) as f64)),
                 ("batch".into(), Json::Num(BATCH as f64)),
             ]),
         ),
         ("peak_rss_kb".into(), perf::peak_rss_json()),
-        ("locate_req_per_s".into(), Json::Num(perf::round_ms(locate_rps))),
-        ("batch_fixes_per_s".into(), Json::Num(perf::round_ms(batch_fps))),
-        ("server_latency".into(), Json::Arr(latency)),
-    ]);
-    let path = perf::write_bench_json("serve", &report);
+    ];
+    report.extend(results);
+    report.push(("server_latency".into(), Json::Arr(latency)));
+    let path = perf::write_bench_json("serve", &Json::Obj(report));
     println!("wrote {}", path.display());
 }

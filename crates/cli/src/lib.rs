@@ -595,7 +595,13 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
         eprintln!("warning: skipped snapshot {}: {}", issue.path.display(), issue.reason);
     }
     if let Some(system_path) = args.optional("system") {
-        let snapshot: SystemSnapshot = read_json(Path::new(system_path))?;
+        // Parse with the bundled wire codec (same path as `taflocd --system`),
+        // so `serve` works even in builds where serde_json is stubbed out.
+        let text = std::fs::read_to_string(system_path)
+            .map_err(|e| CliError(format!("cannot read {system_path}: {e}")))?;
+        let snapshot = taf_wire::json::parse(&text)
+            .and_then(|v| taf_wire::types::json_read_snapshot(&v, "system"))
+            .map_err(|e| CliError(format!("cannot parse {system_path}: {e}")))?;
         let system = TafLoc::from_snapshot(snapshot)?;
         let site = args.optional("site").unwrap_or("default");
         let day: f64 = args.num("day", 0.0)?;
@@ -671,9 +677,18 @@ pub fn cmd_ingest(args: &Args) -> Result<String> {
         None => None,
     };
     let day: f64 = args.num("day", file.day)?;
+    // `--wire v2` switches the connection to the length-prefixed binary
+    // protocol; the default stays the netcat-friendly JSON lines.
+    let version = match args.optional("wire") {
+        None | Some("v1") | Some("json") => tafloc_serve::wire::WireVersion::V1Json,
+        Some("v2") | Some("binary") => tafloc_serve::wire::WireVersion::V2Binary,
+        Some(other) => {
+            return Err(CliError(format!("--wire expects v1 or v2, got {other:?}")));
+        }
+    };
     let samples: Vec<LinkSample> =
         file.samples.iter().map(|r| LinkSample::new(r.link, r.t_s, r.rss_dbm)).collect();
-    let mut client = Client::connect(addr)?;
+    let mut client = Client::connect_with(addr, version)?;
     let mut total = BatchReport::default();
     let mut batches = 0usize;
     for chunk in samples.chunks(batch) {
@@ -873,7 +888,7 @@ COMMANDS
                 [--duration S] [--rate HZ] [--jitter F] [--loss P] [--reorder P]
                 [--stream-seed N]
   ingest        --addr HOST:PORT --site NAME --stream stream.json [--batch N]
-                [--ref-cell K] [--day D] [--locate]
+                [--ref-cell K] [--day D] [--locate] [--wire v1|v2]
   info          --system system.json
   export-db     --system system.json --out db.csv
   serve         [--port P | --addr HOST:PORT] [--workers N] [--threads N]

@@ -1,6 +1,8 @@
-//! A thin blocking line-protocol client.
+//! A thin blocking client speaking either wire protocol.
 //!
-//! One request per call, one response per line, in order — the protocol is
+//! [`Client::connect`] speaks v1 newline-delimited JSON (the compatibility
+//! default); [`Client::connect_v2`] speaks the binary v2 framing. One
+//! request per call, one response per message, in order — the protocol is
 //! strictly request/response per connection, so a persistent [`Client`] can
 //! pipeline calls back to back without correlation ids.
 //!
@@ -10,7 +12,8 @@
 //! an error response, an unknown site, malformed JSON — are never retried:
 //! the server already answered, and asking again cannot change the answer.
 
-use crate::protocol::{read_message, write_message, Fix, Request, Response};
+use crate::protocol::{Fix, Request, Response};
+use crate::wire::{self, WireVersion};
 use crate::{Result, ServeError};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -85,16 +88,36 @@ pub struct Client {
     peer: SocketAddr,
     /// Last timeout set via [`Client::set_timeout`], reapplied on reconnect.
     timeout: Option<Duration>,
+    /// Protocol version this client speaks; survives reconnects.
+    version: WireVersion,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server speaking v1 JSON — the compatibility
+    /// default every existing caller expects.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        Client::connect_with(addr, WireVersion::V1Json)
+    }
+
+    /// Connects speaking the v2 binary protocol (length-prefixed checksummed
+    /// frames; dense `f64` payloads travel as raw bytes instead of decimal
+    /// text).
+    pub fn connect_v2<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        Client::connect_with(addr, WireVersion::V2Binary)
+    }
+
+    /// Connects speaking an explicit protocol version.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, version: WireVersion) -> Result<Client> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true)?;
         let peer = writer.peer_addr()?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer, peer, timeout: None })
+        Ok(Client { reader, writer, peer, timeout: None, version })
+    }
+
+    /// The protocol version this client speaks.
+    pub fn version(&self) -> WireVersion {
+        self.version
     }
 
     /// Sets the receive timeout for subsequent calls.
@@ -108,7 +131,7 @@ impl Client {
     /// reapplying the configured timeout. Any half-read response on the old
     /// connection is discarded with it, so the new connection starts framed.
     pub fn reconnect(&mut self) -> Result<()> {
-        let mut fresh = Client::connect(self.peer)?;
+        let mut fresh = Client::connect_with(self.peer, self.version)?;
         fresh.set_timeout(self.timeout)?;
         *self = fresh;
         Ok(())
@@ -116,8 +139,12 @@ impl Client {
 
     /// Sends one request and reads its response.
     pub fn call(&mut self, request: &Request) -> Result<Response> {
-        write_message(&mut self.writer, request)?;
-        read_message(&mut self.reader)?
+        wire::write_request(&mut self.writer, request, self.version)?;
+        // The server replies in the request's version, but decode by
+        // sniffing anyway — it is free, and it keeps the client honest if a
+        // proxy re-frames the stream.
+        let mut replied = self.version;
+        wire::read_response(&mut self.reader, &mut replied)?
             .ok_or_else(|| ServeError::Protocol("server closed the connection".into()))
     }
 

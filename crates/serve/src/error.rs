@@ -8,8 +8,10 @@ use std::fmt;
 pub enum ServeError {
     /// Socket / filesystem trouble.
     Io(std::io::Error),
-    /// A line that is not valid JSON for the expected message type.
-    Json(serde_json::Error),
+    /// A malformed, corrupt, or mis-framed wire message (either protocol
+    /// version). [`taf_wire::WireError::is_recoverable`] tells the server
+    /// whether the connection can survive it.
+    Wire(taf_wire::WireError),
     /// An error from the localization core (bad shapes, solver failure, ...).
     Core(tafloc_core::TaflocError),
     /// A numerical-substrate error.
@@ -50,7 +52,7 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Io(e) => write!(f, "io error: {e}"),
-            ServeError::Json(e) => write!(f, "malformed message: {e}"),
+            ServeError::Wire(e) => write!(f, "{e}"),
             ServeError::Core(e) => write!(f, "{e}"),
             ServeError::Linalg(e) => write!(f, "{e}"),
             ServeError::Ingest(e) => write!(f, "{e}"),
@@ -81,9 +83,15 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
-impl From<serde_json::Error> for ServeError {
-    fn from(e: serde_json::Error) -> Self {
-        ServeError::Json(e)
+impl From<taf_wire::WireError> for ServeError {
+    fn from(e: taf_wire::WireError) -> Self {
+        // I/O failures inside the wire layer are transport failures, not
+        // codec failures; keep them in `Io` so timeout/reset accounting and
+        // the client's retry classifier keep seeing them.
+        match e {
+            taf_wire::WireError::Io(io) => ServeError::Io(io),
+            other => ServeError::Wire(other),
+        }
     }
 }
 

@@ -6,7 +6,9 @@
 //! The library crate exposes every building block so the daemon can be
 //! embedded in-process (tests, benchmarks, the `tafloc serve` CLI command):
 //!
-//! * [`protocol`] — the `Request`/`Response` wire types and the line codec;
+//! * [`protocol`] — the `Request`/`Response` wire types;
+//! * [`wire`] — both wire codecs (v1 newline-delimited JSON, v2 checksummed
+//!   binary frames) and the per-message version sniffing between them;
 //! * [`snapshot`] — `SnapshotCell`, the atomically swappable immutable
 //!   snapshot slot behind the contention-free read path;
 //! * [`site`] — per-site state: the swappable calibrated system plus the
@@ -48,5 +50,6 @@ pub mod server;
 pub mod site;
 pub mod snapshot;
 pub mod store;
+pub mod wire;
 
 pub use error::{Result, ServeError};

@@ -104,7 +104,8 @@ fn main() {
     for (name, path) in site_names.iter().zip(&system_paths) {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-        let snapshot = serde_json::from_str(&text)
+        let snapshot = taf_wire::json::parse(&text)
+            .and_then(|v| taf_wire::types::json_read_snapshot(&v, "system"))
             .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
         let system = tafloc_core::system::TafLoc::from_snapshot(snapshot)
             .unwrap_or_else(|e| fail(&format!("invalid system in {path}: {e}")));

@@ -160,6 +160,16 @@ pub struct Metrics {
     conn_resets: AtomicU64,
     /// Connection handlers that panicked (isolated; the worker survived).
     conn_panics: AtomicU64,
+    /// Frames (or v1 lines) rejected for exceeding the size cap.
+    wire_frame_too_large: AtomicU64,
+    /// v2 frames with an unknown version byte (connection closed).
+    wire_bad_magic: AtomicU64,
+    /// v2 frames whose payload failed its CRC32 check.
+    wire_checksum_mismatch: AtomicU64,
+    /// Messages rejected for invalid UTF-8 (connection closed).
+    wire_bad_utf8: AtomicU64,
+    /// Messages that framed correctly but failed to decode.
+    wire_malformed: AtomicU64,
 }
 
 impl Metrics {
@@ -216,6 +226,47 @@ impl Metrics {
     /// Connection handlers that panicked so far.
     pub fn conn_panics(&self) -> u64 {
         self.conn_panics.load(Ordering::Relaxed)
+    }
+
+    /// Records one wire-level decode/framing failure by kind. Truncation and
+    /// transport I/O are connection-lifecycle events, not codec failures;
+    /// they are charged to the reset/timeout counters by the caller instead.
+    pub fn record_wire_error(&self, err: &taf_wire::WireError) {
+        use taf_wire::WireError as E;
+        match err {
+            E::FrameTooLarge { .. } => &self.wire_frame_too_large,
+            E::BadMagic { .. } => &self.wire_bad_magic,
+            E::ChecksumMismatch { .. } => &self.wire_checksum_mismatch,
+            E::BadUtf8 => &self.wire_bad_utf8,
+            E::Malformed(_) => &self.wire_malformed,
+            E::Truncated | E::Io(_) => return,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Oversized-frame rejections so far (both protocol versions).
+    pub fn wire_frame_too_large(&self) -> u64 {
+        self.wire_frame_too_large.load(Ordering::Relaxed)
+    }
+
+    /// Unknown-version-byte rejections so far.
+    pub fn wire_bad_magic(&self) -> u64 {
+        self.wire_bad_magic.load(Ordering::Relaxed)
+    }
+
+    /// Checksum-mismatch rejections so far.
+    pub fn wire_checksum_mismatch(&self) -> u64 {
+        self.wire_checksum_mismatch.load(Ordering::Relaxed)
+    }
+
+    /// Invalid-UTF-8 rejections so far.
+    pub fn wire_bad_utf8(&self) -> u64 {
+        self.wire_bad_utf8.load(Ordering::Relaxed)
+    }
+
+    /// Well-framed but undecodable messages so far.
+    pub fn wire_malformed(&self) -> u64 {
+        self.wire_malformed.load(Ordering::Relaxed)
     }
 
     /// Snapshot of every endpoint that has seen traffic.
@@ -306,6 +357,25 @@ mod tests {
         assert_eq!(m.conn_resets(), 1);
         assert_eq!(m.conn_panics(), 1);
         assert_eq!(m.requests(Endpoint::Ping), 0, "no endpoint is charged");
+    }
+
+    #[test]
+    fn wire_errors_are_counted_by_kind() {
+        use taf_wire::WireError as E;
+        let m = Metrics::new();
+        m.record_wire_error(&E::FrameTooLarge { got: 99, limit: 16 });
+        m.record_wire_error(&E::BadMagic { got: 0x7F });
+        m.record_wire_error(&E::ChecksumMismatch { stored: 1, computed: 2 });
+        m.record_wire_error(&E::BadUtf8);
+        m.record_wire_error(&E::malformed("nope"));
+        m.record_wire_error(&E::malformed("still nope"));
+        // Truncation is a connection-lifecycle event, not a codec counter.
+        m.record_wire_error(&E::Truncated);
+        assert_eq!(m.wire_frame_too_large(), 1);
+        assert_eq!(m.wire_bad_magic(), 1);
+        assert_eq!(m.wire_checksum_mismatch(), 1);
+        assert_eq!(m.wire_bad_utf8(), 1);
+        assert_eq!(m.wire_malformed(), 2);
     }
 
     #[test]

@@ -1,10 +1,9 @@
-//! Wire protocol: newline-delimited JSON (one request per line, one response
-//! per line, in order).
+//! The `Request`/`Response` message types shared by both wire protocols.
 //!
-//! The framing is deliberately trivial — `serde_json` never emits a raw
-//! newline inside a JSON document, so `to_string` + `'\n'` is a complete
-//! codec that works from `netcat`, a shell script, or the bundled
-//! [`crate::client::Client`]. Requests are tagged unions on a `"cmd"` field:
+//! The types here are pure data; the codecs live in [`crate::wire`]. The
+//! canonical v1 encoding is newline-delimited JSON — trivial enough to speak
+//! from `netcat` or a shell script. Requests are tagged unions on a `"cmd"`
+//! field:
 //!
 //! ```text
 //! {"cmd":"ping"}
@@ -20,12 +19,14 @@
 //! {"reply":"located","cell":42,"x":3.9,"y":5.1,"distance_db":2.31,"version":1}
 //! {"reply":"error","message":"unknown site \"attic\""}
 //! ```
+//!
+//! The `serde` derives on these types are kept as the *reference* encoding:
+//! the hand-rolled v1 codec in [`crate::wire::v1`] is tested byte-for-byte
+//! against them, so a build with the real `serde_json` and the bundled
+//! zero-dependency codec speak identical bytes.
 
 use crate::maintenance::MaintenancePolicy;
-use crate::{Result, ServeError};
-use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
-use std::io::{BufRead, Write};
 use taf_linalg::Matrix;
 use tafloc_core::system::SystemSnapshot;
 use tafloc_ingest::{BatchReport, IngestStats, LinkSample};
@@ -320,6 +321,21 @@ pub struct StatsReport {
     /// Connection handlers that panicked (isolated; the worker survived).
     #[serde(default)]
     pub conn_panics: u64,
+    /// Frames (or lines) rejected for exceeding the size cap.
+    #[serde(default)]
+    pub wire_frame_too_large: u64,
+    /// v2 frames rejected for an unknown version byte (fatal per connection).
+    #[serde(default)]
+    pub wire_bad_magic: u64,
+    /// v2 frames whose payload failed its CRC32 check.
+    #[serde(default)]
+    pub wire_checksum_mismatch: u64,
+    /// Messages rejected for invalid UTF-8 (fatal per connection).
+    #[serde(default)]
+    pub wire_bad_utf8: u64,
+    /// Messages that framed correctly but failed to decode.
+    #[serde(default)]
+    pub wire_malformed: u64,
     /// Per-endpoint request counters and latency quantiles.
     pub endpoints: Vec<EndpointStats>,
     /// Per-site health.
@@ -404,105 +420,9 @@ pub struct SiteStats {
     pub plan_policy: Option<String>,
 }
 
-/// Serializes `msg` as one newline-terminated JSON line and flushes.
-pub fn write_message<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<()> {
-    let mut line = serde_json::to_string(msg)?;
-    line.push('\n');
-    w.write_all(line.as_bytes())?;
-    w.flush()?;
-    Ok(())
-}
-
-/// Reads one line of at most `limit` bytes (newline included) into `buf`.
-///
-/// Unlike `BufRead::read_line`, the cap is enforced *while reading*: an
-/// attacker streaming an endless unterminated line is cut off at the cap
-/// instead of growing the buffer without bound. On overflow the reader
-/// drains (without buffering) through the terminating newline so the
-/// connection stays framed, then reports [`ServeError::OversizedLine`] with
-/// the true line size. Returns the bytes consumed; `0` means clean EOF.
-fn read_bounded_line<R: BufRead>(r: &mut R, buf: &mut Vec<u8>, limit: usize) -> Result<usize> {
-    buf.clear();
-    let mut total = 0usize;
-    let mut overflowed = false;
-    loop {
-        let available = r.fill_buf()?;
-        if available.is_empty() {
-            // EOF. A partial unterminated line is handed to the caller;
-            // oversize still errors below.
-            break;
-        }
-        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
-            Some(i) => (&available[..=i], true),
-            None => (available, false),
-        };
-        let used = chunk.len();
-        total += used;
-        if !overflowed {
-            if buf.len() + used > limit {
-                overflowed = true;
-                buf.clear();
-            } else {
-                buf.extend_from_slice(chunk);
-            }
-        }
-        r.consume(used);
-        if done {
-            break;
-        }
-    }
-    if overflowed {
-        return Err(ServeError::OversizedLine { got: total, limit });
-    }
-    Ok(total)
-}
-
-/// Reads one newline-terminated JSON message. Blank lines are skipped;
-/// `Ok(None)` means the peer closed the connection cleanly. Lines over
-/// [`MAX_LINE_BYTES`] are rejected with [`ServeError::OversizedLine`]
-/// *without* buffering them, and malformed JSON with [`ServeError::Json`];
-/// both leave the stream positioned at the next line.
-pub fn read_message<R: BufRead, T: DeserializeOwned>(r: &mut R) -> Result<Option<T>> {
-    let mut line = Vec::new();
-    loop {
-        let n = read_bounded_line(r, &mut line, MAX_LINE_BYTES)?;
-        if n == 0 {
-            return Ok(None);
-        }
-        let text = std::str::from_utf8(&line)
-            .map_err(|_| ServeError::Protocol("line is not valid UTF-8".into()))?;
-        let trimmed = text.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        return Ok(Some(serde_json::from_str(trimmed)?));
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
-
-    #[test]
-    fn request_round_trip() {
-        let reqs = vec![
-            Request::Ping,
-            Request::Locate { site: "lab".into(), y: vec![-50.0, -41.5] },
-            Request::Refresh { site: "lab".into() },
-            Request::Shutdown,
-        ];
-        let mut buf = Vec::new();
-        for r in &reqs {
-            write_message(&mut buf, r).unwrap();
-        }
-        let mut reader = BufReader::new(&buf[..]);
-        for want in &reqs {
-            let got: Request = read_message(&mut reader).unwrap().unwrap();
-            assert_eq!(serde_json::to_string(&got).unwrap(), serde_json::to_string(want).unwrap());
-        }
-        assert!(read_message::<_, Request>(&mut reader).unwrap().is_none());
-    }
 
     #[test]
     fn wire_format_is_stable_kebab_case() {
@@ -516,56 +436,29 @@ mod tests {
     }
 
     #[test]
-    fn blank_lines_are_skipped_and_garbage_rejected() {
-        let mut reader = BufReader::new("\n\n{\"cmd\":\"ping\"}\nnot json\n".as_bytes());
-        let got: Request = read_message(&mut reader).unwrap().unwrap();
-        assert!(matches!(got, Request::Ping));
-        assert!(read_message::<_, Request>(&mut reader).is_err());
-    }
-
-    #[test]
-    fn bounded_reader_enforces_the_cap_and_stays_framed() {
-        // A 100-byte line against a 16-byte cap, followed by a small line:
-        // the oversized line errors with its true size, and the next read
-        // lands cleanly on the following line.
-        let mut wire = vec![b'x'; 100];
-        wire.push(b'\n');
-        wire.extend_from_slice(b"ok\n");
-        // Tiny BufReader capacity so the line spans many fill_buf chunks.
-        let mut reader = BufReader::with_capacity(8, &wire[..]);
-        let mut buf = Vec::new();
-        let err = read_bounded_line(&mut reader, &mut buf, 16).unwrap_err();
-        match err {
-            ServeError::OversizedLine { got, limit } => {
-                assert_eq!(got, 101, "true size, newline included");
-                assert_eq!(limit, 16);
-            }
-            other => panic!("expected OversizedLine, got {other}"),
-        }
-        assert_eq!(read_bounded_line(&mut reader, &mut buf, 16).unwrap(), 3);
-        assert_eq!(buf, b"ok\n");
-    }
-
-    #[test]
-    fn bounded_reader_handles_eof_and_exact_fit() {
-        // Unterminated final line under the cap: delivered as-is.
-        let mut reader = BufReader::with_capacity(4, "tail".as_bytes());
-        let mut buf = Vec::new();
-        assert_eq!(read_bounded_line(&mut reader, &mut buf, 16).unwrap(), 4);
-        assert_eq!(buf, b"tail");
-        assert_eq!(read_bounded_line(&mut reader, &mut buf, 16).unwrap(), 0, "clean EOF");
-        // A line of exactly `limit` bytes fits; one more does not.
-        let mut reader = BufReader::new("abc\nabcd\n".as_bytes());
-        assert_eq!(read_bounded_line(&mut reader, &mut buf, 4).unwrap(), 4);
-        assert!(matches!(
-            read_bounded_line(&mut reader, &mut buf, 4),
-            Err(ServeError::OversizedLine { got: 5, limit: 4 })
-        ));
-        // Oversized unterminated line at EOF still errors.
-        let mut reader = BufReader::new("xxxxxxxxxx".as_bytes());
-        assert!(matches!(
-            read_bounded_line(&mut reader, &mut buf, 4),
-            Err(ServeError::OversizedLine { got: 10, limit: 4 })
-        ));
+    fn hand_rolled_v1_codec_matches_the_derive_byte_for_byte() {
+        // The derives are the reference encoding; `wire::v1` must reproduce
+        // them exactly or pre-existing clients would notice the swap.
+        let messages = [
+            serde_json::to_string(&Request::ListSites).unwrap(),
+            serde_json::to_string(&Request::Locate { site: "lab".into(), y: vec![-50.0, -41.5] })
+                .unwrap(),
+        ];
+        let hand = [
+            {
+                let mut out = Vec::new();
+                crate::wire::v1::encode_request(&Request::ListSites, &mut out);
+                String::from_utf8(out).unwrap()
+            },
+            {
+                let mut out = Vec::new();
+                crate::wire::v1::encode_request(
+                    &Request::Locate { site: "lab".into(), y: vec![-50.0, -41.5] },
+                    &mut out,
+                );
+                String::from_utf8(out).unwrap()
+            },
+        ];
+        assert_eq!(messages, hand);
     }
 }

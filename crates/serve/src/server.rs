@@ -3,9 +3,10 @@
 //!
 //! Std-only by design (the repo carries no async runtime): a blocking
 //! `TcpListener` accept loop hands connections to a fixed pool of worker
-//! threads over an `mpsc` channel. Each connection speaks the
-//! newline-delimited JSON protocol of [`crate::protocol`] and may pipeline
-//! any number of requests.
+//! threads over an `mpsc` channel. Each connection speaks either wire
+//! protocol of [`crate::wire`] — newline-delimited JSON (v1) or checksummed
+//! binary frames (v2), sniffed per message — and may pipeline any number of
+//! requests.
 //!
 //! Shutdown is graceful: a `shutdown` request (or
 //! [`ServerHandle::shutdown`]) raises the flag and nudges the accept loop
@@ -16,10 +17,11 @@
 
 use crate::maintenance::MaintenancePolicy;
 use crate::metrics::Metrics;
-use crate::protocol::{read_message, write_message, Request, Response, StatsReport};
+use crate::protocol::{Request, Response, StatsReport};
 use crate::registry::Registry;
 use crate::site::{detection_detail, recommendation_name, Site};
 use crate::store::SiteStore;
+use crate::wire::{self, WireVersion};
 use crate::{Result, ServeError};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -108,6 +110,11 @@ impl ServerCtx {
             conn_timeouts: self.metrics.conn_timeouts(),
             conn_resets: self.metrics.conn_resets(),
             conn_panics: self.metrics.conn_panics(),
+            wire_frame_too_large: self.metrics.wire_frame_too_large(),
+            wire_bad_magic: self.metrics.wire_bad_magic(),
+            wire_checksum_mismatch: self.metrics.wire_checksum_mismatch(),
+            wire_bad_utf8: self.metrics.wire_bad_utf8(),
+            wire_malformed: self.metrics.wire_malformed(),
             endpoints: self.metrics.report(),
             sites: self.registry.list().iter().map(|s| s.stats()).collect(),
         }
@@ -326,24 +333,41 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    // The protocol version is sniffed per message and updated before any
+    // decoding, so an error reply always goes out in the framing the peer
+    // last spoke — a v2 client never has to parse a JSON error line.
+    let mut version = WireVersion::V1Json;
     loop {
-        let request: Request = match read_message(&mut reader) {
+        let request: Request = match wire::read_request(&mut reader, &mut version) {
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()), // clean EOF
-            Err(ServeError::Json(e)) => {
-                // Framing is line-based, so a malformed line is recoverable:
-                // report it and keep the connection.
-                write_message(
-                    &mut writer,
-                    &Response::Error { message: format!("malformed request: {e}") },
-                )?;
-                continue;
-            }
-            Err(e @ ServeError::OversizedLine { .. }) => {
+            Err(e @ ServeError::OversizedLine { got, limit }) => {
                 // The reader drained through the newline without buffering
                 // the line, so the connection is still framed: answer with
                 // an error frame and keep serving it.
-                write_message(&mut writer, &Response::Error { message: e.to_string() })?;
+                ctx.metrics.record_wire_error(&taf_wire::WireError::FrameTooLarge { got, limit });
+                wire::write_response(
+                    &mut writer,
+                    &Response::Error { message: e.to_string() },
+                    version,
+                )?;
+                continue;
+            }
+            Err(ServeError::Wire(e)) => {
+                ctx.metrics.record_wire_error(&e);
+                if !e.is_recoverable() {
+                    // Bad magic, invalid UTF-8, mid-frame truncation: the
+                    // stream cannot be re-framed. Close quietly.
+                    return Ok(());
+                }
+                // Malformed payload, checksum mismatch, oversized frame —
+                // the framing layer already drained the bad message, so the
+                // connection survives: report and keep serving.
+                let message = match &e {
+                    taf_wire::WireError::Malformed(m) => format!("malformed request: {m}"),
+                    other => other.to_string(),
+                };
+                wire::write_response(&mut writer, &Response::Error { message }, version)?;
                 continue;
             }
             Err(ServeError::Io(e)) => {
@@ -357,7 +381,7 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> Result<()> {
                 }
                 return Ok(());
             }
-            Err(_) => return Ok(()), // protocol violation (e.g. non-UTF-8): close quietly
+            Err(_) => return Ok(()), // protocol violation: close quietly
         };
         let endpoint = request.endpoint();
         let shutdown_requested = matches!(request, Request::Shutdown);
@@ -365,7 +389,7 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> Result<()> {
         let response = dispatch(request, ctx);
         let ok = !matches!(response, Response::Error { .. });
         ctx.metrics.record(endpoint, start.elapsed(), ok);
-        write_message(&mut writer, &response)?;
+        wire::write_response(&mut writer, &response, version)?;
         if shutdown_requested {
             ctx.initiate_shutdown();
             return Ok(());

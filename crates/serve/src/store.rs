@@ -36,16 +36,9 @@ use std::hash::{Hash, Hasher};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use taf_linalg::Matrix;
-use taf_rfsim::geometry::{Point, Segment};
-use taf_rfsim::grid::FloorGrid;
-use tafloc_core::db::FingerprintDb;
-use tafloc_core::loli_ir::LoliIrConfig;
-use tafloc_core::matcher::MatchMethod;
 use tafloc_core::monitor::MonitorConfig;
-use tafloc_core::reference::ReferenceStrategy;
-use tafloc_core::system::{ReconstructionGuard, SystemSnapshot, TafLocConfig, ZRefreshPolicy};
-use tafloc_core::LrrModel;
-use tafloc_ingest::{Aggregator, IngestConfig};
+use tafloc_core::system::SystemSnapshot;
+use tafloc_ingest::IngestConfig;
 
 /// File magic: identifies a taflocd snapshot and its major layout.
 pub const MAGIC: &[u8; 8] = b"TAFSNAP1";
@@ -59,30 +52,10 @@ pub const FORMAT_VERSION: u32 = 1;
 pub const KEEP_GENERATIONS: usize = 3;
 
 /// CRC32 (IEEE 802.3, polynomial `0xEDB88320`) — the checksum guarding the
-/// snapshot payload. Hand-rolled because the workspace deliberately carries
-/// no compression/hashing dependency.
-pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-                k += 1;
-            }
-            table[i] = c;
-            i += 1;
-        }
-        table
-    };
-    let mut c = u32::MAX;
-    for &b in data {
-        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ u32::MAX
-}
+/// snapshot payload. The implementation lives in [`taf_wire::codec`] and is
+/// shared with the v2 wire protocol; re-exported here so existing callers
+/// (and the known-vector tests) keep their `store::crc32` path.
+pub use taf_wire::crc32;
 
 /// Everything needed to resurrect a serving site after a restart.
 #[derive(Debug, Clone)]
@@ -129,396 +102,31 @@ pub struct PersistedSite {
 }
 
 // ---------------------------------------------------------------------------
-// Binary codec
+// Binary codec — delegated to `taf-wire`
 // ---------------------------------------------------------------------------
+//
+// The payload is encoded with the exact primitives and domain codecs the v2
+// wire protocol uses (`taf_wire::{Enc, Dec}`, `taf_wire::types`, plus the
+// shared maintenance-policy codec in `crate::wire::v2`), so the on-disk
+// layout and the wire layout cannot drift apart. The byte layout is
+// unchanged from the original in-module codec: `SystemSnapshot` fields are
+// the `taf_wire::types::enc_snapshot` sequence, and the store frames them
+// with the site identity before and the health/policy state after.
 
-#[derive(Default)]
-struct Enc {
-    buf: Vec<u8>,
-}
-
-impl Enc {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    fn bool(&mut self, v: bool) {
-        self.u8(v as u8);
-    }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
-    }
-    fn f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn str(&mut self, v: &str) {
-        self.usize(v.len());
-        self.buf.extend_from_slice(v.as_bytes());
-    }
-    fn opt_str(&mut self, v: Option<&str>) {
-        match v {
-            None => self.u8(0),
-            Some(s) => {
-                self.u8(1);
-                self.str(s);
-            }
-        }
-    }
-    fn usizes(&mut self, v: &[usize]) {
-        self.usize(v.len());
-        for &x in v {
-            self.usize(x);
-        }
-    }
-    fn f64s(&mut self, v: &[f64]) {
-        self.usize(v.len());
-        for &x in v {
-            self.f64(x);
-        }
-    }
-    fn matrix(&mut self, m: &Matrix) {
-        self.usize(m.rows());
-        self.usize(m.cols());
-        for &x in m.as_slice() {
-            self.f64(x);
-        }
-    }
-}
-
-struct Dec<'a> {
-    data: &'a [u8],
-    pos: usize,
-}
-
-/// Sanity cap on any decoded element count, so a corrupted length prefix
-/// that slipped past the checksum cannot drive a huge allocation.
-const MAX_ELEMENTS: usize = 1 << 28;
-
-impl<'a> Dec<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        Dec { data, pos: 0 }
-    }
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.data.len())
-            .ok_or_else(|| ServeError::Store("payload truncated".into()))?;
-        let out = &self.data[self.pos..end];
-        self.pos = end;
-        Ok(out)
-    }
-    fn finish(&self) -> Result<()> {
-        if self.pos != self.data.len() {
-            return Err(ServeError::Store(format!(
-                "{} trailing bytes after the payload",
-                self.data.len() - self.pos
-            )));
-        }
-        Ok(())
-    }
-    fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-    fn bool(&mut self) -> Result<bool> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            v => Err(ServeError::Store(format!("invalid bool byte {v}"))),
-        }
-    }
-    fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
-    }
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
-    }
-    fn usize(&mut self) -> Result<usize> {
-        usize::try_from(self.u64()?)
-            .map_err(|_| ServeError::Store("count does not fit this platform".into()))
-    }
-    fn count(&mut self) -> Result<usize> {
-        let n = self.usize()?;
-        if n > MAX_ELEMENTS {
-            return Err(ServeError::Store(format!("element count {n} is implausible")));
-        }
-        Ok(n)
-    }
-    fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
-    }
-    fn str(&mut self) -> Result<String> {
-        let n = self.count()?;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| ServeError::Store("string is not valid UTF-8".into()))
-    }
-    fn opt_str(&mut self) -> Result<Option<String>> {
-        match self.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(self.str()?)),
-            v => Err(ServeError::Store(format!("invalid option tag {v}"))),
-        }
-    }
-    fn usizes(&mut self) -> Result<Vec<usize>> {
-        let n = self.count()?;
-        (0..n).map(|_| self.usize()).collect()
-    }
-    fn f64s(&mut self) -> Result<Vec<f64>> {
-        let n = self.count()?;
-        (0..n).map(|_| self.f64()).collect()
-    }
-    fn matrix(&mut self) -> Result<Matrix> {
-        let rows = self.count()?;
-        let cols = self.count()?;
-        let len = rows
-            .checked_mul(cols)
-            .filter(|&n| n <= MAX_ELEMENTS)
-            .ok_or_else(|| ServeError::Store("matrix shape is implausible".into()))?;
-        let data: Result<Vec<f64>> = (0..len).map(|_| self.f64()).collect();
-        Matrix::from_vec(rows, cols, data?).map_err(ServeError::from)
-    }
-}
-
-fn enc_ref_strategy(e: &mut Enc, s: &ReferenceStrategy) {
-    match s {
-        ReferenceStrategy::QrPivot => e.u8(0),
-        ReferenceStrategy::Random { seed } => {
-            e.u8(1);
-            e.u64(*seed);
-        }
-        ReferenceStrategy::LeverageScore => e.u8(2),
-    }
-}
-
-fn dec_ref_strategy(d: &mut Dec<'_>) -> Result<ReferenceStrategy> {
-    Ok(match d.u8()? {
-        0 => ReferenceStrategy::QrPivot,
-        1 => ReferenceStrategy::Random { seed: d.u64()? },
-        2 => ReferenceStrategy::LeverageScore,
-        v => return Err(ServeError::Store(format!("unknown reference strategy tag {v}"))),
-    })
-}
-
-fn enc_matcher(e: &mut Enc, m: &MatchMethod) {
-    match m {
-        MatchMethod::NearestNeighbor => e.u8(0),
-        MatchMethod::Knn { k } => {
-            e.u8(1);
-            e.usize(*k);
-        }
-        MatchMethod::Probabilistic { sigma_db } => {
-            e.u8(2);
-            e.f64(*sigma_db);
-        }
-    }
-}
-
-fn dec_matcher(d: &mut Dec<'_>) -> Result<MatchMethod> {
-    Ok(match d.u8()? {
-        0 => MatchMethod::NearestNeighbor,
-        1 => MatchMethod::Knn { k: d.usize()? },
-        2 => MatchMethod::Probabilistic { sigma_db: d.f64()? },
-        v => return Err(ServeError::Store(format!("unknown matcher tag {v}"))),
-    })
-}
-
-fn enc_config(e: &mut Enc, c: &TafLocConfig) {
-    e.usize(c.ref_count);
-    enc_ref_strategy(e, &c.ref_strategy);
-    e.f64(c.lrr_lambda);
-    e.f64(c.distortion_threshold_db);
-    e.usize(c.link_graph_k);
-    enc_loli(e, &c.loli);
-    enc_matcher(e, &c.matcher);
-    e.bool(c.consistency_gate);
-    e.f64(c.gate_hi_db);
-    e.f64(c.gate_lo_db);
-    e.u8(match c.z_policy {
-        ZRefreshPolicy::Fixed => 0,
-        ZRefreshPolicy::RefitAfterUpdate => 1,
-    });
-}
-
-fn dec_config(d: &mut Dec<'_>) -> Result<TafLocConfig> {
-    Ok(TafLocConfig {
-        ref_count: d.usize()?,
-        ref_strategy: dec_ref_strategy(d)?,
-        lrr_lambda: d.f64()?,
-        distortion_threshold_db: d.f64()?,
-        link_graph_k: d.usize()?,
-        loli: dec_loli(d)?,
-        matcher: dec_matcher(d)?,
-        consistency_gate: d.bool()?,
-        gate_hi_db: d.f64()?,
-        gate_lo_db: d.f64()?,
-        z_policy: match d.u8()? {
-            0 => ZRefreshPolicy::Fixed,
-            1 => ZRefreshPolicy::RefitAfterUpdate,
-            v => return Err(ServeError::Store(format!("unknown z-policy tag {v}"))),
-        },
-    })
-}
-
-fn enc_loli(e: &mut Enc, l: &LoliIrConfig) {
-    e.usize(l.rank);
-    e.f64(l.lambda);
-    e.f64(l.mu);
-    e.f64(l.alpha);
-    e.f64(l.beta);
-    e.usize(l.max_iters);
-    e.f64(l.tol);
-    e.f64(l.debug_bias_db);
-}
-
-fn dec_loli(d: &mut Dec<'_>) -> Result<LoliIrConfig> {
-    Ok(LoliIrConfig {
-        rank: d.usize()?,
-        lambda: d.f64()?,
-        mu: d.f64()?,
-        alpha: d.f64()?,
-        beta: d.f64()?,
-        max_iters: d.usize()?,
-        tol: d.f64()?,
-        debug_bias_db: d.f64()?,
-    })
-}
-
-fn enc_monitor_config(e: &mut Enc, c: &MonitorConfig) {
-    e.f64(c.error_threshold_db);
-    e.f64(c.min_interval_days);
-}
-
-fn dec_monitor_config(d: &mut Dec<'_>) -> Result<MonitorConfig> {
-    Ok(MonitorConfig { error_threshold_db: d.f64()?, min_interval_days: d.f64()? })
-}
-
-fn enc_policy(e: &mut Enc, p: &MaintenancePolicy) {
-    e.u64(p.interval_ms);
-    e.bool(p.auto_refresh);
-    e.u32(p.breach_streak);
-    e.usize(p.monitor_cells);
-    e.bool(p.manual_tick);
-    enc_monitor_config(e, &p.monitor);
-    e.f64(p.guard.max_ref_rmse_db);
-    e.f64(p.guard.max_mean_delta_db);
-    e.u32(p.quarantine_after);
-    e.u32(p.quarantine_cooldown_ticks);
-    e.u32(p.backoff_cap);
-    e.u32(p.debug_panic_ticks);
-}
-
-fn dec_policy(d: &mut Dec<'_>) -> Result<MaintenancePolicy> {
-    Ok(MaintenancePolicy {
-        interval_ms: d.u64()?,
-        auto_refresh: d.bool()?,
-        breach_streak: d.u32()?,
-        monitor_cells: d.usize()?,
-        manual_tick: d.bool()?,
-        monitor: dec_monitor_config(d)?,
-        guard: ReconstructionGuard { max_ref_rmse_db: d.f64()?, max_mean_delta_db: d.f64()? },
-        quarantine_after: d.u32()?,
-        quarantine_cooldown_ticks: d.u32()?,
-        backoff_cap: d.u32()?,
-        debug_panic_ticks: d.u32()?,
-    })
-}
-
-fn enc_ingest(e: &mut Enc, c: &IngestConfig) {
-    e.usize(c.window_capacity);
-    e.f64(c.window_s);
-    e.usize(c.min_samples);
-    e.f64(c.stale_after_s);
-    e.f64(c.hampel_k);
-    e.f64(c.hampel_floor_db);
-    match c.aggregator {
-        Aggregator::Median => e.u8(0),
-        Aggregator::Ewma { alpha } => {
-            e.u8(1);
-            e.f64(alpha);
-        }
-    }
-}
-
-fn dec_ingest(d: &mut Dec<'_>) -> Result<IngestConfig> {
-    Ok(IngestConfig {
-        window_capacity: d.usize()?,
-        window_s: d.f64()?,
-        min_samples: d.usize()?,
-        stale_after_s: d.f64()?,
-        hampel_k: d.f64()?,
-        hampel_floor_db: d.f64()?,
-        aggregator: match d.u8()? {
-            0 => Aggregator::Median,
-            1 => Aggregator::Ewma { alpha: d.f64()? },
-            v => return Err(ServeError::Store(format!("unknown aggregator tag {v}"))),
-        },
-    })
-}
-
-fn enc_db(e: &mut Enc, db: &FingerprintDb) {
-    e.matrix(db.rss());
-    e.usize(db.links().len());
-    for s in db.links() {
-        e.f64(s.a.x);
-        e.f64(s.a.y);
-        e.f64(s.b.x);
-        e.f64(s.b.y);
-    }
-    let grid = db.grid();
-    let origin = grid.origin();
-    e.f64(origin.x);
-    e.f64(origin.y);
-    e.f64(grid.cell_size());
-    e.usize(grid.nx());
-    e.usize(grid.ny());
-}
-
-fn dec_db(d: &mut Dec<'_>) -> Result<FingerprintDb> {
-    let rss = d.matrix()?;
-    let n_links = d.count()?;
-    let mut links = Vec::with_capacity(n_links);
-    for _ in 0..n_links {
-        let a = Point::new(d.f64()?, d.f64()?);
-        let b = Point::new(d.f64()?, d.f64()?);
-        links.push(Segment::new(a, b));
-    }
-    let origin = Point::new(d.f64()?, d.f64()?);
-    let cell_size = d.f64()?;
-    let nx = d.usize()?;
-    let ny = d.usize()?;
-    // FloorGrid::new treats these as programming errors and panics; a decoder
-    // must reject them as data errors instead.
-    if cell_size <= 0.0 || !cell_size.is_finite() || nx == 0 || ny == 0 {
-        return Err(ServeError::Store(format!(
-            "invalid grid: cell_size {cell_size}, {nx}x{ny} cells"
-        )));
-    }
-    let grid = FloorGrid::new(origin, cell_size, nx, ny);
-    FingerprintDb::new(rss, links, grid).map_err(ServeError::from)
-}
+use crate::wire::v2::{dec_policy, enc_policy};
+use taf_wire::types as wt;
+use taf_wire::{Dec, Enc};
 
 fn encode_payload(site: &PersistedSite) -> Vec<u8> {
-    let mut e = Enc::default();
+    let mut e = Enc::new();
     e.str(&site.name);
     e.u64(site.generation);
     e.f64(site.refreshed_day);
-    enc_config(&mut e, &site.snapshot.config);
-    enc_db(&mut e, &site.snapshot.db);
-    e.usizes(&site.snapshot.ref_cells);
-    e.usizes(site.snapshot.lrr.ref_cells());
-    e.matrix(site.snapshot.lrr.z());
-    e.f64(site.snapshot.lrr.lambda());
-    e.f64s(&site.snapshot.empty_rss);
+    wt::enc_snapshot(&mut e, &site.snapshot);
     e.matrix(&site.monitor_stored);
     e.usizes(&site.monitor_cells);
     e.f64(site.monitor_last_update_day);
-    enc_monitor_config(&mut e, &site.monitor_config);
+    wt::enc_monitor_config(&mut e, &site.monitor_config);
     e.u32(site.breach_streak);
     e.u64(site.maintenance_checks);
     e.u64(site.auto_refreshes);
@@ -529,8 +137,8 @@ fn encode_payload(site: &PersistedSite) -> Vec<u8> {
     e.u32(site.quarantine_cooldown);
     e.u64(site.tick_panics);
     enc_policy(&mut e, &site.policy);
-    enc_ingest(&mut e, &site.ingest);
-    e.buf
+    wt::enc_ingest_config(&mut e, &site.ingest);
+    e.into_inner()
 }
 
 fn decode_payload(data: &[u8]) -> Result<PersistedSite> {
@@ -538,23 +146,16 @@ fn decode_payload(data: &[u8]) -> Result<PersistedSite> {
     let name = d.str()?;
     let generation = d.u64()?;
     let refreshed_day = d.f64()?;
-    let config = dec_config(&mut d)?;
-    let db = dec_db(&mut d)?;
-    let ref_cells = d.usizes()?;
-    let lrr_cells = d.usizes()?;
-    let z = d.matrix()?;
-    let lambda = d.f64()?;
-    let lrr = LrrModel::from_parts(lrr_cells, z, lambda)?;
-    let empty_rss = d.f64s()?;
+    let snapshot = wt::dec_snapshot(&mut d)?;
     let site = PersistedSite {
         name,
         generation,
         refreshed_day,
-        snapshot: SystemSnapshot { config, db, ref_cells, lrr, empty_rss },
+        snapshot,
         monitor_stored: d.matrix()?,
         monitor_cells: d.usizes()?,
         monitor_last_update_day: d.f64()?,
-        monitor_config: dec_monitor_config(&mut d)?,
+        monitor_config: wt::dec_monitor_config(&mut d)?,
         breach_streak: d.u32()?,
         maintenance_checks: d.u64()?,
         auto_refreshes: d.u64()?,
@@ -565,7 +166,7 @@ fn decode_payload(data: &[u8]) -> Result<PersistedSite> {
         quarantine_cooldown: d.u32()?,
         tick_panics: d.u64()?,
         policy: dec_policy(&mut d)?,
-        ingest: dec_ingest(&mut d)?,
+        ingest: wt::dec_ingest_config(&mut d)?,
     };
     d.finish()?;
     Ok(site)
@@ -772,6 +373,14 @@ impl SiteStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use taf_rfsim::geometry::{Point, Segment};
+    use taf_rfsim::grid::FloorGrid;
+    use tafloc_core::db::FingerprintDb;
+    use tafloc_core::matcher::MatchMethod;
+    use tafloc_core::reference::ReferenceStrategy;
+    use tafloc_core::system::{TafLocConfig, ZRefreshPolicy};
+    use tafloc_core::LrrModel;
+    use tafloc_ingest::Aggregator;
 
     fn temp_store(tag: &str) -> SiteStore {
         let dir =

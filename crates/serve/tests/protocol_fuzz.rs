@@ -1,14 +1,16 @@
 //! Randomized robustness fuzz for the wire decoder.
 //!
 //! The workspace's `proptest` is a compile-only stub, so this is a hand-rolled
-//! xorshift fuzzer: hammer [`read_message`] with random byte soup — invalid
-//! UTF-8, embedded NULs, half-formed JSON, pathological newline placement,
-//! tiny `BufReader` capacities — and assert the decoder never panics and
-//! always terminates: every line yields `Ok`/`Err` and the stream drains to
-//! EOF in bounded steps.
+//! xorshift fuzzer: hammer [`tafloc_serve::wire::read_request`] with random
+//! byte soup — invalid UTF-8, embedded NULs, half-formed JSON, stray v2 magic
+//! bytes, pathological newline placement, tiny `BufReader` capacities — and
+//! assert the sniffing decoder never panics and always terminates: every
+//! message attempt yields `Ok`/`Err` and the stream drains to EOF in bounded
+//! steps.
 
 use std::io::{BufReader, Cursor};
-use tafloc_serve::protocol::{read_message, Request};
+use tafloc_serve::protocol::Request;
+use tafloc_serve::wire::{read_request, write_request, WireVersion};
 
 fn xorshift(state: &mut u64) -> u64 {
     let mut x = *state;
@@ -20,12 +22,13 @@ fn xorshift(state: &mut u64) -> u64 {
 }
 
 /// Random bytes, biased toward protocol-shaped trouble: newlines, braces,
-/// quotes, backslashes, high bytes that break UTF-8 mid-sequence.
+/// quotes, backslashes, high bytes that break UTF-8 mid-sequence, and the
+/// v2 frame magic so the fuzzer exercises both sniffed paths.
 fn gen_input(state: &mut u64, len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         let r = xorshift(state);
-        let b = match r % 10 {
+        let b = match r % 11 {
             0 => b'\n',
             1 => b'{',
             2 => b'}',
@@ -34,6 +37,7 @@ fn gen_input(state: &mut u64, len: usize) -> Vec<u8> {
             5 => 0x00,
             6 => 0xC3, // first byte of a 2-byte UTF-8 sequence, often orphaned
             7 => 0xFF, // never valid in UTF-8
+            8 => 0xB2, // the v2 frame magic — drops the sniffer into binary mode
             _ => (r >> 8) as u8,
         };
         out.push(b);
@@ -41,14 +45,16 @@ fn gen_input(state: &mut u64, len: usize) -> Vec<u8> {
     out
 }
 
-/// Drain one fuzz input through `read_message` to EOF. Each call consumes at
-/// least one line (or errors), so the loop is bounded by the newline count.
+/// Drain one fuzz input through `read_request` to EOF. Every non-EOF call
+/// consumes at least one byte (the sniffed byte in v2 mode, a whole line in
+/// v1 mode), so the loop is bounded by the input length.
 fn drain(input: Vec<u8>, buf_capacity: usize) -> (usize, usize) {
-    let newlines = input.iter().filter(|&&b| b == b'\n').count();
+    let bound = input.len() + 2;
     let mut reader = BufReader::with_capacity(buf_capacity.max(1), Cursor::new(input));
+    let mut version = WireVersion::V1Json;
     let (mut oks, mut errs) = (0, 0);
-    for _ in 0..newlines + 2 {
-        match read_message::<_, Request>(&mut reader) {
+    for _ in 0..bound {
+        match read_request(&mut reader, &mut version) {
             Ok(None) => return (oks, errs), // clean EOF
             Ok(Some(_)) => oks += 1,
             Err(_) => errs += 1,
@@ -73,39 +79,93 @@ fn random_byte_soup_never_panics_the_decoder() {
 
 #[test]
 fn valid_json_islands_in_garbage_stay_framed() {
-    // A malformed line must produce an error *and leave the stream framed*:
+    // A malformed v1 line must produce an error *and leave the stream framed*:
     // the ping that follows garbage on the same stream is still reachable.
-    // (When the workspace runs with stub serde_json, even the valid ping
-    // fails to parse — but the framing guarantee below still holds.)
     let mut state = 0xBAD_5EED_u64 | 1;
     for _ in 0..50 {
         let len = (xorshift(&mut state) % 512) as usize;
         let mut garbage = gen_input(&mut state, len);
-        garbage.retain(|&b| b != b'\n');
+        // Keep this stream in v1 territory: no newlines inside the garbage
+        // line, and no v2 magic that would flip the sniffer into frame mode.
+        garbage.retain(|&b| b != b'\n' && b != 0xB2);
         let mut input = garbage;
         input.push(b'\n');
         input.extend_from_slice(b"{\"cmd\":\"ping\"}\n");
         let mut reader = BufReader::with_capacity(7, Cursor::new(input));
-        let _first = read_message::<_, Request>(&mut reader);
+        let mut version = WireVersion::V1Json;
+        let _first = read_request(&mut reader, &mut version);
         // Whatever the garbage did, the reader must still deliver the next
         // line rather than hanging or tearing mid-line.
-        let second = read_message::<_, Request>(&mut reader);
+        let second = read_request(&mut reader, &mut version);
         if let Ok(Some(req)) = second {
             assert!(matches!(req, Request::Ping));
         }
         // EOF afterwards — nothing left over.
-        let third = read_message::<_, Request>(&mut reader);
+        let third = read_request(&mut reader, &mut version);
         assert!(!matches!(third, Ok(Some(_))), "stream must be drained");
     }
 }
 
 #[test]
+fn corrupt_v2_frames_leave_the_stream_framed() {
+    // Flip one payload byte in a v2 frame: the decoder must report a
+    // checksum mismatch (recoverable) and leave the *next* frame readable.
+    let mut state = 0xF4A3_u64 | 1;
+    for _ in 0..50 {
+        let mut first = Vec::new();
+        write_request(&mut first, &Request::Shutdown, WireVersion::V2Binary).unwrap();
+        // Corrupt a byte inside the payload. The frame is small, so the
+        // length prefix is a single uvarint byte: payload = bytes [3, len-4).
+        // (Corrupting the *length* would legitimately destroy framing.)
+        let idx = 3 + (xorshift(&mut state) as usize) % (first.len() - 7);
+        first[idx] ^= 0x41;
+        let mut input = first;
+        write_request(&mut input, &Request::Ping, WireVersion::V2Binary).unwrap();
+        let mut reader = BufReader::with_capacity(5, Cursor::new(input));
+        let mut version = WireVersion::V1Json;
+        let first = read_request(&mut reader, &mut version);
+        assert!(first.is_err(), "corrupted frame must not decode");
+        assert_eq!(version, WireVersion::V2Binary, "sniffer must have seen v2");
+        // The corrupted frame was length-delimited, so the follow-up ping
+        // is intact.
+        match read_request(&mut reader, &mut version) {
+            Ok(Some(Request::Ping)) => {}
+            other => panic!("expected the ping after a corrupt frame, got {other:?}"),
+        }
+        assert!(matches!(read_request(&mut reader, &mut version), Ok(None)));
+    }
+}
+
+#[test]
+fn truncated_v2_frames_error_cleanly() {
+    // Every proper prefix of a valid v2 frame must yield an error or clean
+    // EOF — never a panic, never a parsed message.
+    let mut full = Vec::new();
+    write_request(
+        &mut full,
+        &Request::Locate { site: "lab".into(), y: vec![-48.0, -51.5, -60.25] },
+        WireVersion::V2Binary,
+    )
+    .unwrap();
+    for cut in 0..full.len() {
+        let mut reader = BufReader::with_capacity(3, Cursor::new(full[..cut].to_vec()));
+        let mut version = WireVersion::V1Json;
+        match read_request(&mut reader, &mut version) {
+            Ok(Some(req)) => panic!("prefix of {cut} bytes decoded as {req:?}"),
+            Ok(None) => assert_eq!(cut, 0, "only the empty prefix is a clean EOF"),
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
 fn pathological_newline_runs_terminate_quickly() {
-    // Blank lines are skipped inside read_message; a megabyte of newlines
+    // Blank lines are skipped inside the v1 reader; a megabyte of newlines
     // must collapse to a single clean EOF, not an error per line.
     let input = vec![b'\n'; 1 << 20];
     let mut reader = BufReader::with_capacity(13, Cursor::new(input));
-    match read_message::<_, Request>(&mut reader) {
+    let mut version = WireVersion::V1Json;
+    match read_request(&mut reader, &mut version) {
         Ok(None) => {}
         other => panic!("expected clean EOF through blank lines, got {other:?}"),
     }

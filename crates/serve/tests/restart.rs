@@ -3,9 +3,9 @@
 //! site back at its last *committed* generation with bit-identical locate
 //! responses.
 //!
-//! This drives the actual daemon binary (`CARGO_BIN_EXE_taflocd`) over TCP,
-//! so it needs working wire serde; under the workspace's compile-only
-//! serde_json stub the test skips itself.
+//! This drives the actual daemon binary (`CARGO_BIN_EXE_taflocd`) over TCP.
+//! The wire codecs are hand-rolled in `taf-wire` (no serde_json at runtime),
+//! so this runs — unskipped — even under the workspace's compile-only stubs.
 
 use std::io::Write as _;
 use std::net::TcpStream;
@@ -17,15 +17,12 @@ use tafloc_core::db::FingerprintDb;
 use tafloc_core::system::{TafLoc, TafLocConfig};
 use tafloc_serve::client::{Client, RetryPolicy};
 use tafloc_serve::maintenance::MaintenancePolicy;
-use tafloc_serve::protocol::{write_message, Request, Response};
+use tafloc_serve::protocol::{Request, Response};
+use tafloc_serve::wire::{write_request, WireVersion};
 
 const SAMPLES: usize = 20;
 const UPDATE_DAY: f64 = 45.0;
 const SITES: [(&str, u64); 3] = [("alpha", 61), ("beta", 62), ("gamma", 63)];
-
-fn serde_is_stubbed() -> bool {
-    serde_json::to_string(&0u8).is_err()
-}
 
 fn calibrated(seed: u64) -> (World, TafLoc) {
     let world = World::new(WorldConfig::small_test(), seed);
@@ -75,10 +72,6 @@ fn temp_base(tag: &str) -> PathBuf {
 
 #[test]
 fn kill_dash_nine_mid_refresh_recovers_every_committed_generation() {
-    if serde_is_stubbed() {
-        eprintln!("skipping: workspace serde_json is a compile-only stub");
-        return;
-    }
     let base = temp_base("kill9");
     let _ = std::fs::remove_dir_all(&base);
     std::fs::create_dir_all(&base).unwrap();
@@ -158,7 +151,8 @@ fn kill_dash_nine_mid_refresh_recovers_every_committed_generation() {
         })
         .unwrap();
     let mut raw = TcpStream::connect(&addr).unwrap();
-    write_message(&mut raw, &Request::Refresh { site: "alpha".into() }).unwrap();
+    write_request(&mut raw, &Request::Refresh { site: "alpha".into() }, WireVersion::V1Json)
+        .unwrap();
     raw.flush().unwrap();
     child.kill().unwrap(); // SIGKILL on unix: no destructors, no flush
     child.wait().unwrap();
@@ -217,10 +211,6 @@ fn kill_dash_nine_mid_refresh_recovers_every_committed_generation() {
 
 #[test]
 fn graceful_shutdown_persists_and_double_restart_is_stable() {
-    if serde_is_stubbed() {
-        eprintln!("skipping: workspace serde_json is a compile-only stub");
-        return;
-    }
     let base = temp_base("graceful");
     let _ = std::fs::remove_dir_all(&base);
     std::fs::create_dir_all(&base).unwrap();

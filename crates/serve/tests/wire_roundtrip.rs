@@ -1,0 +1,391 @@
+//! Wire-format conformance: every `Request`/`Response` variant round-trips
+//! through both codecs, the hand-rolled v1 encoder matches the serde derive
+//! byte-for-byte, version negotiation works against a live server (including
+//! a v1 client and a v2 client on the same server, and a version switch on
+//! one connection), and error frames never break framing.
+
+use std::io::{BufReader, Cursor, Write as _};
+use std::net::TcpStream;
+use taf_linalg::Matrix;
+use taf_rfsim::{campaign, World, WorldConfig};
+use tafloc_core::db::FingerprintDb;
+use tafloc_core::system::{SystemSnapshot, TafLoc, TafLocConfig};
+use tafloc_ingest::{BatchReport, IngestStats, LinkSample};
+use tafloc_serve::client::Client;
+use tafloc_serve::maintenance::MaintenancePolicy;
+use tafloc_serve::protocol::{
+    EndpointStats, Fix, Request, Response, SiteInfo, SiteStats, StatsReport,
+};
+use tafloc_serve::server::{Server, ServerConfig};
+use tafloc_serve::wire::{self, read_response, write_request, WireVersion};
+
+fn sample_snapshot() -> SystemSnapshot {
+    let world = World::new(WorldConfig::small_test(), 97);
+    let x0 = campaign::full_calibration(&world, 0.0, 6);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 6);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    let config = TafLocConfig { ref_count: 6, ..Default::default() };
+    TafLoc::calibrate(config, db, e0).unwrap().snapshot()
+}
+
+/// Every `Request` variant, with representative field values (negative RSS,
+/// empty vectors, `None`/`Some` options, a full snapshot).
+fn request_corpus() -> Vec<Request> {
+    let snapshot = sample_snapshot();
+    let policy = MaintenancePolicy { auto_refresh: false, manual_tick: true, ..Default::default() };
+    vec![
+        Request::AddSite {
+            site: "lab".into(),
+            snapshot: Box::new(snapshot.clone()),
+            day: 12.5,
+            policy: Some(policy),
+        },
+        Request::AddSite {
+            site: "attic \"quoted\"\n".into(),
+            snapshot: Box::new(snapshot),
+            day: 0.0,
+            policy: None,
+        },
+        Request::RemoveSite { site: "lab".into() },
+        Request::ListSites,
+        Request::Locate { site: "lab".into(), y: vec![-52.1, -48.7, -60.0] },
+        Request::Locate { site: "empty".into(), y: vec![] },
+        Request::LocateStream { site: "lab".into() },
+        Request::LocateBatch { site: "lab".into(), ys: vec![vec![-50.0, -41.5], vec![]] },
+        Request::Ingest {
+            site: "lab".into(),
+            ref_cell: Some(7),
+            day: 45.0,
+            samples: vec![
+                LinkSample { link: 3, t_s: 1.25, rss_dbm: -61.5 },
+                LinkSample { link: 0, t_s: 0.0, rss_dbm: -48.0 },
+            ],
+        },
+        Request::Ingest { site: "lab".into(), ref_cell: None, day: 0.0, samples: vec![] },
+        Request::Track { site: "lab".into(), stream: "cart-1".into(), y: vec![-55.0], dt_s: 0.5 },
+        Request::Detect { site: "lab".into(), stream: "door".into(), y: vec![-55.0, -42.25] },
+        Request::MeasureRefs {
+            site: "lab".into(),
+            day: 46.0,
+            columns: Matrix::from_vec(2, 3, vec![-50.0, -51.0, -52.0, -53.0, -54.0, -55.0])
+                .unwrap(),
+            empty: vec![-70.0, -71.5],
+        },
+        Request::Refresh { site: "lab".into() },
+        Request::Stats,
+        Request::Ping,
+        Request::Shutdown,
+    ]
+}
+
+fn sample_stats_report() -> StatsReport {
+    StatsReport {
+        uptime_s: 12.75,
+        conn_timeouts: 1,
+        conn_resets: 2,
+        conn_panics: 0,
+        wire_frame_too_large: 3,
+        wire_bad_magic: 4,
+        wire_checksum_mismatch: 5,
+        wire_bad_utf8: 6,
+        wire_malformed: 7,
+        endpoints: vec![EndpointStats {
+            endpoint: "locate".into(),
+            requests: 100,
+            errors: 1,
+            p50_us: 120,
+            p95_us: 340,
+            p99_us: 900,
+            max_us: 1500,
+        }],
+        sites: vec![SiteStats {
+            site: "lab".into(),
+            version: 3,
+            refreshed_day: 45.0,
+            pending_refs: true,
+            estimated_error_db: Some(1.25),
+            maintenance_checks: 9,
+            auto_refreshes: 2,
+            refresh_rejections: 1,
+            last_reject_reason: Some("guard: rmse".into()),
+            consecutive_failures: 1,
+            quarantined: false,
+            tick_panics: 0,
+            persist_failures: 0,
+            active_trackers: 2,
+            ingest: IngestStats {
+                accepted: 500,
+                dropped_late: 1,
+                dropped_unknown_link: 2,
+                dropped_non_finite: 3,
+                dropped_queue_batches: 0,
+                dropped_queue_samples: 0,
+                rejected_outliers: 4,
+                link_flaps: 5,
+                live_links: 10,
+                stale_links: 1,
+                dead_links: 0,
+                assemblies: 42,
+            },
+            stream_clock_s: 99.5,
+            active_ref_captures: 1,
+            planned_cost: 120,
+            actual_cost: 80,
+            full_survey_cost: 240,
+            plan_policy: Some("uncertainty".into()),
+        }],
+    }
+}
+
+/// Every `Response` variant.
+fn response_corpus() -> Vec<Response> {
+    vec![
+        Response::Error { message: "unknown site \"attic\"".into() },
+        Response::SiteAdded { site: "lab".into(), links: 12, cells: 16 },
+        Response::SiteRemoved { site: "lab".into() },
+        Response::Sites {
+            sites: vec![
+                SiteInfo { site: "lab".into(), links: 12, cells: 16, version: 3 },
+                SiteInfo { site: "attic".into(), links: 4, cells: 4, version: 0 },
+            ],
+        },
+        Response::Sites { sites: vec![] },
+        Response::Located { cell: 42, x: 3.9, y: 5.1, distance_db: 2.31, version: 1 },
+        Response::StreamLocated {
+            cell: 7,
+            x: 0.5,
+            y: 1.5,
+            distance_db: 4.75,
+            version: 2,
+            missing_links: vec![1, 3],
+            stale_links: vec![],
+            stream_t_s: 12.25,
+            window_samples: 240,
+        },
+        Response::LocatedBatch {
+            fixes: vec![
+                Fix { cell: 1, x: 0.0, y: 0.0, distance_db: 1.5 },
+                Fix { cell: 2, x: 1.0, y: 0.0, distance_db: 2.5 },
+            ],
+            version: 4,
+        },
+        Response::Ingested {
+            report: BatchReport {
+                accepted: 10,
+                dropped_late: 1,
+                dropped_unknown_link: 0,
+                dropped_non_finite: 2,
+            },
+        },
+        Response::Tracked { x: 2.25, y: 3.5, effective_sample_size: 480.5 },
+        Response::Detected { present: true, detail: "cusum fired at link 3".into() },
+        Response::RefsAccepted {
+            recommendation: "update-recommended".into(),
+            estimated_error_db: 2.5,
+        },
+        Response::Refreshed {
+            iterations: 12,
+            converged: true,
+            mean_abs_change_db: 0.75,
+            version: 5,
+        },
+        Response::Stats { report: sample_stats_report() },
+        Response::Pong,
+        Response::ShuttingDown,
+    ]
+}
+
+/// encode → decode → re-encode must reproduce the bytes exactly, in both
+/// protocols. (The codecs are deterministic, so byte equality of the second
+/// encode is a full structural-equality check without needing `PartialEq`.)
+#[test]
+fn every_variant_round_trips_in_both_protocols() {
+    for req in request_corpus() {
+        let mut v1 = Vec::new();
+        wire::v1::encode_request(&req, &mut v1);
+        let decoded = wire::v1::decode_request(std::str::from_utf8(&v1).unwrap())
+            .unwrap_or_else(|e| panic!("v1 decode of {req:?}: {e}"));
+        let mut again = Vec::new();
+        wire::v1::encode_request(&decoded, &mut again);
+        assert_eq!(v1, again, "v1 re-encode differs for {req:?}");
+
+        let mut v2 = Vec::new();
+        wire::v2::encode_request(&req, &mut v2);
+        let decoded =
+            wire::v2::decode_request(&v2).unwrap_or_else(|e| panic!("v2 decode of {req:?}: {e}"));
+        let mut again = Vec::new();
+        wire::v2::encode_request(&decoded, &mut again);
+        assert_eq!(v2, again, "v2 re-encode differs for {req:?}");
+    }
+    for resp in response_corpus() {
+        let mut v1 = Vec::new();
+        wire::v1::encode_response(&resp, &mut v1);
+        let decoded = wire::v1::decode_response(std::str::from_utf8(&v1).unwrap())
+            .unwrap_or_else(|e| panic!("v1 decode of {resp:?}: {e}"));
+        let mut again = Vec::new();
+        wire::v1::encode_response(&decoded, &mut again);
+        assert_eq!(v1, again, "v1 re-encode differs for {resp:?}");
+
+        let mut v2 = Vec::new();
+        wire::v2::encode_response(&resp, &mut v2);
+        let decoded =
+            wire::v2::decode_response(&v2).unwrap_or_else(|e| panic!("v2 decode of {resp:?}: {e}"));
+        let mut again = Vec::new();
+        wire::v2::encode_response(&decoded, &mut again);
+        assert_eq!(v2, again, "v2 re-encode differs for {resp:?}");
+    }
+}
+
+/// The serde derives are the reference encoding; the hand-rolled v1 codec
+/// must reproduce them byte-for-byte for *every* variant, or pre-existing
+/// JSON clients would notice the swap.
+#[test]
+fn v1_matches_the_serde_derive_for_every_variant() {
+    for req in request_corpus() {
+        let reference = serde_json::to_string(&req).expect("derive encode");
+        let mut hand = Vec::new();
+        wire::v1::encode_request(&req, &mut hand);
+        assert_eq!(reference, String::from_utf8(hand).unwrap(), "request {req:?}");
+    }
+    for resp in response_corpus() {
+        let reference = serde_json::to_string(&resp).expect("derive encode");
+        let mut hand = Vec::new();
+        wire::v1::encode_response(&resp, &mut hand);
+        assert_eq!(reference, String::from_utf8(hand).unwrap(), "response {resp:?}");
+    }
+}
+
+/// Declared-oversized and truncated v2 frames must error without panicking
+/// and without yielding a message.
+#[test]
+fn oversized_and_truncated_v2_frames_error_cleanly() {
+    // Header declaring a payload just over the cap, with no payload behind it.
+    let mut oversized = vec![0xB2, 0x02];
+    let mut len = (16 * 1024 * 1024 + 1) as u64;
+    while len >= 0x80 {
+        oversized.push((len as u8) | 0x80);
+        len >>= 7;
+    }
+    oversized.push(len as u8);
+    let mut reader = BufReader::new(Cursor::new(oversized));
+    let mut version = WireVersion::V1Json;
+    assert!(wire::read_request(&mut reader, &mut version).is_err());
+
+    // A valid frame with its length prefix promising more than is there.
+    let mut full = Vec::new();
+    write_request(&mut full, &Request::Ping, WireVersion::V2Binary).unwrap();
+    full.truncate(full.len() - 3);
+    let mut reader = BufReader::new(Cursor::new(full));
+    let mut version = WireVersion::V1Json;
+    assert!(wire::read_request(&mut reader, &mut version).is_err());
+}
+
+/// A v1 client and a v2 client against the same live server: both get
+/// identical answers, and one raw connection can switch versions mid-stream
+/// because negotiation is per-message sniffing.
+#[test]
+fn v1_and_v2_clients_negotiate_against_one_server() {
+    let world = World::new(WorldConfig::small_test(), 98);
+    let x0 = campaign::full_calibration(&world, 0.0, 6);
+    let e0 = campaign::empty_snapshot(&world, 0.0, 6);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    let sys =
+        TafLoc::calibrate(TafLocConfig { ref_count: 6, ..Default::default() }, db, e0).unwrap();
+    let y = campaign::snapshot_at_cell(&world, 0.0, 3, 6);
+
+    let server =
+        Server::bind("127.0.0.1:0", ServerConfig { workers: 2, ..Default::default() }).unwrap();
+    let addr = server.local_addr();
+    server.add_site("lab", sys, 0.0).unwrap();
+    let handle = server.spawn();
+
+    let mut v1 = Client::connect(addr).unwrap();
+    let mut v2 = Client::connect_v2(addr).unwrap();
+    assert_eq!(v1.version(), WireVersion::V1Json);
+    assert_eq!(v2.version(), WireVersion::V2Binary);
+    v1.ping().unwrap();
+    v2.ping().unwrap();
+    let fix1 = v1.locate("lab", &y).unwrap();
+    let fix2 = v2.locate("lab", &y).unwrap();
+    assert_eq!(fix1.0, fix2.0, "both protocols must serve the same cell");
+    assert_eq!(fix1.3, fix2.3, "and from the same snapshot version");
+
+    // One raw connection, switching protocol per message.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for (send, expect) in
+        [(WireVersion::V1Json, WireVersion::V1Json), (WireVersion::V2Binary, WireVersion::V2Binary)]
+    {
+        write_request(&mut writer, &Request::Ping, send).unwrap();
+        writer.flush().unwrap();
+        let mut replied = WireVersion::V1Json;
+        match read_response(&mut reader, &mut replied) {
+            Ok(Some(Response::Pong)) => {}
+            other => panic!("expected pong in {send:?}, got {other:?}"),
+        }
+        assert_eq!(replied, expect, "the reply must use the request's framing");
+    }
+    drop(reader);
+    drop(writer);
+
+    let mut admin = Client::connect(addr).unwrap();
+    admin.call(&Request::Shutdown).ok();
+    handle.join();
+}
+
+/// Recoverable wire errors produce an error *response* in the sender's
+/// framing, leave the connection usable, and are surfaced in `stats`.
+#[test]
+fn error_frames_never_break_framing_and_are_counted() {
+    let server =
+        Server::bind("127.0.0.1:0", ServerConfig { workers: 2, ..Default::default() }).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut replied = WireVersion::V1Json;
+
+    // Malformed v1 line → error response, connection still framed.
+    writer.write_all(b"this is not json\n").unwrap();
+    writer.flush().unwrap();
+    match read_response(&mut reader, &mut replied) {
+        Ok(Some(Response::Error { message })) => {
+            assert!(message.starts_with("malformed request:"), "got {message:?}")
+        }
+        other => panic!("expected an error response, got {other:?}"),
+    }
+    write_request(&mut writer, &Request::Ping, WireVersion::V1Json).unwrap();
+    assert!(matches!(read_response(&mut reader, &mut replied), Ok(Some(Response::Pong))));
+
+    // Corrupt v2 frame → error response framed in v2, connection still usable.
+    let mut frame = Vec::new();
+    write_request(&mut frame, &Request::Ping, WireVersion::V2Binary).unwrap();
+    let idx = frame.len() - 5; // last payload byte, just before the crc
+    frame[idx] ^= 0x40;
+    writer.write_all(&frame).unwrap();
+    writer.flush().unwrap();
+    match read_response(&mut reader, &mut replied) {
+        Ok(Some(Response::Error { message })) => {
+            assert!(message.contains("checksum"), "got {message:?}")
+        }
+        other => panic!("expected a checksum error response, got {other:?}"),
+    }
+    assert_eq!(replied, WireVersion::V2Binary, "error reply must use v2 framing");
+    write_request(&mut writer, &Request::Ping, WireVersion::V2Binary).unwrap();
+    assert!(matches!(read_response(&mut reader, &mut replied), Ok(Some(Response::Pong))));
+    drop(reader);
+    drop(writer);
+
+    let mut admin = Client::connect(addr).unwrap();
+    let report = match admin.call_ok(&Request::Stats).unwrap() {
+        Response::Stats { report } => report,
+        other => panic!("unexpected reply to stats: {other:?}"),
+    };
+    assert!(report.wire_malformed >= 1, "malformed line counted: {report:?}");
+    assert!(report.wire_checksum_mismatch >= 1, "checksum mismatch counted: {report:?}");
+    admin.call(&Request::Shutdown).ok();
+    handle.join();
+}

@@ -1,0 +1,40 @@
+//! # taf-wire
+//!
+//! The wire format of the TafLoc serving plane, owned end to end with no
+//! `serde_json` dependency — so encoding works (and is measurable) under the
+//! offline stub build.
+//!
+//! Two protocols share one crate:
+//!
+//! * **v1 — NDJSON compat mode.** A zero-alloc streaming JSON writer
+//!   ([`json::JsonWriter`]) plus a hand-rolled reader ([`json::parse`])
+//!   that reproduce, byte for byte, the frames the serde derives used to
+//!   emit: compact JSON, fields in declaration order, `None` as `null`,
+//!   non-finite floats as `null`, one message per `\n`-terminated line.
+//! * **v2 — length-prefixed binary.** `[0xB2][0x02][uvarint len][payload]
+//!   [crc32]` frames ([`frame`]) over the same little-endian codec the
+//!   snapshot store persists with ([`codec::Enc`] / [`codec::Dec`]), with
+//!   matrix-aware encoding for fingerprint databases and `y` vectors.
+//!
+//! A server tells them apart per message by sniffing the first byte
+//! ([`frame::sniff`]): `0xB2` opens a v2 frame (the byte is not valid UTF-8,
+//! so no JSON line can start with it); anything else is handed to the v1
+//! line reader.
+//!
+//! [`types`] holds the domain-type codecs (snapshots, fingerprint
+//! databases, configs, ingest reports) in both directions for both
+//! protocols; message-level `Request`/`Response` codecs live next to the
+//! message types in `tafloc-serve`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod json;
+pub mod types;
+
+pub use codec::{crc32, Dec, Enc};
+pub use error::{Result, WireError};
+pub use json::{JsonValue, JsonWriter};

@@ -55,3 +55,38 @@ else
   echo "bench_gate: FAIL — solver regressed: ${new_ms} ms > ${old_ms} ms x ${threshold}" >&2
   exit 1
 fi
+
+# ---------------------------------------------------------------------------
+# Serve-throughput gate (warn-only): re-runs serve_bench --quick and warns if
+# v1 or v2 locate throughput drops below baseline/threshold. Throughput on a
+# loaded CI runner is far noisier than solver wall time, so this never fails
+# the build — it exists to make wire-protocol regressions visible in the log.
+# ---------------------------------------------------------------------------
+
+serve_baseline=BENCH_serve.json
+# Strip through the key and colon before keeping digits — the key itself
+# contains digits ("v1_...") that would otherwise prefix the value.
+field() { grep -m1 "\"$2\"" "$1" | sed 's/.*: *//' | tr -cd '0-9.'; }
+
+if [ ! -f "$serve_baseline" ] || ! grep -q '"v1_locate_req_per_s"' "$serve_baseline"; then
+  echo "bench_gate: no serve throughput baseline — creating one with serve_bench --quick"
+  cargo run --release -p taf-bench --bin serve_bench -- --quick
+else
+  old_v1="$(field "$serve_baseline" v1_locate_req_per_s)"
+  old_v2="$(field "$serve_baseline" v2_locate_req_per_s)"
+  echo "bench_gate: committed serve throughput: v1 ${old_v1} req/s, v2 ${old_v2} req/s (warn below /${threshold})"
+  cargo run --release -p taf-bench --bin serve_bench -- --quick
+  new_v1="$(field "$serve_baseline" v1_locate_req_per_s)"
+  new_v2="$(field "$serve_baseline" v2_locate_req_per_s)"
+  echo "bench_gate: fresh serve throughput: v1 ${new_v1} req/s, v2 ${new_v2} req/s"
+  for proto in v1 v2; do
+    old_var="old_$proto"; new_var="new_$proto"
+    if awk -v new="${!new_var}" -v old="${!old_var}" -v t="$threshold" \
+        'BEGIN { exit !(new * t >= old) }'; then
+      echo "bench_gate: serve $proto OK (${!new_var} req/s vs ${!old_var} req/s baseline)"
+    else
+      echo "bench_gate: WARNING — serve $proto throughput regressed:" \
+           "${!new_var} req/s < ${!old_var} req/s / ${threshold}" >&2
+    fi
+  done
+fi

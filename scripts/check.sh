@@ -22,6 +22,21 @@ cargo test -q --workspace --no-default-features
 echo "==> cargo test -p tafloc-serve --test protocol_fuzz  (decoder fuzz)"
 cargo test -q -p tafloc-serve --test protocol_fuzz
 
+# The wire crate is the serialization boundary for the whole serve plane;
+# gate it by name in both feature configurations, plus the end-to-end
+# conformance suite (round-trips, derive byte-compat, version negotiation).
+echo "==> cargo test -q -p taf-wire  (wire codecs)"
+cargo test -q -p taf-wire
+
+echo "==> cargo test -q -p taf-wire --no-default-features  (wire codecs, serial)"
+cargo test -q -p taf-wire --no-default-features
+
+echo "==> cargo test -q -p tafloc-serve --test wire_roundtrip  (wire conformance)"
+cargo test -q -p tafloc-serve --test wire_roundtrip
+
+echo "==> cargo test -q -p tafloc-serve --test wire_roundtrip --no-default-features"
+cargo test -q -p tafloc-serve --test wire_roundtrip --no-default-features
+
 # The planner is consumed by serve/cli/testkit with default features off, so
 # gate that configuration (and its lints/formatting) by name — a workspace run
 # with default features would not catch a planner regression behind a feature.
