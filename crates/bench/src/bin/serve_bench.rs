@@ -11,7 +11,11 @@
 //! 2. `locate-batch` (16 vectors per round trip) over each protocol, to
 //!    expose the framing overhead amortized away by batching;
 //! 3. a mixed many-client phase — `4 x threads` concurrent connections,
-//!    alternating v1/v2 — exercising version sniffing under contention.
+//!    alternating v1/v2 — exercising version sniffing under contention;
+//! 4. a sharded many-site phase — a second daemon at `--shards 4` owning
+//!    eight clones of the calibrated site, with `2 x threads` clients
+//!    spraying locates (plus a trickle of ingest) across all sites; reported
+//!    as aggregate and per-shard req/s, so shard skew is visible.
 //!
 //! The wire codecs are hand-rolled in `taf-wire`, so this bench produces
 //! real numbers even in builds where serde_json is a compile-only stub (it
@@ -27,10 +31,12 @@ use taf_rfsim::{campaign, World, WorldConfig};
 use taf_testkit::json::Json;
 use tafloc_core::db::FingerprintDb;
 use tafloc_core::system::{TafLoc, TafLocConfig};
-use tafloc_serve::client::Client;
+use tafloc_ingest::LinkSample;
+use tafloc_serve::client::{Client, IngestOutcome};
 use tafloc_serve::maintenance::MaintenancePolicy;
 use tafloc_serve::protocol::{Request, Response};
 use tafloc_serve::server::{Server, ServerConfig};
+use tafloc_serve::shard::{ShardRing, DEFAULT_SHARD_SEED};
 use tafloc_serve::wire::WireVersion;
 
 const BATCH: usize = 16;
@@ -133,6 +139,8 @@ fn main() {
     let e0 = campaign::empty_snapshot(&world, 0.0, 50);
     let db = FingerprintDb::from_world(x0, &world).expect("world-consistent db");
     let sys = TafLoc::calibrate(TafLocConfig::default(), db, e0).expect("calibration succeeds");
+    // The sharded phase clones this into eight sites on a second daemon.
+    let snapshot = sys.snapshot();
 
     // Pre-generate one query per cell; threads cycle through them.
     let queries: Vec<Vec<f64>> =
@@ -253,6 +261,112 @@ fn main() {
     }
     admin.call_ok(&Request::Shutdown).expect("shutdown");
     handle.join();
+
+    // Sharded many-site phase: a fresh daemon at --shards 4 owning eight
+    // clones of the calibrated site, hammered by 2x threads clients that
+    // spray locates across every site (so every shard sees traffic) plus a
+    // trickle of ingest through the admission gate.
+    let num_shards = 4usize;
+    let num_sites = 8usize;
+    let sharded_clients = (threads * 2).max(8);
+    let ring = ShardRing::new(num_shards, DEFAULT_SHARD_SEED);
+    let site_names: Vec<String> = (0..num_sites).map(|i| format!("s-{i}")).collect();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: sharded_clients + 1,
+            shards: num_shards,
+            default_policy: policy,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    for name in &site_names {
+        let clone = TafLoc::from_snapshot(snapshot.clone()).expect("snapshot round-trips");
+        server.add_site(name, clone, 0.0).expect("add site");
+    }
+    let handle = server.spawn();
+
+    let sharded_per_client = per_thread.div_ceil(2).max(num_sites);
+    let start = Instant::now();
+    let joins: Vec<_> = (0..sharded_clients)
+        .map(|t| {
+            let queries = queries.clone();
+            let site_names = site_names.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut per_site = vec![0u64; site_names.len()];
+                let mut overloaded = 0u64;
+                for k in 0..sharded_per_client {
+                    let site = (t + k) % site_names.len();
+                    let name = &site_names[site];
+                    client.locate(name, &queries[(t + k) % queries.len()]).expect("locate");
+                    per_site[site] += 1;
+                    if k % 8 == 0 {
+                        let batch: Vec<LinkSample> =
+                            (0..16).map(|j| LinkSample::new(j % 10, k as f64, -55.0)).collect();
+                        match client.try_ingest(name, None, 0.0, batch).expect("ingest") {
+                            IngestOutcome::Ingested(_) => {}
+                            IngestOutcome::Overloaded { .. } => overloaded += 1,
+                        }
+                    }
+                }
+                (per_site, overloaded)
+            })
+        })
+        .collect();
+    let mut per_site = vec![0u64; num_sites];
+    let mut overloaded = 0u64;
+    for j in joins {
+        let (p, o) = j.join().expect("sharded client thread");
+        for (a, b) in per_site.iter_mut().zip(&p) {
+            *a += b;
+        }
+        overloaded += o;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut per_shard = vec![0u64; num_shards];
+    for (i, name) in site_names.iter().enumerate() {
+        per_shard[ring.shard_of(name)] += per_site[i];
+    }
+    let sharded_rps = per_site.iter().sum::<u64>() as f64 / elapsed;
+    let per_shard_rps: Vec<f64> = per_shard.iter().map(|&n| n as f64 / elapsed).collect();
+    println!(
+        "sharded ({num_shards} shards, {num_sites} sites, {sharded_clients} clients): \
+         {sharded_rps:.0} locate req/s; per-shard {:?} req/s; {overloaded} overloaded ingest replies",
+        per_shard_rps.iter().map(|r| r.round()).collect::<Vec<_>>(),
+    );
+    let mut admin = Client::connect(addr).expect("connect admin");
+    if let Response::Stats { report } = admin.call_ok(&Request::Stats).expect("stats") {
+        for s in &report.shards {
+            println!(
+                "shard {}: {} sites, {} batches offered -> {} admitted / {} deferred / {} rejected",
+                s.shard,
+                s.sites,
+                s.offered_batches,
+                s.admitted_batches,
+                s.deferred_batches,
+                s.rejected_batches,
+            );
+        }
+    }
+    admin.call_ok(&Request::Shutdown).expect("shutdown");
+    handle.join();
+    results.push((
+        "sharded".into(),
+        Json::Obj(vec![
+            ("shards".into(), Json::Num(num_shards as f64)),
+            ("sites".into(), Json::Num(num_sites as f64)),
+            ("clients".into(), Json::Num(sharded_clients as f64)),
+            ("locate_req_per_s".into(), Json::Num(perf::round_ms(sharded_rps))),
+            (
+                "per_shard_req_per_s".into(),
+                Json::Arr(per_shard_rps.iter().map(|&r| Json::Num(perf::round_ms(r))).collect()),
+            ),
+            ("overloaded_ingest_replies".into(), Json::Num(overloaded as f64)),
+        ]),
+    ));
 
     let mut report = vec![
         ("bench".into(), Json::Str("serve".into())),

@@ -565,6 +565,14 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
     // bounds how many background LoLi-IR refreshes may run at once.
     let config = ServerConfig { workers, ..Default::default() };
     let maintenance_threads = args.num("threads", config.maintenance_threads)?;
+    // `--shards` splits the serving plane into consistent-hash worker shards;
+    // ownership is a pure function of the site name, so the same flag value
+    // re-shards identically across restarts.
+    let shards: usize = args.num("shards", config.shards)?;
+    // `--max-inflight-per-site` caps in-flight ingest samples per site; past
+    // it the daemon answers `overloaded` frames instead of queueing silently.
+    let max_inflight_per_site: usize =
+        args.num("max-inflight-per-site", config.max_inflight_per_site)?;
     // `--data-dir` turns on crash-safe persistence: committed generations
     // are snapshotted there and recovered on the next start.
     let data_dir = args.optional("data-dir").map(std::path::PathBuf::from);
@@ -585,7 +593,15 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
     };
     let server = Server::bind(
         addr.as_str(),
-        ServerConfig { maintenance_threads, data_dir, plan, ..config },
+        ServerConfig {
+            maintenance_threads,
+            data_dir,
+            plan,
+            shards,
+            max_inflight_per_site,
+            max_inflight_per_shard: max_inflight_per_site.saturating_mul(4),
+            ..config
+        },
     )?;
     let (recovered, skipped) = server.recover_sites()?;
     for name in &recovered {
@@ -892,7 +908,8 @@ COMMANDS
   info          --system system.json
   export-db     --system system.json --out db.csv
   serve         [--port P | --addr HOST:PORT] [--workers N] [--threads N]
-                [--port-file PATH] [--data-dir DIR] [--budget N [--policy P]]
+                [--shards N] [--max-inflight-per-site N] [--port-file PATH]
+                [--data-dir DIR] [--budget N [--policy P]]
                 [--system system.json [--site NAME] [--day D]]
   testkit       [--list] [--scenario NAME] [--bless] [--out report.json]
                 [--seed N] [--bias DB] [--budget N] [--policy P] [--threads N]

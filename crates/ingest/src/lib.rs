@@ -18,7 +18,10 @@
 //!   wait-free published aggregates, on-demand assembly of complete vectors
 //!   with explicit missing-link flags, cumulative drop accounting;
 //! * [`queue`] — [`IngestQueue`]: bounded producer-side backpressure that
-//!   sheds and counts batches instead of blocking.
+//!   sheds and counts batches instead of blocking;
+//! * [`credit`] — [`CreditQueue`]: credit-based admission with
+//!   blocking-with-deadline offers and conserved
+//!   admitted/deferred/rejected accounting (no silent loss).
 //!
 //! Std-only, mirroring the snapshot-swap discipline of `tafloc-serve`:
 //! writers take one shard mutex per batch; readers only ever copy `Arc`
@@ -49,6 +52,7 @@
 
 pub mod clock;
 pub mod config;
+pub mod credit;
 mod error;
 pub mod pipeline;
 pub mod queue;
@@ -57,6 +61,7 @@ pub mod window;
 
 pub use clock::ClockMode;
 pub use config::{Aggregator, IngestConfig};
+pub use credit::{Admission, CreditQueue, CreditStats};
 pub use error::{IngestError, Result};
 pub use pipeline::{AssembledVector, IngestStats, Ingestor, LinkFlag};
 pub use queue::{IngestQueue, PushOutcome};

@@ -79,6 +79,22 @@ fn xorshift(state: &mut u64) -> u64 {
     x.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
+/// Outcome of a back-pressure-aware [`Client::try_ingest`] call.
+#[derive(Debug, Clone)]
+pub enum IngestOutcome {
+    /// The batch was admitted and applied; the per-batch report.
+    Ingested(BatchReport),
+    /// Admission control pushed back; nothing was ingested.
+    Overloaded {
+        /// Shard that pushed back.
+        shard: usize,
+        /// `deferred` (retry after the hint) or `rejected` (over quota).
+        reason: String,
+        /// Suggested back-off before retrying (ms).
+        retry_after_ms: u64,
+    },
+}
+
 /// A persistent connection to a `taflocd` server.
 #[derive(Debug)]
 pub struct Client {
@@ -223,6 +239,8 @@ impl Client {
 
     /// Like [`ingest`](Client::ingest), but addressed: `ref_cell: Some(k)`
     /// feeds the capture window for reference cell `k` of a day-`day` survey.
+    /// Overload frames surface as [`ServeError::Remote`]; use
+    /// [`try_ingest`](Client::try_ingest) to handle back-pressure explicitly.
     pub fn ingest_for(
         &mut self,
         site: &str,
@@ -230,9 +248,32 @@ impl Client {
         day: f64,
         samples: Vec<LinkSample>,
     ) -> Result<BatchReport> {
+        match self.try_ingest(site, ref_cell, day, samples)? {
+            IngestOutcome::Ingested(report) => Ok(report),
+            IngestOutcome::Overloaded { shard, reason, retry_after_ms } => {
+                Err(ServeError::Remote(format!(
+                    "site overloaded ({reason} by shard {shard}, retry after {retry_after_ms} ms)"
+                )))
+            }
+        }
+    }
+
+    /// Back-pressure-aware ingest: an `overloaded` reply comes back as
+    /// [`IngestOutcome::Overloaded`] instead of an error, so a producer can
+    /// pace itself off the server's explicit verdict.
+    pub fn try_ingest(
+        &mut self,
+        site: &str,
+        ref_cell: Option<usize>,
+        day: f64,
+        samples: Vec<LinkSample>,
+    ) -> Result<IngestOutcome> {
         let req = Request::Ingest { site: site.to_string(), ref_cell, day, samples };
         match self.call_ok(&req)? {
-            Response::Ingested { report } => Ok(report),
+            Response::Ingested { report } => Ok(IngestOutcome::Ingested(report)),
+            Response::Overloaded { shard, reason, retry_after_ms, .. } => {
+                Ok(IngestOutcome::Overloaded { shard, reason, retry_after_ms })
+            }
             other => Err(ServeError::Protocol(format!("unexpected reply {other:?} to ingest"))),
         }
     }

@@ -17,6 +17,9 @@
 //!   accepting raw link samples behind the `ingest` / `locate-stream`
 //!   endpoints;
 //! * [`registry`] — the name → site map and maintenance-thread ownership;
+//! * [`shard`] — consistent-hash worker shards over registries, plus
+//!   credit-based ingest admission control (per-site quotas, deadline
+//!   blocking, explicit overload frames);
 //! * [`maintenance`] — the background drift/refresh loop and its policy;
 //! * [`metrics`] — wait-free per-endpoint counters and latency histograms;
 //! * [`store`] — crash-safe checksummed per-site snapshot persistence
@@ -47,6 +50,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod shard;
 pub mod site;
 pub mod snapshot;
 pub mod store;

@@ -1,7 +1,7 @@
 //! `taflocd` — the standalone daemon binary.
 //!
 //! ```text
-//! taflocd --addr 127.0.0.1:7777 [--workers 4] [--data-dir DIR]
+//! taflocd --addr 127.0.0.1:7777 [--workers 4] [--shards 4] [--data-dir DIR]
 //!         [--site NAME --system system.json]...
 //! ```
 //!
@@ -18,11 +18,17 @@ use tafloc_serve::server::{Server, ServerConfig};
 const USAGE: &str = "\
 taflocd — always-on TafLoc localization daemon (newline-delimited JSON over TCP)
 
-USAGE: taflocd [--addr HOST:PORT] [--workers N] [--data-dir DIR]
-               [--port-file PATH] [--site NAME --system PATH]...
+USAGE: taflocd [--addr HOST:PORT] [--workers N] [--shards N] [--data-dir DIR]
+               [--max-inflight-per-site N] [--port-file PATH]
+               [--site NAME --system PATH]...
 
   --addr       listen address (default 127.0.0.1:7777; port 0 = ephemeral)
   --workers    worker threads (default 4)
+  --shards     consistent-hash worker shards owning the sites (default 1);
+               same flags re-shard identically across restarts
+  --max-inflight-per-site
+               in-flight ingest sample quota per site; past it the daemon
+               answers `overloaded` frames instead of silently queueing
   --data-dir   snapshot directory: persist every committed site generation
                and recover all sites from it on startup (default: in-memory)
   --port-file  write the bound port (just the number) to PATH once listening;
@@ -38,8 +44,11 @@ fn fail(msg: &str) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let defaults = ServerConfig::default();
     let mut addr = "127.0.0.1:7777".to_string();
     let mut workers = 4usize;
+    let mut shards = defaults.shards;
+    let mut max_inflight_per_site = defaults.max_inflight_per_site;
     let mut data_dir: Option<String> = None;
     let mut port_file: Option<String> = None;
     let mut site_names: Vec<String> = Vec::new();
@@ -51,7 +60,14 @@ fn main() {
                 print!("{USAGE}");
                 return;
             }
-            "--addr" | "--workers" | "--data-dir" | "--port-file" | "--site" | "--system" => {
+            "--addr"
+            | "--workers"
+            | "--shards"
+            | "--max-inflight-per-site"
+            | "--data-dir"
+            | "--port-file"
+            | "--site"
+            | "--system" => {
                 let Some(value) = args.get(i + 1) else {
                     fail(&format!("flag {} expects a value", args[i]));
                 };
@@ -60,6 +76,18 @@ fn main() {
                     "--workers" => {
                         workers = value.parse().unwrap_or_else(|_| {
                             fail(&format!("--workers expects a number, got {value:?}"))
+                        });
+                    }
+                    "--shards" => {
+                        shards = value.parse().unwrap_or_else(|_| {
+                            fail(&format!("--shards expects a number, got {value:?}"))
+                        });
+                    }
+                    "--max-inflight-per-site" => {
+                        max_inflight_per_site = value.parse().unwrap_or_else(|_| {
+                            fail(&format!(
+                                "--max-inflight-per-site expects a number, got {value:?}"
+                            ))
                         });
                     }
                     "--data-dir" => data_dir = Some(value.clone()),
@@ -78,6 +106,11 @@ fn main() {
 
     let config = ServerConfig {
         workers,
+        shards,
+        max_inflight_per_site,
+        // The shard budget scales with the per-site quota, mirroring the
+        // default ratio.
+        max_inflight_per_shard: max_inflight_per_site.saturating_mul(4),
         data_dir: data_dir.as_ref().map(std::path::PathBuf::from),
         ..Default::default()
     };

@@ -279,6 +279,20 @@ pub enum Response {
     Pong,
     /// Shutdown acknowledged; the server is draining.
     ShuttingDown,
+    /// Admission control pushed back: the batch was **not** ingested. A
+    /// `deferred` reason means credits stayed short for the whole admission
+    /// deadline — retry after the hint; `rejected` means the batch exceeds a
+    /// quota outright and retrying unchanged can never succeed.
+    Overloaded {
+        /// Site the work was addressed to.
+        site: String,
+        /// Shard that pushed back.
+        shard: usize,
+        /// `deferred` or `rejected`.
+        reason: String,
+        /// Suggested client back-off before retrying (ms); 0 for rejections.
+        retry_after_ms: u64,
+    },
 }
 
 /// One localization fix inside a `located-batch` response.
@@ -340,6 +354,36 @@ pub struct StatsReport {
     pub endpoints: Vec<EndpointStats>,
     /// Per-site health.
     pub sites: Vec<SiteStats>,
+    /// Per-shard admission/queue accounting, shard-ordered.
+    #[serde(default)]
+    pub shards: Vec<ShardStats>,
+}
+
+/// Admission-control and queue accounting for one worker shard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index on the ring.
+    pub shard: usize,
+    /// Sites this shard owns.
+    pub sites: usize,
+    /// Samples currently holding ingest credits on this shard.
+    pub queue_depth_samples: u64,
+    /// Ingest batches offered to the gate.
+    pub offered_batches: u64,
+    /// Ingest samples offered to the gate.
+    pub offered_samples: u64,
+    /// Batches admitted (credits granted).
+    pub admitted_batches: u64,
+    /// Samples admitted.
+    pub admitted_samples: u64,
+    /// Batches deferred at the admission deadline.
+    pub deferred_batches: u64,
+    /// Samples deferred.
+    pub deferred_samples: u64,
+    /// Batches rejected outright (over quota).
+    pub rejected_batches: u64,
+    /// Samples rejected.
+    pub rejected_samples: u64,
 }
 
 /// Counters and latency for one endpoint.
@@ -418,6 +462,9 @@ pub struct SiteStats {
     /// Active measurement-planning policy, if any.
     #[serde(default)]
     pub plan_policy: Option<String>,
+    /// Worker shard owning this site (0 in unsharded deployments).
+    #[serde(default)]
+    pub shard: usize,
 }
 
 #[cfg(test)]

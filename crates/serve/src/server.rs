@@ -18,7 +18,7 @@
 use crate::maintenance::MaintenancePolicy;
 use crate::metrics::Metrics;
 use crate::protocol::{Request, Response, StatsReport};
-use crate::registry::Registry;
+use crate::shard::{AdmissionConfig, Admit, ShardConfig, ShardSet};
 use crate::site::{detection_detail, recommendation_name, Site};
 use crate::store::SiteStore;
 use crate::wire::{self, WireVersion};
@@ -56,6 +56,21 @@ pub struct ServerConfig {
     /// not persisted, so recovery re-attaches the planner here and the first
     /// post-restart survey round is a full one.
     pub plan: Option<taf_plan::PlannerConfig>,
+    /// Worker shards (`--shards`, clamped to at least 1). Site ownership is
+    /// a pure function of `(shard_seed, site name, shards)`, so the same
+    /// flags re-shard identically across restarts.
+    pub shards: usize,
+    /// Consistent-hash ring seed. Must stay stable across restarts of a
+    /// persistent deployment; there is no flag for it on purpose.
+    pub shard_seed: u64,
+    /// Per-site in-flight ingest sample quota (`--max-inflight-per-site`).
+    pub max_inflight_per_site: usize,
+    /// Per-shard in-flight ingest sample budget (defaults to 4x the per-site
+    /// quota).
+    pub max_inflight_per_shard: usize,
+    /// How long an ingest admission blocks for credits before the server
+    /// answers with a `deferred` overload frame.
+    pub admit_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +82,11 @@ impl Default for ServerConfig {
             maintenance_threads: crate::registry::DEFAULT_MAINTENANCE_THREADS,
             data_dir: None,
             plan: None,
+            shards: 1,
+            shard_seed: crate::shard::DEFAULT_SHARD_SEED,
+            max_inflight_per_site: crate::shard::DEFAULT_MAX_INFLIGHT_PER_SITE,
+            max_inflight_per_shard: crate::shard::DEFAULT_MAX_INFLIGHT_PER_SITE * 4,
+            admit_deadline: crate::shard::DEFAULT_ADMIT_DEADLINE,
         }
     }
 }
@@ -74,8 +94,9 @@ impl Default for ServerConfig {
 /// Shared server state, visible to every worker.
 #[derive(Debug)]
 pub struct ServerCtx {
-    /// The site registry.
-    pub registry: Registry,
+    /// The sharded site registry: N worker shards behind a consistent-hash
+    /// ring, each with its own maintenance pool and admission gate.
+    pub registry: ShardSet,
     /// Per-endpoint counters and latency histograms.
     pub metrics: Metrics,
     shutdown: AtomicBool,
@@ -116,7 +137,8 @@ impl ServerCtx {
             wire_bad_utf8: self.metrics.wire_bad_utf8(),
             wire_malformed: self.metrics.wire_malformed(),
             endpoints: self.metrics.report(),
-            sites: self.registry.list().iter().map(|s| s.stats()).collect(),
+            sites: self.registry.site_stats(),
+            shards: self.registry.shard_stats(),
         }
     }
 
@@ -150,7 +172,16 @@ impl Server {
             None => None,
         };
         let ctx = Arc::new(ServerCtx {
-            registry: Registry::with_maintenance_threads(config.maintenance_threads),
+            registry: ShardSet::new(ShardConfig {
+                shards: config.shards,
+                seed: config.shard_seed,
+                maintenance_threads: config.maintenance_threads,
+                admission: AdmissionConfig {
+                    max_inflight_per_site: config.max_inflight_per_site,
+                    max_inflight_per_shard: config.max_inflight_per_shard,
+                    admit_deadline: config.admit_deadline,
+                },
+            }),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
             local_addr,
@@ -481,9 +512,35 @@ pub fn dispatch(request: Request, ctx: &ServerCtx) -> Response {
             }
         }
         Request::Ingest { site, ref_cell, day, samples } => {
-            match ctx.registry.get(&site).and_then(|s| s.ingest_samples(ref_cell, day, &samples)) {
-                Ok(report) => Response::Ingested { report },
-                Err(e) => err_response(e),
+            // Look the site up first: an unknown site is an error, not an
+            // overload, regardless of gate pressure.
+            let owner = match ctx.registry.get(&site) {
+                Ok(s) => s,
+                Err(e) => return err_response(e),
+            };
+            match ctx.registry.admit(&site, samples.len()) {
+                Admit::Granted(permit) => {
+                    // The permit holds the credits for the whole synchronous
+                    // ingest; dropping it releases them.
+                    let outcome = owner.ingest_samples(ref_cell, day, &samples);
+                    drop(permit);
+                    match outcome {
+                        Ok(report) => Response::Ingested { report },
+                        Err(e) => err_response(e),
+                    }
+                }
+                Admit::Deferred { shard, retry_after_ms } => Response::Overloaded {
+                    site,
+                    shard,
+                    reason: "deferred".to_string(),
+                    retry_after_ms,
+                },
+                Admit::Rejected { shard } => Response::Overloaded {
+                    site,
+                    shard,
+                    reason: "rejected".to_string(),
+                    retry_after_ms: 0,
+                },
             }
         }
         Request::Track { site, stream, y, dt_s } => {

@@ -934,6 +934,8 @@ impl Site {
             actual_cost: d.actual_cost,
             full_survey_cost: d.full_survey_cost,
             plan_policy: self.planner.as_ref().map(|p| p.config().policy.to_string()),
+            // A site doesn't know its shard; the owning ShardSet fills this in.
+            shard: 0,
         }
     }
 }

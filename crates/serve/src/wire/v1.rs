@@ -9,7 +9,9 @@
 //! honors the same `#[serde(default)]` semantics the derives declare.
 
 use crate::maintenance::MaintenancePolicy;
-use crate::protocol::{EndpointStats, Fix, Request, Response, SiteInfo, SiteStats, StatsReport};
+use crate::protocol::{
+    EndpointStats, Fix, Request, Response, ShardStats, SiteInfo, SiteStats, StatsReport,
+};
 use crate::Result;
 use taf_wire::json::{self, JsonValue, JsonWriter};
 use taf_wire::types as wt;
@@ -337,6 +339,17 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         }
         Response::Pong => w.str_val("pong"),
         Response::ShuttingDown => w.str_val("shutting-down"),
+        Response::Overloaded { site, shard, reason, retry_after_ms } => {
+            w.str_val("overloaded");
+            w.key("site");
+            w.str_val(site);
+            w.key("shard");
+            w.usize_val(*shard);
+            w.key("reason");
+            w.str_val(reason);
+            w.key("retry_after_ms");
+            w.u64_val(*retry_after_ms);
+        }
     }
     w.end_obj();
 }
@@ -439,6 +452,15 @@ pub fn decode_response(text: &str) -> Result<Response> {
         "stats" => Response::Stats { report: read_stats_report(json::field(&v, "report", c)?)? },
         "pong" => Response::Pong,
         "shutting-down" => Response::ShuttingDown,
+        "overloaded" => Response::Overloaded {
+            site: json::get_string(json::field(&v, "site", c)?, "Response.site")?,
+            shard: json::get_usize(json::field(&v, "shard", c)?, "Response.shard")?,
+            reason: json::get_string(json::field(&v, "reason", c)?, "Response.reason")?,
+            retry_after_ms: json::get_u64(
+                json::field(&v, "retry_after_ms", c)?,
+                "Response.retry_after_ms",
+            )?,
+        },
         other => {
             return Err(WireError::malformed(format!("Response: unknown variant `{other}`")).into())
         }
@@ -593,6 +615,12 @@ fn write_stats_report(w: &mut JsonWriter<'_>, r: &StatsReport) {
         write_site_stats(w, s);
     }
     w.end_arr();
+    w.key("shards");
+    w.begin_arr();
+    for s in &r.shards {
+        write_shard_stats(w, s);
+    }
+    w.end_arr();
     w.end_obj();
 }
 
@@ -616,6 +644,84 @@ fn read_stats_report(v: &JsonValue) -> Result<StatsReport> {
             .iter()
             .map(read_site_stats)
             .collect::<Result<_>>()?,
+        shards: match v.get("shards") {
+            None => Vec::new(),
+            Some(x) => json::get_arr(x, "StatsReport.shards")?
+                .iter()
+                .map(read_shard_stats)
+                .collect::<Result<_>>()?,
+        },
+    })
+}
+
+fn write_shard_stats(w: &mut JsonWriter<'_>, s: &ShardStats) {
+    w.begin_obj();
+    w.key("shard");
+    w.usize_val(s.shard);
+    w.key("sites");
+    w.usize_val(s.sites);
+    w.key("queue_depth_samples");
+    w.u64_val(s.queue_depth_samples);
+    w.key("offered_batches");
+    w.u64_val(s.offered_batches);
+    w.key("offered_samples");
+    w.u64_val(s.offered_samples);
+    w.key("admitted_batches");
+    w.u64_val(s.admitted_batches);
+    w.key("admitted_samples");
+    w.u64_val(s.admitted_samples);
+    w.key("deferred_batches");
+    w.u64_val(s.deferred_batches);
+    w.key("deferred_samples");
+    w.u64_val(s.deferred_samples);
+    w.key("rejected_batches");
+    w.u64_val(s.rejected_batches);
+    w.key("rejected_samples");
+    w.u64_val(s.rejected_samples);
+    w.end_obj();
+}
+
+fn read_shard_stats(v: &JsonValue) -> Result<ShardStats> {
+    let c = "ShardStats";
+    Ok(ShardStats {
+        shard: json::get_usize(json::field(v, "shard", c)?, "ShardStats.shard")?,
+        sites: json::get_usize(json::field(v, "sites", c)?, "ShardStats.sites")?,
+        queue_depth_samples: json::get_u64(
+            json::field(v, "queue_depth_samples", c)?,
+            "ShardStats.queue_depth_samples",
+        )?,
+        offered_batches: json::get_u64(
+            json::field(v, "offered_batches", c)?,
+            "ShardStats.offered_batches",
+        )?,
+        offered_samples: json::get_u64(
+            json::field(v, "offered_samples", c)?,
+            "ShardStats.offered_samples",
+        )?,
+        admitted_batches: json::get_u64(
+            json::field(v, "admitted_batches", c)?,
+            "ShardStats.admitted_batches",
+        )?,
+        admitted_samples: json::get_u64(
+            json::field(v, "admitted_samples", c)?,
+            "ShardStats.admitted_samples",
+        )?,
+        deferred_batches: json::get_u64(
+            json::field(v, "deferred_batches", c)?,
+            "ShardStats.deferred_batches",
+        )?,
+        deferred_samples: json::get_u64(
+            json::field(v, "deferred_samples", c)?,
+            "ShardStats.deferred_samples",
+        )?,
+        rejected_batches: json::get_u64(
+            json::field(v, "rejected_batches", c)?,
+            "ShardStats.rejected_batches",
+        )?,
+        rejected_samples: json::get_u64(
+            json::field(v, "rejected_samples", c)?,
+            "ShardStats.rejected_samples",
+        )?,
     })
 }
 
@@ -698,6 +804,8 @@ fn write_site_stats(w: &mut JsonWriter<'_>, s: &SiteStats) {
     w.u64_val(s.full_survey_cost);
     w.key("plan_policy");
     w.opt_str_val(s.plan_policy.as_deref());
+    w.key("shard");
+    w.usize_val(s.shard);
     w.end_obj();
 }
 
@@ -760,6 +868,10 @@ fn read_site_stats(v: &JsonValue) -> Result<SiteStats> {
             None => None,
             Some(x) if x.is_null() => None,
             Some(x) => Some(json::get_string(x, "SiteStats.plan_policy")?),
+        },
+        shard: match v.get("shard") {
+            None => 0,
+            Some(x) => json::get_usize(x, "SiteStats.shard")?,
         },
     })
 }

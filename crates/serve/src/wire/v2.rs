@@ -7,7 +7,9 @@
 //! removed kinds retire their tag instead of freeing it for reuse.
 
 use crate::maintenance::MaintenancePolicy;
-use crate::protocol::{EndpointStats, Fix, Request, Response, SiteInfo, SiteStats, StatsReport};
+use crate::protocol::{
+    EndpointStats, Fix, Request, Response, ShardStats, SiteInfo, SiteStats, StatsReport,
+};
 use crate::Result;
 use taf_wire::types as wt;
 use taf_wire::{Dec, Enc, WireError};
@@ -259,6 +261,13 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         }
         Response::Pong => e.u8(14),
         Response::ShuttingDown => e.u8(15),
+        Response::Overloaded { site, shard, reason, retry_after_ms } => {
+            e.u8(16);
+            e.str(site);
+            e.usize(*shard);
+            e.str(reason);
+            e.u64(*retry_after_ms);
+        }
     }
     *out = e.into_inner();
 }
@@ -322,6 +331,12 @@ pub fn decode_response(data: &[u8]) -> Result<Response> {
         13 => Response::Stats { report: dec_stats_report(&mut d)? },
         14 => Response::Pong,
         15 => Response::ShuttingDown,
+        16 => Response::Overloaded {
+            site: d.str()?,
+            shard: d.usize()?,
+            reason: d.str()?,
+            retry_after_ms: d.u64()?,
+        },
         v => return Err(WireError::malformed(format!("unknown response tag {v}")).into()),
     };
     d.finish()?;
@@ -402,6 +417,10 @@ fn enc_stats_report(e: &mut Enc, r: &StatsReport) {
     for s in &r.sites {
         enc_site_stats(e, s);
     }
+    e.usize(r.shards.len());
+    for s in &r.shards {
+        enc_shard_stats(e, s);
+    }
 }
 
 fn dec_stats_report(d: &mut Dec<'_>) -> taf_wire::Result<StatsReport> {
@@ -431,6 +450,44 @@ fn dec_stats_report(d: &mut Dec<'_>) -> taf_wire::Result<StatsReport> {
             }
             sites
         },
+        shards: {
+            let n = d.count()?;
+            let mut shards = Vec::with_capacity(n);
+            for _ in 0..n {
+                shards.push(dec_shard_stats(d)?);
+            }
+            shards
+        },
+    })
+}
+
+fn enc_shard_stats(e: &mut Enc, s: &ShardStats) {
+    e.usize(s.shard);
+    e.usize(s.sites);
+    e.u64(s.queue_depth_samples);
+    e.u64(s.offered_batches);
+    e.u64(s.offered_samples);
+    e.u64(s.admitted_batches);
+    e.u64(s.admitted_samples);
+    e.u64(s.deferred_batches);
+    e.u64(s.deferred_samples);
+    e.u64(s.rejected_batches);
+    e.u64(s.rejected_samples);
+}
+
+fn dec_shard_stats(d: &mut Dec<'_>) -> taf_wire::Result<ShardStats> {
+    Ok(ShardStats {
+        shard: d.usize()?,
+        sites: d.usize()?,
+        queue_depth_samples: d.u64()?,
+        offered_batches: d.u64()?,
+        offered_samples: d.u64()?,
+        admitted_batches: d.u64()?,
+        admitted_samples: d.u64()?,
+        deferred_batches: d.u64()?,
+        deferred_samples: d.u64()?,
+        rejected_batches: d.u64()?,
+        rejected_samples: d.u64()?,
     })
 }
 
@@ -484,6 +541,7 @@ fn enc_site_stats(e: &mut Enc, s: &SiteStats) {
     e.u64(s.actual_cost);
     e.u64(s.full_survey_cost);
     e.opt_str(s.plan_policy.as_deref());
+    e.usize(s.shard);
 }
 
 fn dec_site_stats(d: &mut Dec<'_>) -> taf_wire::Result<SiteStats> {
@@ -513,5 +571,6 @@ fn dec_site_stats(d: &mut Dec<'_>) -> taf_wire::Result<SiteStats> {
         actual_cost: d.u64()?,
         full_survey_cost: d.u64()?,
         plan_policy: d.opt_str()?,
+        shard: d.usize()?,
     })
 }

@@ -14,7 +14,7 @@ use tafloc_ingest::{BatchReport, IngestStats, LinkSample};
 use tafloc_serve::client::Client;
 use tafloc_serve::maintenance::MaintenancePolicy;
 use tafloc_serve::protocol::{
-    EndpointStats, Fix, Request, Response, SiteInfo, SiteStats, StatsReport,
+    EndpointStats, Fix, Request, Response, ShardStats, SiteInfo, SiteStats, StatsReport,
 };
 use tafloc_serve::server::{Server, ServerConfig};
 use tafloc_serve::wire::{self, read_response, write_request, WireVersion};
@@ -133,7 +133,36 @@ fn sample_stats_report() -> StatsReport {
             actual_cost: 80,
             full_survey_cost: 240,
             plan_policy: Some("uncertainty".into()),
+            shard: 2,
         }],
+        shards: vec![
+            ShardStats {
+                shard: 0,
+                sites: 3,
+                queue_depth_samples: 128,
+                offered_batches: 40,
+                offered_samples: 4000,
+                admitted_batches: 30,
+                admitted_samples: 3000,
+                deferred_batches: 8,
+                deferred_samples: 800,
+                rejected_batches: 2,
+                rejected_samples: 200,
+            },
+            ShardStats {
+                shard: 1,
+                sites: 0,
+                queue_depth_samples: 0,
+                offered_batches: 0,
+                offered_samples: 0,
+                admitted_batches: 0,
+                admitted_samples: 0,
+                deferred_batches: 0,
+                deferred_samples: 0,
+                rejected_batches: 0,
+                rejected_samples: 0,
+            },
+        ],
     }
 }
 
@@ -192,6 +221,18 @@ fn response_corpus() -> Vec<Response> {
         Response::Stats { report: sample_stats_report() },
         Response::Pong,
         Response::ShuttingDown,
+        Response::Overloaded {
+            site: "lab".into(),
+            shard: 3,
+            reason: "deferred".into(),
+            retry_after_ms: 25,
+        },
+        Response::Overloaded {
+            site: "attic".into(),
+            shard: 0,
+            reason: "rejected".into(),
+            retry_after_ms: 0,
+        },
     ]
 }
 

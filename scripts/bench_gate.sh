@@ -90,3 +90,33 @@ else
     fi
   done
 fi
+
+# ---------------------------------------------------------------------------
+# Sharding phases (warn-only): the fresh serve run must include the many-site
+# sharded phase, and a fresh ingest run must show the sharded credit queues
+# shedding ~nothing silently (every dropped sample gets an explicit verdict).
+# Both warn rather than fail — these are correctness-shaped signals surfaced
+# through the bench artifacts, and the real assertions live in the test
+# batteries (shard_serving.rs, backpressure.rs).
+# ---------------------------------------------------------------------------
+
+if grep -q '"sharded"' "$serve_baseline"; then
+  sharded_rps="$(field "$serve_baseline" locate_req_per_s)"
+  echo "bench_gate: sharded serve phase present (${sharded_rps} locate req/s across shards)"
+else
+  echo "bench_gate: WARNING — $serve_baseline has no sharded many-site phase" >&2
+fi
+
+ingest_baseline=BENCH_ingest.json
+cargo run --release -p taf-bench --bin ingest_bench -- --quick
+if grep -q '"sharded_credit"' "$ingest_baseline"; then
+  silent="$(field "$ingest_baseline" silent_shed_fraction)"
+  if awk -v s="${silent:-1}" 'BEGIN { exit !(s <= 0.05) }'; then
+    echo "bench_gate: sharded ingest OK (silent shed fraction ${silent} <= 0.05)"
+  else
+    echo "bench_gate: WARNING — sharded credit queues shed ${silent} of samples" \
+         "silently (expected <= 0.05)" >&2
+  fi
+else
+  echo "bench_gate: WARNING — $ingest_baseline has no sharded_credit phase" >&2
+fi

@@ -40,6 +40,18 @@ cargo test -q -p tafloc-serve --test wire_roundtrip --no-default-features
 # The planner is consumed by serve/cli/testkit with default features off, so
 # gate that configuration (and its lints/formatting) by name — a workspace run
 # with default features would not catch a planner regression behind a feature.
+# Sharding gates, by name: the ring proptests, the admission-control
+# conservation test, and the kill-9/restart battery (shard_serving runs the
+# daemon at both --shards 1 and --shards 4).
+echo "==> cargo test -q -p tafloc-serve --test shard_ring  (shard ring proptests)"
+cargo test -q -p tafloc-serve --test shard_ring
+
+echo "==> cargo test -q -p tafloc-ingest --test backpressure  (admission conservation)"
+cargo test -q -p tafloc-ingest --test backpressure
+
+echo "==> cargo test -q -p tafloc-serve --test shard_serving  (sharded daemon battery)"
+cargo test -q -p tafloc-serve --test shard_serving
+
 echo "==> cargo test -q -p taf-plan --no-default-features  (planner)"
 cargo test -q -p taf-plan --no-default-features
 
