@@ -82,12 +82,14 @@ pub mod tracking;
 pub use db::FingerprintDb;
 pub use detection::{Detection, DetectorConfig, PresenceDetector};
 pub use error::TaflocError;
-pub use loli_ir::{LoliIrConfig, Reconstruction, ReconstructionProblem, SolverWorkspace};
+pub use loli_ir::{
+    LoliIrConfig, Reconstruction, ReconstructionProblem, SolverWorkspace, WarmState,
+};
 pub use lrr::LrrModel;
 pub use mask::Mask;
 pub use matcher::{MatchMethod, MatchResult};
 pub use monitor::{DriftMonitor, MonitorConfig, Recommendation};
-pub use system::{SystemSnapshot, TafLoc, TafLocConfig, UpdateReport, ZRefreshPolicy};
+pub use system::{SolverCache, SystemSnapshot, TafLoc, TafLocConfig, UpdateReport, ZRefreshPolicy};
 pub use tracking::{ParticleFilter, TrackEstimate, TrackerConfig};
 
 /// Convenience result alias for this crate.

@@ -85,6 +85,22 @@ pub struct LoliIrConfig {
     pub max_iters: usize,
     /// Relative objective-decrease stopping tolerance.
     pub tol: f64,
+    /// Adaptive stopping: the relative decrease must stay below `tol` for this
+    /// many *consecutive* iterations before the solve is declared converged.
+    /// `1` reproduces the classic single-hit rule; larger values guard against
+    /// declaring victory on one coincidentally-flat iteration of a solve that
+    /// is still moving (the failure mode that made refreshes silently burn the
+    /// whole `max_iters` budget instead: the tolerance was never *held*).
+    #[serde(default = "default_stall_iters")]
+    pub stall_iters: usize,
+    /// Anderson-style acceleration: after each sweep, extrapolate the factors
+    /// along the last step direction with a secant-estimated coefficient and
+    /// keep the extrapolated point only if it lowers the objective. Safeguarded
+    /// by that re-evaluation, so the objective trace stays monotone; off by
+    /// default because the extra objective evaluation only pays for itself on
+    /// slow geometric convergence (cold starts on large problems).
+    #[serde(default)]
+    pub accelerate: bool,
     /// Test-only fault-injection hook: a constant bias (dB) added to every
     /// entry of the reconstructed matrix after the solve. `0.0` (the default,
     /// and the only sane production value) is a strict no-op. The regression
@@ -92,6 +108,10 @@ pub struct LoliIrConfig {
     /// a corrupted reconstruction — see the mutation check in that crate.
     #[serde(default)]
     pub debug_bias_db: f64,
+}
+
+fn default_stall_iters() -> usize {
+    1
 }
 
 impl Default for LoliIrConfig {
@@ -104,6 +124,8 @@ impl Default for LoliIrConfig {
             beta: 0.05,
             max_iters: 60,
             tol: 1e-6,
+            stall_iters: default_stall_iters(),
+            accelerate: false,
             debug_bias_db: 0.0,
         }
     }
@@ -134,6 +156,12 @@ impl LoliIrConfig {
         if self.max_iters == 0 {
             return Err(TaflocError::InvalidConfig {
                 field: "max_iters",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if self.stall_iters == 0 {
+            return Err(TaflocError::InvalidConfig {
+                field: "stall_iters",
                 reason: "must be >= 1".into(),
             });
         }
@@ -263,11 +291,52 @@ pub struct Reconstruction {
     pub objective_trace: Vec<f64>,
     /// Number of outer iterations performed.
     pub iterations: usize,
-    /// Whether the relative-decrease tolerance was met.
+    /// Whether the relative-decrease tolerance was held for
+    /// [`LoliIrConfig::stall_iters`] consecutive iterations.
     pub converged: bool,
+    /// Whether this solve was seeded from a [`WarmState`] (false for the SVD
+    /// cold start, including when a supplied warm state was rejected for
+    /// shape mismatch or non-finite values).
+    pub warm_start: bool,
     /// Per-cell/per-link reconstruction confidence derived from the final
     /// factors — the signal an adaptive-sensing planner consumes.
     pub diagnostics: ReconstructionDiagnostics,
+}
+
+/// The previous solution `(L, R)`, carried between solves so a steady-state
+/// refresh resumes where the last one stopped instead of paying a cold SVD
+/// start and a full iteration burn.
+///
+/// This is the paper's P2 insight turned into solver state: the localization
+/// model `Z` is stable across time, so consecutive refreshes solve nearly the
+/// same problem and the previous factors are an excellent initial iterate.
+/// `Z` itself rides along in `TafLoc`'s LRR model (it parameterizes the prior
+/// `X_R·Z`, not the iterate), and the per-row Cholesky scratch factors are
+/// reused through the [`SolverWorkspace`]; the warm state proper is just the
+/// factor pair. Build one from an *accepted* reconstruction with
+/// [`WarmState::from_reconstruction`] — a rejected or rolled-back solve must
+/// never seed the next one (see `SolverCache` in the system layer).
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    l: Matrix,
+    r: Matrix,
+}
+
+impl WarmState {
+    /// Captures the factor pair of a finished solve.
+    pub fn from_reconstruction(rec: &Reconstruction) -> Self {
+        WarmState { l: rec.l.clone(), r: rec.r.clone() }
+    }
+
+    /// `(links, cells, rank)` this state can seed.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.l.rows(), self.r.rows(), self.l.cols())
+    }
+
+    /// A warm state is usable only when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        !self.l.has_non_finite() && !self.r.has_non_finite()
+    }
 }
 
 /// Per-cell reconstruction confidence, computed from the final `(L, R)`
@@ -453,6 +522,7 @@ fn build_edge_sets(problem: &ReconstructionProblem<'_>) -> EdgeSets {
 /// One slot is leased per row/column of the color class currently being
 /// solved; the slot owns every buffer the solve needs, so running a class in
 /// parallel requires no allocation and no shared mutable state.
+#[derive(Debug)]
 struct RowScratch {
     /// Normal-equation matrix (`r x r`).
     lhs: Matrix,
@@ -490,11 +560,34 @@ impl RowScratch {
 /// problem does and are reused verbatim otherwise, which makes steady-state
 /// solver iterations allocation-free. `SolverWorkspace::new()` itself
 /// allocates nothing — buffers appear on first use.
+#[derive(Debug)]
 pub struct SolverWorkspace {
     scratch: Vec<RowScratch>,
     gram: Matrix,
     xh: Matrix,
     trace: Vec<f64>,
+    /// Closed-form accumulator for the fully-active location edges of one
+    /// L-sweep: `α Σ (r_j − r_{j'})(r_j − r_{j'})ᵀ` (lower triangle).
+    loc_lhs: Matrix,
+    /// Closed-form accumulator for the fully-active link edges of one R-sweep:
+    /// `β Σ (l_i − l_{i'})(l_i − l_{i'})ᵀ` (lower triangle).
+    link_lhs: Matrix,
+    /// Right-hand-side companion of `link_lhs`: `β Σ δ_{ii'} (l_i − l_{i'})`.
+    link_rhs: Vec<f64>,
+    /// Column sums of `R` (`Σ_j r_j`) for the baseline-offset part of the
+    /// fully-active similarity right-hand sides.
+    rsum: Vec<f64>,
+    /// Prior right-hand sides: `P·R` (`m x r`) for the L-step…
+    prior_l: Matrix,
+    /// …and `Lᵀ·P` (`r x n`) for the R-step.
+    prior_r: Matrix,
+    /// Pre-sweep factor snapshots for the acceleration step (sized only when
+    /// `accelerate` is on).
+    prev_l: Matrix,
+    prev_r: Matrix,
+    /// Second `m x n` product buffer so a rejected extrapolation can be
+    /// discarded without recomputing `L·Rᵀ` (sized only when `accelerate` on).
+    xh_alt: Matrix,
 }
 
 impl SolverWorkspace {
@@ -505,23 +598,57 @@ impl SolverWorkspace {
             gram: Matrix::zeros(0, 0),
             xh: Matrix::zeros(0, 0),
             trace: Vec::new(),
+            loc_lhs: Matrix::zeros(0, 0),
+            link_lhs: Matrix::zeros(0, 0),
+            link_rhs: Vec::new(),
+            rsum: Vec::new(),
+            prior_l: Matrix::zeros(0, 0),
+            prior_r: Matrix::zeros(0, 0),
+            prev_l: Matrix::zeros(0, 0),
+            prev_r: Matrix::zeros(0, 0),
+            xh_alt: Matrix::zeros(0, 0),
         }
     }
 
     /// Grows the buffers to fit an `m x n` rank-`r` problem; a no-op (and
     /// allocation-free) when they already fit.
-    fn ensure(&mut self, m: usize, n: usize, r: usize, max_iters: usize) {
+    fn ensure(&mut self, m: usize, n: usize, r: usize, max_iters: usize, accelerate: bool) {
         let slots = m.max(n);
         let slots_fit =
             self.scratch.len() >= slots && self.scratch.first().is_some_and(|s| s.rhs.len() == r);
         if !slots_fit {
             self.scratch = (0..slots).map(|_| RowScratch::new(r)).collect();
         }
-        if self.gram.shape() != (r, r) {
-            self.gram = Matrix::zeros(r, r);
+        for sq in [&mut self.gram, &mut self.loc_lhs, &mut self.link_lhs] {
+            if sq.shape() != (r, r) {
+                *sq = Matrix::zeros(r, r);
+            }
+        }
+        if self.link_rhs.len() != r {
+            self.link_rhs = vec![0.0; r];
+        }
+        if self.rsum.len() != r {
+            self.rsum = vec![0.0; r];
         }
         if self.xh.shape() != (m, n) {
             self.xh = Matrix::zeros(m, n);
+        }
+        if self.prior_l.shape() != (m, r) {
+            self.prior_l = Matrix::zeros(m, r);
+        }
+        if self.prior_r.shape() != (r, n) {
+            self.prior_r = Matrix::zeros(r, n);
+        }
+        if accelerate {
+            if self.prev_l.shape() != (m, r) {
+                self.prev_l = Matrix::zeros(m, r);
+            }
+            if self.prev_r.shape() != (n, r) {
+                self.prev_r = Matrix::zeros(n, r);
+            }
+            if self.xh_alt.shape() != (m, n) {
+                self.xh_alt = Matrix::zeros(m, n);
+            }
         }
         self.trace.clear();
         self.trace.reserve(max_iters + 1);
@@ -624,8 +751,21 @@ struct LStepCtx<'a> {
     rf: &'a Matrix,
     /// `RᵀR`.
     gram: &'a Matrix,
+    /// Observed column indices per row (CSR-style; replaces per-entry mask probes).
+    row_obs: &'a [Vec<usize>],
+    /// Link edges incident to each row (fully-active and not).
     row_edges: &'a [Vec<usize>],
+    /// Location edges with a *partial* active set containing each row; the
+    /// fully-active ones are folded into `loc_lhs` once per sweep.
     row_loc_edges: &'a [Vec<usize>],
+    /// `α Σ_fully-active (r_j − r_{j'})(…)ᵀ` (lower triangle), shared by every
+    /// row, or `None` when no location edge is fully active.
+    loc_lhs: Option<&'a Matrix>,
+    /// Column sums of `R` for the baseline-offset right-hand-side term.
+    rsum: &'a [f64],
+    /// `P·R` (`m x r`): each row's prior right-hand side, or `None` when the
+    /// prior term is off.
+    prior_rhs: Option<&'a Matrix>,
 }
 
 /// Shared read-only inputs for the R-step solves of one color class.
@@ -638,8 +778,18 @@ struct RStepCtx<'a> {
     rf: &'a Matrix,
     /// `LᵀL`.
     gram: &'a Matrix,
+    /// Observed row indices per column.
+    col_obs: &'a [Vec<usize>],
+    /// Location edges incident to each column (fully-active and not).
     col_edges: &'a [Vec<usize>],
+    /// Link edges with a *partial* active set containing each column.
     col_link_edges: &'a [Vec<usize>],
+    /// `β Σ_fully-active (l_i − l_{i'})(…)ᵀ` (lower triangle) and its
+    /// right-hand side `β Σ δ_{ii'} (l_i − l_{i'})`, shared by every column;
+    /// `None` when no link edge is fully active.
+    link_closed: Option<(&'a Matrix, &'a [f64])>,
+    /// `Lᵀ·P` (`r x n`): each column's prior right-hand side.
+    prior_rhs: Option<&'a Matrix>,
 }
 
 /// Factors `s.lhs` and solves for `s.rhs` into `s.sol`, recording any failure
@@ -659,38 +809,40 @@ fn finish_solve(s: &mut RowScratch) {
 /// Builds and solves the `r x r` ridge system for row `l_i` entirely inside
 /// `s`. Factor rows read through `ctx.l` belong to other color classes, so
 /// every solve in a class is independent of its siblings.
+///
+/// Only the lower triangle of `s.lhs` is written — the Cholesky factorization
+/// reads nothing else — and every term whose active set covers the whole
+/// matrix enters through a closed form (`μ RᵀR` for the prior, the shared
+/// `loc_lhs` for fully-active continuity edges, `β RᵀR` plus a Gram
+/// matrix-vector product for fully-active similarity edges) instead of a
+/// per-entry rank-1 loop. Partial (distortion-restricted) edges keep the
+/// per-entry path.
 fn solve_l_row(ctx: &LStepCtx<'_>, i: usize, s: &mut RowScratch) {
     let r = ctx.gram.rows();
     let n = ctx.rf.rows();
     s.status = None;
     for a in 0..r {
-        for b in 0..r {
+        for b in 0..=a {
             s.lhs[(a, b)] = ctx.config.lambda * f64::from(a == b) + ctx.mu * ctx.gram[(a, b)];
+        }
+    }
+    if let Some(full) = ctx.loc_lhs {
+        for a in 0..r {
+            for b in 0..=a {
+                s.lhs[(a, b)] += full[(a, b)];
+            }
         }
     }
     s.rhs.fill(0.0);
     // Data term: Σ_j B_ij (r_jᵀ l_i − x_ij)².
-    for j in 0..n {
-        if ctx.problem.mask.get(i, j) {
-            let rj = ctx.rf.row(j);
-            rank1_update(&mut s.lhs, rj, 1.0);
-            let x = ctx.problem.observed[(i, j)];
-            for (a, &rv) in s.rhs.iter_mut().zip(rj) {
-                *a += x * rv;
-            }
-        }
+    for &j in &ctx.row_obs[i] {
+        let rj = ctx.rf.row(j);
+        rank1_update(&mut s.lhs, rj, 1.0);
+        taf_linalg::axpy_slice(&mut s.rhs, ctx.problem.observed[(i, j)], rj);
     }
-    // LRR prior: μ ‖R l_i − p_i‖².
-    if let Some(p) = ctx.problem.lrr_prior {
-        if ctx.mu > 0.0 {
-            for j in 0..n {
-                let rj = ctx.rf.row(j);
-                let pv = ctx.mu * p[(i, j)];
-                for (a, &rv) in s.rhs.iter_mut().zip(rj) {
-                    *a += pv * rv;
-                }
-            }
-        }
+    // LRR prior: μ ‖R l_i − p_i‖² — right-hand side μ (P·R)_i.
+    if let Some(pr) = ctx.prior_rhs {
+        taf_linalg::axpy_slice(&mut s.rhs, ctx.mu, pr.row(i));
     }
     // Similarity edges incident to row i (other endpoint held fixed).
     if ctx.config.beta > 0.0 {
@@ -703,21 +855,33 @@ fn solve_l_row(ctx: &LStepCtx<'_>, i: usize, s: &mut RowScratch) {
                 -baseline_delta(ctx.problem, *u, *v)
             };
             s.other.copy_from_slice(ctx.l.row(other));
-            for &j in cells {
-                let rj = ctx.rf.row(j);
-                rank1_update(&mut s.lhs, rj, ctx.config.beta);
-                // Target for x̂_ij is x̂_other,j + off.
-                let t: f64 = taf_linalg::dot(&s.other, rj) + off;
-                let w = ctx.config.beta * t;
-                for (a, &rv) in s.rhs.iter_mut().zip(rj) {
-                    *a += w * rv;
+            if cells.len() == n {
+                // Fully active: Σ_j r_j r_jᵀ = RᵀR and the target sum
+                // collapses to G·l_other + off·Σ_j r_j.
+                for a in 0..r {
+                    for b in 0..=a {
+                        s.lhs[(a, b)] += ctx.config.beta * ctx.gram[(a, b)];
+                    }
+                }
+                for a in 0..r {
+                    let t = taf_linalg::dot(ctx.gram.row(a), &s.other) + off * ctx.rsum[a];
+                    s.rhs[a] += ctx.config.beta * t;
+                }
+            } else {
+                for &j in cells {
+                    let rj = ctx.rf.row(j);
+                    rank1_update(&mut s.lhs, rj, ctx.config.beta);
+                    // Target for x̂_ij is x̂_other,j + off.
+                    let t: f64 = taf_linalg::dot(&s.other, rj) + off;
+                    taf_linalg::axpy_slice(&mut s.rhs, ctx.config.beta * t, rj);
                 }
             }
         }
     }
-    // Continuity edges whose active-link set contains row i:
+    // Continuity edges whose *partial* active-link set contains row i:
     // α (l_iᵀ (r_j − r_{j'}))² — quadratic in l_i with direction
-    // d = r_j − r_{j'} and zero target.
+    // d = r_j − r_{j'} and zero target. (Fully-active ones came in via
+    // `loc_lhs` above.)
     if ctx.config.alpha > 0.0 {
         for &k in &ctx.row_loc_edges[i] {
             let (j, j2, _) = &ctx.edges.location[k];
@@ -733,36 +897,36 @@ fn solve_l_row(ctx: &LStepCtx<'_>, i: usize, s: &mut RowScratch) {
 }
 
 /// Builds and solves the `r x r` ridge system for column `r_j` inside `s`;
-/// symmetric counterpart of [`solve_l_row`].
+/// symmetric counterpart of [`solve_l_row`] (lower-triangle `lhs`, closed
+/// forms for fully-active terms, per-entry loops only for partial edges).
 fn solve_r_col(ctx: &RStepCtx<'_>, j: usize, s: &mut RowScratch) {
     let r = ctx.gram.rows();
     let m = ctx.l.rows();
     s.status = None;
     for a in 0..r {
-        for b in 0..r {
+        for b in 0..=a {
             s.lhs[(a, b)] = ctx.config.lambda * f64::from(a == b) + ctx.mu * ctx.gram[(a, b)];
         }
     }
     s.rhs.fill(0.0);
-    for i in 0..m {
-        if ctx.problem.mask.get(i, j) {
-            let li = ctx.l.row(i);
-            rank1_update(&mut s.lhs, li, 1.0);
-            let x = ctx.problem.observed[(i, j)];
-            for (a, &lv) in s.rhs.iter_mut().zip(li) {
-                *a += x * lv;
+    // Fully-active similarity edges: one shared accumulator pair per sweep.
+    if let Some((full_lhs, full_rhs)) = ctx.link_closed {
+        for a in 0..r {
+            for b in 0..=a {
+                s.lhs[(a, b)] += full_lhs[(a, b)];
             }
         }
+        taf_linalg::axpy_slice(&mut s.rhs, 1.0, full_rhs);
     }
-    if let Some(p) = ctx.problem.lrr_prior {
-        if ctx.mu > 0.0 {
-            for i in 0..m {
-                let li = ctx.l.row(i);
-                let pv = ctx.mu * p[(i, j)];
-                for (a, &lv) in s.rhs.iter_mut().zip(li) {
-                    *a += pv * lv;
-                }
-            }
+    for &i in &ctx.col_obs[j] {
+        let li = ctx.l.row(i);
+        rank1_update(&mut s.lhs, li, 1.0);
+        taf_linalg::axpy_slice(&mut s.rhs, ctx.problem.observed[(i, j)], li);
+    }
+    // LRR prior right-hand side μ (LᵀP)_{·j}.
+    if let Some(lp) = ctx.prior_rhs {
+        for (a, v) in s.rhs.iter_mut().enumerate() {
+            *v += ctx.mu * lp[(a, j)];
         }
     }
     if ctx.config.alpha > 0.0 {
@@ -770,20 +934,31 @@ fn solve_r_col(ctx: &RStepCtx<'_>, j: usize, s: &mut RowScratch) {
             let (u, v, links) = &ctx.edges.location[k];
             let other = if *u == j { *v } else { *u };
             s.other.copy_from_slice(ctx.rf.row(other));
-            for &i in links {
-                let li = ctx.l.row(i);
-                rank1_update(&mut s.lhs, li, ctx.config.alpha);
-                let t: f64 = taf_linalg::dot(li, &s.other);
-                let w = ctx.config.alpha * t;
-                for (a, &lv) in s.rhs.iter_mut().zip(li) {
-                    *a += w * lv;
+            if links.len() == m {
+                // Fully active: Σ_i l_i l_iᵀ = LᵀL, target sum G_L·r_other.
+                for a in 0..r {
+                    for b in 0..=a {
+                        s.lhs[(a, b)] += ctx.config.alpha * ctx.gram[(a, b)];
+                    }
+                }
+                for a in 0..r {
+                    let t = taf_linalg::dot(ctx.gram.row(a), &s.other);
+                    s.rhs[a] += ctx.config.alpha * t;
+                }
+            } else {
+                for &i in links {
+                    let li = ctx.l.row(i);
+                    rank1_update(&mut s.lhs, li, ctx.config.alpha);
+                    let t: f64 = taf_linalg::dot(li, &s.other);
+                    taf_linalg::axpy_slice(&mut s.rhs, ctx.config.alpha * t, li);
                 }
             }
         }
     }
-    // Similarity edges whose active-cell set contains column j:
+    // Similarity edges whose *partial* active-cell set contains column j:
     // β ((l_i − l_{i'})ᵀ r_j − δ_{ii'})² — quadratic in r_j with
-    // direction d = l_i − l_{i'} and target δ.
+    // direction d = l_i − l_{i'} and target δ. (Fully-active ones came in via
+    // `link_closed` above.)
     if ctx.config.beta > 0.0 {
         for &k in &ctx.col_link_edges[j] {
             let (i, i2, _) = &ctx.edges.link[k];
@@ -835,7 +1010,7 @@ pub fn reconstruct(
     reconstruct_with(problem, config, &mut SolverWorkspace::new())
 }
 
-/// Runs LoLi-IR reusing the caller's [`SolverWorkspace`].
+/// Runs LoLi-IR reusing the caller's [`SolverWorkspace`], always cold-started.
 ///
 /// Steady-state iterations perform no heap allocation — every buffer lives in
 /// the workspace. The result is bit-identical for a given problem regardless
@@ -848,6 +1023,26 @@ pub fn reconstruct_with(
     config: &LoliIrConfig,
     ws: &mut SolverWorkspace,
 ) -> Result<Reconstruction> {
+    reconstruct_warm(problem, config, ws, None)
+}
+
+/// Runs LoLi-IR, seeding the iterate from `warm` when one is supplied.
+///
+/// A usable warm state (matching `(links, cells, rank)` shape, all entries
+/// finite) replaces the truncated-SVD initialization with the previous
+/// solution; an unusable one falls back to the cold start — bit-identical to
+/// [`reconstruct_with`] — rather than erroring, so callers can pass whatever
+/// they have and check [`Reconstruction::warm_start`] afterwards. Warm or
+/// cold, every iterate-improvement property is unchanged (exact block solves,
+/// monotone objective, bit-identical output at any thread count); only the
+/// starting point differs, which is what lets a steady-state refresh stop
+/// after a handful of iterations instead of re-earning the whole solution.
+pub fn reconstruct_warm(
+    problem: &ReconstructionProblem<'_>,
+    config: &LoliIrConfig,
+    ws: &mut SolverWorkspace,
+    warm: Option<&WarmState>,
+) -> Result<Reconstruction> {
     config.validate()?;
     problem.validate()?;
 
@@ -857,24 +1052,69 @@ pub fn reconstruct_with(
     // the normal equations must vanish too (a bare `mu * RᵀR` on the left-hand
     // side with no matching right-hand side would shrink X̂ toward zero).
     let mu = if problem.lrr_prior.is_some() { config.mu } else { 0.0 };
+    let has_prior = mu > 0.0 && problem.lrr_prior.is_some();
     let edges = build_edge_sets(problem);
 
+    ws.ensure(m, n, r, config.max_iters, config.accelerate);
+
     // ------------------------------------------------------------------
-    // Initialization: truncated SVD of the prior (or of a filled observation).
+    // Initialization. The cold start is the truncated SVD of the prior (or of
+    // a filled observation). A usable warm state (matching shape, finite) is
+    // a *candidate*, not a mandate: the current problem may have drifted far
+    // from the one that produced it, leaving the old solution a worse start
+    // than the SVD of the fresh prior. Both seeds are scored by the actual
+    // objective and the lower one wins — a stale warm state can therefore
+    // never make a solve slower to converge than the cold start, while a
+    // fresh one skips most of the descent.
     // ------------------------------------------------------------------
     let init_target: Matrix = match problem.lrr_prior {
         Some(p) => p.clone(),
         None => fill_from_observed(problem.observed, problem.mask),
     };
     let svd = init_target.svd()?.truncate(r);
-    let mut l = Matrix::from_fn(m, r, |i, k| svd.u[(i, k)] * svd.sigma[k].sqrt());
-    let mut rf = Matrix::from_fn(n, r, |j, k| svd.v[(j, k)] * svd.sigma[k].sqrt());
+    let cold_l = Matrix::from_fn(m, r, |i, k| svd.u[(i, k)] * svd.sigma[k].sqrt());
+    let cold_r = Matrix::from_fn(n, r, |j, k| svd.v[(j, k)] * svd.sigma[k].sqrt());
+    let seed = warm.filter(|w| w.shape() == (m, n, r) && w.is_finite());
+    let warm_start = match seed {
+        None => false,
+        Some(w) => {
+            let f_warm = objective(problem, &edges, config, mu, &w.l, &w.r, &mut ws.xh)?;
+            let f_cold = objective(problem, &edges, config, mu, &cold_l, &cold_r, &mut ws.xh)?;
+            // Strict `<` (false on NaN) so ties and garbage go cold.
+            f_warm < f_cold
+        }
+    };
+    let (mut l, mut rf) = if warm_start {
+        let w = seed.expect("warm_start implies a seed");
+        (w.l.clone(), w.r.clone())
+    } else {
+        (cold_l, cold_r)
+    };
 
-    ws.ensure(m, n, r, config.max_iters);
     let f0 = objective(problem, &edges, config, mu, &l, &rf, &mut ws.xh)?;
     ws.trace.push(f0);
     let mut converged = false;
     let mut iterations = 0;
+
+    // Observed coordinates as CSR-style index lists, so the block solves walk
+    // only the observed entries instead of probing the mask across every
+    // row/column.
+    let mut row_obs: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut col_obs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, j) in problem.mask.true_positions() {
+        row_obs[i].push(j);
+        col_obs[j].push(i);
+    }
+
+    // Fully-active edges (every row resp. column in the active set — the
+    // common case whenever no distortion mask narrows the penalties) are
+    // handled in closed form: their per-sweep accumulators are computed once
+    // and shared by every block solve of the sweep, instead of redoing a
+    // rank-1 update per active entry per solve.
+    let has_full_loc =
+        config.alpha > 0.0 && edges.location.iter().any(|(_, _, links)| links.len() == m);
+    let has_full_link =
+        config.beta > 0.0 && edges.link.iter().any(|(_, _, cells)| cells.len() == n);
 
     // Per-row and per-column edge adjacency (indices into edge lists).
     //
@@ -883,14 +1123,18 @@ pub fn reconstruct_with(
     // continuity edge (j, j') constrains columns j, j' of R and every active row
     // of L. For each block solve to be an exact minimization (and the objective
     // therefore monotone), every term touching the variable must enter its
-    // normal equations — so we index the edges from all four directions.
+    // normal equations — so we index the edges from all four directions. The
+    // "every active row/column" directions list only the *partial* edges; the
+    // fully-active ones enter through the shared closed-form accumulators.
     let mut row_edges: Vec<Vec<usize>> = vec![Vec::new(); m];
     let mut col_link_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (k, (i, i2, cells)) in edges.link.iter().enumerate() {
         row_edges[*i].push(k);
         row_edges[*i2].push(k);
-        for &j in cells {
-            col_link_edges[j].push(k);
+        if cells.len() < n {
+            for &j in cells {
+                col_link_edges[j].push(k);
+            }
         }
     }
     let mut col_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -898,8 +1142,10 @@ pub fn reconstruct_with(
     for (k, (j, j2, links)) in edges.location.iter().enumerate() {
         col_edges[*j].push(k);
         col_edges[*j2].push(k);
-        for &i in links {
-            row_loc_edges[i].push(k);
+        if links.len() < m {
+            for &i in links {
+                row_loc_edges[i].push(k);
+            }
         }
     }
 
@@ -920,11 +1166,39 @@ pub fn reconstruct_with(
         vec![(0..n).collect()]
     };
 
+    let mut stall = 0usize;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
+        if config.accelerate {
+            ws.prev_l.as_mut_slice().copy_from_slice(l.as_slice());
+            ws.prev_r.as_mut_slice().copy_from_slice(rf.as_slice());
+        }
 
         // ---------------- L-step: colored Gauss-Seidel over rows ----------------
         rf.gram_into(&mut ws.gram)?;
+        if has_full_link {
+            ws.rsum.fill(0.0);
+            for j in 0..n {
+                taf_linalg::axpy_slice(&mut ws.rsum, 1.0, rf.row(j));
+            }
+        }
+        if has_full_loc {
+            let SolverWorkspace { scratch, loc_lhs, .. } = &mut *ws;
+            loc_lhs.as_mut_slice().fill(0.0);
+            let dir = &mut scratch[0].dir;
+            for (j, j2, links) in &edges.location {
+                if links.len() == m {
+                    for (dv, (&a, &b)) in dir.iter_mut().zip(rf.row(*j).iter().zip(rf.row(*j2))) {
+                        *dv = a - b;
+                    }
+                    rank1_update(loc_lhs, dir, config.alpha);
+                }
+            }
+        }
+        if has_prior {
+            let p = problem.lrr_prior.expect("has_prior implies Some");
+            p.matmul_into(&rf, &mut ws.prior_l)?;
+        }
         for class in &row_classes {
             let big = class.len() > 1 && class.len() * n * r * r >= PAR_MIN_FLOPS;
             let ctx = LStepCtx {
@@ -935,8 +1209,12 @@ pub fn reconstruct_with(
                 l: &l,
                 rf: &rf,
                 gram: &ws.gram,
+                row_obs: &row_obs,
                 row_edges: &row_edges,
                 row_loc_edges: &row_loc_edges,
+                loc_lhs: if has_full_loc { Some(&ws.loc_lhs) } else { None },
+                rsum: &ws.rsum,
+                prior_rhs: if has_prior { Some(&ws.prior_l) } else { None },
             };
             run_tasks(&mut ws.scratch[..class.len()], big, |k, s| solve_l_row(&ctx, class[k], s));
             for (k, &i) in class.iter().enumerate() {
@@ -950,6 +1228,28 @@ pub fn reconstruct_with(
 
         // ---------------- R-step: colored Gauss-Seidel over columns ----------------
         l.gram_into(&mut ws.gram)?;
+        if has_full_link {
+            let SolverWorkspace { scratch, link_lhs, link_rhs, .. } = &mut *ws;
+            link_lhs.as_mut_slice().fill(0.0);
+            link_rhs.fill(0.0);
+            let dir = &mut scratch[0].dir;
+            for (i, i2, cells) in &edges.link {
+                if cells.len() == n {
+                    for (dv, (&a, &b)) in dir.iter_mut().zip(l.row(*i).iter().zip(l.row(*i2))) {
+                        *dv = a - b;
+                    }
+                    rank1_update(link_lhs, dir, config.beta);
+                    let w = config.beta * baseline_delta(problem, *i, *i2);
+                    if w != 0.0 {
+                        taf_linalg::axpy_slice(link_rhs, w, dir);
+                    }
+                }
+            }
+        }
+        if has_prior {
+            let p = problem.lrr_prior.expect("has_prior implies Some");
+            l.matmul_tn_into(p, &mut ws.prior_r)?;
+        }
         for class in &col_classes {
             let big = class.len() > 1 && class.len() * m * r * r >= PAR_MIN_FLOPS;
             let ctx = RStepCtx {
@@ -960,8 +1260,15 @@ pub fn reconstruct_with(
                 l: &l,
                 rf: &rf,
                 gram: &ws.gram,
+                col_obs: &col_obs,
                 col_edges: &col_edges,
                 col_link_edges: &col_link_edges,
+                link_closed: if has_full_link {
+                    Some((&ws.link_lhs, ws.link_rhs.as_slice()))
+                } else {
+                    None
+                },
+                prior_rhs: if has_prior { Some(&ws.prior_r) } else { None },
             };
             run_tasks(&mut ws.scratch[..class.len()], big, |k, s| solve_r_col(&ctx, class[k], s));
             for (k, &j) in class.iter().enumerate() {
@@ -973,18 +1280,60 @@ pub fn reconstruct_with(
             }
         }
 
-        let f = objective(problem, &edges, config, mu, &l, &rf, &mut ws.xh)?;
+        let mut f = objective(problem, &edges, config, mu, &l, &rf, &mut ws.xh)?;
         if !f.is_finite() {
             return Err(TaflocError::SolverFailure {
                 solver: "loli-ir",
                 reason: format!("objective became non-finite at iteration {iterations}"),
             });
         }
+
+        // Anderson-style (secant/Aitken) acceleration: when the last two
+        // decrements look geometric with ratio ρ < 1, the fixed point lies
+        // roughly θ = ρ/(1−ρ) step lengths ahead — extrapolate both factors
+        // and keep the result only if the objective actually drops, so the
+        // trace stays monotone no matter how wrong the estimate is.
+        if config.accelerate && ws.trace.len() >= 2 {
+            let f1 = *ws.trace.last().expect("trace seeded");
+            let f2 = ws.trace[ws.trace.len() - 2];
+            let (d1, d2) = (f1 - f, f2 - f1);
+            if d1 > 0.0 && d2 > d1 {
+                let rho = d1 / d2;
+                let theta = (rho / (1.0 - rho)).clamp(0.0, MAX_ACCEL_THETA);
+                if theta > 0.0 {
+                    for (cand, &cur) in ws.prev_l.as_mut_slice().iter_mut().zip(l.as_slice().iter())
+                    {
+                        *cand = cur + theta * (cur - *cand);
+                    }
+                    for (cand, &cur) in
+                        ws.prev_r.as_mut_slice().iter_mut().zip(rf.as_slice().iter())
+                    {
+                        *cand = cur + theta * (cur - *cand);
+                    }
+                    let SolverWorkspace { prev_l, prev_r, xh_alt, .. } = &mut *ws;
+                    let f_acc = objective(problem, &edges, config, mu, prev_l, prev_r, xh_alt)?;
+                    if f_acc.is_finite() && f_acc < f {
+                        std::mem::swap(&mut l, &mut ws.prev_l);
+                        std::mem::swap(&mut rf, &mut ws.prev_r);
+                        std::mem::swap(&mut ws.xh, &mut ws.xh_alt);
+                        f = f_acc;
+                    }
+                }
+            }
+        }
+
         let prev = *ws.trace.last().expect("trace seeded");
         ws.trace.push(f);
+        // Adaptive stopping: the tolerance must *hold* for `stall_iters`
+        // consecutive iterations, not merely be grazed once.
         if (prev - f).abs() <= config.tol * prev.abs().max(1.0) {
-            converged = true;
-            break;
+            stall += 1;
+            if stall >= config.stall_iters {
+                converged = true;
+                break;
+            }
+        } else {
+            stall = 0;
         }
     }
 
@@ -1014,17 +1363,30 @@ pub fn reconstruct_with(
         objective_trace: ws.trace.clone(),
         iterations,
         converged,
+        warm_start,
         diagnostics,
     })
 }
 
-/// `lhs += w · v·vᵀ` for a symmetric `r x r` accumulator.
+/// Ceiling on the acceleration extrapolation coefficient: θ = 2 already
+/// triples the step; anything larger trusts two noisy decrements too much and
+/// mostly burns the safeguard evaluation.
+const MAX_ACCEL_THETA: f64 = 2.0;
+
+/// `lhs += w · v·vᵀ` for a symmetric `r x r` accumulator — lower triangle
+/// only, via contiguous row slices. Every consumer (the blocked Cholesky and
+/// the solve that follows) reads only the lower triangle, so skipping the
+/// mirrored upper half cuts the dominant per-entry cost of the block solves
+/// almost in half.
 fn rank1_update(lhs: &mut Matrix, v: &[f64], w: f64) {
     let r = v.len();
+    debug_assert_eq!(lhs.shape(), (r, r));
+    let data = lhs.as_mut_slice();
     for a in 0..r {
         let wa = w * v[a];
-        for b in 0..r {
-            lhs[(a, b)] += wa * v[b];
+        let row = &mut data[a * r..a * r + a + 1];
+        for (o, &vb) in row.iter_mut().zip(v) {
+            *o += wa * vb;
         }
     }
 }
@@ -1453,5 +1815,88 @@ mod tests {
         assert_eq!(filled[(0, 1)], 3.0); // row mean of {2, 4}
         assert_eq!(filled[(1, 0)], 3.0); // global mean fallback
         assert_eq!(filled[(0, 0)], 2.0);
+    }
+
+    fn smoothed_problem_parts() -> (Matrix, Mask, Matrix, NeighborGraph, NeighborGraph) {
+        let truth = ground_truth();
+        let mask = column_mask(&truth, &[1, 5, 9]);
+        let noisy_prior = truth.map(|v| v + 0.8 * (v * 17.0).sin());
+        let g = NeighborGraph::new(12, (0..11).map(|j| (j, j + 1)));
+        let h = NeighborGraph::new(6, (0..5).map(|i| (i, i + 1)));
+        (truth, mask, noisy_prior, g, h)
+    }
+
+    #[test]
+    fn stall_iters_demands_sustained_tolerance() {
+        let (truth, mask, prior, g, h) = smoothed_problem_parts();
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&prior),
+            location_graph: Some(&g),
+            link_graph: Some(&h),
+            empty_rss: None,
+            distortion: None,
+        };
+        let quick = LoliIrConfig { max_iters: 200, tol: 1e-6, ..Default::default() };
+        let patient = LoliIrConfig { stall_iters: 4, ..quick };
+        let one = reconstruct(&problem, &quick).unwrap();
+        let four = reconstruct(&problem, &patient).unwrap();
+        assert!(one.converged && four.converged);
+        // The counter resets on any non-small decrement, so holding the
+        // tolerance for four consecutive iterations costs at least three more.
+        assert!(
+            four.iterations >= one.iterations + 3,
+            "stall_iters=4 stopped after {} iterations, stall_iters=1 after {}",
+            four.iterations,
+            one.iterations
+        );
+        // The tail of the longer trace keeps honoring the tolerance.
+        for w in four.objective_trace[one.iterations..].windows(2) {
+            assert!((w[0] - w[1]).abs() <= quick.tol * w[0].abs().max(1.0) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stall_iters_zero_is_rejected() {
+        let cfg = LoliIrConfig { stall_iters: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn accelerate_preserves_monotonicity_and_fixed_point() {
+        let (truth, mask, prior, g, h) = smoothed_problem_parts();
+        let problem = ReconstructionProblem {
+            observed: &truth,
+            mask: &mask,
+            lrr_prior: Some(&prior),
+            location_graph: Some(&g),
+            link_graph: Some(&h),
+            empty_rss: None,
+            distortion: None,
+        };
+        let plain_cfg = LoliIrConfig { max_iters: 600, tol: 1e-7, ..Default::default() };
+        let accel_cfg = LoliIrConfig { accelerate: true, ..plain_cfg };
+        let plain = reconstruct(&problem, &plain_cfg).unwrap();
+        let accel = reconstruct(&problem, &accel_cfg).unwrap();
+        assert!(plain.converged && accel.converged);
+        // The safeguard only ever accepts an extrapolation that lowers the
+        // objective, so the trace stays monotone exactly like the plain run.
+        for w in accel.objective_trace.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-10) + 1e-9,
+                "accelerated objective increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(
+            accel.iterations <= plain.iterations,
+            "acceleration took {} iterations vs {} plain",
+            accel.iterations,
+            plain.iterations
+        );
+        let err = accel.matrix.sub(&plain.matrix).unwrap().map(f64::abs).mean();
+        assert!(err < 1e-2, "accelerated fixed point drifted {err} dB from the plain one");
     }
 }

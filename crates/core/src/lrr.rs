@@ -108,6 +108,16 @@ impl LrrModel {
     /// Predicts the full fingerprint matrix from freshly measured reference
     /// columns (`M x n`, same column order as [`LrrModel::ref_cells`]).
     pub fn predict(&self, fresh_refs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(fresh_refs.rows(), self.z.cols());
+        self.predict_into(fresh_refs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`LrrModel::predict`] into a caller-owned `M x N` buffer — the
+    /// allocation-free form for callers predicting every refresh (`out` is
+    /// resized only when its shape is wrong, so a reused buffer settles after
+    /// the first call).
+    pub fn predict_into(&self, fresh_refs: &Matrix, out: &mut Matrix) -> Result<()> {
         if fresh_refs.cols() != self.ref_cells.len() {
             return Err(TaflocError::DimensionMismatch {
                 op: "LrrModel::predict",
@@ -115,7 +125,11 @@ impl LrrModel {
                 actual: fresh_refs.shape(),
             });
         }
-        Ok(fresh_refs.matmul(&self.z)?)
+        if out.shape() != (fresh_refs.rows(), self.z.cols()) {
+            *out = Matrix::zeros(fresh_refs.rows(), self.z.cols());
+        }
+        fresh_refs.matmul_into(&self.z, out)?;
+        Ok(())
     }
 
     /// Re-estimates `Z` against a new full matrix (the optional `Z-refresh`

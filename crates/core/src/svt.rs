@@ -105,18 +105,24 @@ pub fn soft_impute(observed: &Matrix, mask: &Mask, config: &SvtConfig) -> Result
     let mut iterations = 0;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
-        // Shrink singular values of the current filled matrix.
-        let shrunk = x.svd()?.shrink(config.tau);
-        // Re-impose the observed entries.
-        let next =
-            Matrix::from_fn(
-                m,
-                n,
-                |i, j| if mask.get(i, j) { observed[(i, j)] } else { shrunk[(i, j)] },
-            );
+        // Shrink singular values of the current filled matrix, then re-impose
+        // the observed entries in place and fold the step-size norm into the
+        // same pass — the shrunk matrix becomes the next iterate directly, so
+        // the loop allocates nothing beyond the SVD's own scratch.
+        let mut shrunk = x.svd()?.shrink(config.tau);
+        for (i, j) in mask.true_positions() {
+            shrunk[(i, j)] = observed[(i, j)];
+        }
+        let mut step_sq = 0.0;
+        for i in 0..m {
+            for j in 0..n {
+                let d = shrunk[(i, j)] - x[(i, j)];
+                step_sq += d * d;
+            }
+        }
         let denom = x.frobenius_norm().max(1e-12);
-        let delta = next.sub(&x)?.frobenius_norm() / denom;
-        x = next;
+        let delta = step_sq.sqrt() / denom;
+        x = shrunk;
         if delta < config.tol {
             converged = true;
             break;

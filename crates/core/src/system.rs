@@ -13,7 +13,10 @@
 
 use crate::db::FingerprintDb;
 use crate::error::TaflocError;
-use crate::loli_ir::{reconstruct, LoliIrConfig, Reconstruction, ReconstructionProblem};
+use crate::loli_ir::{
+    reconstruct_warm, LoliIrConfig, Reconstruction, ReconstructionProblem, SolverWorkspace,
+    WarmState,
+};
 use crate::lrr::LrrModel;
 use crate::mask::{detect_distorted, Mask};
 use crate::matcher::{localize, MatchMethod, MatchResult};
@@ -165,6 +168,46 @@ pub struct UpdateReport {
     pub mean_abs_change_db: f64,
 }
 
+/// Solver state carried between refreshes: the allocation-free
+/// [`SolverWorkspace`] plus the last *accepted* solution as a [`WarmState`].
+///
+/// Ownership of the warm state is deliberately one-way: the cache only learns
+/// a solution through [`SolverCache::adopt`], which callers invoke after the
+/// reconstruction has cleared whatever guard stands between solve and commit.
+/// A rejected reconstruction must never seed the next solve — it failed
+/// validation precisely because something about it is suspect — so rollback
+/// paths call [`SolverCache::invalidate`] and the next refresh cold-starts
+/// from the SVD initialization.
+#[derive(Debug, Default)]
+pub struct SolverCache {
+    ws: SolverWorkspace,
+    warm: Option<WarmState>,
+}
+
+impl SolverCache {
+    /// An empty cache: first solve through it is a cold start.
+    pub fn new() -> Self {
+        SolverCache::default()
+    }
+
+    /// Whether the next solve through this cache will attempt a warm start.
+    pub fn has_warm(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// Records an accepted reconstruction as the seed for the next solve.
+    pub fn adopt(&mut self, rec: &Reconstruction) {
+        self.warm = Some(WarmState::from_reconstruction(rec));
+    }
+
+    /// Drops the warm state (keeps the workspace buffers): the next solve
+    /// cold-starts. Call on rejection, rollback, or any doubt about the
+    /// provenance of the last solution.
+    pub fn invalidate(&mut self) {
+        self.warm = None;
+    }
+}
+
 /// A calibrated TafLoc instance.
 #[derive(Debug, Clone)]
 pub struct TafLoc {
@@ -279,6 +322,38 @@ impl TafLoc {
         fresh_empty: &[f64],
         observed_entries: &Mask,
     ) -> Result<Reconstruction> {
+        self.reconstruct_db_masked_cached(
+            fresh_refs,
+            fresh_empty,
+            observed_entries,
+            &mut SolverCache::new(),
+        )
+    }
+
+    /// Like [`TafLoc::reconstruct_db`], but solving through a [`SolverCache`]:
+    /// workspace buffers are reused and, when the cache holds an adopted
+    /// previous solution, the solve warm-starts from it.
+    pub fn reconstruct_db_cached(
+        &self,
+        fresh_refs: &Matrix,
+        fresh_empty: &[f64],
+        cache: &mut SolverCache,
+    ) -> Result<Reconstruction> {
+        let entries = Mask::trues(self.db.num_links(), self.ref_cells.len());
+        self.reconstruct_db_masked_cached(fresh_refs, fresh_empty, &entries, cache)
+    }
+
+    /// Cached variant of [`TafLoc::reconstruct_db_masked`] — the workhorse
+    /// behind the daemon's steady-state refresh loop. The caller owns the
+    /// [`SolverCache`] lifecycle: [`SolverCache::adopt`] after the guard
+    /// accepts, [`SolverCache::invalidate`] on rejection.
+    pub fn reconstruct_db_masked_cached(
+        &self,
+        fresh_refs: &Matrix,
+        fresh_empty: &[f64],
+        observed_entries: &Mask,
+        cache: &mut SolverCache,
+    ) -> Result<Reconstruction> {
         let (m, n) = self.db.rss().shape();
         if fresh_refs.shape() != (m, self.ref_cells.len()) {
             return Err(TaflocError::DimensionMismatch {
@@ -331,7 +406,7 @@ impl TafLoc {
             empty_rss: Some(fresh_empty),
             distortion: Some(&distortion),
         };
-        reconstruct(&problem, &self.config.loli)
+        reconstruct_warm(&problem, &self.config.loli, &mut cache.ws, cache.warm.as_ref())
     }
 
     /// Checks a reconstruction against `guard` before it is allowed to
@@ -465,6 +540,46 @@ impl TafLoc {
     ) -> Result<UpdateReport> {
         let rec = self.reconstruct_db_masked(fresh_refs, fresh_empty, observed_entries)?;
         self.apply_reconstruction(rec, fresh_empty)
+    }
+
+    /// [`TafLoc::update`] through a [`SolverCache`]. Applying *is* accepting
+    /// here (no guard stands between solve and commit), so the solution is
+    /// adopted as the next warm seed on success; on any error the cache is
+    /// invalidated instead.
+    pub fn update_cached(
+        &mut self,
+        fresh_refs: &Matrix,
+        fresh_empty: &[f64],
+        cache: &mut SolverCache,
+    ) -> Result<UpdateReport> {
+        let entries = Mask::trues(self.db.num_links(), self.ref_cells.len());
+        self.update_masked_cached(fresh_refs, fresh_empty, &entries, cache)
+    }
+
+    /// [`TafLoc::update_masked`] through a [`SolverCache`]; see
+    /// [`TafLoc::update_cached`] for the adopt/invalidate contract.
+    pub fn update_masked_cached(
+        &mut self,
+        fresh_refs: &Matrix,
+        fresh_empty: &[f64],
+        observed_entries: &Mask,
+        cache: &mut SolverCache,
+    ) -> Result<UpdateReport> {
+        match self.reconstruct_db_masked_cached(fresh_refs, fresh_empty, observed_entries, cache) {
+            Ok(rec) => {
+                // Adopt first — it copies only the small factors — then let a
+                // failed commit revoke it.
+                cache.adopt(&rec);
+                self.apply_reconstruction(rec, fresh_empty).map_err(|e| {
+                    cache.invalidate();
+                    e
+                })
+            }
+            Err(e) => {
+                cache.invalidate();
+                Err(e)
+            }
+        }
     }
 
     /// Localizes a live RSS vector against the current database.

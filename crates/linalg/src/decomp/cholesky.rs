@@ -6,6 +6,13 @@
 
 use crate::{LinalgError, Matrix, Result};
 
+/// Column-panel width of the blocked factorization in [`Matrix::cholesky_into`].
+///
+/// Eight columns keep the in-panel factorization register-friendly while the
+/// panel update streams whole rows of `L`; it also matches the solver's rank
+/// (`r ≈ 8`), so the hot `r×r` ridge systems take exactly one panel.
+const CHOL_PANEL: usize = 8;
+
 /// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
 #[derive(Debug, Clone)]
 pub struct Cholesky {
@@ -30,6 +37,16 @@ impl Matrix {
     /// Like [`Matrix::cholesky`], but writes the lower-triangular factor into a
     /// caller-provided `n x n` buffer without allocating. The strict upper
     /// triangle of `l` is zeroed.
+    ///
+    /// The factorization is blocked by columns: for each panel of
+    /// [`CHOL_PANEL`] columns, a *panel update* first subtracts the
+    /// contribution of all previously factored columns (`k < j0`) row by row —
+    /// each row of `L` is loaded once as a contiguous slice and reused across
+    /// the whole panel — and the small in-panel factorization then finishes
+    /// with `k` in `j0..j`. Per element `(i, j)` the subtractions still run in
+    /// strictly increasing `k` order (`0..j0` then `j0..j`), the identical
+    /// floating-point sequence of the textbook unblocked loop, so the blocked
+    /// factor is bit-identical to the unblocked one (pinned by a test below).
     pub fn cholesky_into(&self, l: &mut Matrix) -> Result<()> {
         if !self.is_square() {
             return Err(LinalgError::NotSquare { op: "Matrix::cholesky", shape: self.shape() });
@@ -42,24 +59,58 @@ impl Matrix {
                 rhs: l.shape(),
             });
         }
-        for j in 0..n {
-            let mut diag = self[(j, j)];
-            for k in 0..j {
-                diag -= l[(j, k)] * l[(j, k)];
-            }
-            if diag <= 0.0 || !diag.is_finite() {
-                return Err(LinalgError::NotPositiveDefinite { pivot: j, value: diag });
-            }
-            let ljj = diag.sqrt();
-            l[(j, j)] = ljj;
-            for i in (j + 1)..n {
-                let mut acc = self[(i, j)];
-                for k in 0..j {
-                    acc -= l[(i, k)] * l[(j, k)];
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + CHOL_PANEL).min(n);
+            // Panel update: fold columns k < j0 into every panel entry on or
+            // below the diagonal, streaming one row of L per outer step.
+            if j0 > 0 {
+                let data = l.as_mut_slice();
+                for i in j0..n {
+                    let (head, tail) = data.split_at_mut(i * n);
+                    let (ri_done, ri_panel) = tail[..n].split_at_mut(j0);
+                    for j in j0..j1.min(i + 1) {
+                        let mut acc = self[(i, j)];
+                        let rj_done = if j < i { &head[j * n..j * n + j0] } else { &ri_done[..] };
+                        for (&lik, &ljk) in ri_done.iter().zip(rj_done) {
+                            acc -= lik * ljk;
+                        }
+                        ri_panel[j - j0] = acc;
+                    }
                 }
-                l[(i, j)] = acc / ljj;
+            } else {
+                for i in 0..n {
+                    for j in 0..j1.min(i + 1) {
+                        l[(i, j)] = self[(i, j)];
+                    }
+                }
             }
-            for i in 0..j {
+            // In-panel factorization: at most CHOL_PANEL lagging columns per
+            // element, same increasing-k order as the unblocked loop.
+            for j in j0..j1 {
+                let mut diag = l[(j, j)];
+                for k in j0..j {
+                    diag -= l[(j, k)] * l[(j, k)];
+                }
+                if diag <= 0.0 || !diag.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: j, value: diag });
+                }
+                let ljj = diag.sqrt();
+                l[(j, j)] = ljj;
+                for i in (j + 1)..n {
+                    let mut acc = l[(i, j)];
+                    for k in j0..j {
+                        acc -= l[(i, k)] * l[(j, k)];
+                    }
+                    l[(i, j)] = acc / ljj;
+                }
+            }
+            j0 = j1;
+        }
+        // Zero the strict upper triangle (the factor may land in a reused
+        // scratch buffer holding a previous factorization).
+        for i in 0..n {
+            for j in (i + 1)..n {
                 l[(i, j)] = 0.0;
             }
         }
@@ -292,6 +343,68 @@ mod tests {
             for j in (i + 1)..3 {
                 assert_eq!(l[(i, j)], 0.0);
             }
+        }
+    }
+
+    /// Textbook unblocked factorization — the bit-compat reference for the
+    /// blocked `cholesky_into`. Same per-element subtraction order, no panels.
+    fn unblocked_reference(a: &Matrix) -> Matrix {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut acc = a[(i, j)];
+                for k in 0..j {
+                    acc -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = acc / ljj;
+            }
+        }
+        l
+    }
+
+    #[test]
+    fn blocked_factor_bit_identical_to_unblocked_reference() {
+        // Sizes below, at, straddling, and well past the panel width.
+        for n in [1usize, 3, 7, 8, 9, 16, 17, 29, 40] {
+            let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 23) as f64 * 0.13 - 1.1);
+            let mut a = b.gram();
+            a.add_diag(n as f64).unwrap();
+            let mut l = Matrix::from_fn(n, n, |_, _| 42.0); // stale scratch
+            a.cholesky_into(&mut l).unwrap();
+            let reference = unblocked_reference(&a);
+            for i in 0..n {
+                for j in 0..=i {
+                    assert_eq!(
+                        l[(i, j)].to_bits(),
+                        reference[(i, j)].to_bits(),
+                        "n={n} element ({i},{j})"
+                    );
+                }
+                for j in (i + 1)..n {
+                    assert_eq!(l[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_factor_reports_same_indefinite_pivot() {
+        // Indefinite matrix whose failure lands past the first panel.
+        let n = 12;
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 5) % 11) as f64 * 0.3);
+        let mut a = b.gram();
+        a.add_diag(1.0).unwrap();
+        a[(10, 10)] = -50.0; // column 10 is in the second panel
+        match a.cholesky() {
+            Err(LinalgError::NotPositiveDefinite { pivot, .. }) => assert_eq!(pivot, 10),
+            other => panic!("expected NotPositiveDefinite at pivot 10, got {other:?}"),
         }
     }
 

@@ -1,20 +1,55 @@
 //! Matrix arithmetic: products, sums, scaling, and the operator overloads.
 //!
-//! The three dense products (`matmul`, `matmul_nt`, `matmul_tn`) share one
-//! structure: every output row is an independent accumulation over rows of the
-//! operands, built from the chunked [`dot`]/[`axpy_slice`] helpers. Above
-//! [`crate::par::PAR_MIN_FLOPS`] worth of work the rows are fanned out across
-//! the rayon pool (feature `parallel`); since each row is produced by the same
-//! serial kernel either way, parallel and serial results are bit-identical.
-//! Fingerprint matrices are dense, so there is deliberately no zero-skip branch
-//! here — sparse operands should go through `Csr::matmul_dense`.
+//! The three dense products (`matmul`, `matmul_nt`, `matmul_tn`) run
+//! cache-blocked microkernels: output rows are grouped into small blocks (sizes
+//! from the compile-time [`TUNING`] table) so every right-hand-side row brought
+//! into L1 is reused across the whole block, and `matmul_nt` additionally
+//! register-tiles 2×2 output tiles over the shared dimension. Above
+//! [`crate::par::PAR_MIN_FLOPS`] worth of work the row blocks are fanned out
+//! across the rayon pool (feature `parallel`); each output element is still
+//! accumulated by the exact serial sequence of the unblocked kernels (the
+//! shared-dimension order per element never changes, and the tiled kernel
+//! replicates [`dot`]'s four-lane reduction), so blocked, serial, and parallel
+//! results are all bit-identical. Fingerprint matrices are dense, so there is
+//! deliberately no zero-skip branch here — sparse operands should go through
+//! `Csr::matmul_dense`.
 
-use crate::par::{for_each_row, PAR_MIN_FLOPS};
+use crate::par::{for_each_row_block, PAR_MIN_FLOPS};
 use crate::{LinalgError, Matrix, Result};
+
+/// Compile-time kernel tuning table: `(k ceiling, rows per block)` — the first
+/// row whose ceiling covers the shared dimension `k` wins.
+///
+/// The row block is the unit of right-hand-side reuse: one B row loaded into
+/// L1 feeds `mr` output rows, so larger blocks cut memory traffic — until the
+/// block of output rows itself falls out of L1. Short shared dimensions mean
+/// cheap passes over B, so they can afford wide blocks; long ones keep the
+/// block modest so `mr` output rows plus one operand row stay resident. The
+/// numbers are coarse on purpose: for the shapes this crate sees (ranks ≈ 8,
+/// panels ≤ a few hundred) being within 2× of cache capacity is what matters.
+const TUNING: &[(usize, usize)] = &[(32, 8), (256, 6), (usize::MAX, 4)];
+
+/// Output rows per microkernel block for a product with shared dimension `k`.
+fn rows_per_block(k: usize) -> usize {
+    for &(ceiling, mr) in TUNING {
+        if k <= ceiling {
+            return mr;
+        }
+    }
+    unreachable!("TUNING ends with a usize::MAX ceiling")
+}
 
 impl Matrix {
     /// Matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Matrix::matmul`], but writes into a caller-provided output
+    /// matrix of shape `(self.rows, other.cols)` without allocating.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols() != other.rows() {
             return Err(LinalgError::DimensionMismatch {
                 op: "Matrix::matmul",
@@ -23,15 +58,28 @@ impl Matrix {
             });
         }
         let (m, k, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(m, n);
+        if out.shape() != (m, n) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::matmul_into",
+                lhs: (m, n),
+                rhs: out.shape(),
+            });
+        }
         let big = m * k * n >= PAR_MIN_FLOPS;
-        for_each_row(out.as_mut_slice(), n.max(1), big, |i, o_row| {
-            let a_row = self.row(i);
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                axpy_slice(o_row, a_ip, other.row(p));
+        let row_len = n.max(1);
+        for_each_row_block(out.as_mut_slice(), row_len, rows_per_block(k), big, |i0, block| {
+            block.fill(0.0);
+            // B-row reuse: each `other` row is loaded once and feeds every row
+            // of the block; per output element the accumulation still walks
+            // `p` in increasing order, exactly like the unblocked kernel.
+            for p in 0..k {
+                let b_row = other.row(p);
+                for (r, o_row) in block.chunks_mut(row_len).enumerate() {
+                    axpy_slice(o_row, self.row(i0 + r)[p], b_row);
+                }
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Product with the transpose of the right operand: `self * otherᵀ`.
@@ -63,10 +111,41 @@ impl Matrix {
             });
         }
         let big = m * k * n >= PAR_MIN_FLOPS;
-        for_each_row(out.as_mut_slice(), n.max(1), big, |i, o_row| {
-            let a_row = self.row(i);
-            for (j, o) in o_row.iter_mut().enumerate() {
-                *o = dot(a_row, other.row(j));
+        let row_len = n.max(1);
+        for_each_row_block(out.as_mut_slice(), row_len, rows_per_block(k), big, |i0, block| {
+            // 2×2 register tiles inside the row block: four dot products share
+            // their operand loads, and the B rows of a tile stay hot across
+            // the block's rows. Each element is still the exact [`dot`]
+            // reduction, so tiling cannot change a single bit.
+            let rows = block.len() / row_len;
+            let mut r = 0;
+            while r + 2 <= rows {
+                let (row0, rest) = block[r * row_len..].split_at_mut(row_len);
+                let row1 = &mut rest[..row_len];
+                let (a0, a1) = (self.row(i0 + r), self.row(i0 + r + 1));
+                let mut j = 0;
+                while j + 2 <= n {
+                    let t = dot_2x2(a0, a1, other.row(j), other.row(j + 1));
+                    row0[j] = t[0];
+                    row0[j + 1] = t[1];
+                    row1[j] = t[2];
+                    row1[j + 1] = t[3];
+                    j += 2;
+                }
+                while j < n {
+                    let b_row = other.row(j);
+                    row0[j] = dot(a0, b_row);
+                    row1[j] = dot(a1, b_row);
+                    j += 1;
+                }
+                r += 2;
+            }
+            if r < rows {
+                let o_row = &mut block[r * row_len..(r + 1) * row_len];
+                let a_row = self.row(i0 + r);
+                for (j, o) in o_row.iter_mut().enumerate().take(n) {
+                    *o = dot(a_row, other.row(j));
+                }
             }
         });
         Ok(())
@@ -98,10 +177,19 @@ impl Matrix {
             });
         }
         let big = k * m * n >= PAR_MIN_FLOPS;
-        for_each_row(out.as_mut_slice(), n.max(1), big, |i, o_row| {
-            o_row.fill(0.0);
+        let row_len = n.max(1);
+        for_each_row_block(out.as_mut_slice(), row_len, rows_per_block(k), big, |i0, block| {
+            block.fill(0.0);
+            // Both operands stream row-wise exactly once per block; each
+            // `other` row is reused across the block (output rows are columns
+            // of `self`), with per-element `p` order identical to the
+            // unblocked kernel.
             for p in 0..k {
-                axpy_slice(o_row, self[(p, i)], other.row(p));
+                let a_row = self.row(p);
+                let b_row = other.row(p);
+                for (r, o_row) in block.chunks_mut(row_len).enumerate() {
+                    axpy_slice(o_row, a_row[i0 + r], b_row);
+                }
             }
         });
         Ok(())
@@ -215,6 +303,51 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         tail += x * y;
     }
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Four dot products of a 2×2 register tile: `[a0·b0, a0·b1, a1·b0, a1·b1]`.
+///
+/// Every operand chunk is loaded once and used twice, halving memory traffic
+/// against four independent [`dot`] calls. Each of the four accumulations
+/// replicates `dot` exactly — the same four lanes over the same 4-long chunks,
+/// the same tail, the same `(l0+l1)+(l2+l3)+tail` reduction — so the results
+/// are bit-identical to the untiled kernel. All slices must share one length.
+fn dot_2x2(a0: &[f64], a1: &[f64], b0: &[f64], b1: &[f64]) -> [f64; 4] {
+    let k = a0.len();
+    assert!(
+        a1.len() == k && b0.len() == k && b1.len() == k,
+        "dot_2x2: length mismatch ({}, {}, {}, {})",
+        k,
+        a1.len(),
+        b0.len(),
+        b1.len()
+    );
+    let chunks = k / 4 * 4;
+    let mut acc = [[0.0f64; 4]; 4];
+    let mut p = 0;
+    while p < chunks {
+        let (ca0, ca1) = (&a0[p..p + 4], &a1[p..p + 4]);
+        let (cb0, cb1) = (&b0[p..p + 4], &b1[p..p + 4]);
+        for lane in 0..4 {
+            acc[0][lane] += ca0[lane] * cb0[lane];
+            acc[1][lane] += ca0[lane] * cb1[lane];
+            acc[2][lane] += ca1[lane] * cb0[lane];
+            acc[3][lane] += ca1[lane] * cb1[lane];
+        }
+        p += 4;
+    }
+    let mut tail = [0.0f64; 4];
+    for p in chunks..k {
+        tail[0] += a0[p] * b0[p];
+        tail[1] += a0[p] * b1[p];
+        tail[2] += a1[p] * b0[p];
+        tail[3] += a1[p] * b1[p];
+    }
+    let mut out = [0.0f64; 4];
+    for t in 0..4 {
+        out[t] = (acc[t][0] + acc[t][1]) + (acc[t][2] + acc[t][3]) + tail[t];
+    }
+    out
 }
 
 /// In-place `out += alpha * src` over equal-length slices, unrolled to match
@@ -426,6 +559,82 @@ mod tests {
         let mut tn = Matrix::zeros(2, 2);
         m.matmul_tn_into(&a(), &mut tn).unwrap();
         assert!(tn.approx_eq(&m.matmul_tn(&a()).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn matmul_into_matches_allocating_path_and_checks_shapes() {
+        let m = a(); // 3x2
+        let mut out = Matrix::from_fn(3, 3, |_, _| 42.0); // stale values must be overwritten
+        m.matmul_into(&b(), &mut out).unwrap();
+        assert!(out.approx_eq(&m.matmul(&b()).unwrap(), 0.0));
+        assert!(m.matmul_into(&b(), &mut Matrix::zeros(2, 2)).is_err());
+        assert!(m.matmul_into(&a(), &mut Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn dot_2x2_bit_identical_to_four_dots() {
+        for k in [0usize, 1, 3, 4, 5, 8, 13, 31, 64] {
+            let v = |seed: usize| -> Vec<f64> {
+                (0..k).map(|i| ((i * 7 + seed * 13) % 23) as f64 * 0.37 - 3.1).collect()
+            };
+            let (a0, a1, b0, b1) = (v(1), v(2), v(3), v(4));
+            let t = dot_2x2(&a0, &a1, &b0, &b1);
+            assert_eq!(t[0].to_bits(), dot(&a0, &b0).to_bits());
+            assert_eq!(t[1].to_bits(), dot(&a0, &b1).to_bits());
+            assert_eq!(t[2].to_bits(), dot(&a1, &b0).to_bits());
+            assert_eq!(t[3].to_bits(), dot(&a1, &b1).to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_products_bit_identical_to_unblocked_reference() {
+        // Shapes straddling the row-block sizes (4/6/8) and the 2x2 nt tile,
+        // including odd remainders in every dimension.
+        for &(m, k, n) in
+            &[(1usize, 1usize, 1usize), (5, 3, 7), (7, 40, 9), (9, 300, 11), (13, 8, 400)]
+        {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 19) as f64 * 0.21 - 1.7);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 13 + j * 29) % 23) as f64 * 0.11 - 1.2);
+            let bt = b.transpose();
+
+            // Unblocked per-element references with the same primitive order.
+            let mut nn_ref = Matrix::zeros(m, n);
+            for i in 0..m {
+                for p in 0..k {
+                    axpy_slice(&mut nn_ref.as_mut_slice()[i * n..(i + 1) * n], a[(i, p)], b.row(p));
+                }
+            }
+            let nn = a.matmul(&b).unwrap();
+            assert!(nn
+                .as_slice()
+                .iter()
+                .zip(nn_ref.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+
+            let nt = a.matmul_nt(&bt).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(nt[(i, j)].to_bits(), dot(a.row(i), bt.row(j)).to_bits());
+                }
+            }
+
+            let mut tn_ref = Matrix::zeros(k, n);
+            for i in 0..k {
+                for p in 0..m {
+                    axpy_slice(
+                        &mut tn_ref.as_mut_slice()[i * n..(i + 1) * n],
+                        a[(p, i)],
+                        nn_ref.row(p),
+                    );
+                }
+            }
+            let tn = a.matmul_tn(&nn).unwrap();
+            assert!(tn
+                .as_slice()
+                .iter()
+                .zip(tn_ref.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
     }
 
     #[test]

@@ -52,3 +52,38 @@ where
         kernel(i, row);
     }
 }
+
+/// Runs `kernel(first_row, block)` for every block of up to `rows_per_block`
+/// consecutive `row_len`-sized rows of `out`, in parallel when `big_enough`
+/// holds and more than one thread is available.
+///
+/// This is the fan-out used by the cache-blocked kernels: a task owns a small
+/// row *block* (so the microkernel can reuse right-hand-side panels across the
+/// rows it holds in registers/L1) instead of a single row. Each block is
+/// produced by the identical serial instruction sequence regardless of thread
+/// count, so the bit-identical contract of [`for_each_row`] carries over.
+pub(crate) fn for_each_row_block<F>(
+    out: &mut [f64],
+    row_len: usize,
+    rows_per_block: usize,
+    big_enough: bool,
+    kernel: F,
+) where
+    F: Fn(usize, &mut [f64]) + Sync + Send,
+{
+    debug_assert!(row_len > 0 && rows_per_block > 0 && out.len() % row_len == 0);
+    let block_len = row_len * rows_per_block;
+    #[cfg(feature = "parallel")]
+    {
+        if big_enough && rayon::current_num_threads() > 1 && out.len() > block_len {
+            out.par_chunks_mut(block_len)
+                .enumerate()
+                .for_each(|(b, block)| kernel(b * rows_per_block, block));
+            return;
+        }
+    }
+    let _ = big_enough;
+    for (b, block) in out.chunks_mut(block_len).enumerate() {
+        kernel(b * rows_per_block, block);
+    }
+}

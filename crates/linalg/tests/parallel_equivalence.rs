@@ -25,9 +25,20 @@ fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     Matrix::from_fn(a.rows(), b.cols(), |i, j| (0..a.cols()).map(|p| a[(i, p)] * b[(p, j)]).sum())
 }
 
-/// Shapes on both sides of the parallel size threshold (m, k, n).
-const SHAPES: &[(usize, usize, usize)] =
-    &[(3, 4, 5), (17, 9, 23), (48, 8, 400), (64, 64, 64), (80, 100, 90)];
+/// Shapes on both sides of the parallel size threshold (m, k, n), including
+/// row counts that straddle the cache-block sizes (4/6/8 rows per block) and
+/// odd columns that leave a remainder lane in the 2x2 register tile.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (3, 4, 5),
+    (17, 9, 23),
+    (48, 8, 400),
+    (64, 64, 64),
+    (80, 100, 90),
+    (5, 16, 7),    // one full 4-row block + 1 leftover row, odd n
+    (9, 40, 13),   // 6-row block + 3 remainder rows
+    (15, 300, 33), // long-k tier: 4-row blocks, odd everything
+    (25, 33, 401), // wide output with a remainder tile column
+];
 
 #[test]
 fn products_match_naive_reference_across_threshold() {

@@ -46,7 +46,7 @@ use tafloc_core::detection::{Detection, DetectorConfig, PresenceDetector};
 use tafloc_core::mask::Mask;
 use tafloc_core::matcher::MatchResult;
 use tafloc_core::monitor::{DriftMonitor, Recommendation};
-use tafloc_core::system::{TafLoc, UpdateReport};
+use tafloc_core::system::{SolverCache, TafLoc, UpdateReport};
 use tafloc_core::tracking::{ParticleFilter, TrackEstimate, TrackerConfig};
 use tafloc_ingest::{
     AssembledVector, BatchReport, ClockMode, IngestConfig, Ingestor, LinkFlag, LinkSample,
@@ -143,6 +143,11 @@ pub struct Site {
     dynamic: Mutex<SiteDynamic>,
     /// Serializes refreshes; never held by the read path.
     refresh: Mutex<()>,
+    /// Solver workspace + warm state carried across refreshes. Only the
+    /// refresh path locks it (and never while holding `dynamic`); rollback
+    /// paths invalidate the warm state so a rejected solve can't seed the
+    /// next one. Volatile by design: a restart cold-starts the solver.
+    solver: Mutex<SolverCache>,
     /// Live streaming ingestion: raw link samples in, assembled vectors out.
     /// Internally sharded; callers never take the site mutexes to feed it.
     ingest: Ingestor,
@@ -223,6 +228,7 @@ impl Site {
                 full_survey_cost: 0,
             }),
             refresh: Mutex::new(()),
+            solver: Mutex::new(SolverCache::new()),
             ingest,
             ingest_config,
             ingest_shards,
@@ -343,6 +349,7 @@ impl Site {
                 full_survey_cost: 0,
             }),
             refresh: Mutex::new(()),
+            solver: Mutex::new(SolverCache::new()),
             ingest,
             ingest_config: p.ingest,
             ingest_shards,
@@ -376,6 +383,13 @@ impl Site {
 
     fn lock_dynamic(&self) -> MutexGuard<'_, SiteDynamic> {
         match self.dynamic.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn lock_solver(&self) -> MutexGuard<'_, SolverCache> {
+        match self.solver.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
@@ -568,9 +582,30 @@ impl Site {
         })?;
         let snap = self.load();
         let mut system = snap.system.clone();
-        let rec = match &pending.mask {
-            Some(mask) => system.reconstruct_db_masked(&pending.columns, &pending.empty, mask)?,
-            None => system.reconstruct_db(&pending.columns, &pending.empty)?,
+        // Solve through the site's solver cache: reused buffers always, and a
+        // warm start whenever the previous refresh's solution was adopted.
+        // The guard is scoped so the solver lock is released before the
+        // dynamic mutex is taken further down.
+        let rec = {
+            let mut solver = self.lock_solver();
+            let solved = match &pending.mask {
+                Some(mask) => system.reconstruct_db_masked_cached(
+                    &pending.columns,
+                    &pending.empty,
+                    mask,
+                    &mut solver,
+                ),
+                None => system.reconstruct_db_cached(&pending.columns, &pending.empty, &mut solver),
+            };
+            match solved {
+                Ok(rec) => rec,
+                Err(e) => {
+                    // A solver failure says nothing good about the state it
+                    // started from; make the retry a clean cold start.
+                    solver.invalidate();
+                    return Err(e.into());
+                }
+            }
         };
         let verdict = match &pending.mask {
             // Budgeted refresh: only the entries the plan actually measured
@@ -585,6 +620,8 @@ impl Site {
             None => system.validate_reconstruction(&rec, &pending.columns, &self.policy.guard),
         };
         if let Err(reason) = verdict {
+            // Rollback: the rejected solution must not seed the next solve.
+            self.lock_solver().invalidate();
             let quarantined = self.note_failure(Some(reason.clone()));
             return Err(ServeError::RefreshRejected { reason, quarantined });
         }
@@ -595,7 +632,16 @@ impl Site {
             .iter()
             .map(|&cell| rec.diagnostics.cell_confidence[cell])
             .collect();
-        let report = system.apply_reconstruction(rec, &pending.empty)?;
+        // The guard accepted: this solution may seed the next refresh. Adopt
+        // before `apply_reconstruction` consumes it; a failed commit revokes.
+        self.lock_solver().adopt(&rec);
+        let report = match system.apply_reconstruction(rec, &pending.empty) {
+            Ok(report) => report,
+            Err(e) => {
+                self.lock_solver().invalidate();
+                return Err(e.into());
+            }
+        };
         let monitored: Vec<usize> = system.reference_cells()[..self.monitor_cells].to_vec();
         let refreshed_cols = system.db().rss().select_cols(&monitored)?;
         let fresh_empty = system.empty_rss().to_vec();
@@ -661,6 +707,9 @@ impl Site {
     /// toward the same failure streak as guard rejections.
     pub fn note_tick_panic(&self) {
         self.lock_dynamic().tick_panics += 1;
+        // A panic mid-tick may have left the solve half-done; whatever the
+        // warm state was, it is no longer trustworthy.
+        self.lock_solver().invalidate();
         self.note_failure(None);
     }
 

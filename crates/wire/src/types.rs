@@ -232,12 +232,18 @@ pub fn json_write_loli(w: &mut JsonWriter<'_>, l: &LoliIrConfig) {
     w.usize_val(l.max_iters);
     w.key("tol");
     w.f64_val(l.tol);
+    w.key("stall_iters");
+    w.usize_val(l.stall_iters);
+    w.key("accelerate");
+    w.bool_val(l.accelerate);
     w.key("debug_bias_db");
     w.f64_val(l.debug_bias_db);
     w.end_obj();
 }
 
-/// Reads a `LoliIrConfig` (`debug_bias_db` defaults to 0).
+/// Reads a `LoliIrConfig` (`debug_bias_db` defaults to 0, `stall_iters` to 1,
+/// `accelerate` to false — payloads from before those knobs existed decode to
+/// the same behavior they had then).
 pub fn json_read_loli(v: &JsonValue, ctx: &str) -> Result<LoliIrConfig> {
     Ok(LoliIrConfig {
         rank: json::get_usize(json::field(v, "rank", ctx)?, ctx)?,
@@ -250,6 +256,14 @@ pub fn json_read_loli(v: &JsonValue, ctx: &str) -> Result<LoliIrConfig> {
         debug_bias_db: match v.get("debug_bias_db") {
             Some(x) => json::get_f64(x, ctx)?,
             None => 0.0,
+        },
+        stall_iters: match v.get("stall_iters") {
+            Some(x) => json::get_usize(x, ctx)?,
+            None => 1,
+        },
+        accelerate: match v.get("accelerate") {
+            Some(x) => json::get_bool(x, ctx)?,
+            None => false,
         },
     })
 }
@@ -665,6 +679,8 @@ pub fn enc_loli(e: &mut Enc, l: &LoliIrConfig) {
     e.f64(l.beta);
     e.usize(l.max_iters);
     e.f64(l.tol);
+    e.usize(l.stall_iters);
+    e.bool(l.accelerate);
     e.f64(l.debug_bias_db);
 }
 
@@ -678,6 +694,8 @@ pub fn dec_loli(d: &mut Dec<'_>) -> Result<LoliIrConfig> {
         beta: d.f64()?,
         max_iters: d.usize()?,
         tol: d.f64()?,
+        stall_iters: d.usize()?,
+        accelerate: d.bool()?,
         debug_bias_db: d.f64()?,
     })
 }

@@ -23,27 +23,34 @@ if [ ! -f "$baseline" ]; then
   exit 1
 fi
 
-# The canonical emitter writes one field per line in a fixed order; the first
-# wall_ms / stop_reason belong to the threads=1 result.
+# The canonical emitter writes one field per line in a fixed order, with the
+# cold 1-thread phase first; the first wall_ms / stop_reason belong to it.
 wall_ms_1() { grep -m1 '"wall_ms"' "$1" | tr -cd '0-9.'; }
 stop_reason_1() { grep -m1 '"stop_reason"' "$1" | sed 's/.*: *"\([^"]*\)".*/\1/'; }
+# Top-level scalar field (key before value, value may be fractional).
+scalar() { grep -m1 "\"$2\"" "$1" | sed 's/.*: *//' | tr -cd '0-9.'; }
 
 old_ms="$(wall_ms_1 "$baseline")"
 old_stop="$(stop_reason_1 "$baseline" || true)"
-echo "bench_gate: committed 1-thread wall time: ${old_ms} ms (threshold x${threshold})"
+old_speedup="$(scalar "$baseline" max_thread_speedup || true)"
+echo "bench_gate: committed cold 1-thread wall time: ${old_ms} ms (threshold x${threshold})"
 
 cargo run --release -p taf-bench --bin solver_bench
 
 new_ms="$(wall_ms_1 "$baseline")"
 new_stop="$(stop_reason_1 "$baseline" || true)"
-echo "bench_gate: fresh 1-thread wall time: ${new_ms} ms"
+new_speedup="$(scalar "$baseline" max_thread_speedup || true)"
+echo "bench_gate: fresh cold 1-thread wall time: ${new_ms} ms"
 
-# Convergence is advisory, not gating: losing it usually means a config or
-# machine change, and failing the build on it would double-punish a timing
-# gate that is already loose. Warn loudly instead.
+# Convergence is part of the recorded contract: once the committed baseline
+# says the solver converges, a fresh run that stops on max_iters is a real
+# behavioral regression (the timing comparison would be meaningless anyway —
+# the two runs did different amounts of work). Hard-fail it. A baseline that
+# never converged keeps the old advisory behavior.
 if [ "$new_stop" = "max_iters" ] && [ "$old_stop" = "converged" ]; then
-  echo "bench_gate: WARNING — solver no longer converges (stop_reason" \
-       "went converged -> max_iters); check final_rel_delta in $baseline" >&2
+  echo "bench_gate: FAIL — solver no longer converges (stop_reason went" \
+       "converged -> max_iters); check final_rel_delta in $baseline" >&2
+  exit 1
 elif [ "$new_stop" = "max_iters" ]; then
   echo "bench_gate: note — solver stops at max_iters (as in the committed baseline)"
 fi
@@ -54,6 +61,30 @@ if awk -v new="$new_ms" -v old="$old_ms" -v t="$threshold" \
 else
   echo "bench_gate: FAIL — solver regressed: ${new_ms} ms > ${old_ms} ms x ${threshold}" >&2
   exit 1
+fi
+
+# Parallel-scaling watchdog (warn-only): a >25% drop in the max-thread speedup
+# against the committed baseline means the kernels lost their fan-out, even if
+# single-thread wall time is fine. Warn-only because CI containers routinely
+# have fewer cores than the thread counts benched (the JSON flags those phases
+# `oversubscribed`) — scaling numbers from such a box are scheduling noise.
+if [ -n "$old_speedup" ] && [ -n "$new_speedup" ]; then
+  if awk -v new="$new_speedup" -v old="$old_speedup" 'BEGIN { exit !(new >= old * 0.75) }'; then
+    echo "bench_gate: scaling OK (max-thread speedup ${new_speedup}x vs ${old_speedup}x committed)"
+  else
+    echo "bench_gate: WARNING — max-thread speedup dropped >25%:" \
+         "${new_speedup}x vs ${old_speedup}x committed; check threads_available" \
+         "and the oversubscribed flags in $baseline" >&2
+  fi
+fi
+
+# Warm-start visibility: surface the recorded cold/warm iteration counts so a
+# log reader sees the adaptive-refresh win (the CI assertion lives in the
+# bench-smoke job).
+cold_iters="$(scalar "$baseline" cold_iterations || true)"
+warm_iters="$(scalar "$baseline" warm_iterations || true)"
+if [ -n "$cold_iters" ] && [ -n "$warm_iters" ]; then
+  echo "bench_gate: warm refresh ${warm_iters} iters vs ${cold_iters} cold"
 fi
 
 # ---------------------------------------------------------------------------
