@@ -24,6 +24,11 @@
 //!    path the sharded daemon uses: every batch gets an explicit
 //!    admitted/deferred/rejected verdict and the *silent* shed fraction must
 //!    be ~0 by construction.
+//! 6. **Journaled admission (overload)** — phase 5 with the write-ahead
+//!    ingest journal on the admitted path: every admitted batch is appended
+//!    to a per-shard segment-rotated WAL under the default group-commit
+//!    config before it counts, pricing the durability the daemon pays with
+//!    `--data-dir`. The gate watches the admitted-rate ratio vs phase 5.
 //!
 //! The headline numbers land in `BENCH_ingest.json` at the repo root in the
 //! canonical golden-file JSON form; CI's bench-smoke job re-generates the file
@@ -37,6 +42,7 @@ use taf_bench::perf;
 use taf_rfsim::{stream, StreamConfig, World, WorldConfig};
 use taf_testkit::json::Json;
 use tafloc_ingest::{Admission, CreditQueue, IngestConfig, IngestQueue, Ingestor, LinkSample};
+use tafloc_serve::journal::{Journal, JournalConfig, JournalRecord};
 use tafloc_serve::shard::{ShardRing, DEFAULT_SHARD_SEED};
 
 /// One epoch of the base stream, shifted so its timestamps continue the
@@ -339,6 +345,102 @@ fn main() {
         100.0 * silent_frac,
     );
 
+    // Phase 6: the same admission path, now paying for durability — every
+    // admitted batch is appended to its shard's write-ahead journal (default
+    // group-commit config, the same one `taflocd --data-dir` runs with)
+    // before it counts as admitted. The delta against phase 5 is the whole
+    // price of crash-safe ingest at this batch size.
+    let wal_dir = std::env::temp_dir().join(format!("ingest-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("wal dir");
+    let shard_ings: Vec<Arc<Ingestor>> = (0..num_shards)
+        .map(|_| Arc::new(Ingestor::new(IngestConfig::default(), m, m.min(8)).expect("ingestor")))
+        .collect();
+    let shard_queues: Vec<Arc<CreditQueue>> = shard_ings
+        .iter()
+        .map(|ing| Arc::new(CreditQueue::spawn(Arc::clone(ing), 4 * batch)))
+        .collect();
+    let journals: Vec<Arc<Journal>> = (0..num_shards)
+        .map(|i| {
+            let (j, _) =
+                Journal::open(&wal_dir, &format!("shard-{i}"), JournalConfig::default(), 0)
+                    .expect("journal");
+            Arc::new(j)
+        })
+        .collect();
+    let start = Instant::now();
+    let joins: Vec<_> = (0..threads)
+        .map(|t| {
+            let queues = shard_queues.clone();
+            let journals = journals.clone();
+            let site_shard = site_shard.clone();
+            let base = base.clone();
+            std::thread::spawn(move || {
+                for e in 0..epochs {
+                    let epoch = shifted(&base, e as f64 * cfg.duration_s);
+                    for (c, chunk) in epoch.chunks(batch).enumerate() {
+                        let site = (t + c) % site_shard.len();
+                        let shard = site_shard[site];
+                        match queues[shard]
+                            .offer(chunk.to_vec(), Duration::from_millis(1))
+                            .expect("queue open")
+                        {
+                            Admission::Admitted => {
+                                journals[shard]
+                                    .append(&JournalRecord::RefBatch {
+                                        ref_slot: site,
+                                        day: e as f64,
+                                        samples: chunk.to_vec(),
+                                    })
+                                    .expect("wal append");
+                            }
+                            Admission::Deferred { .. } | Admission::Rejected => {}
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("producer thread");
+    }
+    let wal_push_elapsed = start.elapsed().as_secs_f64();
+    let mut wal_credit = tafloc_ingest::CreditStats::default();
+    for q in &shard_queues {
+        let s = q.stats();
+        wal_credit.offered_samples += s.offered_samples;
+        wal_credit.admitted_samples += s.admitted_samples;
+        wal_credit.deferred_samples += s.deferred_samples;
+        wal_credit.rejected_samples += s.rejected_samples;
+    }
+    drop(shard_queues); // close + drain every shard
+    for j in &journals {
+        j.sync().expect("wal sync"); // clean-shutdown flush, like the daemon's
+    }
+    let wal_appended_bytes: u64 = std::fs::read_dir(&wal_dir)
+        .expect("wal dir")
+        .flatten()
+        .filter_map(|e| e.metadata().ok())
+        .map(|md| md.len())
+        .sum();
+    drop(journals);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let wal_admitted_sps = wal_credit.admitted_samples as f64 / start.elapsed().as_secs_f64();
+    let wal_offered_sps =
+        (wal_credit.offered_samples as f64 / wal_push_elapsed).min(threads as f64 / clock_res_s);
+    let wal_vs_sharded =
+        if sharded_admitted_sps > 0.0 { wal_admitted_sps / sharded_admitted_sps } else { 0.0 };
+    println!(
+        "journaled admission ({num_shards} WALs, group commit {:?}): \
+         {:.0} samples offered ({wal_offered_sps:.0} samples/s)  ->  \
+         {wal_admitted_sps:.0} samples/s admitted+journaled \
+         ({:.0}% of the unjournaled rate, {:.1} MiB appended)",
+        JournalConfig::default().flush_interval,
+        wal_credit.offered_samples as f64,
+        100.0 * wal_vs_sharded,
+        wal_appended_bytes as f64 / (1024.0 * 1024.0),
+    );
+
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("ingest".into())),
         ("quick".into(), Json::Bool(quick)),
@@ -400,6 +502,20 @@ fn main() {
                 ("admitted_samples_per_s".into(), Json::Num(perf::round_ms(sharded_admitted_sps))),
                 ("deferred_fraction".into(), Json::Num(perf::round_ms(deferred_frac))),
                 ("silent_shed_fraction".into(), Json::Num(perf::round_ms(silent_frac))),
+            ]),
+        ),
+        (
+            "journaled".into(),
+            Json::Obj(vec![
+                ("wal_shards".into(), Json::Num(num_shards as f64)),
+                (
+                    "wal_group_commit_ms".into(),
+                    Json::Num(JournalConfig::default().flush_interval.as_secs_f64() * 1e3),
+                ),
+                ("wal_offered_samples_per_s".into(), Json::Num(perf::round_ms(wal_offered_sps))),
+                ("wal_admitted_samples_per_s".into(), Json::Num(perf::round_ms(wal_admitted_sps))),
+                ("wal_admitted_ratio_vs_sharded".into(), Json::Num(perf::round_ms(wal_vs_sharded))),
+                ("wal_appended_bytes".into(), Json::Num(wal_appended_bytes as f64)),
             ]),
         ),
     ]);

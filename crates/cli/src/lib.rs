@@ -574,8 +574,13 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
     let max_inflight_per_site: usize =
         args.num("max-inflight-per-site", config.max_inflight_per_site)?;
     // `--data-dir` turns on crash-safe persistence: committed generations
-    // are snapshotted there and recovered on the next start.
+    // are snapshotted there, admitted survey-path batches are journaled
+    // between commits, and both are recovered on the next start.
     let data_dir = args.optional("data-dir").map(std::path::PathBuf::from);
+    // `--journal-flush-ms` bounds the write-ahead journal's group-commit
+    // window (0 = fsync every admitted batch).
+    let journal_flush_ms: u64 =
+        args.num("journal-flush-ms", ServerConfig::default().journal_flush.as_millis() as u64)?;
     // `--budget N [--policy P]` attaches an adaptive-sensing planner to every
     // site the daemon registers or recovers: refreshes then accept budgeted
     // reference rounds guided by reconstruction confidence.
@@ -600,6 +605,7 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
             shards,
             max_inflight_per_site,
             max_inflight_per_shard: max_inflight_per_site.saturating_mul(4),
+            journal_flush: std::time::Duration::from_millis(journal_flush_ms),
             ..config
         },
     )?;
@@ -806,13 +812,6 @@ fn cmd_testkit_inner(args: &Args) -> Result<String> {
                         "--budget must be in 1..={full} link-measurements for this scenario"
                     )));
                 }
-                if sc.restart_after_refresh {
-                    return Err(CliError(format!(
-                        "scenario {:?} simulates a restart; plan state is not persisted, so \
-                         --budget cannot apply",
-                        sc.name
-                    )));
-                }
                 let mut spec = sc.plan.unwrap_or(taf_testkit::PlanSpec {
                     budget_fraction: 1.0,
                     policy: taf_plan::PlanPolicy::UncertaintyGreedy,
@@ -909,7 +908,8 @@ COMMANDS
   export-db     --system system.json --out db.csv
   serve         [--port P | --addr HOST:PORT] [--workers N] [--threads N]
                 [--shards N] [--max-inflight-per-site N] [--port-file PATH]
-                [--data-dir DIR] [--budget N [--policy P]]
+                [--data-dir DIR] [--journal-flush-ms MS]
+                [--budget N [--policy P]]
                 [--system system.json [--site NAME] [--day D]]
   testkit       [--list] [--scenario NAME] [--bless] [--out report.json]
                 [--seed N] [--bias DB] [--budget N] [--policy P] [--threads N]

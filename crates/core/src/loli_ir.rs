@@ -328,6 +328,26 @@ impl WarmState {
         WarmState { l: rec.l.clone(), r: rec.r.clone() }
     }
 
+    /// Rebuilds a warm state from a previously captured factor pair (the
+    /// persistence path). Returns `None` when the pair cannot have come from
+    /// one solve: mismatched ranks or any non-finite entry.
+    pub fn from_parts(l: Matrix, r: Matrix) -> Option<Self> {
+        if l.cols() != r.cols() || l.has_non_finite() || r.has_non_finite() {
+            return None;
+        }
+        Some(WarmState { l, r })
+    }
+
+    /// Left factor `L` (`links x rank`).
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Right factor `R` (`cells x rank`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
     /// `(links, cells, rank)` this state can seed.
     pub fn shape(&self) -> (usize, usize, usize) {
         (self.l.rows(), self.r.rows(), self.l.cols())

@@ -200,6 +200,19 @@ impl SolverCache {
         self.warm = Some(WarmState::from_reconstruction(rec));
     }
 
+    /// The warm state that would seed the next solve, if any. Persistence
+    /// reads it here so an accepted solution survives a restart.
+    pub fn warm_state(&self) -> Option<&WarmState> {
+        self.warm.as_ref()
+    }
+
+    /// Seeds the cache with a previously *accepted* (and since persisted)
+    /// solution. Only recovery paths should call this: the warm state must
+    /// have gone through [`SolverCache::adopt`] in a prior process.
+    pub fn restore(&mut self, warm: WarmState) {
+        self.warm = Some(warm);
+    }
+
     /// Drops the warm state (keeps the workspace buffers): the next solve
     /// cold-starts. Call on rejection, rollback, or any doubt about the
     /// provenance of the last solution.

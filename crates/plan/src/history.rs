@@ -54,6 +54,18 @@ impl HistoryWindow {
         self.n_links
     }
 
+    /// Maximum surveys retained per slot.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Retained surveys for `slot`, oldest first. Persistence walks this and
+    /// restoration replays the records through [`HistoryWindow::record`] in
+    /// the same order, so a round trip preserves ring order exactly.
+    pub fn records(&self, slot: usize) -> impl Iterator<Item = &SurveyRecord> {
+        self.rings.get(slot).into_iter().flatten()
+    }
+
     /// Appends a survey for `slot`, evicting the oldest once `depth` is
     /// exceeded.
     pub fn record(&mut self, slot: usize, record: SurveyRecord) -> Result<()> {

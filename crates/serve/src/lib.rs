@@ -24,6 +24,8 @@
 //! * [`metrics`] — wait-free per-endpoint counters and latency histograms;
 //! * [`store`] — crash-safe checksummed per-site snapshot persistence
 //!   behind `--data-dir`;
+//! * [`journal`] — the per-site write-ahead ingest journal that makes
+//!   admitted survey batches durable between snapshot commits;
 //! * [`server`] — TCP accept loop, worker pool, dispatch, graceful shutdown;
 //! * [`client`] — a thin blocking client for the line protocol.
 //!
@@ -45,6 +47,7 @@
 
 pub mod client;
 mod error;
+pub mod journal;
 pub mod maintenance;
 pub mod metrics;
 pub mod protocol;

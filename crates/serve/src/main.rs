@@ -19,6 +19,7 @@ const USAGE: &str = "\
 taflocd — always-on TafLoc localization daemon (newline-delimited JSON over TCP)
 
 USAGE: taflocd [--addr HOST:PORT] [--workers N] [--shards N] [--data-dir DIR]
+               [--journal-flush-ms MS] [--budget N]
                [--max-inflight-per-site N] [--port-file PATH]
                [--site NAME --system PATH]...
 
@@ -30,7 +31,13 @@ USAGE: taflocd [--addr HOST:PORT] [--workers N] [--shards N] [--data-dir DIR]
                in-flight ingest sample quota per site; past it the daemon
                answers `overloaded` frames instead of silently queueing
   --data-dir   snapshot directory: persist every committed site generation
-               and recover all sites from it on startup (default: in-memory)
+               (and a write-ahead journal of admitted survey batches) and
+               recover all sites from it on startup (default: in-memory)
+  --journal-flush-ms
+               group-commit window of the write-ahead journal in
+               milliseconds; 0 fsyncs every admitted batch (default 25)
+  --budget     attach an adaptive-sensing planner with this per-round
+               link-measurement budget to every site (default: full surveys)
   --port-file  write the bound port (just the number) to PATH once listening;
                lets scripts find an ephemeral port without parsing stdout
   --site       name for the next --system snapshot (repeatable)
@@ -50,6 +57,8 @@ fn main() {
     let mut shards = defaults.shards;
     let mut max_inflight_per_site = defaults.max_inflight_per_site;
     let mut data_dir: Option<String> = None;
+    let mut journal_flush_ms: u64 = defaults.journal_flush.as_millis() as u64;
+    let mut budget: Option<usize> = None;
     let mut port_file: Option<String> = None;
     let mut site_names: Vec<String> = Vec::new();
     let mut system_paths: Vec<String> = Vec::new();
@@ -65,6 +74,8 @@ fn main() {
             | "--shards"
             | "--max-inflight-per-site"
             | "--data-dir"
+            | "--journal-flush-ms"
+            | "--budget"
             | "--port-file"
             | "--site"
             | "--system" => {
@@ -91,6 +102,16 @@ fn main() {
                         });
                     }
                     "--data-dir" => data_dir = Some(value.clone()),
+                    "--journal-flush-ms" => {
+                        journal_flush_ms = value.parse().unwrap_or_else(|_| {
+                            fail(&format!("--journal-flush-ms expects a number, got {value:?}"))
+                        });
+                    }
+                    "--budget" => {
+                        budget = Some(value.parse().unwrap_or_else(|_| {
+                            fail(&format!("--budget expects a number, got {value:?}"))
+                        }));
+                    }
                     "--port-file" => port_file = Some(value.clone()),
                     "--site" => site_names.push(value.clone()),
                     _ => system_paths.push(value.clone()),
@@ -112,6 +133,9 @@ fn main() {
         // default ratio.
         max_inflight_per_shard: max_inflight_per_site.saturating_mul(4),
         data_dir: data_dir.as_ref().map(std::path::PathBuf::from),
+        journal_flush: std::time::Duration::from_millis(journal_flush_ms),
+        plan: budget
+            .map(|b| taf_plan::PlannerConfig::new(b, taf_plan::PlanPolicy::UncertaintyGreedy)),
         ..Default::default()
     };
     let server = match Server::bind(&addr, config) {

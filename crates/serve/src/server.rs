@@ -15,6 +15,7 @@
 //! they hold (and any still queued) and exit; the maintenance scheduler is
 //! stopped and joined last.
 
+use crate::journal::{Journal, JournalConfig};
 use crate::maintenance::MaintenancePolicy;
 use crate::metrics::Metrics;
 use crate::protocol::{Request, Response, StatsReport};
@@ -52,10 +53,18 @@ pub struct ServerConfig {
     /// daemon fully in-memory.
     pub data_dir: Option<std::path::PathBuf>,
     /// Adaptive-sensing planner attached to every site the server registers
-    /// or recovers (`None` = classic full-survey refreshes). Plan state is
-    /// not persisted, so recovery re-attaches the planner here and the first
-    /// post-restart survey round is a full one.
+    /// or recovers (`None` = classic full-survey refreshes). Plan state
+    /// (schedule, history window, cumulative costs) is persisted with every
+    /// committed snapshot, so a recovered site resumes its schedule
+    /// mid-plan; recovery re-attaches the planner here and only falls back
+    /// to a full first survey when no plan was persisted or its shape no
+    /// longer matches the system.
     pub plan: Option<taf_plan::PlannerConfig>,
+    /// Group-commit window for the per-site write-ahead ingest journal
+    /// (`--journal-flush-ms`). `Duration::ZERO` fsyncs every admitted
+    /// survey-path record individually. Only meaningful with `data_dir`
+    /// set — the journal lives next to the snapshot files.
+    pub journal_flush: Duration,
     /// Worker shards (`--shards`, clamped to at least 1). Site ownership is
     /// a pure function of `(shard_seed, site name, shards)`, so the same
     /// flags re-shard identically across restarts.
@@ -87,6 +96,7 @@ impl Default for ServerConfig {
             max_inflight_per_site: crate::shard::DEFAULT_MAX_INFLIGHT_PER_SITE,
             max_inflight_per_shard: crate::shard::DEFAULT_MAX_INFLIGHT_PER_SITE * 4,
             admit_deadline: crate::shard::DEFAULT_ADMIT_DEADLINE,
+            journal_flush: JournalConfig::default().flush_interval,
         }
     }
 }
@@ -108,6 +118,8 @@ pub struct ServerCtx {
     started: Instant,
     /// The attached snapshot store (`--data-dir`), if persistence is on.
     store: Option<Arc<SiteStore>>,
+    /// Journal knobs applied to every site when persistence is on.
+    journal: JournalConfig,
 }
 
 impl ServerCtx {
@@ -145,6 +157,22 @@ impl ServerCtx {
     /// The snapshot store backing `--data-dir`, if persistence is on.
     pub fn store(&self) -> Option<&Arc<SiteStore>> {
         self.store.as_ref()
+    }
+
+    /// Attaches durability to a freshly registered site: a clean write-ahead
+    /// journal (leftover segments from a previous site of the same name are
+    /// discarded — their records describe a system that no longer exists)
+    /// and the snapshot store, which persists generation 0 immediately.
+    fn attach_durability(&self, site: Site) -> Result<Site> {
+        let Some(store) = &self.store else {
+            return Ok(site);
+        };
+        let stem = SiteStore::stem(site.name());
+        let (journal, recovery) = Journal::open(store.dir(), &stem, self.journal, 0)?;
+        if !recovery.records.is_empty() {
+            journal.prune(journal.last_seq())?;
+        }
+        site.with_journal(Arc::new(journal)).with_persistence(Arc::clone(store))
     }
 }
 
@@ -191,14 +219,22 @@ impl Server {
             workers: config.workers.max(1),
             started: Instant::now(),
             store,
+            journal: JournalConfig {
+                flush_interval: config.journal_flush,
+                ..JournalConfig::default()
+            },
         });
         Ok(Server { listener, ctx })
     }
 
     /// Recovers every persisted site from the configured `data_dir` into the
     /// registry (no-op without one). Each site comes back at its last
-    /// committed generation; corrupt or truncated snapshot files are skipped
-    /// and reported, never fatal. Returns the recovered site names and the
+    /// committed generation with its plan schedule, survey history, and
+    /// solver warm state; the write-ahead journal is then replayed through
+    /// the normal ingest pipeline, so survey-path records admitted after the
+    /// last commit (and their not-yet-refreshed pending columns) survive a
+    /// crash too. Corrupt or truncated snapshot files are skipped and
+    /// reported, never fatal. Returns the recovered site names and the
     /// files that had to be skipped.
     pub fn recover_sites(&self) -> Result<(Vec<String>, Vec<crate::store::RecoveryIssue>)> {
         let Some(store) = &self.ctx.store else {
@@ -208,11 +244,16 @@ impl Server {
         let mut names = Vec::with_capacity(recovery.sites.len());
         for persisted in recovery.sites {
             let name = persisted.name.clone();
-            let mut site = Site::from_persisted(persisted, tafloc_ingest::ClockMode::default())?
-                .with_persistence(Arc::clone(store))?;
+            let watermark = persisted.journal_watermark;
+            let mut site = Site::from_persisted(persisted, tafloc_ingest::ClockMode::default())?;
             if let Some(plan) = self.ctx.plan {
                 site = site.with_planning(plan)?;
             }
+            let (journal, jrec) =
+                Journal::open(store.dir(), &SiteStore::stem(&name), self.ctx.journal, watermark)?;
+            let site = site.with_journal(Arc::new(journal));
+            site.replay_journal(&jrec.records);
+            let site = site.with_persistence(Arc::clone(store))?;
             self.ctx.registry.add(site)?;
             names.push(name);
         }
@@ -230,14 +271,12 @@ impl Server {
     }
 
     /// Registers a site before (or while) serving. With persistence on, the
-    /// site's generation 0 is written immediately so even a crash before the
-    /// first refresh recovers it.
+    /// site's generation 0 is written immediately (so even a crash before
+    /// the first refresh recovers it) and a fresh write-ahead journal is
+    /// attached for everything admitted between commits.
     pub fn add_site(&self, name: &str, system: TafLoc, day: f64) -> Result<()> {
         let policy = self.ctx.default_policy;
-        let mut site = Site::new(name, system, day, policy)?;
-        if let Some(store) = &self.ctx.store {
-            site = site.with_persistence(Arc::clone(store))?;
-        }
+        let mut site = self.ctx.attach_durability(Site::new(name, system, day, policy)?)?;
         if let Some(plan) = self.ctx.plan {
             site = site.with_planning(plan)?;
         }
@@ -455,10 +494,12 @@ pub fn dispatch(request: Request, ctx: &ServerCtx) -> Response {
             let links = system.db().num_links();
             let cells = system.db().num_cells();
             let policy = policy.unwrap_or(ctx.default_policy);
-            let built = Site::new(&site, system, day, policy).and_then(|s| match &ctx.store {
-                Some(store) => s.with_persistence(Arc::clone(store)),
-                None => Ok(s),
-            });
+            let built = Site::new(&site, system, day, policy)
+                .and_then(|s| ctx.attach_durability(s))
+                .and_then(|s| match ctx.plan {
+                    Some(plan) => s.with_planning(plan),
+                    None => Ok(s),
+                });
             match built.and_then(|s| ctx.registry.add(s)) {
                 Ok(_) => Response::SiteAdded { site, links, cells },
                 Err(e) => err_response(e),

@@ -29,6 +29,7 @@
 //! committed generation is persisted so a crash recovers to the last good
 //! state.
 
+use crate::journal::{Journal, JournalRecord};
 use crate::maintenance::MaintenancePolicy;
 use crate::protocol::{SiteInfo, SiteStats};
 use crate::snapshot::SnapshotCell;
@@ -133,6 +134,48 @@ struct SiteDynamic {
     /// Cumulative cost a full survey would have incurred over the same
     /// cycles.
     full_survey_cost: u64,
+    /// Highest journal sequence whose record is consumed into `pending` (or
+    /// superseded by a later promotion/survey); the watermark the next
+    /// commit checkpoints. Stays 0 without an attached journal.
+    wal_pending_seq: u64,
+    /// See [`DurableView`].
+    durable_view: DurableView,
+}
+
+/// The plan/journal state exactly as of the last committed refresh (or
+/// restore). [`Site::to_persisted`] writes *this*, not the live values:
+/// every persisted snapshot is then consistent with its `journal_watermark`
+/// — the durable effects of records beyond the watermark are never in the
+/// snapshot, so recovery can replay them without double-counting epochs,
+/// history records, or survey costs.
+#[derive(Debug, Default)]
+struct DurableView {
+    journal_watermark: u64,
+    survey_epoch: u64,
+    planned_cost: u64,
+    actual_cost: u64,
+    full_survey_cost: u64,
+    current_plan: Option<MeasurementPlan>,
+    last_ref_confidence: Option<Vec<f64>>,
+    history: Option<HistoryWindow>,
+}
+
+impl SiteDynamic {
+    /// Checkpoints the durable view at a refresh commit: this exact state
+    /// (and watermark) goes into every snapshot persisted until the next
+    /// commit.
+    fn checkpoint_durable_view(&mut self) {
+        self.durable_view = DurableView {
+            journal_watermark: self.wal_pending_seq,
+            survey_epoch: self.survey_epoch,
+            planned_cost: self.planned_cost,
+            actual_cost: self.actual_cost,
+            full_survey_cost: self.full_survey_cost,
+            current_plan: self.current_plan.clone(),
+            last_ref_confidence: self.last_ref_confidence.clone(),
+            history: self.history.clone(),
+        };
+    }
 }
 
 /// One registered site.
@@ -146,7 +189,9 @@ pub struct Site {
     /// Solver workspace + warm state carried across refreshes. Only the
     /// refresh path locks it (and never while holding `dynamic`); rollback
     /// paths invalidate the warm state so a rejected solve can't seed the
-    /// next one. Volatile by design: a restart cold-starts the solver.
+    /// next one. The adopted factors ride along in every persisted snapshot,
+    /// so a recovered site warm-starts its first refresh instead of paying a
+    /// cold start.
     solver: Mutex<SolverCache>,
     /// Live streaming ingestion: raw link samples in, assembled vectors out.
     /// Internally sharded; callers never take the site mutexes to feed it.
@@ -161,7 +206,23 @@ pub struct Site {
     /// Attached measurement planner; when present, each committed refresh
     /// computes the next round's budgeted [`MeasurementPlan`].
     planner: Option<Planner>,
+    /// Attached write-ahead journal; when present, every admitted
+    /// survey-path record (reference-capture batch, `measure-refs` survey)
+    /// is appended before it is applied, and [`Site::persist_now`] prunes
+    /// records once the snapshot holding their effects is durable.
+    journal: Option<Arc<Journal>>,
     stop: AtomicBool,
+}
+
+/// Rebuilds the `M x n` reference-column matrix of a journaled survey.
+fn survey_matrix(columns: &[Vec<f64>]) -> Result<Matrix> {
+    let n = columns.len();
+    let m = columns.first().map_or(0, |c| c.len());
+    let mut mat = Matrix::zeros(m, n);
+    for (k, c) in columns.iter().enumerate() {
+        mat.set_col(k, c).map_err(|e| ServeError::Protocol(format!("journal replay: {e}")))?;
+    }
+    Ok(mat)
 }
 
 fn stream_seed(site: &str, stream: &str) -> u64 {
@@ -226,6 +287,8 @@ impl Site {
                 planned_cost: 0,
                 actual_cost: 0,
                 full_survey_cost: 0,
+                wal_pending_seq: 0,
+                durable_view: DurableView::default(),
             }),
             refresh: Mutex::new(()),
             solver: Mutex::new(SolverCache::new()),
@@ -236,6 +299,7 @@ impl Site {
             monitor_cells,
             store: None,
             planner: None,
+            journal: None,
             stop: AtomicBool::new(false),
         })
     }
@@ -256,27 +320,85 @@ impl Site {
     /// and only count the cost of — the planned (cell, link) pairs, carrying
     /// everything else forward from the survey-history window seeded here
     /// with the current database's reference columns.
+    ///
+    /// On a site recovered via [`Site::from_persisted`] the persisted
+    /// history window is kept as-is (and the recovered plan resumes
+    /// mid-schedule) as long as its shape still matches the system and the
+    /// configured depth; only a mismatch re-seeds from the database.
     pub fn with_planning(mut self, config: PlannerConfig) -> Result<Site> {
         let planner =
             Planner::new(config).map_err(|e| ServeError::Protocol(format!("planner: {e}")))?;
         let snap = self.load();
         let m = snap.system.db().num_links();
         let ref_cells = snap.system.reference_cells();
-        let mut history = HistoryWindow::new(ref_cells.len(), m, config.history_depth)
-            .map_err(|e| ServeError::Protocol(format!("planner history: {e}")))?;
-        for (k, &cell) in ref_cells.iter().enumerate() {
-            let record = SurveyRecord {
-                epoch: 0,
-                y: snap.system.db().rss().col(cell),
-                fresh: vec![true; m],
-            };
-            history
-                .record(k, record)
-                .map_err(|e| ServeError::Protocol(format!("planner history: {e}")))?;
+        let n = ref_cells.len();
+        {
+            let mut d = self.lock_dynamic();
+            let restored = d.history.as_ref().is_some_and(|h| {
+                h.n_slots() == n && h.n_links() == m && h.depth() == config.history_depth
+            });
+            if !restored {
+                let mut history = HistoryWindow::new(n, m, config.history_depth)
+                    .map_err(|e| ServeError::Protocol(format!("planner history: {e}")))?;
+                for (k, &cell) in ref_cells.iter().enumerate() {
+                    let record = SurveyRecord {
+                        epoch: 0,
+                        y: snap.system.db().rss().col(cell),
+                        fresh: vec![true; m],
+                    };
+                    history
+                        .record(k, record)
+                        .map_err(|e| ServeError::Protocol(format!("planner history: {e}")))?;
+                }
+                d.history = Some(history);
+                // A mismatched recovered plan can't be followed either.
+                d.current_plan = None;
+                d.durable_view.history = d.history.clone();
+                d.durable_view.current_plan = None;
+            }
         }
-        self.lock_dynamic().history = Some(history);
         self.planner = Some(planner);
         Ok(self)
+    }
+
+    /// Attaches a write-ahead journal. Admitted survey-path records
+    /// (reference-capture batches, `measure-refs` surveys) are appended
+    /// before they are applied; [`Site::persist_now`] prunes them once a
+    /// snapshot holding their effects is durable. Attach before serving —
+    /// records recovered by [`Journal::open`] are re-applied separately with
+    /// [`Site::replay_journal`].
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Site {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached write-ahead journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Re-applies records recovered by [`Journal::open`] through the same
+    /// ingest code the live path uses, without re-appending them. Returns
+    /// how many records applied cleanly; a record that no longer fits the
+    /// recovered system (for example a reference slot out of range after an
+    /// operator re-registered the site with a different layout) is skipped,
+    /// never fatal — recovery always comes up.
+    pub fn replay_journal(&self, records: &[(u64, JournalRecord)]) -> usize {
+        let mut applied = 0;
+        for (seq, record) in records {
+            let ok = match record {
+                JournalRecord::RefBatch { ref_slot, day, samples } => {
+                    self.capture_batch(*ref_slot, *day, samples, false).is_ok()
+                }
+                JournalRecord::Survey { day, columns, empty } => survey_matrix(columns)
+                    .and_then(|m| self.apply_survey(*day, m, empty.clone(), Some(*seq)))
+                    .is_ok(),
+            };
+            if ok {
+                applied += 1;
+            }
+        }
+        applied
     }
 
     /// The attached measurement planner, if any.
@@ -301,7 +423,11 @@ impl Site {
     /// (ingestion windows, trackers, detectors) is inherently volatile and
     /// restarts empty; everything committed — the calibrated system at its
     /// last good generation, monitor baseline, hysteresis and health
-    /// counters, quarantine state — comes back exactly as persisted.
+    /// counters, quarantine state, plan schedule/history/costs, and the
+    /// solver's warm factors — comes back exactly as persisted. Survey-path
+    /// records admitted after the snapshot live in the write-ahead journal;
+    /// the caller replays them via [`Site::replay_journal`] after attaching
+    /// the journal and (when planning) re-attaching the planner.
     pub fn from_persisted(p: PersistedSite, clock_mode: ClockMode) -> Result<Site> {
         let system = TafLoc::from_snapshot(p.snapshot)?;
         let monitor_cells = p.monitor_cells.len();
@@ -314,6 +440,10 @@ impl Site {
         let num_links = system.db().num_links();
         let ingest_shards = num_links.clamp(1, 8);
         let ingest = Ingestor::with_clock(p.ingest, num_links, ingest_shards, clock_mode)?;
+        let mut solver = SolverCache::new();
+        if let Some(w) = p.warm {
+            solver.restore(w);
+        }
         Ok(Site {
             name: p.name,
             cell: SnapshotCell::new(SiteSnapshot {
@@ -340,16 +470,27 @@ impl Site {
                 panic_budget: p.policy.debug_panic_ticks,
                 ref_captures: HashMap::new(),
                 ref_capture_day: 0.0,
-                history: None,
-                current_plan: None,
-                last_ref_confidence: None,
-                survey_epoch: 0,
-                planned_cost: 0,
-                actual_cost: 0,
-                full_survey_cost: 0,
+                history: p.history.clone(),
+                current_plan: p.current_plan.clone(),
+                last_ref_confidence: p.last_ref_confidence.clone(),
+                survey_epoch: p.survey_epoch,
+                planned_cost: p.planned_cost,
+                actual_cost: p.actual_cost,
+                full_survey_cost: p.full_survey_cost,
+                wal_pending_seq: p.journal_watermark,
+                durable_view: DurableView {
+                    journal_watermark: p.journal_watermark,
+                    survey_epoch: p.survey_epoch,
+                    planned_cost: p.planned_cost,
+                    actual_cost: p.actual_cost,
+                    full_survey_cost: p.full_survey_cost,
+                    current_plan: p.current_plan,
+                    last_ref_confidence: p.last_ref_confidence,
+                    history: p.history,
+                },
             }),
             refresh: Mutex::new(()),
-            solver: Mutex::new(SolverCache::new()),
+            solver: Mutex::new(solver),
             ingest,
             ingest_config: p.ingest,
             ingest_shards,
@@ -357,6 +498,7 @@ impl Site {
             monitor_cells,
             store: None,
             planner: None,
+            journal: None,
             stop: AtomicBool::new(false),
         })
     }
@@ -436,32 +578,67 @@ impl Site {
         samples: &[LinkSample],
     ) -> Result<BatchReport> {
         let Some(k) = ref_cell else {
+            // The live locate window is deliberately not journaled: its
+            // samples age out within seconds, and replaying them after a
+            // restart would serve stale radio state (DESIGN.md §9).
             return Ok(self.ingest.apply_batch(samples));
         };
+        self.capture_batch(k, day, samples, true)
+    }
+
+    /// Applies one reference-capture batch. `journal` is `false` only on
+    /// replay, where the record being applied already sits in the journal.
+    fn capture_batch(
+        &self,
+        k: usize,
+        day: f64,
+        samples: &[LinkSample],
+        journal: bool,
+    ) -> Result<BatchReport> {
         let n_refs = self.load().system.reference_cells().len();
         if k >= n_refs {
             return Err(ServeError::Protocol(format!(
                 "ref_cell {k} out of range: the site has {n_refs} reference cells"
             )));
         }
-        let capture = {
-            let mut d = self.lock_dynamic();
-            // A batch for a different day starts a new survey round; stale
-            // partial captures from the previous round are discarded.
-            if d.ref_capture_day != day {
-                d.ref_captures.clear();
-                d.ref_capture_day = day;
-            }
-            match d.ref_captures.entry(k) {
-                Entry::Occupied(e) => Arc::clone(e.get()),
-                Entry::Vacant(v) => Arc::clone(v.insert(Arc::new(Ingestor::new(
-                    self.ingest_config,
-                    self.ingest.num_links(),
-                    self.ingest_shards,
-                )?))),
-            }
+        let mut d = self.lock_dynamic();
+        // A batch for a different day starts a new survey round; stale
+        // partial captures from the previous round are discarded.
+        if d.ref_capture_day != day {
+            d.ref_captures.clear();
+            d.ref_capture_day = day;
+        }
+        let capture = match d.ref_captures.entry(k) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(v) => Arc::clone(v.insert(Arc::new(Ingestor::new(
+                self.ingest_config,
+                self.ingest.num_links(),
+                self.ingest_shards,
+            )?))),
         };
-        Ok(capture.apply_batch(samples))
+        match &self.journal {
+            Some(j) => {
+                if journal {
+                    // Durability first: the batch is journaled before any of
+                    // its samples become visible, so a crash at any later
+                    // point replays it.
+                    j.append(&JournalRecord::RefBatch {
+                        ref_slot: k,
+                        day,
+                        samples: samples.to_vec(),
+                    })?;
+                }
+                // Applied while still holding `dynamic`: sequence order must
+                // equal apply order, or a concurrent promotion could consume
+                // the round ahead of a batch the journal already admitted
+                // and prune it unapplied.
+                Ok(capture.apply_batch(samples))
+            }
+            None => {
+                drop(d);
+                Ok(capture.apply_batch(samples))
+            }
+        }
     }
 
     /// Assembles the live ingestion window into a fingerprint vector (links
@@ -521,6 +698,19 @@ impl Site {
         columns: Matrix,
         empty: Vec<f64>,
     ) -> Result<Recommendation> {
+        self.apply_survey(day, columns, empty, None)
+    }
+
+    /// The `measure-refs` apply path. `replay_seq` is `Some` only when
+    /// re-applying a recovered journal record (no re-append); on the live
+    /// path the survey is journaled here when a journal is attached.
+    fn apply_survey(
+        &self,
+        day: f64,
+        columns: Matrix,
+        empty: Vec<f64>,
+        replay_seq: Option<u64>,
+    ) -> Result<Recommendation> {
         let snap = self.load();
         let m = snap.system.db().num_links();
         let n = snap.system.reference_cells().len();
@@ -538,8 +728,29 @@ impl Site {
         }
         let monitored = self.monitored_columns(&columns)?;
         let mut d = self.lock_dynamic();
+        // Durability first: the survey is journaled before any of its
+        // effects are applied, so a crash at any later point replays it.
+        let seq = match replay_seq {
+            Some(seq) => Some(seq),
+            None => match &self.journal {
+                Some(j) => Some(j.append(&JournalRecord::Survey {
+                    day,
+                    columns: (0..n).map(|k| columns.col(k)).collect(),
+                    empty: empty.clone(),
+                })?),
+                None => None,
+            },
+        };
         let rec = d.monitor.check(day, &monitored)?;
         d.last_estimate_db = Some(rec.estimated_error_db());
+        // A full survey supersedes any in-flight capture round: promoting
+        // stale partial captures over it would resurrect older radio state,
+        // and the journal's watermark relies on records being consumed in
+        // sequence order.
+        d.ref_captures.clear();
+        if let Some(seq) = seq {
+            d.wal_pending_seq = seq;
+        }
         // `measure-refs` is by definition a full survey: every entry was
         // measured, so the full cost was paid regardless of any plan.
         d.survey_epoch += 1;
@@ -676,6 +887,11 @@ impl Site {
                 // a failed plan just means the next round is a full survey.
                 d.current_plan = plan.ok();
             }
+            // Commit point for durability: exactly this state (watermark
+            // included) is what every snapshot persisted from here until the
+            // next commit will carry, so journal records beyond the
+            // watermark replay onto it without double-counting.
+            d.checkpoint_durable_view();
         }
         self.cell.store(SiteSnapshot { system, version, refreshed_day: pending.day });
         // Best-effort: a full disk must not fail the refresh that already
@@ -747,8 +963,15 @@ impl Site {
 
     /// Captures everything a restart needs as a [`PersistedSite`]. Safe to
     /// call while [`Site::refresh`] holds the refresh mutex (it only reads
-    /// the snapshot cell and the dynamic mutex).
+    /// the snapshot cell, the solver cache, and the dynamic mutex — the
+    /// latter two one at a time, never nested).
+    ///
+    /// Plan/journal state is written from the [`DurableView`] checkpointed
+    /// at the last commit, not from the live values: that keeps every
+    /// snapshot consistent with its `journal_watermark` even when surveys
+    /// landed after the last refresh.
     pub fn to_persisted(&self) -> PersistedSite {
+        let warm = self.lock_solver().warm_state().cloned();
         let snap = self.load();
         let d = self.lock_dynamic();
         PersistedSite {
@@ -771,16 +994,33 @@ impl Site {
             tick_panics: d.tick_panics,
             policy: self.policy,
             ingest: self.ingest_config,
+            journal_watermark: d.durable_view.journal_watermark,
+            survey_epoch: d.durable_view.survey_epoch,
+            planned_cost: d.durable_view.planned_cost,
+            actual_cost: d.durable_view.actual_cost,
+            full_survey_cost: d.durable_view.full_survey_cost,
+            current_plan: d.durable_view.current_plan.clone(),
+            last_ref_confidence: d.durable_view.last_ref_confidence.clone(),
+            history: d.durable_view.history.clone(),
+            warm,
         }
     }
 
     /// Persists the current generation to the attached store, if any.
-    /// Returns the snapshot path when a save happened.
+    /// Returns the snapshot path when a save happened. Once the snapshot is
+    /// durable, journal records at or below its watermark are pruned
+    /// (best-effort — a failed prune only delays reclamation).
     pub fn persist_now(&self) -> Result<Option<PathBuf>> {
-        match &self.store {
-            Some(store) => store.save(&self.to_persisted()).map(Some),
-            None => Ok(None),
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let persisted = self.to_persisted();
+        let watermark = persisted.journal_watermark;
+        let path = store.save(&persisted)?;
+        if let Some(j) = &self.journal {
+            let _ = j.prune(watermark);
         }
+        Ok(Some(path))
     }
 
     /// Promotes a finished reference-capture round into [`PendingRefs`].
@@ -896,6 +1136,12 @@ impl Site {
         d.pending =
             Some(PendingRefs { day: d.ref_capture_day, columns, empty: empty.to_vec(), mask });
         d.ref_captures.clear();
+        if let Some(j) = &self.journal {
+            // Every journaled capture batch so far is consumed into
+            // `pending` (or superseded); appends happen under the dynamic
+            // lock, so `last_seq` is exact here.
+            d.wal_pending_seq = j.last_seq();
+        }
         Ok(true)
     }
 
@@ -905,6 +1151,11 @@ impl Site {
     /// cooldown both allow it. Returns the new version when a refresh was
     /// triggered.
     pub fn maintenance_tick(&self) -> Result<Option<u64>> {
+        if let Some(j) = &self.journal {
+            // The tick bounds the group-commit window even on an idle site:
+            // anything buffered since the last flush becomes durable here.
+            let _ = j.sync();
+        }
         {
             let mut d = self.lock_dynamic();
             if d.panic_budget > 0 {

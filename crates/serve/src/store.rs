@@ -36,6 +36,8 @@ use std::hash::{Hash, Hasher};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use taf_linalg::Matrix;
+use taf_plan::{HistoryWindow, MeasurementPlan};
+use tafloc_core::loli_ir::WarmState;
 use tafloc_core::monitor::MonitorConfig;
 use tafloc_core::system::SystemSnapshot;
 use tafloc_ingest::IngestConfig;
@@ -44,7 +46,10 @@ use tafloc_ingest::IngestConfig;
 pub const MAGIC: &[u8; 8] = b"TAFSNAP1";
 
 /// Payload format version. Bump on any change to the encoded layout.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 appended the durable hot state (journal watermark, planner
+/// schedule/history/costs, solver warm state) after the v1 fields; v1 files
+/// still load, with those fields taking their cold-start defaults.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Committed generations retained per site; older snapshot files are pruned
 /// after each successful save. More than one so a latent corruption of the
@@ -99,6 +104,28 @@ pub struct PersistedSite {
     pub policy: MaintenancePolicy,
     /// The streaming-ingestion configuration in force.
     pub ingest: IngestConfig,
+    /// Highest write-ahead-journal sequence number whose effects are already
+    /// contained in this snapshot. Recovery replays only records beyond it,
+    /// and the journal prunes segments at or below it.
+    pub journal_watermark: u64,
+    /// Survey epoch counter (increments per completed reference survey).
+    pub survey_epoch: u64,
+    /// Lifetime planned measurement cost (link-measurements scheduled).
+    pub planned_cost: u64,
+    /// Lifetime actual measurement cost (link-measurements delivered).
+    pub actual_cost: u64,
+    /// What the same surveys would have cost unbudgeted.
+    pub full_survey_cost: u64,
+    /// The measurement plan in force at save time, if planning is enabled —
+    /// the schedule position a restarted daemon resumes from.
+    pub current_plan: Option<MeasurementPlan>,
+    /// Per-cell confidence of the last accepted reconstruction.
+    pub last_ref_confidence: Option<Vec<f64>>,
+    /// Bounded survey history backing budgeted refreshes.
+    pub history: Option<HistoryWindow>,
+    /// The solver's last accepted factor pair, so the first post-restart
+    /// refresh warm-starts instead of paying a cold SVD start.
+    pub warm: Option<WarmState>,
 }
 
 // ---------------------------------------------------------------------------
@@ -117,16 +144,17 @@ use crate::wire::v2::{dec_policy, enc_policy};
 use taf_wire::types as wt;
 use taf_wire::{Dec, Enc};
 
-fn encode_payload(site: &PersistedSite) -> Vec<u8> {
-    let mut e = Enc::new();
+/// The v1 field sequence — unchanged since the original in-module codec, so
+/// v1 files keep decoding byte-for-byte.
+fn encode_v1_fields(e: &mut Enc, site: &PersistedSite) {
     e.str(&site.name);
     e.u64(site.generation);
     e.f64(site.refreshed_day);
-    wt::enc_snapshot(&mut e, &site.snapshot);
+    wt::enc_snapshot(e, &site.snapshot);
     e.matrix(&site.monitor_stored);
     e.usizes(&site.monitor_cells);
     e.f64(site.monitor_last_update_day);
-    wt::enc_monitor_config(&mut e, &site.monitor_config);
+    wt::enc_monitor_config(e, &site.monitor_config);
     e.u32(site.breach_streak);
     e.u64(site.maintenance_checks);
     e.u64(site.auto_refreshes);
@@ -136,18 +164,57 @@ fn encode_payload(site: &PersistedSite) -> Vec<u8> {
     e.bool(site.quarantined);
     e.u32(site.quarantine_cooldown);
     e.u64(site.tick_panics);
-    enc_policy(&mut e, &site.policy);
-    wt::enc_ingest_config(&mut e, &site.ingest);
+    enc_policy(e, &site.policy);
+    wt::enc_ingest_config(e, &site.ingest);
+}
+
+fn encode_payload(site: &PersistedSite) -> Vec<u8> {
+    let mut e = Enc::new();
+    encode_v1_fields(&mut e, site);
+    // v2: durable hot state, appended after the v1 fields.
+    e.u64(site.journal_watermark);
+    e.u64(site.survey_epoch);
+    e.u64(site.planned_cost);
+    e.u64(site.actual_cost);
+    e.u64(site.full_survey_cost);
+    match &site.current_plan {
+        Some(p) => {
+            e.bool(true);
+            wt::enc_measurement_plan(&mut e, p);
+        }
+        None => e.bool(false),
+    }
+    match &site.last_ref_confidence {
+        Some(c) => {
+            e.bool(true);
+            e.f64s(c);
+        }
+        None => e.bool(false),
+    }
+    match &site.history {
+        Some(h) => {
+            e.bool(true);
+            wt::enc_history(&mut e, h);
+        }
+        None => e.bool(false),
+    }
+    match &site.warm {
+        Some(w) => {
+            e.bool(true);
+            wt::enc_warm_state(&mut e, w);
+        }
+        None => e.bool(false),
+    }
     e.into_inner()
 }
 
-fn decode_payload(data: &[u8]) -> Result<PersistedSite> {
+fn decode_payload(data: &[u8], version: u32) -> Result<PersistedSite> {
     let mut d = Dec::new(data);
     let name = d.str()?;
     let generation = d.u64()?;
     let refreshed_day = d.f64()?;
     let snapshot = wt::dec_snapshot(&mut d)?;
-    let site = PersistedSite {
+    let mut site = PersistedSite {
         name,
         generation,
         refreshed_day,
@@ -167,7 +234,35 @@ fn decode_payload(data: &[u8]) -> Result<PersistedSite> {
         tick_panics: d.u64()?,
         policy: dec_policy(&mut d)?,
         ingest: wt::dec_ingest_config(&mut d)?,
+        journal_watermark: 0,
+        survey_epoch: 0,
+        planned_cost: 0,
+        actual_cost: 0,
+        full_survey_cost: 0,
+        current_plan: None,
+        last_ref_confidence: None,
+        history: None,
+        warm: None,
     };
+    if version >= 2 {
+        site.journal_watermark = d.u64()?;
+        site.survey_epoch = d.u64()?;
+        site.planned_cost = d.u64()?;
+        site.actual_cost = d.u64()?;
+        site.full_survey_cost = d.u64()?;
+        if d.bool()? {
+            site.current_plan = Some(wt::dec_measurement_plan(&mut d)?);
+        }
+        if d.bool()? {
+            site.last_ref_confidence = Some(d.f64s()?);
+        }
+        if d.bool()? {
+            site.history = Some(wt::dec_history(&mut d)?);
+        }
+        if d.bool()? {
+            site.warm = Some(wt::dec_warm_state(&mut d)?);
+        }
+    }
     d.finish()?;
     Ok(site)
 }
@@ -194,6 +289,14 @@ pub struct Recovery {
     pub skipped: Vec<RecoveryIssue>,
 }
 
+/// Fsyncs a directory so renames/creates/unlinks inside it survive power
+/// loss. A no-op error sink on platforms where directories cannot be opened
+/// for sync is deliberately *not* provided: the serve plane only targets
+/// platforms where this works.
+pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
 /// A directory of per-site snapshot files.
 #[derive(Debug, Clone)]
 pub struct SiteStore {
@@ -217,8 +320,10 @@ impl SiteStore {
     /// Filename stem for a site: a readable sanitized prefix plus a short
     /// hash of the exact name, so distinct names that sanitize identically
     /// ("a/b" vs "a:b") cannot collide. The name inside the payload is what
-    /// recovery trusts; this is only for humans and pruning.
-    fn stem(name: &str) -> String {
+    /// recovery trusts; this is only for humans and pruning. The write-ahead
+    /// journal shares this stem so a site's snapshot and journal files sort
+    /// together in listings.
+    pub fn stem(name: &str) -> String {
         let sanitized: String = name
             .chars()
             .take(48)
@@ -262,6 +367,11 @@ impl SiteStore {
                 final_path.display()
             ))
         })?;
+        // The rename is atomic but not durable until the directory entry
+        // itself is synced: without this, a power loss can forget the rename
+        // and resurrect the old directory state (or nothing at all).
+        fsync_dir(&self.dir)
+            .map_err(|e| ServeError::Store(format!("cannot sync {}: {e}", self.dir.display())))?;
         self.prune(&site.name, site.generation);
         Ok(final_path)
     }
@@ -302,9 +412,9 @@ impl SiteStore {
             return Err(ServeError::Store("bad magic: not a taflocd snapshot".into()));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != FORMAT_VERSION {
+        if version == 0 || version > FORMAT_VERSION {
             return Err(ServeError::Store(format!(
-                "unsupported format version {version} (this build reads {FORMAT_VERSION})"
+                "unsupported format version {version} (this build reads 1..={FORMAT_VERSION})"
             )));
         }
         let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
@@ -329,7 +439,7 @@ impl SiteStore {
                 "checksum mismatch: stored {stored_crc:08x}, computed {actual_crc:08x}"
             )));
         }
-        decode_payload(payload)
+        decode_payload(payload, version)
     }
 
     /// Scans the directory and recovers the newest valid generation of every
@@ -373,6 +483,7 @@ impl SiteStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use taf_plan::{PlanEntry, PlanPolicy, SurveyRecord};
     use taf_rfsim::geometry::{Point, Segment};
     use taf_rfsim::grid::FloorGrid;
     use tafloc_core::db::FingerprintDb;
@@ -444,6 +555,40 @@ mod tests {
                 aggregator: Aggregator::Ewma { alpha: 0.3 },
                 ..Default::default()
             },
+            journal_watermark: 12,
+            survey_epoch: 3,
+            planned_cost: 5,
+            actual_cost: 4,
+            full_survey_cost: 8,
+            current_plan: Some(MeasurementPlan {
+                epoch: 3,
+                policy: PlanPolicy::UncertaintyGreedy,
+                entries: vec![
+                    PlanEntry { ref_slot: 0, links: vec![0, 1] },
+                    PlanEntry { ref_slot: 1, links: vec![1] },
+                ],
+                planned_cost: 3,
+                full_cost: 4,
+            }),
+            last_ref_confidence: Some(vec![0.9, 0.4, 0.7, 0.85]),
+            history: Some({
+                let mut h = HistoryWindow::new(2, 2, 4).unwrap();
+                h.record(0, SurveyRecord { epoch: 2, y: vec![-50.0, -40.0], fresh: vec![true; 2] })
+                    .unwrap();
+                h.record(
+                    0,
+                    SurveyRecord { epoch: 3, y: vec![-50.5, -40.5], fresh: vec![true, false] },
+                )
+                .unwrap();
+                h
+            }),
+            warm: Some(
+                WarmState::from_parts(
+                    Matrix::from_vec(2, 1, vec![0.5, -0.25]).unwrap(),
+                    Matrix::from_vec(4, 1, vec![1.0, 0.5, 0.25, -1.0]).unwrap(),
+                )
+                .unwrap(),
+            ),
         }
     }
 
@@ -474,6 +619,36 @@ mod tests {
         assert_eq!(a.tick_panics, b.tick_panics);
         assert_eq!(a.policy, b.policy);
         assert_eq!(a.ingest, b.ingest);
+        assert_eq!(a.journal_watermark, b.journal_watermark);
+        assert_eq!(a.survey_epoch, b.survey_epoch);
+        assert_eq!(a.planned_cost, b.planned_cost);
+        assert_eq!(a.actual_cost, b.actual_cost);
+        assert_eq!(a.full_survey_cost, b.full_survey_cost);
+        assert_eq!(a.current_plan, b.current_plan);
+        assert_eq!(a.last_ref_confidence, b.last_ref_confidence);
+        match (&a.history, &b.history) {
+            (None, None) => {}
+            (Some(ha), Some(hb)) => {
+                assert_eq!(ha.n_slots(), hb.n_slots());
+                assert_eq!(ha.n_links(), hb.n_links());
+                assert_eq!(ha.depth(), hb.depth());
+                for slot in 0..ha.n_slots() {
+                    let ra: Vec<_> = ha.records(slot).collect();
+                    let rb: Vec<_> = hb.records(slot).collect();
+                    assert_eq!(ra, rb, "history slot {slot}");
+                }
+            }
+            _ => panic!("history presence differs"),
+        }
+        match (&a.warm, &b.warm) {
+            (None, None) => {}
+            (Some(wa), Some(wb)) => {
+                assert_eq!(wa.shape(), wb.shape());
+                assert_eq!(wa.l().as_slice(), wb.l().as_slice());
+                assert_eq!(wa.r().as_slice(), wb.r().as_slice());
+            }
+            _ => panic!("warm-state presence differs"),
+        }
     }
 
     #[test]
@@ -581,6 +756,40 @@ mod tests {
         let rec = store.recover_all().unwrap();
         let names: Vec<&str> = rec.sites.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, ["a/b", "a:b"], "payload name is authoritative");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn v1_snapshots_load_with_cold_start_defaults() {
+        // A pre-journal (v1) snapshot: only the v1 fields, version 1 header.
+        let site = sample_site("lab", 2);
+        let mut e = Enc::new();
+        encode_v1_fields(&mut e, &site);
+        let payload = e.into_inner();
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&1u32.to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let store = temp_store("v1compat");
+        let path = store.dir().join("lab-old.snap");
+        std::fs::write(&path, &file).unwrap();
+
+        let loaded = SiteStore::load(&path).unwrap();
+        assert_eq!(loaded.name, site.name);
+        assert_eq!(loaded.generation, site.generation);
+        assert_eq!(loaded.auto_refreshes, site.auto_refreshes);
+        // The hot state a v1 file never recorded comes back cold.
+        assert_eq!(loaded.journal_watermark, 0);
+        assert_eq!(loaded.survey_epoch, 0);
+        assert_eq!(loaded.planned_cost, 0);
+        assert_eq!(loaded.actual_cost, 0);
+        assert_eq!(loaded.full_survey_cost, 0);
+        assert!(loaded.current_plan.is_none());
+        assert!(loaded.last_ref_confidence.is_none());
+        assert!(loaded.history.is_none());
+        assert!(loaded.warm.is_none());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

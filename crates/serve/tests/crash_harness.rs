@@ -1,0 +1,332 @@
+//! Kill -9 battery for the durable-hot-state stack: write-ahead journal
+//! replay, persisted plan/warm state, and torn-write recovery, all against
+//! the real `taflocd` binary over TCP.
+//!
+//! Complements `restart.rs` (which pins committed-snapshot recovery): these
+//! tests kill the daemon at points where the interesting state is *not* in a
+//! committed snapshot yet — an acknowledged survey that never refreshed,
+//! capture windows mid-round — and require the journal to carry it across.
+//! Every restart also happens on a deliberately damaged data directory
+//! (torn journal tail + orphaned snapshot temp file), so each run doubles
+//! as a mid-write crash injection.
+//!
+//! The daemon runs with `--journal-flush-ms 0`: every acknowledged ingest is
+//! fsynced before the reply, making "acknowledged" and "durable" the same
+//! thing and the assertions deterministic.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use taf_rfsim::{campaign, World, WorldConfig};
+use tafloc_core::db::FingerprintDb;
+use tafloc_core::system::{TafLoc, TafLocConfig};
+use tafloc_core::LoliIrConfig;
+use tafloc_ingest::LinkSample;
+use tafloc_serve::client::Client;
+use tafloc_serve::maintenance::MaintenancePolicy;
+use tafloc_serve::protocol::{Request, Response, SiteStats};
+
+const SAMPLES: usize = 20;
+const DAY1: f64 = 45.0;
+
+fn calibrated(seed: u64) -> (World, TafLoc) {
+    let world = World::new(WorldConfig::small_test(), seed);
+    let x0 = campaign::full_calibration(&world, 0.0, SAMPLES);
+    let e0 = campaign::empty_snapshot(&world, 0.0, SAMPLES);
+    let db = FingerprintDb::from_world(x0, &world).unwrap();
+    // A tight solver tolerance makes the cold refresh run a meaningful
+    // number of outer iterations, so the warm-start savings after a restart
+    // are visible as a strict iteration drop rather than a wash.
+    let loli = LoliIrConfig { tol: 1e-7, max_iters: 400, ..Default::default() };
+    let config = TafLocConfig { ref_count: 6, loli, ..Default::default() };
+    let sys = TafLoc::calibrate(config, db, e0).unwrap();
+    (world, sys)
+}
+
+fn spawn_daemon(data_dir: &Path, port_file: &Path, extra: &[&str]) -> Child {
+    let _ = std::fs::remove_file(port_file);
+    let mut args = vec![
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+        "--journal-flush-ms",
+        "0",
+        "--data-dir",
+        data_dir.to_str().unwrap(),
+        "--port-file",
+        port_file.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    Command::new(env!("CARGO_BIN_EXE_taflocd"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn taflocd")
+}
+
+fn await_port(port_file: &Path) -> u16 {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if let Ok(port) = text.trim().parse() {
+                return port;
+            }
+        }
+        assert!(Instant::now() < deadline, "taflocd never wrote {}", port_file.display());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn temp_base(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tafloc-crash-{tag}-{}", std::process::id()))
+}
+
+fn manual_policy() -> MaintenancePolicy {
+    MaintenancePolicy { auto_refresh: false, manual_tick: true, ..Default::default() }
+}
+
+fn add_site(client: &mut Client, name: &str, sys: &TafLoc) {
+    match client
+        .call_ok(&Request::AddSite {
+            site: name.into(),
+            snapshot: Box::new(sys.snapshot()),
+            day: 0.0,
+            policy: Some(manual_policy()),
+        })
+        .unwrap()
+    {
+        Response::SiteAdded { .. } => {}
+        other => panic!("unexpected reply to add-site: {other:?}"),
+    }
+}
+
+fn measure_refs(client: &mut Client, name: &str, world: &World, sys: &TafLoc, day: f64) {
+    let cols = campaign::measure_columns(world, day, sys.reference_cells(), SAMPLES);
+    let empty = campaign::empty_snapshot(world, day, SAMPLES);
+    client.call_ok(&Request::MeasureRefs { site: name.into(), day, columns: cols, empty }).unwrap();
+}
+
+fn refresh(client: &mut Client, name: &str) -> (usize, u64) {
+    match client.call_ok(&Request::Refresh { site: name.into() }).unwrap() {
+        Response::Refreshed { iterations, version, .. } => (iterations, version),
+        other => panic!("unexpected reply to refresh: {other:?}"),
+    }
+}
+
+fn site_stats(client: &mut Client, name: &str) -> SiteStats {
+    match client.call_ok(&Request::Stats).unwrap() {
+        Response::Stats { report } => {
+            report.sites.into_iter().find(|s| s.site == name).expect("site in stats")
+        }
+        other => panic!("unexpected reply to stats: {other:?}"),
+    }
+}
+
+/// SIGKILL: no destructors, no flushes — only what was fsynced survives.
+fn kill_nine(child: &mut Child, client: Client) {
+    child.kill().unwrap();
+    child.wait().unwrap();
+    drop(client);
+}
+
+/// Mid-write crash injection, applied to the dead daemon's data directory
+/// before restart: a torn partial frame at the tail of the newest journal
+/// segment (a kill mid-`write(2)` of an append) and an orphaned snapshot
+/// temp file (a kill between `write(tmp)` and `rename`). Recovery must
+/// truncate the former, ignore the latter, and lose nothing acknowledged.
+fn inject_torn_writes(data_dir: &Path) {
+    let mut wals: Vec<PathBuf> = std::fs::read_dir(data_dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+        .collect();
+    wals.sort();
+    let active = wals.pop().expect("the site has an active journal segment");
+    let mut torn = Vec::new();
+    torn.extend_from_slice(&128u32.to_le_bytes()); // promises 128 payload bytes
+    torn.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+    torn.extend_from_slice(&[0xA5; 17]); // ...delivers 17
+    let mut bytes = std::fs::read(&active).unwrap();
+    bytes.extend_from_slice(&torn);
+    std::fs::write(&active, &bytes).unwrap();
+    std::fs::write(data_dir.join("lab-00000000000000000000.tmp"), b"half-written snapshot")
+        .unwrap();
+}
+
+/// An acknowledged `measure-refs` survey that never reached a refresh lives
+/// only in the journal when the kill lands. The restarted daemon must replay
+/// it — pending refs present, refresh commits it, and the served fixes match
+/// a local replay of the same deterministic survey. Zero acknowledged-data
+/// loss, even with torn writes injected on top.
+#[test]
+fn acknowledged_survey_survives_kill_nine_via_journal_replay() {
+    let base = temp_base("survey");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let data_dir = base.join("data");
+    let port_file = base.join("port");
+
+    let (world, sys) = calibrated(81);
+    let mut child = spawn_daemon(&data_dir, &port_file, &[]);
+    let mut client = Client::connect(format!("127.0.0.1:{}", await_port(&port_file))).unwrap();
+    add_site(&mut client, "lab", &sys);
+    measure_refs(&mut client, "lab", &world, &sys, DAY1);
+    // The ack above means the survey record is fsynced in the journal; the
+    // snapshot on disk still predates it (no refresh ran).
+    kill_nine(&mut child, client);
+    inject_torn_writes(&data_dir);
+
+    let mut child = spawn_daemon(&data_dir, &port_file, &[]);
+    let mut client = Client::connect(format!("127.0.0.1:{}", await_port(&port_file))).unwrap();
+    let stats = site_stats(&mut client, "lab");
+    assert_eq!(stats.version, 0, "no refresh ever committed");
+    assert!(stats.pending_refs, "journal replay must resurrect the acknowledged survey");
+
+    let (_, version) = refresh(&mut client, "lab");
+    assert_eq!(version, 1);
+
+    // The refresh is a pure function of the calibrated system plus the
+    // deterministic survey columns, so a local replay pins the exact fixes
+    // the recovered daemon must serve.
+    let mut replay = TafLoc::from_snapshot(sys.snapshot()).unwrap();
+    let cols = campaign::measure_columns(&world, DAY1, sys.reference_cells(), SAMPLES);
+    let empty = campaign::empty_snapshot(&world, DAY1, SAMPLES);
+    replay.update(&cols, &empty).unwrap();
+    for cell in 0..world.num_cells() {
+        let y = campaign::snapshot_at_cell(&world, DAY1, cell, SAMPLES);
+        let (got, _, _, v) = client.locate("lab", &y).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(got, replay.localize(&y).unwrap().cell, "cell {cell}");
+    }
+
+    client.call(&Request::Shutdown).ok();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Admitted reference-capture batches (the incremental survey path) must
+/// also ride the journal: a kill mid-round may not lose a single admitted
+/// batch — the restarted daemon rebuilds every open capture window.
+#[test]
+fn admitted_capture_batches_survive_kill_nine() {
+    let base = temp_base("captures");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let data_dir = base.join("data");
+    let port_file = base.join("port");
+
+    let (world, sys) = calibrated(82);
+    let n_refs = sys.reference_cells().len();
+    let mut child = spawn_daemon(&data_dir, &port_file, &[]);
+    let mut client = Client::connect(format!("127.0.0.1:{}", await_port(&port_file))).unwrap();
+    add_site(&mut client, "lab", &sys);
+
+    // One admitted batch per reference slot: every ack is an fsynced
+    // journal record.
+    for k in 0..n_refs {
+        let samples: Vec<LinkSample> = (0..world.num_links())
+            .map(|l| LinkSample::new(l, 1.0 + k as f64, -50.0 - l as f64))
+            .collect();
+        client
+            .call_ok(&Request::Ingest { site: "lab".into(), ref_cell: Some(k), day: DAY1, samples })
+            .unwrap();
+    }
+    let before = site_stats(&mut client, "lab");
+    assert_eq!(before.active_ref_captures, n_refs);
+    kill_nine(&mut child, client);
+    inject_torn_writes(&data_dir);
+
+    let mut child = spawn_daemon(&data_dir, &port_file, &[]);
+    let mut client = Client::connect(format!("127.0.0.1:{}", await_port(&port_file))).unwrap();
+    let after = site_stats(&mut client, "lab");
+    assert_eq!(
+        after.active_ref_captures, n_refs,
+        "replay must rebuild every admitted capture window"
+    );
+    assert_eq!(after.version, 0);
+
+    client.call(&Request::Shutdown).ok();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Plan-and-warm durability: after a kill -9, the restarted daemon keeps its
+/// measurement-plan schedule position (cumulative cost counters, active
+/// policy) and its solver warm state — the first post-restart refresh runs
+/// exactly like the uninterrupted daemon's (same iteration count) and
+/// strictly cheaper than the cold first refresh.
+///
+/// Both runs re-survey the same drift day for the second refresh: the warm
+/// seed then scores below the cold SVD-of-prior start and the solver accepts
+/// it, which is the steady-state "re-confirm the environment" pattern where
+/// warm state pays. (Losing the warm state across the restart would make the
+/// second refresh re-earn the whole solution from the cold start.)
+#[test]
+fn plan_schedule_and_warm_state_resume_after_kill_nine() {
+    let budget = ["--budget", "18"];
+
+    // Control: the same sequence with no kill, to pin the uninterrupted
+    // iteration counts and cost counters.
+    let ctrl_base = temp_base("plan-ctrl");
+    let _ = std::fs::remove_dir_all(&ctrl_base);
+    std::fs::create_dir_all(&ctrl_base).unwrap();
+    let (world, sys) = calibrated(83);
+    let mut child = spawn_daemon(&ctrl_base.join("data"), &ctrl_base.join("port"), &budget);
+    let mut client =
+        Client::connect(format!("127.0.0.1:{}", await_port(&ctrl_base.join("port")))).unwrap();
+    add_site(&mut client, "lab", &sys);
+    measure_refs(&mut client, "lab", &world, &sys, DAY1);
+    let (iters_cold, _) = refresh(&mut client, "lab");
+    measure_refs(&mut client, "lab", &world, &sys, DAY1);
+    let (iters_warm_ctrl, _) = refresh(&mut client, "lab");
+    client.call(&Request::Shutdown).ok();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&ctrl_base);
+
+    // Crash run: kill -9 between the two refreshes, restart on the damaged
+    // directory, finish the sequence.
+    let base = temp_base("plan");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let data_dir = base.join("data");
+    let port_file = base.join("port");
+    let mut child = spawn_daemon(&data_dir, &port_file, &budget);
+    let mut client = Client::connect(format!("127.0.0.1:{}", await_port(&port_file))).unwrap();
+    add_site(&mut client, "lab", &sys);
+    measure_refs(&mut client, "lab", &world, &sys, DAY1);
+    let (iters_first, version) = refresh(&mut client, "lab");
+    assert_eq!(version, 1);
+    assert_eq!(iters_first, iters_cold, "identical deterministic first refresh");
+    let before = site_stats(&mut client, "lab");
+    assert_eq!(before.plan_policy.as_deref(), Some("uncertainty-greedy"));
+    kill_nine(&mut child, client);
+    inject_torn_writes(&data_dir);
+
+    let mut child = spawn_daemon(&data_dir, &port_file, &budget);
+    let mut client = Client::connect(format!("127.0.0.1:{}", await_port(&port_file))).unwrap();
+    let after = site_stats(&mut client, "lab");
+    assert_eq!(after.version, 1, "recovered at the committed generation");
+    assert_eq!(after.plan_policy.as_deref(), Some("uncertainty-greedy"));
+    assert_eq!(after.planned_cost, before.planned_cost, "schedule position survives the kill");
+    assert_eq!(after.actual_cost, before.actual_cost);
+    assert_eq!(after.full_survey_cost, before.full_survey_cost);
+
+    measure_refs(&mut client, "lab", &world, &sys, DAY1);
+    let (iters_resumed, version) = refresh(&mut client, "lab");
+    assert_eq!(version, 2);
+    assert_eq!(
+        iters_resumed, iters_warm_ctrl,
+        "restored warm state must make the post-restart refresh identical to the uninterrupted one"
+    );
+    assert!(
+        iters_resumed < iters_cold,
+        "first post-restart refresh must warm-start: {iters_resumed} vs cold {iters_cold}"
+    );
+
+    client.call(&Request::Shutdown).ok();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&base);
+}

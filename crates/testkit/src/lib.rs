@@ -42,4 +42,7 @@ pub use golden::{bless, compare, golden_path, load_golden, run_and_check};
 pub use leaderboard::{leaderboard, render_markdown, LeaderboardRow};
 pub use report::{PhaseMetrics, ScenarioReport};
 pub use runner::run_scenario;
-pub use scenario::{builtin_scenarios, find_scenario, PlanSpec, Scenario, Tolerances, WorldPreset};
+pub use scenario::{
+    builtin_scenarios, find_scenario, CrashPoint, PlanSpec, RestartPoint, Scenario, Tolerances,
+    WorldPreset,
+};

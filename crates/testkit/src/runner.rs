@@ -24,7 +24,11 @@
 //! fallen off the window horizon.
 
 use crate::report::{PhaseMetrics, ScenarioReport};
-use crate::scenario::Scenario;
+use crate::scenario::{CrashPoint, RestartPoint, Scenario};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use taf_plan::PlannerConfig;
 use taf_rfsim::{campaign, stream, RawSample, World};
 use tafloc_core::db::FingerprintDb;
@@ -33,6 +37,7 @@ use tafloc_core::loli_ir::LoliIrConfig;
 use tafloc_core::monitor::MonitorConfig;
 use tafloc_core::system::{TafLoc, TafLocConfig};
 use tafloc_ingest::{ClockMode, LinkSample};
+use tafloc_serve::journal::{Journal, JournalConfig};
 use tafloc_serve::maintenance::MaintenancePolicy;
 use tafloc_serve::site::Site;
 use tafloc_serve::store::SiteStore;
@@ -79,13 +84,28 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
     let mut site =
         Site::with_options(scenario.name, system, 0.0, policy, scenario.ingest, ClockMode::Manual)
             .map_err(|e| e.to_string())?;
+    let mut planner = None;
     if let Some(plan) = &scenario.plan {
         let full = scenario.ref_count * world.num_links();
         let budget = (plan.budget_fraction * full as f64).round() as usize;
-        site = site
-            .with_planning(PlannerConfig::new(budget, plan.policy))
-            .map_err(|e| e.to_string())?;
+        let config = PlannerConfig::new(budget, plan.policy);
+        planner = Some(config);
+        site = site.with_planning(config).map_err(|e| e.to_string())?;
     }
+
+    // Restart scenarios run on the real persistence stack for the whole run
+    // — a snapshot store plus a zero-flush-window write-ahead journal,
+    // exactly like a daemon started with `--data-dir` — so the simulated
+    // kill recovers from what the durability machinery actually wrote, not
+    // from a snapshot taken for the occasion.
+    let scratch = match scenario.restart {
+        RestartPoint::None => None,
+        _ => {
+            let scratch = ScratchDir::new(scenario.name);
+            site = attach_durability(site, scenario.name, &scratch.0)?;
+            Some(scratch)
+        }
+    };
 
     let eval_cells: Vec<usize> = (0..world.num_cells()).step_by(scenario.eval_stride).collect();
     // Gap that guarantees one stream's samples are gone (evicted or at least
@@ -120,6 +140,14 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         }
     }
 
+    // Crash point "after journal append, before snapshot commit": the
+    // survey batches above are journaled, but the snapshot on disk predates
+    // them — recovery must rebuild the whole capture round from journal
+    // replay, and the post-restart ticks below must still refresh.
+    if scenario.restart == RestartPoint::BeforeRefresh {
+        site = simulate_crash_restart(scenario, site, &scratch.as_ref().unwrap().0, planner)?;
+    }
+
     // Scripted maintenance: each tick promotes a finished capture round,
     // re-checks the monitor and — streak and cooldown permitting — refreshes.
     let mut refreshes = 0u64;
@@ -135,6 +163,14 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
     // budgeted refresh then runs through the same scripted ticks.
     let final_day = match &scenario.plan {
         Some(plan) => {
+            // The mid-schedule kill: the first refresh committed (persisting
+            // the published plan, history, costs and warm state), and the
+            // daemon dies before the budgeted epoch starts. The revived site
+            // must hand back the *same* measurement plan and resume it.
+            if scenario.restart == RestartPoint::BetweenEpochs {
+                site =
+                    simulate_crash_restart(scenario, site, &scratch.as_ref().unwrap().0, planner)?;
+            }
             let current = site.current_plan().ok_or_else(|| {
                 "plan scenario produced no measurement plan after the first refresh".to_string()
             })?;
@@ -163,14 +199,14 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         None => scenario.drift_day,
     };
 
-    // Simulated crash/restart: write the site's committed state through the
-    // real persistence path, throw the live site away, and recover from the
-    // snapshot file — everything below runs against the revived site, so any
-    // lossiness in the codec shows up in the accuracy gates. (Pending refs
-    // and the live ingestion window are deliberately *not* persisted; the
-    // stream gap already guarantees the window is drained between streams.)
-    if scenario.restart_after_refresh {
-        site = restart_through_store(scenario, site)?;
+    // Simulated crash/restart after the final refresh: the commit already
+    // auto-persisted, so recovery comes from the snapshot alone — everything
+    // below runs against the revived site, so any lossiness in the codec
+    // shows up in the accuracy gates. (Pending refs and the live ingestion
+    // window are deliberately *not* persisted; the stream gap already
+    // guarantees the window is drained between streams.)
+    if scenario.restart == RestartPoint::AfterRefresh {
+        site = simulate_crash_restart(scenario, site, &scratch.as_ref().unwrap().0, planner)?;
     }
 
     // Primary accuracy gates: the *served* database against the drifted
@@ -221,34 +257,131 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
     })
 }
 
-/// Persists `site` via [`SiteStore`], drops it, and resurrects it from the
-/// snapshot file — the testkit's stand-in for a `kill -9` + restart of the
-/// daemon. Recovery problems (corrupt/skipped snapshots, a failed decode)
-/// surface as scenario errors.
-fn restart_through_store(scenario: &Scenario, site: Site) -> Result<Site, String> {
-    let dir = std::env::temp_dir().join(format!(
-        "tafloc-testkit-restart-{}-{}",
-        std::process::id(),
-        scenario.seed
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    let revived = (|| -> Result<Site, String> {
-        let store = SiteStore::open(&dir).map_err(|e| e.to_string())?;
-        store.save(&site.to_persisted()).map_err(|e| e.to_string())?;
-        drop(site); // the "crash": nothing survives but the snapshot file
-        let recovery = store.recover_all().map_err(|e| e.to_string())?;
-        if !recovery.skipped.is_empty() {
-            return Err(format!("recovery skipped snapshots: {:?}", recovery.skipped));
+/// A unique throwaway data directory, removed on drop. Uniqueness matters:
+/// the scenario tests run in parallel threads of one test binary and several
+/// of them run the same restart scenario concurrently.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(name: &str) -> ScratchDir {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("tafloc-testkit-{}-{name}-{id}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Zero group-commit window: every admitted batch is fsynced before the
+/// ingest call returns, so the scripted runs are deterministic regardless of
+/// when the "kill" lands.
+fn journal_config() -> JournalConfig {
+    JournalConfig { flush_interval: std::time::Duration::ZERO, ..JournalConfig::default() }
+}
+
+/// Puts `site` on the real durability stack: snapshot store plus write-ahead
+/// journal in `dir`, mirroring `ServerCtx::attach_durability`.
+fn attach_durability(site: Site, name: &str, dir: &Path) -> Result<Site, String> {
+    let store = Arc::new(SiteStore::open(dir).map_err(|e| e.to_string())?);
+    let (journal, _) = Journal::open(store.dir(), &SiteStore::stem(name), journal_config(), 0)
+        .map_err(|e| e.to_string())?;
+    site.with_journal(Arc::new(journal)).with_persistence(store).map_err(|e| e.to_string())
+}
+
+/// The testkit's stand-in for `kill -9` + restart of the daemon: drop the
+/// live site (nothing survives but the files the durability machinery
+/// wrote), damage the directory per the scenario's [`CrashPoint`], then
+/// recover through the same sequence `Server::recover_sites` performs —
+/// snapshot, planner re-attach, journal replay from the snapshot's
+/// watermark, persistence re-attach. Recovery problems (skipped snapshots, a
+/// failed decode, a record that fails to replay) surface as scenario errors.
+fn simulate_crash_restart(
+    scenario: &Scenario,
+    site: Site,
+    dir: &Path,
+    planner: Option<PlannerConfig>,
+) -> Result<Site, String> {
+    drop(site); // the kill
+    inject_crash_damage(scenario.crash, scenario.name, dir)?;
+    let store = SiteStore::open(dir).map_err(|e| e.to_string())?;
+    let recovery = store.recover_all().map_err(|e| e.to_string())?;
+    if !recovery.skipped.is_empty() {
+        return Err(format!("recovery skipped snapshots: {:?}", recovery.skipped));
+    }
+    let persisted = recovery
+        .sites
+        .into_iter()
+        .next()
+        .ok_or_else(|| "no site recovered from the snapshot directory".to_string())?;
+    let watermark = persisted.journal_watermark;
+    let mut revived =
+        Site::from_persisted(persisted, ClockMode::Manual).map_err(|e| e.to_string())?;
+    if let Some(config) = planner {
+        revived = revived.with_planning(config).map_err(|e| e.to_string())?;
+    }
+    let (journal, jrec) =
+        Journal::open(store.dir(), &SiteStore::stem(scenario.name), journal_config(), watermark)
+            .map_err(|e| e.to_string())?;
+    let revived = revived.with_journal(Arc::new(journal));
+    let applied = revived.replay_journal(&jrec.records);
+    if applied != jrec.records.len() {
+        return Err(format!("replayed only {applied} of {} journal records", jrec.records.len()));
+    }
+    revived.with_persistence(Arc::new(store)).map_err(|e| e.to_string())
+}
+
+/// Mutates the data directory the way a kill landing *inside* a write would
+/// have left it. Every variant damages only bytes belonging to writes that
+/// never completed — and were therefore never acknowledged — so recovery
+/// must converge to the clean-kill state.
+fn inject_crash_damage(crash: CrashPoint, name: &str, dir: &Path) -> Result<(), String> {
+    let stem = SiteStore::stem(name);
+    match crash {
+        CrashPoint::CleanKill => Ok(()),
+        CrashPoint::MidAppend => {
+            // Append a partial frame to the active (newest) journal segment:
+            // a header promising 96 payload bytes backed by only a handful,
+            // exactly the torn tail a kill mid-`write(2)` leaves behind.
+            let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+                .map_err(|e| e.to_string())?
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.extension().is_some_and(|x| x == "wal")
+                        && p.file_name()
+                            .and_then(|f| f.to_str())
+                            .is_some_and(|f| f.starts_with(&stem))
+                })
+                .collect();
+            segments.sort();
+            let active = segments.pop().ok_or("no journal segment to tear")?;
+            let mut torn = Vec::new();
+            torn.extend_from_slice(&96u32.to_le_bytes());
+            torn.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+            torn.extend_from_slice(&[0x5A; 11]);
+            std::fs::OpenOptions::new()
+                .append(true)
+                .open(&active)
+                .and_then(|mut f| f.write_all(&torn))
+                .map_err(|e| e.to_string())
         }
-        let persisted = recovery
-            .sites
-            .into_iter()
-            .next()
-            .ok_or_else(|| "no site recovered from the snapshot directory".to_string())?;
-        Site::from_persisted(persisted, ClockMode::Manual).map_err(|e| e.to_string())
-    })();
-    let _ = std::fs::remove_dir_all(&dir);
-    revived
+        CrashPoint::MidRename => {
+            // A snapshot temp file that never reached its rename. Garbage
+            // contents on purpose: recovery must discard it unread.
+            std::fs::write(
+                dir.join(format!("{stem}.{:020}.tmp", u64::MAX)),
+                b"half-written snapshot",
+            )
+            .map_err(|e| e.to_string())
+        }
+    }
 }
 
 /// One evaluation pass: stream a target at each eval cell through the live

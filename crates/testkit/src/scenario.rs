@@ -106,6 +106,58 @@ pub struct PlanSpec {
     pub second_drift_day: f64,
 }
 
+/// Where in the scripted run the simulated `kill -9` + restart happens.
+///
+/// Any value other than [`RestartPoint::None`] makes the runner attach the
+/// real persistence stack — a [`tafloc_serve::store::SiteStore`] snapshot
+/// directory plus a write-ahead [`tafloc_serve::journal::Journal`] with a
+/// zero group-commit window — to the site for the *whole* run, exactly like
+/// a daemon started with `--data-dir`. The "crash" drops the live site;
+/// recovery goes snapshot → planner → journal replay, the same sequence
+/// `Server::recover_sites` performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPoint {
+    /// No restart; the site lives in memory for the whole run.
+    None,
+    /// After the drift-day survey batches are admitted (and journaled) but
+    /// *before* any maintenance tick: the snapshot on disk predates the
+    /// survey, so recovery must rebuild the capture round purely from
+    /// journal replay for the post-restart ticks to refresh at all.
+    BeforeRefresh,
+    /// After the final refresh has committed (and auto-persisted): recovery
+    /// comes from the snapshot alone, the journal having been pruned to the
+    /// committed watermark.
+    AfterRefresh,
+    /// Plan scenarios only: between the first (full-survey) refresh and the
+    /// second, budgeted epoch. The revived site must resume its published
+    /// measurement plan mid-schedule — no forced full survey — with the
+    /// same cumulative cost as the uninterrupted run.
+    BetweenEpochs,
+}
+
+/// On-disk damage injected between "the process died" and "the daemon came
+/// back", modeling *where inside a write* the kill landed. Applied on top of
+/// whatever state the group-committed journal and snapshot store left
+/// behind; every variant must recover to the same state as a clean kill,
+/// because the damaged bytes belong to writes that never completed (and
+/// were therefore never acknowledged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// The kill landed between writes: files are exactly as the last
+    /// completed fsync left them.
+    CleanKill,
+    /// The kill landed mid-`write(2)` of a journal append: the active
+    /// segment ends in a partial frame whose header promises more bytes
+    /// than exist. Recovery must truncate the torn tail and replay the
+    /// intact prefix.
+    MidAppend,
+    /// The kill landed between `write(tmp)` and `rename(tmp, snap)` of a
+    /// snapshot commit: a `.tmp` orphan sits next to the committed
+    /// generations. Recovery must ignore (and clean up) the orphan and
+    /// serve from the newest durable generation.
+    MidRename,
+}
+
 /// One deterministic fault-injection scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -149,12 +201,16 @@ pub struct Scenario {
     /// scenario. The mutation gate sets this to a non-zero value and asserts
     /// that the golden comparison fails.
     pub debug_bias_db: f64,
-    /// Simulate a crash/restart after the maintenance ticks: persist the
-    /// site through [`tafloc_serve::store::SiteStore`], drop it, recover
-    /// from the snapshot file, and run the drifted evaluation on the revived
-    /// site. Accuracy metrics must be unaffected — persistence is supposed
-    /// to be exact — which the restart-equivalence test pins down.
-    pub restart_after_refresh: bool,
+    /// Simulate a `kill -9` + restart at the given point: run the site on
+    /// the real persistence stack (snapshot store + write-ahead journal),
+    /// drop it, damage the directory per [`Scenario::crash`], and recover —
+    /// everything after the restart point runs against the revived site.
+    /// Accuracy metrics must be unaffected — recovery is supposed to be
+    /// exact — which the restart-equivalence tests pin down.
+    pub restart: RestartPoint,
+    /// How the simulated kill mangles the data directory before recovery;
+    /// only meaningful when [`Scenario::restart`] is not `None`.
+    pub crash: CrashPoint,
     /// Adaptive-sensing second epoch; `None` runs the classic single-refresh
     /// flow with no planner attached.
     pub plan: Option<PlanSpec>,
@@ -185,7 +241,8 @@ impl Scenario {
             breach_streak: 2,
             max_ticks: 5,
             debug_bias_db: 0.0,
-            restart_after_refresh: false,
+            restart: RestartPoint::None,
+            crash: CrashPoint::CleanKill,
             plan: None,
             tolerances: Tolerances::default(),
         }
@@ -207,7 +264,12 @@ impl Scenario {
                 plan.second_drift_day > self.drift_day,
                 "the budgeted epoch must come after the first drift day"
             );
-            assert!(!self.restart_after_refresh, "plan state is not persisted across restarts");
+        }
+        if self.restart == RestartPoint::BetweenEpochs {
+            assert!(self.plan.is_some(), "BetweenEpochs only exists in plan scenarios");
+        }
+        if self.crash != CrashPoint::CleanKill {
+            assert!(self.restart != RestartPoint::None, "a crash point needs a restart to act on");
         }
         self.stream.assert_valid();
         for f in self.eval_faults.faults.iter().chain(self.survey_faults.faults.iter()) {
@@ -280,7 +342,7 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
         "daemon is killed right after the drift refresh; recovery from the snapshot must serve on",
         46,
     );
-    restart.restart_after_refresh = true;
+    restart.restart = RestartPoint::AfterRefresh;
     // The live ingestion window is deliberately not persisted, so a restart
     // is only *bit-equal* when the window state cannot leak across streams:
     // with the ring capped below a stream's per-link sample count (~30 at
@@ -331,7 +393,33 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
         second_drift_day: 90.0,
     });
 
-    vec![nominal, lossy, dead, outage, restart, plan_full, plan_uncertainty, plan_fixed]
+    // The durability headline for adaptive sensing: same world and budget as
+    // `plan-uncertainty-50`, but the daemon is killed between the first
+    // (full-survey) refresh and the budgeted epoch. The revived site must
+    // resume its persisted measurement plan mid-schedule — the golden pins
+    // the cumulative cost counters to the uninterrupted run's values.
+    let mut plan_restart = plan_uncertainty.clone();
+    plan_restart.name = "plan-restart";
+    plan_restart.description =
+        "daemon killed between the planned epochs; the recovered site resumes its schedule";
+    plan_restart.restart = RestartPoint::BetweenEpochs;
+    // Same warm/cold ingestion-window convergence argument as
+    // `restart-recovery`: cap the ring below a stream's sample count so the
+    // revived (empty) ingestor and the uninterrupted one agree bit-for-bit
+    // by the time the drifted evaluation reads a verdict.
+    plan_restart.ingest = IngestConfig { window_capacity: 16, ..IngestConfig::default() };
+
+    vec![
+        nominal,
+        lossy,
+        dead,
+        outage,
+        restart,
+        plan_full,
+        plan_uncertainty,
+        plan_fixed,
+        plan_restart,
+    ]
 }
 
 /// Looks a built-in scenario up by name.

@@ -7,7 +7,9 @@
 //! these tests are deterministic end to end — no wall clock, no thread
 //! timing, no ambient RNG.
 
-use taf_testkit::{builtin_scenarios, compare, find_scenario, load_golden, run_scenario};
+use taf_testkit::{
+    builtin_scenarios, compare, find_scenario, load_golden, run_scenario, CrashPoint, RestartPoint,
+};
 
 /// Runs one scenario against its committed golden and panics with the full
 /// violation list on any regression.
@@ -199,32 +201,111 @@ fn leaderboard_includes_baselines_and_tafloc_beats_stale_rass() {
     assert!(unc.drifted_loc_mean_m < rass.drifted_loc_mean_m, "{rows:?}");
 }
 
-/// Restart equivalence: the same scenario run with and without the simulated
-/// crash/restart must produce identical post-restart accuracy — persistence
-/// is exact, not approximate. Only the cumulative ingest counters may differ
-/// (the live ingestion window is deliberately not persisted); every metric
-/// computed after the restart point must match to the last bit.
-#[test]
-fn restart_is_invisible_to_every_accuracy_metric() {
-    let with_restart = find_scenario("restart-recovery").unwrap();
-    let mut without = with_restart.clone();
-    without.restart_after_refresh = false;
+/// Asserts that a crashed-and-recovered run converges to the uninterrupted
+/// one: every metric computed after the restart point must match to the last
+/// bit. Only the cumulative ingest counters may differ (the live ingestion
+/// window is deliberately not persisted).
+fn assert_restart_invisible(crashed: &taf_testkit::Scenario) {
+    let mut without = crashed.clone();
+    without.restart = RestartPoint::None;
+    without.crash = CrashPoint::CleanKill;
 
-    let a = run_scenario(&with_restart).unwrap();
+    let a = run_scenario(crashed).unwrap();
     let b = run_scenario(&without).unwrap();
 
-    assert_eq!(a.day0, b.day0, "day-0 phase precedes the restart entirely");
-    assert_eq!(a.drifted, b.drifted, "drifted eval must be bit-equal across the restart");
+    let tag = format!("restart {:?} / crash {:?}", crashed.restart, crashed.crash);
+    assert_eq!(a.day0, b.day0, "[{tag}] day-0 phase precedes the restart entirely");
+    assert_eq!(a.drifted, b.drifted, "[{tag}] drifted eval must be bit-equal across the restart");
     assert_eq!(
         a.recon_rmse_db.to_bits(),
         b.recon_rmse_db.to_bits(),
-        "served DB must round-trip bit-exactly: {} vs {}",
+        "[{tag}] served DB must round-trip bit-exactly: {} vs {}",
         a.recon_rmse_db,
         b.recon_rmse_db
     );
-    assert_eq!(a.recon_bias_db.to_bits(), b.recon_bias_db.to_bits());
-    assert_eq!(a.refreshes, b.refreshes);
-    assert_eq!(a.maintenance_checks, b.maintenance_checks, "tick counters are persisted");
-    assert_eq!(a.snapshot_version, b.snapshot_version);
-    assert_eq!(a.pending_refs, b.pending_refs);
+    assert_eq!(a.recon_bias_db.to_bits(), b.recon_bias_db.to_bits(), "[{tag}]");
+    assert_eq!(a.refreshes, b.refreshes, "[{tag}]");
+    // Snapshots are written at refresh commits, not per tick: maintenance
+    // checks between the last commit and the kill are volatile by design, so
+    // the revived site may have counted fewer — never more, and never any
+    // that changed served state (those would have committed a snapshot).
+    assert!(
+        a.maintenance_checks <= b.maintenance_checks,
+        "[{tag}] revived site counted ticks that never committed: {} > {}",
+        a.maintenance_checks,
+        b.maintenance_checks
+    );
+    assert_eq!(a.snapshot_version, b.snapshot_version, "[{tag}]");
+    assert_eq!(a.pending_refs, b.pending_refs, "[{tag}]");
+    assert_eq!(a.planned_cost, b.planned_cost, "[{tag}] plan costs are persisted");
+    assert_eq!(a.actual_cost, b.actual_cost, "[{tag}]");
+    assert_eq!(a.full_survey_cost, b.full_survey_cost, "[{tag}]");
+}
+
+/// Restart equivalence after the refresh committed: recovery comes from the
+/// snapshot alone (the journal was pruned to the committed watermark).
+#[test]
+fn restart_is_invisible_to_every_accuracy_metric() {
+    assert_restart_invisible(&find_scenario("restart-recovery").unwrap());
+}
+
+/// The journal-replay half of the durability contract: the daemon dies after
+/// the survey batches were admitted (and journaled) but before any
+/// maintenance tick promoted them. The snapshot on disk predates the entire
+/// survey, so the post-restart refresh only happens if replay rebuilt the
+/// capture round — with zero admitted-sample loss, or the refresh inputs
+/// (and every gated metric) would diverge from the uninterrupted run.
+#[test]
+fn journal_replay_rebuilds_the_capture_round_after_a_pre_refresh_kill() {
+    let mut scenario = find_scenario("restart-recovery").unwrap();
+    scenario.restart = RestartPoint::BeforeRefresh;
+    assert_restart_invisible(&scenario);
+}
+
+/// Kill-9 battery over the injected crash points: a kill landing mid-append
+/// (torn journal tail) or mid-rename (orphaned snapshot temp file) must
+/// recover to exactly the clean-kill state, at both restart points.
+#[test]
+fn torn_writes_recover_to_the_clean_kill_state() {
+    for restart in [RestartPoint::BeforeRefresh, RestartPoint::AfterRefresh] {
+        for crash in [CrashPoint::MidAppend, CrashPoint::MidRename] {
+            let mut scenario = find_scenario("restart-recovery").unwrap();
+            scenario.restart = restart;
+            scenario.crash = crash;
+            assert_restart_invisible(&scenario);
+        }
+    }
+}
+
+#[test]
+fn plan_restart_passes_its_golden_gates() {
+    check("plan-restart");
+}
+
+/// The adaptive-sensing durability headline: a daemon killed between the
+/// first (full-survey) refresh and the budgeted epoch resumes its persisted
+/// measurement plan mid-schedule — same cumulative cost, bit-equal accuracy,
+/// no forced full survey.
+#[test]
+fn plan_restart_resumes_the_schedule_at_no_extra_cost() {
+    let scenario = find_scenario("plan-restart").unwrap();
+    assert_restart_invisible(&scenario);
+
+    // The resumed schedule must also cost exactly what the uninterrupted
+    // budgeted scenario spends: round 1 full (36) + round 2 at half budget —
+    // a forced post-restart full survey would double round 2.
+    let resumed = run_scenario(&scenario).unwrap();
+    let uninterrupted = run_scenario(&find_scenario("plan-uncertainty-50").unwrap()).unwrap();
+    assert_eq!(resumed.planned_cost, uninterrupted.planned_cost);
+    assert_eq!(resumed.actual_cost, uninterrupted.actual_cost);
+    assert_eq!(resumed.full_survey_cost, uninterrupted.full_survey_cost);
+}
+
+/// A mid-schedule kill combined with a torn snapshot rename: the budgeted
+/// epoch still resumes from the newest durable generation.
+#[test]
+fn plan_restart_survives_a_mid_rename_kill() {
+    let mut scenario = find_scenario("plan-restart").unwrap();
+    scenario.crash = CrashPoint::MidRename;
+    assert_restart_invisible(&scenario);
 }

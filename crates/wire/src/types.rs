@@ -17,10 +17,11 @@ use crate::codec::{Dec, Enc};
 use crate::error::{Result, WireError};
 use crate::json::{self, JsonValue, JsonWriter};
 use taf_linalg::Matrix;
+use taf_plan::{HistoryWindow, MeasurementPlan, PlanEntry, PlanPolicy, SurveyRecord};
 use taf_rfsim::geometry::{Point, Segment};
 use taf_rfsim::grid::FloorGrid;
 use tafloc_core::db::FingerprintDb;
-use tafloc_core::loli_ir::LoliIrConfig;
+use tafloc_core::loli_ir::{LoliIrConfig, WarmState};
 use tafloc_core::matcher::MatchMethod;
 use tafloc_core::monitor::MonitorConfig;
 use tafloc_core::reference::ReferenceStrategy;
@@ -930,6 +931,132 @@ pub fn dec_ingest_stats(d: &mut Dec<'_>) -> Result<IngestStats> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Planner state + solver warm state (binary only — these records only ever
+// live inside the snapshot store's versioned payload, never on the client
+// wire, so there is no JSON form to stay byte-compatible with)
+// ---------------------------------------------------------------------------
+
+/// Binary-encodes a `PlanPolicy`.
+pub fn enc_plan_policy(e: &mut Enc, p: PlanPolicy) {
+    e.u8(match p {
+        PlanPolicy::UncertaintyGreedy => 0,
+        PlanPolicy::FixedSchedule => 1,
+    });
+}
+
+/// Binary-decodes a `PlanPolicy`.
+pub fn dec_plan_policy(d: &mut Dec<'_>) -> Result<PlanPolicy> {
+    Ok(match d.u8()? {
+        0 => PlanPolicy::UncertaintyGreedy,
+        1 => PlanPolicy::FixedSchedule,
+        v => return Err(WireError::Malformed(format!("unknown plan policy tag {v}"))),
+    })
+}
+
+/// Binary-encodes a `MeasurementPlan` (the schedule position a restarted
+/// daemon resumes from).
+pub fn enc_measurement_plan(e: &mut Enc, p: &MeasurementPlan) {
+    e.u64(p.epoch);
+    enc_plan_policy(e, p.policy);
+    e.usize(p.entries.len());
+    for entry in &p.entries {
+        e.usize(entry.ref_slot);
+        e.usizes(&entry.links);
+    }
+    e.usize(p.planned_cost);
+    e.usize(p.full_cost);
+}
+
+/// Binary-decodes a `MeasurementPlan`.
+pub fn dec_measurement_plan(d: &mut Dec<'_>) -> Result<MeasurementPlan> {
+    let epoch = d.u64()?;
+    let policy = dec_plan_policy(d)?;
+    let n = d.count()?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(PlanEntry { ref_slot: d.usize()?, links: d.usizes()? });
+    }
+    // `links_for` binary-searches the entries; a payload that lost the sort
+    // order would silently mis-answer, so reject it here.
+    if entries.windows(2).any(|w| w[0].ref_slot >= w[1].ref_slot) {
+        return Err(WireError::malformed("plan entries not sorted by ref_slot"));
+    }
+    Ok(MeasurementPlan { epoch, policy, entries, planned_cost: d.usize()?, full_cost: d.usize()? })
+}
+
+/// Binary-encodes one retained `SurveyRecord`.
+pub fn enc_survey_record(e: &mut Enc, r: &SurveyRecord) {
+    e.u64(r.epoch);
+    e.f64s(&r.y);
+    e.usize(r.fresh.len());
+    for &f in &r.fresh {
+        e.bool(f);
+    }
+}
+
+/// Binary-decodes one `SurveyRecord`.
+pub fn dec_survey_record(d: &mut Dec<'_>) -> Result<SurveyRecord> {
+    let epoch = d.u64()?;
+    let y = d.f64s()?;
+    let n = d.count()?;
+    let mut fresh = Vec::with_capacity(n);
+    for _ in 0..n {
+        fresh.push(d.bool()?);
+    }
+    Ok(SurveyRecord { epoch, y, fresh })
+}
+
+/// Binary-encodes a full `HistoryWindow`: shape, then each slot's retained
+/// records oldest-first (the order [`dec_history`] replays them in).
+pub fn enc_history(e: &mut Enc, h: &HistoryWindow) {
+    e.usize(h.n_slots());
+    e.usize(h.n_links());
+    e.usize(h.depth());
+    for slot in 0..h.n_slots() {
+        let records: Vec<&SurveyRecord> = h.records(slot).collect();
+        e.usize(records.len());
+        for r in records {
+            enc_survey_record(e, r);
+        }
+    }
+}
+
+/// Binary-decodes a `HistoryWindow` by replaying each record through
+/// [`HistoryWindow::record`], so every shape invariant the live path enforces
+/// also holds for recovered state.
+pub fn dec_history(d: &mut Dec<'_>) -> Result<HistoryWindow> {
+    let n_slots = d.usize()?;
+    let n_links = d.usize()?;
+    let depth = d.usize()?;
+    let mut h = HistoryWindow::new(n_slots, n_links, depth)
+        .map_err(|e| WireError::Malformed(format!("history window: {e}")))?;
+    for slot in 0..n_slots {
+        let n = d.count()?;
+        for _ in 0..n {
+            let rec = dec_survey_record(d)?;
+            h.record(slot, rec)
+                .map_err(|e| WireError::Malformed(format!("history slot {slot}: {e}")))?;
+        }
+    }
+    Ok(h)
+}
+
+/// Binary-encodes a solver `WarmState` (the accepted factor pair).
+pub fn enc_warm_state(e: &mut Enc, w: &WarmState) {
+    e.matrix(w.l());
+    e.matrix(w.r());
+}
+
+/// Binary-decodes a `WarmState`, rejecting factor pairs no solve could have
+/// produced (rank mismatch, non-finite entries).
+pub fn dec_warm_state(d: &mut Dec<'_>) -> Result<WarmState> {
+    let l = d.matrix()?;
+    let r = d.matrix()?;
+    WarmState::from_parts(l, r)
+        .ok_or_else(|| WireError::malformed("warm state: mismatched ranks or non-finite factors"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1065,5 +1192,106 @@ mod tests {
         enc_ingest_stats(&mut e, &stats);
         let bytes = e.into_inner();
         assert_eq!(dec_ingest_stats(&mut Dec::new(&bytes)).unwrap(), stats);
+    }
+
+    #[test]
+    fn plan_state_round_trips_in_binary() {
+        let plan = MeasurementPlan {
+            epoch: 7,
+            policy: PlanPolicy::UncertaintyGreedy,
+            entries: vec![
+                PlanEntry { ref_slot: 0, links: vec![1, 3, 5] },
+                PlanEntry { ref_slot: 2, links: vec![0, 2] },
+            ],
+            planned_cost: 5,
+            full_cost: 12,
+        };
+        let mut e = Enc::new();
+        enc_measurement_plan(&mut e, &plan);
+        let bytes = e.into_inner();
+        let mut d = Dec::new(&bytes);
+        let back = dec_measurement_plan(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.epoch, plan.epoch);
+        assert_eq!(back.policy, plan.policy);
+        assert_eq!(back.entries, plan.entries);
+        assert_eq!(back.planned_cost, plan.planned_cost);
+        assert_eq!(back.full_cost, plan.full_cost);
+        assert_eq!(back.links_for(2), Some(&[0usize, 2][..]));
+
+        // Unsorted entries must be rejected, not silently mis-served.
+        let mut e = Enc::new();
+        let shuffled = MeasurementPlan {
+            entries: vec![plan.entries[1].clone(), plan.entries[0].clone()],
+            ..plan.clone()
+        };
+        enc_measurement_plan(&mut e, &shuffled);
+        let bytes = e.into_inner();
+        assert!(dec_measurement_plan(&mut Dec::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn history_round_trips_preserving_ring_order() {
+        let mut h = HistoryWindow::new(2, 3, 2).unwrap();
+        for epoch in 1..=3u64 {
+            h.record(
+                0,
+                SurveyRecord {
+                    epoch,
+                    y: vec![-40.0 - epoch as f64; 3],
+                    fresh: vec![epoch % 2 == 0; 3],
+                },
+            )
+            .unwrap();
+        }
+        let mut e = Enc::new();
+        enc_history(&mut e, &h);
+        let bytes = e.into_inner();
+        let mut d = Dec::new(&bytes);
+        let back = dec_history(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.n_slots(), 2);
+        assert_eq!(back.n_links(), 3);
+        assert_eq!(back.depth(), 2);
+        // Depth 2 means epochs 2 and 3 survive, in that order.
+        let records: Vec<_> = back.records(0).cloned().collect();
+        assert_eq!(records.iter().map(|r| r.epoch).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(records[1].y, vec![-43.0; 3]);
+        assert!(back.records(1).next().is_none());
+        // Re-encode: byte equality proves the replay preserved everything.
+        let mut e2 = Enc::new();
+        enc_history(&mut e2, &back);
+        assert_eq!(bytes, e2.into_inner());
+    }
+
+    #[test]
+    fn warm_state_round_trips_and_rejects_garbage() {
+        let l = Matrix::from_fn(4, 2, |i, j| 0.5 * i as f64 - 0.25 * j as f64);
+        let r = Matrix::from_fn(6, 2, |i, j| 0.1 * (i + j) as f64);
+        let w = WarmState::from_parts(l.clone(), r.clone()).unwrap();
+        let mut e = Enc::new();
+        enc_warm_state(&mut e, &w);
+        let bytes = e.into_inner();
+        let mut d = Dec::new(&bytes);
+        let back = dec_warm_state(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.shape(), (4, 6, 2));
+        assert_eq!(back.l().as_slice(), l.as_slice());
+        assert_eq!(back.r().as_slice(), r.as_slice());
+
+        // A rank-mismatched pair decodes structurally but fails validation.
+        let bad_r = Matrix::from_fn(6, 3, |_, _| 0.0);
+        let mut e = Enc::new();
+        e.matrix(&l);
+        e.matrix(&bad_r);
+        let bytes = e.into_inner();
+        assert!(dec_warm_state(&mut Dec::new(&bytes)).is_err());
+        // Non-finite factors are rejected too.
+        let nan_l = Matrix::from_fn(4, 2, |_, _| f64::NAN);
+        let mut e = Enc::new();
+        e.matrix(&nan_l);
+        e.matrix(&r);
+        let bytes = e.into_inner();
+        assert!(dec_warm_state(&mut Dec::new(&bytes)).is_err());
     }
 }

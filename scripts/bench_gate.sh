@@ -151,3 +151,24 @@ if grep -q '"sharded_credit"' "$ingest_baseline"; then
 else
   echo "bench_gate: WARNING — $ingest_baseline has no sharded_credit phase" >&2
 fi
+
+# ---------------------------------------------------------------------------
+# Journal-cost watchdog (warn-only): the fresh ingest run must include the
+# journaled phase (sharded admission with the write-ahead log on the admitted
+# path), and journaling must keep the admitted rate within the gate threshold
+# of the unjournaled sharded baseline from the same run. Warn-only: rate
+# ratios on a loaded runner are noisy, and the durability correctness
+# assertions live in crash_harness.rs / store_robustness.rs.
+# ---------------------------------------------------------------------------
+
+if grep -q '"journaled"' "$ingest_baseline"; then
+  wal_ratio="$(field "$ingest_baseline" wal_admitted_ratio_vs_sharded)"
+  if awk -v r="${wal_ratio:-0}" -v t="$threshold" 'BEGIN { exit !(r * t >= 1.0) }'; then
+    echo "bench_gate: journaled ingest OK (admitted rate ${wal_ratio} of unjournaled baseline, >= 1/${threshold})"
+  else
+    echo "bench_gate: WARNING — write-ahead journaling cut the admitted rate to" \
+         "${wal_ratio} of the unjournaled sharded baseline (expected >= 1/${threshold})" >&2
+  fi
+else
+  echo "bench_gate: WARNING — $ingest_baseline has no journaled phase" >&2
+fi

@@ -52,6 +52,19 @@ cargo test -q -p tafloc-ingest --test backpressure
 echo "==> cargo test -q -p tafloc-serve --test shard_serving  (sharded daemon battery)"
 cargo test -q -p tafloc-serve --test shard_serving
 
+# crash-harness: the kill -9 battery in release mode — journaled survey
+# replay, capture-round recovery, plan/warm resumption, all with torn-write
+# damage injected between kill and restart — plus the store-corruption
+# proptests and the scenario-level crash knobs against their goldens.
+echo "==> cargo test -q --release -p tafloc-serve --test crash_harness  (kill -9 battery)"
+cargo test -q --release -p tafloc-serve --test crash_harness
+
+echo "==> cargo test -q --release -p tafloc-serve --test restart  (recovery battery)"
+cargo test -q --release -p tafloc-serve --test restart
+
+echo "==> cargo test -q --release -p tafloc-serve --test store_robustness  (corruption proptests)"
+cargo test -q --release -p tafloc-serve --test store_robustness
+
 echo "==> cargo test -q -p taf-plan --no-default-features  (planner)"
 cargo test -q -p taf-plan --no-default-features
 
